@@ -1,0 +1,195 @@
+// Ablation of the design choices DESIGN.md calls out:
+//   A1 phase barrier: Table 1's global barrier vs. the section 6.3 relaxed
+//      progression, across stage-duration skew;
+//   A2 mid-reconfiguration policy: buffered vs. immediate (section 5.3
+//      options 2 and 1) under a worsening environment;
+//   A3 safe interposition: direct routing vs. the section 5.3 transform —
+//      longest single restriction interval and total restricted frames.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "arfs/analysis/timing.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+using core::PhaseBarrier;
+using core::ReconfigPolicy;
+using support::kChainSeverityFactor;
+using support::SimpleAppParams;
+
+Cycle one_reconfig_frames(PhaseBarrier barrier, Cycle halt_skew,
+                          Cycle prep_skew, std::size_t apps) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = apps;
+  params.transition_bound = 128;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+
+  core::SystemOptions options;
+  options.scram.barrier = barrier;
+  core::System system(spec, options);
+  for (std::size_t a = 0; a < apps; ++a) {
+    SimpleAppParams p;
+    // Alternate which stage is slow so the skew staggers across apps.
+    if (a % 2 == 0) {
+      p.halt_frames = 1 + halt_skew;
+    } else {
+      p.prepare_frames = 1 + prep_skew;
+    }
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(a), "a", p));
+  }
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(140);
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  return reconfigs.empty() ? 0 : trace::duration_frames(reconfigs.front());
+}
+
+void ablate_barrier() {
+  std::cout << "\nA1: phase barrier (SFTA frames for one reconfiguration)\n";
+  std::cout << std::left << std::setw(8) << "apps" << std::setw(14)
+            << "stage skew" << std::setw(10) << "global" << std::setw(10)
+            << "relaxed" << "saving\n";
+  for (const std::size_t apps : {2u, 4u, 8u}) {
+    for (const Cycle skew : {0u, 2u, 4u, 8u}) {
+      const Cycle global =
+          one_reconfig_frames(PhaseBarrier::kGlobal, skew, skew, apps);
+      const Cycle relaxed =
+          one_reconfig_frames(PhaseBarrier::kRelaxed, skew, skew, apps);
+      std::cout << std::left << std::setw(8) << apps << std::setw(14) << skew
+                << std::setw(10) << global << std::setw(10) << relaxed
+                << (global - relaxed) << " frames\n";
+    }
+  }
+}
+
+struct PolicyResult {
+  Cycle restricted = 0;
+  ConfigId final{};
+  std::uint64_t reconfigs = 0;
+};
+
+PolicyResult run_policy(ReconfigPolicy policy, Cycle second_failure_at) {
+  support::ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 2;
+  params.transition_bound = 24;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+
+  core::SystemOptions options;
+  options.scram.policy = policy;
+  core::System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(1), "b"));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(second_failure_at);
+  system.set_factor(kChainSeverityFactor, 2);
+  system.run(40);
+
+  PolicyResult result;
+  for (const trace::Reconfiguration& r :
+       trace::get_reconfigs(system.trace())) {
+    result.restricted += trace::duration_frames(r);
+    ++result.reconfigs;
+  }
+  result.final = system.scram().current_config();
+  return result;
+}
+
+void ablate_policy() {
+  std::cout << "\nA2: mid-reconfiguration policy (second failure lands k\n"
+            << "frames into the first SFTA; total restricted frames)\n";
+  std::cout << std::left << std::setw(8) << "k" << std::setw(22)
+            << "buffered (restricted)" << std::setw(24)
+            << "immediate (restricted)" << "reconfig counts (buf/imm)\n";
+  for (const Cycle k : {1u, 2u, 3u}) {
+    const PolicyResult buf = run_policy(ReconfigPolicy::kBuffer, k);
+    const PolicyResult imm = run_policy(ReconfigPolicy::kImmediate, k);
+    std::cout << std::left << std::setw(8) << k << std::setw(22)
+              << buf.restricted << std::setw(24) << imm.restricted
+              << buf.reconfigs << "/" << imm.reconfigs << "\n";
+  }
+  std::cout << "(immediate handles the worsening inside one SFTA; buffered\n"
+               " runs a second SFTA afterwards — section 5.3's two options)\n";
+}
+
+struct RouteResult {
+  Cycle longest_interval = 0;
+  Cycle total_restricted = 0;
+};
+
+RouteResult run_routing(bool interpose) {
+  support::ChainSpecParams params;
+  params.configs = 6;
+  params.apps = 2;
+  params.transition_bound = 16;
+  params.with_recovery_edges = true;
+  core::ReconfigSpec spec = support::make_chain_spec(params);
+  if (interpose) spec = analysis::with_safe_interposition(spec);
+
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(1), "b"));
+  system.run(2);
+  for (const std::int64_t severity : {1, 2, 3, 4, 2, 1}) {
+    system.set_factor(kChainSeverityFactor, severity);
+    system.run(30);
+  }
+
+  RouteResult result;
+  for (const trace::Reconfiguration& r :
+       trace::get_reconfigs(system.trace())) {
+    const Cycle d = trace::duration_frames(r);
+    result.longest_interval = std::max(result.longest_interval, d);
+    result.total_restricted += d;
+  }
+  return result;
+}
+
+void ablate_routing() {
+  std::cout << "\nA3: safe interposition (6-level cyclic chain, T = 16)\n";
+  const RouteResult direct = run_routing(false);
+  const RouteResult via_safe = run_routing(true);
+  std::cout << "  direct routing:  longest interval "
+            << direct.longest_interval << " frames, total restricted "
+            << direct.total_restricted << "\n";
+  std::cout << "  via safe config: longest interval "
+            << via_safe.longest_interval << " frames, total restricted "
+            << via_safe.total_restricted << "\n";
+  std::cout << "(interposition trades more total restriction for a bounded\n"
+               " per-interval maximum — the section 5.3 max{T(i,s)} claim)\n\n";
+}
+
+void report() {
+  bench::banner("ablations", "DESIGN.md design-choice ablations");
+  ablate_barrier();
+  ablate_policy();
+  ablate_routing();
+}
+
+void bm_barrier(benchmark::State& state) {
+  const PhaseBarrier barrier =
+      state.range(0) == 0 ? PhaseBarrier::kGlobal : PhaseBarrier::kRelaxed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_reconfig_frames(barrier, 4, 4, 4));
+  }
+  state.SetLabel(state.range(0) == 0 ? "global" : "relaxed");
+}
+BENCHMARK(bm_barrier)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

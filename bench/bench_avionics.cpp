@@ -1,0 +1,121 @@
+// Experiment E7 — the section 7 avionics instantiation, measured.
+//
+// Reports the failure-to-recovery latency (frames from the physical
+// alternator failure to normal operation in the target configuration) for
+// each transition of the example, across detection thresholds, plus the
+// simulation throughput of the full avionics stack.
+#include <iomanip>
+#include <iostream>
+
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/trace/reconfigs.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+using namespace arfs::avionics;
+
+struct Latency {
+  Cycle frames = 0;
+  SimDuration micros = 0;
+  bool props_ok = false;
+};
+
+Latency measure(int first_alt, int second_alt, Cycle detection_threshold) {
+  UavOptions options;
+  options.system.detection_threshold = detection_threshold;
+  UavSystem uav(options);
+  uav.run(10);
+  const Cycle fail_cycle = uav.system().clock().current_frame();
+  uav.electrical().fail_alternator(first_alt);
+  if (second_alt >= 0) uav.electrical().fail_alternator(second_alt);
+  uav.run(25);
+
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  Latency latency;
+  if (!reconfigs.empty()) {
+    latency.frames = reconfigs.back().end_c - fail_cycle + 1;
+    latency.micros = frames_to_time(latency.frames,
+                                    options.system.frame_length);
+  }
+  latency.props_ok =
+      props::check_trace(uav.system().trace(), uav.spec()).all_hold();
+  return latency;
+}
+
+void report() {
+  bench::banner("E7: avionics failure-to-recovery latency",
+                "paper section 7 example instantiation");
+  std::cout << "Frames from physical failure to normal operation in the\n"
+            << "target configuration (20 ms frames).\n\n";
+  std::cout << std::left << std::setw(34) << "scenario" << std::setw(12)
+            << "detection" << std::setw(10) << "frames" << std::setw(12)
+            << "latency" << "SP1-SP4\n";
+
+  struct Case {
+    const char* label;
+    int first;
+    int second;
+  };
+  const Case cases[] = {
+      {"alternator#0 -> Reduced", 0, -1},
+      {"both alternators -> Minimal", 0, 1},
+  };
+  for (const Case& c : cases) {
+    for (const Cycle detection : {1u, 2u, 4u}) {
+      const Latency lat = measure(c.first, c.second, detection);
+      std::cout << std::left << std::setw(34) << c.label << std::setw(12)
+                << (std::to_string(detection) + " frames") << std::setw(10)
+                << lat.frames << std::setw(12)
+                << (std::to_string(lat.micros / 1000) + " ms")
+                << (lat.props_ok ? "hold" : "FAIL") << "\n";
+    }
+  }
+
+  // Two-stage degradation: Full -> Reduced -> Minimal.
+  UavSystem uav;
+  uav.run(10);
+  uav.electrical().fail_alternator(0);
+  uav.run(20);
+  uav.electrical().fail_alternator(1);
+  uav.run(20);
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  std::cout << "\ntwo-stage degradation: " << reconfigs.size()
+            << " reconfigurations";
+  for (const auto& r : reconfigs) {
+    std::cout << "  [" << r.from.value() << "->" << r.to.value() << ": "
+              << trace::duration_frames(r) << " frames]";
+  }
+  std::cout << "\n\n";
+}
+
+void bm_avionics_frame(benchmark::State& state) {
+  UavOptions options;
+  options.system.record_trace = false;
+  UavSystem uav(options);
+  uav.autopilot().engage(ApMode::kAltitudeHold, 5200.0);
+  for (auto _ : state) {
+    uav.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("one 20ms avionics frame");
+}
+BENCHMARK(bm_avionics_frame)->Unit(benchmark::kMicrosecond);
+
+void bm_avionics_reconfig(benchmark::State& state) {
+  for (auto _ : state) {
+    UavSystem uav;
+    uav.run(2);
+    uav.electrical().fail_alternator(0);
+    uav.run(8);
+    benchmark::DoNotOptimize(uav.system().scram().current_config());
+  }
+  state.SetLabel("construct + Full->Reduced SFTA");
+}
+BENCHMARK(bm_avionics_reconfig)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

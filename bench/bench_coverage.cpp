@@ -1,0 +1,82 @@
+// Experiment E3 — reproduces paper Figure 2 (the covering_txns TCC).
+//
+// PVS discharges coverage as type-correctness conditions; here the same
+// obligations are generated and evaluated directly. The report shows, for
+// the avionics spec and for growing synthetic specs, how many obligations
+// the coverage pass generates and that all discharge; the timing section
+// measures the cost of the pass as the configuration/environment space grows.
+#include <iomanip>
+#include <iostream>
+
+#include "arfs/analysis/coverage.hpp"
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+void report_spec(const std::string& label, const core::ReconfigSpec& spec) {
+  const analysis::CoverageReport report = analysis::check_coverage(spec);
+  std::cout << std::left << std::setw(38) << label << std::setw(12)
+            << report.generated << std::setw(12) << report.discharged
+            << (report.all_discharged() ? "all discharged" : "FAILURES")
+            << "\n";
+  for (const analysis::Obligation& o : report.failures()) {
+    std::cout << "    failed: " << o.description << " — " << o.detail << "\n";
+  }
+}
+
+void report() {
+  bench::banner("E3: coverage obligations (covering_txns)", "paper Figure 2");
+  std::cout << "Obligation kinds: choose() totality over (config, env);\n"
+            << "T bounds for every reachable transition; safe-config\n"
+            << "existence and reachability.\n\n";
+  std::cout << std::left << std::setw(38) << "specification" << std::setw(12)
+            << "generated" << std::setw(12) << "discharged" << "verdict\n";
+
+  report_spec("avionics (section 7)", avionics::make_uav_spec());
+
+  for (const std::size_t configs : {4u, 8u, 16u}) {
+    support::ChainSpecParams params;
+    params.configs = configs;
+    report_spec("chain x" + std::to_string(configs),
+                support::make_chain_spec(params));
+  }
+  for (const std::size_t factors : {2u, 4u, 8u}) {
+    support::RandomSpecParams params;
+    params.factors = factors;
+    params.configs = 6;
+    report_spec("random, " + std::to_string(factors) + " binary factors (" +
+                    std::to_string(1u << factors) + " env states)",
+                support::make_random_spec(params, 5));
+  }
+  std::cout << "\n";
+}
+
+void bm_coverage(benchmark::State& state) {
+  support::RandomSpecParams params;
+  params.factors = static_cast<std::size_t>(state.range(0));
+  params.configs = 6;
+  const core::ReconfigSpec spec = support::make_random_spec(params, 5);
+  for (auto _ : state) {
+    const analysis::CoverageReport report = analysis::check_coverage(spec);
+    benchmark::DoNotOptimize(report.generated);
+  }
+  state.SetLabel(std::to_string(1u << params.factors) + " env states");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_coverage)->Arg(2)->Arg(6)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void bm_coverage_avionics(benchmark::State& state) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::check_coverage(spec).generated);
+  }
+}
+BENCHMARK(bm_coverage_avionics)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -1,0 +1,115 @@
+// Experiment E5 — reproduces the section 5.3 cyclic-reconfiguration caveat.
+//
+// "Cyclic reconfiguration is possible due to repeated failure and repair or
+// rapidly-changing environmental conditions, and in this case the time to
+// reconfigure could be infinite. Potential cycles can be detected through a
+// static analysis of permissible transitions. They can be dealt with by
+// forcing a check that the system has been functional for the necessary
+// amount of time..."
+//
+// The report (a) detects the cycles statically, (b) simulates a flapping
+// environment with dwell 0 vs. positive dwell and counts reconfigurations —
+// the dwell rule bounds the rate. The timing section measures cycle
+// detection as the graph grows.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "arfs/analysis/graph.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+std::uint64_t flapping_reconfigs(Cycle dwell, Cycle frames) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  params.with_recovery_edges = true;
+  params.transition_bound = 8;
+  params.dwell_frames = dwell;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+
+  core::System system(spec);
+  for (const core::AppDecl& decl : spec.apps()) {
+    system.add_app(std::make_unique<support::SimpleApp>(decl.id, decl.name));
+  }
+
+  // The severity factor flaps every 6 frames for the whole run.
+  sim::FaultPlan plan;
+  for (Cycle c = 4; c < frames; c += 6) {
+    plan.change_environment(static_cast<SimTime>(c) * 10'000,
+                            support::kChainSeverityFactor,
+                            (c / 6) % 2 == 0 ? 1 : 0, "flap");
+  }
+  system.set_fault_plan(std::move(plan));
+  system.run(frames);
+  return system.scram().stats().reconfigs_completed;
+}
+
+void report() {
+  bench::banner("E5: reconfiguration cycles and the dwell rule",
+                "paper section 5.3 (cyclic caveat)");
+
+  support::ChainSpecParams params;
+  params.configs = 3;
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec cyclic = support::make_chain_spec(params);
+  const analysis::TransitionGraph g = analysis::TransitionGraph::build(cyclic);
+  std::cout << "static detection: transition graph with recovery edges has "
+            << g.edges().size() << " edges; cyclic = "
+            << (g.has_cycle() ? "yes" : "no") << "\n";
+  const auto cycle = g.find_cycle();
+  if (cycle.has_value()) {
+    std::cout << "  example cycle: ";
+    for (const ConfigId c : *cycle) std::cout << "c" << c.value() << " -> ";
+    std::cout << "c" << cycle->front().value() << "\n";
+  }
+
+  std::cout << "\nflapping environment (toggle every 6 frames, 600 frames):\n";
+  std::cout << std::left << std::setw(16) << "dwell frames"
+            << "reconfigurations completed\n";
+  for (const Cycle dwell : {0u, 10u, 30u, 60u, 120u}) {
+    std::cout << std::left << std::setw(16) << dwell
+              << flapping_reconfigs(dwell, 600) << "\n";
+  }
+  std::cout << "(dwell = 0 reconfigures at the flap rate; a positive dwell\n"
+               " bounds the rate exactly as section 5.3 prescribes)\n\n";
+}
+
+void bm_cycle_detection(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = static_cast<std::size_t>(state.range(0));
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  const analysis::TransitionGraph g = analysis::TransitionGraph::build(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.has_cycle());
+  }
+  state.SetLabel(std::to_string(g.edges().size()) + " edges");
+}
+BENCHMARK(bm_cycle_detection)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_reachability(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = static_cast<std::size_t>(state.range(0));
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  const analysis::TransitionGraph g = analysis::TransitionGraph::build(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g.reachable_from(support::synthetic_config(0)).size());
+  }
+}
+BENCHMARK(bm_reachability)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

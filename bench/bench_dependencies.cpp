@@ -1,0 +1,102 @@
+// Experiment E9 — dependency coordination (paper sections 6.3, 7.1).
+//
+// The SCRAM stretches a phase across extra frames when applications depend
+// on one another: a dependency chain of depth d adds exactly d frames to the
+// phase. The report sweeps chain depth and width and compares the observed
+// SFTA length against the theoretical 4 + d frames.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+/// Builds a chain spec over `apps` applications with an initialize-phase
+/// dependency chain of depth `depth` (app i+1 waits for app i, i < depth).
+core::ReconfigSpec deps_spec(std::size_t apps, std::size_t depth) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = apps;
+  params.transition_bound = 64;
+  core::ReconfigSpec spec = support::make_chain_spec(params);
+  for (std::size_t i = 0; i < depth; ++i) {
+    spec.add_dependency(core::Dependency{support::synthetic_app(i + 1),
+                                         support::synthetic_app(i),
+                                         core::DepPhase::kInitialize,
+                                         std::nullopt});
+  }
+  return spec;
+}
+
+Cycle observed_sfta_frames(const core::ReconfigSpec& spec) {
+  core::System system(spec);
+  for (const core::AppDecl& decl : spec.apps()) {
+    system.add_app(std::make_unique<support::SimpleApp>(decl.id, decl.name));
+  }
+  system.run(2);
+  system.set_factor(support::kChainSeverityFactor, 1);
+  system.run(70);
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  if (reconfigs.empty()) return 0;
+  return trace::duration_frames(reconfigs.front());
+}
+
+void report() {
+  bench::banner("E9: dependency coordination", "paper sections 6.3 / 7.1");
+  std::cout << "A dependency chain of depth d serializes the initialize\n"
+            << "stage: SFTA length = 4 + d frames.\n\n";
+  std::cout << std::left << std::setw(8) << "apps" << std::setw(14)
+            << "chain depth" << std::setw(18) << "expected frames"
+            << "observed frames\n";
+
+  for (const std::size_t apps : {2u, 4u, 8u}) {
+    for (std::size_t depth = 0; depth < apps; ++depth) {
+      const core::ReconfigSpec spec = deps_spec(apps, depth);
+      const Cycle expected = 4 + depth;
+      const Cycle observed = observed_sfta_frames(spec);
+      std::cout << std::left << std::setw(8) << apps << std::setw(14) << depth
+                << std::setw(18) << expected << observed
+                << (observed == expected ? "" : "  MISMATCH") << "\n";
+    }
+  }
+
+  // Width does not add frames: many independent apps still finish each
+  // stage in one frame.
+  std::cout << "\nwide systems, no dependencies (width is free):\n";
+  for (const std::size_t apps : {2u, 8u, 32u}) {
+    const core::ReconfigSpec spec = deps_spec(apps, 0);
+    std::cout << "  " << apps << " apps: " << observed_sfta_frames(spec)
+              << " frames\n";
+  }
+  std::cout << "\n";
+}
+
+void bm_sfta_with_deps(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  const core::ReconfigSpec spec = deps_spec(depth + 1, depth);
+  for (auto _ : state) {
+    core::System system(spec);
+    for (const core::AppDecl& decl : spec.apps()) {
+      system.add_app(
+          std::make_unique<support::SimpleApp>(decl.id, decl.name));
+    }
+    system.run(1);
+    system.set_factor(support::kChainSeverityFactor, 1);
+    system.run(6 + depth);
+    benchmark::DoNotOptimize(system.scram().current_config());
+  }
+  state.SetLabel("depth " + std::to_string(depth));
+}
+BENCHMARK(bm_sfta_with_deps)->Arg(0)->Arg(3)->Arg(7)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -1,0 +1,103 @@
+// Experiment E11 — failure-detector quality (paper section 3's activity
+// monitors, quantified).
+//
+// Component failures reach the SCRAM through activity monitors with a
+// configurable silence threshold. The threshold trades detection latency
+// (it *is* the latency, in frames) against false alarms when heartbeats are
+// occasionally lost to platform noise. The report sweeps both axes; the
+// architecture tolerates false alarms gracefully (choose() absorbs them
+// when the environment does not warrant reconfiguration), so the cost of a
+// low threshold is wasted SCRAM evaluations, not spurious reconfigurations.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+struct NoiseResult {
+  std::uint64_t heartbeats_lost = 0;
+  std::uint64_t false_alarms = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t reconfigs = 0;
+};
+
+NoiseResult run(Cycle threshold, double loss_prob, Cycle frames,
+                std::uint64_t seed) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+
+  core::SystemOptions options;
+  options.detection_threshold = threshold;
+  options.heartbeat_loss_prob = loss_prob;
+  options.noise_seed = seed;
+  options.record_trace = false;
+  core::System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(1), "b"));
+  system.run(frames);
+
+  NoiseResult result;
+  result.heartbeats_lost = system.stats().heartbeats_lost;
+  result.false_alarms = system.stats().false_alarms;
+  result.absorbed = system.scram().stats().triggers_absorbed;
+  result.reconfigs = system.scram().stats().reconfigs_completed;
+  return result;
+}
+
+void report() {
+  bench::banner("E11: activity-monitor detection quality",
+                "paper section 3 (detection by activity monitors)");
+  std::cout << "10,000 quiet frames; heartbeat loss probability per frame\n"
+            << "vs. silence threshold. Detection latency = threshold frames\n"
+            << "by construction; false alarms are measured. False alarms\n"
+            << "never cause reconfigurations (choose() absorbs them).\n\n";
+  std::cout << std::left << std::setw(12) << "loss prob" << std::setw(12)
+            << "threshold" << std::setw(18) << "latency (frames)"
+            << std::setw(18) << "false alarms" << "spurious reconfigs\n";
+
+  for (const double loss : {0.01, 0.05, 0.10}) {
+    for (const Cycle threshold : {1u, 2u, 3u, 5u}) {
+      const NoiseResult r = run(threshold, loss, 10'000, 17);
+      std::cout << std::left << std::setw(12) << loss << std::setw(12)
+                << threshold << std::setw(18) << threshold << std::setw(18)
+                << r.false_alarms << r.reconfigs << "\n";
+    }
+  }
+  std::cout << "\n(expected false alarms per processor ~= frames * p^k for\n"
+               " threshold k: each row drops by roughly the loss factor)\n\n";
+}
+
+void bm_noisy_frame(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  core::SystemOptions options;
+  options.heartbeat_loss_prob = 0.05;
+  options.record_trace = false;
+  core::System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(1), "b"));
+  for (auto _ : state) {
+    system.run_frame();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_noisy_frame)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -1,0 +1,107 @@
+// Experiment E6 — reproduces the section 5.1 hardware-economics argument.
+//
+// "the total number of required components is [full service + expected
+// failures]" for masking, versus "[safe service + expected failures]" for
+// reconfiguration; "Reconfiguration in place of masking, or the combination
+// of reconfiguration with masking, saves power, weight, and space."
+//
+// The report sweeps (full-service units, safe-service units, expected
+// failures) and prints component counts, savings, and the no-excess-
+// equipment condition, including the paper's avionics-flavored data point
+// and the hybrid combination of section 5.2.
+#include <iomanip>
+#include <iostream>
+
+#include "arfs/analysis/economics.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+using analysis::compute_hw_economics;
+using analysis::compute_hybrid_economics;
+using analysis::HwEconomicsInput;
+using analysis::HybridInput;
+
+void row(const char* label, int full, int safe, int failures,
+         double weight_kg, double power_w) {
+  HwEconomicsInput input;
+  input.units_full_service = full;
+  input.units_safe_service = safe;
+  input.max_expected_failures = failures;
+  input.unit_weight_kg = weight_kg;
+  input.unit_power_w = power_w;
+  const analysis::HwEconomicsResult r = compute_hw_economics(input);
+  std::cout << std::left << std::setw(30) << label << std::right
+            << std::setw(5) << full << std::setw(5) << safe << std::setw(5)
+            << failures << std::setw(9) << r.masking_units << std::setw(9)
+            << r.reconfig_units << std::setw(8) << r.saved_units
+            << std::setw(8) << std::fixed << std::setprecision(0)
+            << r.saving_fraction * 100.0 << "%" << std::setw(10)
+            << std::setprecision(1) << r.saved_weight_kg << "kg"
+            << std::setw(9) << std::setprecision(0) << r.saved_power_w << "W"
+            << (r.no_excess_equipment ? "   no-excess" : "") << "\n";
+}
+
+void report() {
+  bench::banner("E6: masking vs reconfiguration hardware economics",
+                "paper section 5.1");
+  std::cout << std::left << std::setw(30) << "scenario" << std::right
+            << std::setw(5) << "full" << std::setw(5) << "safe"
+            << std::setw(5) << "fail" << std::setw(9) << "mask" << std::setw(9)
+            << "reconf" << std::setw(8) << "saved" << std::setw(9) << "frac"
+            << std::setw(12) << "weight" << std::setw(10) << "power" << "\n";
+
+  // The paper's UAV example: two computers for full service, one low-power
+  // computer suffices for Minimal Service.
+  row("UAV avionics (section 7)", 2, 1, 1, 3.5, 45.0);
+  row("UAV avionics, 2 failures", 2, 1, 2, 3.5, 45.0);
+
+  // Boeing-777-like flight computer structure (triple-triple redundancy
+  // flavor, section 1 citation [12]).
+  row("transport FCC, deep masking", 3, 1, 6, 8.0, 120.0);
+
+  // Sweep: growing full-service requirement at fixed safe floor.
+  for (const int full : {2, 4, 8, 16}) {
+    row(("sweep full=" + std::to_string(full)).c_str(), full, 2, 3, 4.0,
+        60.0);
+  }
+  // Sweep: failures at fixed sizes.
+  for (const int failures : {0, 1, 2, 4, 8}) {
+    row(("sweep failures=" + std::to_string(failures)).c_str(), 6, 2,
+        failures, 4.0, 60.0);
+  }
+
+  std::cout << "\nhybrid (section 5.2): masked functions keep spares, the\n"
+               "rest reconfigures. full=8, safe=3, failures=3:\n";
+  std::cout << std::left << std::setw(18) << "masked units" << std::setw(14)
+            << "hybrid total" << std::setw(16) << "pure masking"
+            << "pure reconfig\n";
+  for (const int masked : {0, 2, 4, 6, 8}) {
+    HybridInput input;
+    input.units_full_service = 8;
+    input.units_safe_service = 3;
+    input.masked_units = masked;
+    input.max_expected_failures = 3;
+    const analysis::HybridResult r = compute_hybrid_economics(input);
+    std::cout << std::left << std::setw(18) << masked << std::setw(14)
+              << r.total_units << std::setw(16) << r.pure_masking_units
+              << r.pure_reconfig_units << "\n";
+  }
+  std::cout << "\n";
+}
+
+void bm_economics(benchmark::State& state) {
+  HwEconomicsInput input;
+  input.units_full_service = 8;
+  input.units_safe_service = 2;
+  input.max_expected_failures = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_hw_economics(input).saved_units);
+  }
+}
+BENCHMARK(bm_economics)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -1,0 +1,34 @@
+// Shared main() for experiment benchmarks: each binary first prints its
+// experiment's report table (the reproduction of the corresponding paper
+// artifact), then runs its registered google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace arfs::bench {
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+inline void banner(const std::string& experiment,
+                   const std::string& artifact) {
+  std::cout << "=====================================================\n"
+            << experiment << " — reproduces " << artifact << "\n"
+            << "=====================================================\n";
+}
+
+}  // namespace arfs::bench
+
+#define ARFS_BENCH_MAIN(REPORT_FN)                                   \
+  int main(int argc, char** argv) {                                  \
+    REPORT_FN();                                                     \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+      return 1;                                                      \
+    }                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    return 0;                                                        \
+  }

@@ -1,0 +1,138 @@
+// Experiment E4 — reproduces the section 5.3 restriction-time analysis.
+//
+// Paper claims:
+//   (a) worst-case function restriction = sum of T bounds along the longest
+//       transition chain to a safe configuration;
+//   (b) interposing a safe configuration reduces the bound to max{T(i,s)};
+//   (c) the bound is conservative: simulated worst-case campaigns never
+//       exceed it.
+// The report sweeps chain length, prints both analytical bounds next to the
+// worst restriction time actually observed in simulation, and shows the
+// crossover structure the paper describes (chain-sum grows linearly, the
+// interposition bound stays flat).
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "arfs/analysis/graph.hpp"
+#include "arfs/analysis/timing.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+/// Drives the worst case: severity degrades one level at a time, each
+/// failure arriving mid-reconfiguration. Returns total restricted frames.
+Cycle observed_restriction(const core::ReconfigSpec& spec,
+                           std::size_t levels) {
+  core::System system(spec);
+  for (const core::AppDecl& decl : spec.apps()) {
+    system.add_app(std::make_unique<support::SimpleApp>(decl.id, decl.name));
+  }
+  system.run(3);
+  for (std::size_t severity = 1; severity < levels; ++severity) {
+    system.set_factor(support::kChainSeverityFactor,
+                      static_cast<std::int64_t>(severity));
+    system.run(2);
+  }
+  system.run(static_cast<Cycle>(levels) * 12);
+
+  Cycle restricted = 0;
+  for (const trace::Reconfiguration& r :
+       trace::get_reconfigs(system.trace())) {
+    restricted += trace::duration_frames(r);
+  }
+  return restricted;
+}
+
+void report() {
+  bench::banner("E4: restriction-time bounds", "paper section 5.3 formulas");
+  std::cout << "Sum-formula: max restriction = sum T(i-1,i) over the longest\n"
+            << "chain to a safe configuration. Interposition: route every\n"
+            << "transition through a safe configuration -> max{T(i,s)}.\n\n";
+  std::cout << std::left << std::setw(14) << "chain levels" << std::setw(22)
+            << "sum-bound (frames)" << std::setw(26)
+            << "interposition (frames)" << "observed worst (frames)\n";
+
+  const Cycle t = 8;
+  for (const std::size_t levels : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    support::ChainSpecParams params;
+    params.configs = levels;
+    params.apps = 2;
+    params.transition_bound = t;
+    const core::ReconfigSpec spec = support::make_chain_spec(params);
+    const analysis::TransitionGraph graph =
+        analysis::TransitionGraph::build(spec);
+    const analysis::ChainBound chain =
+        analysis::worst_chain_restriction(spec, graph);
+    const analysis::InterpositionBound inter =
+        analysis::safe_interposition_restriction(spec);
+    const Cycle observed = observed_restriction(spec, levels);
+
+    std::cout << std::left << std::setw(14) << levels << std::setw(22)
+              << (chain.frames ? std::to_string(*chain.frames) : "unbounded")
+              << std::setw(26)
+              << (inter.frames ? std::to_string(*inter.frames) : "undefined")
+              << observed
+              << (chain.frames && observed <= *chain.frames ? "  <= bound"
+                                                            : "  VIOLATION")
+              << "\n";
+  }
+
+  std::cout << "\nCyclic caveat (section 5.3): with recovery edges the graph\n"
+               "is cyclic and the sum-formula is unbounded:\n";
+  support::ChainSpecParams cyclic;
+  cyclic.configs = 4;
+  cyclic.with_recovery_edges = true;
+  const core::ReconfigSpec cyclic_spec = support::make_chain_spec(cyclic);
+  const analysis::TransitionGraph cyclic_graph =
+      analysis::TransitionGraph::build(cyclic_spec);
+  const analysis::ChainBound cyclic_bound =
+      analysis::worst_chain_restriction(cyclic_spec, cyclic_graph);
+  std::cout << "  chain bound: "
+            << (cyclic_bound.frames ? std::to_string(*cyclic_bound.frames)
+                                    : "unbounded")
+            << " (" << cyclic_bound.note << ")\n";
+  const analysis::CycleExposure exposure =
+      analysis::cycle_exposure(cyclic_spec, cyclic_graph);
+  std::cout << "  example cycle length: " << exposure.example_cycle.size()
+            << " configs, period "
+            << (exposure.cycle_frames ? std::to_string(*exposure.cycle_frames)
+                                      : "?")
+            << " frames — broken by the dwell rule\n\n";
+}
+
+void bm_worst_chain(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = static_cast<std::size_t>(state.range(0));
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  const analysis::TransitionGraph graph =
+      analysis::TransitionGraph::build(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::worst_chain_restriction(spec, graph).frames);
+  }
+}
+BENCHMARK(bm_worst_chain)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_graph_build(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = static_cast<std::size_t>(state.range(0));
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::TransitionGraph::build(spec).edges().size());
+  }
+}
+BENCHMARK(bm_graph_build)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

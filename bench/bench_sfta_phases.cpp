@@ -1,0 +1,125 @@
+// Experiment E1 — reproduces paper Table 1 (SFTA phases).
+//
+// Runs the SFTA protocol in simulation for each shape the paper's model
+// admits (no dependency, one dependency, multi-frame stages) and prints the
+// observed frame-by-frame message/action/predicate table next to the
+// expected Table 1 structure. The timing section measures the cost of
+// driving the protocol through the full frame pipeline.
+#include <iostream>
+#include <memory>
+
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "arfs/trace/export.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+void run_case(const std::string& label, support::SimpleAppParams app_params,
+              bool with_dependency) {
+  support::ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 2;
+  params.transition_bound = 16;
+  core::ReconfigSpec spec = support::make_chain_spec(params);
+  if (with_dependency) {
+    spec.add_dependency(core::Dependency{support::synthetic_app(1),
+                                         support::synthetic_app(0),
+                                         core::DepPhase::kInitialize,
+                                         std::nullopt});
+  }
+
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(0), "a0", app_params));
+  system.add_app(std::make_unique<support::SimpleApp>(
+      support::synthetic_app(1), "a1", app_params));
+  system.run(3);
+  system.set_factor(support::kChainSeverityFactor, 1);
+  system.run(16);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  std::cout << "\n--- " << label << " ---\n";
+  if (reconfigs.empty()) {
+    std::cout << "(no reconfiguration recorded)\n";
+    return;
+  }
+  std::cout << trace::render_phase_table(system.trace(), reconfigs.front());
+}
+
+void report() {
+  bench::banner("E1: SFTA phase protocol", "paper Table 1");
+  std::cout
+      << "Expected (Table 1): frame 0 failure signal -> SCRAM;\n"
+      << "frame 1 halt -> all apps (postconditions); frame 2 prepare\n"
+      << "(transition conditions); frame 3 initialize (preconditions),\n"
+      << "after which applications operate normally in Ct.\n";
+
+  run_case("canonical: single-frame stages, no dependencies",
+           support::SimpleAppParams{}, false);
+  run_case("initialize dependency (paper 7.1 shape): +1 frame",
+           support::SimpleAppParams{}, true);
+  support::SimpleAppParams slow;
+  slow.halt_frames = 2;
+  run_case("two-frame halt stage: +1 frame, bounded by T", slow, false);
+
+  // The avionics instantiation's own Full -> Reduced SFTA.
+  avionics::UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.run(12);
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  std::cout << "\n--- avionics Full -> Reduced (section 7.1) ---\n";
+  if (!reconfigs.empty()) {
+    std::cout << trace::render_phase_table(uav.system().trace(),
+                                           reconfigs.front());
+  }
+  std::cout << "\n";
+}
+
+void bm_full_sfta(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.transition_bound = 16;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  for (auto _ : state) {
+    core::System system(spec);
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(0), "a0"));
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(1), "a1"));
+    system.run(1);
+    system.set_factor(support::kChainSeverityFactor, 1);
+    system.run(5);  // one full SFTA
+    benchmark::DoNotOptimize(system.trace().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_full_sfta)->Unit(benchmark::kMicrosecond);
+
+void bm_normal_frame(benchmark::State& state) {
+  support::ChainSpecParams params;
+  params.apps = state.range(0);
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  core::SystemOptions options;
+  options.record_trace = false;  // unbounded run: do not grow the trace
+  core::System system(spec, options);
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(a), "a"));
+  }
+  for (auto _ : state) {
+    system.run_frame();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_normal_frame)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

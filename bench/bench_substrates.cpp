@@ -1,0 +1,157 @@
+// Substrate microbenchmarks: the platform layers of Figure 1 in isolation —
+// stable-storage commit, TDMA bus post/deliver, self-checking-pair
+// execution, SCRAM frame decisions, and activity-monitor scans. These bound
+// the per-frame overhead the architecture adds to an application.
+#include <memory>
+#include <string>
+
+#include "arfs/bus/bus.hpp"
+#include "arfs/failstop/fta.hpp"
+#include "arfs/core/scram.hpp"
+#include "arfs/failstop/detector.hpp"
+#include "arfs/failstop/self_checking_pair.hpp"
+#include "arfs/storage/stable_storage.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+void report() {
+  bench::banner("substrate microbenchmarks",
+                "platform layers of paper Figure 1");
+}
+
+void bm_stable_commit(benchmark::State& state) {
+  const std::int64_t keys = state.range(0);
+  storage::StableStorage s;
+  Cycle cycle = 0;
+  for (auto _ : state) {
+    for (std::int64_t k = 0; k < keys; ++k) {
+      s.write("key" + std::to_string(k),
+              static_cast<std::int64_t>(cycle) + k);
+    }
+    benchmark::DoNotOptimize(s.commit(cycle++));
+  }
+  state.SetItemsProcessed(state.iterations() * keys);
+}
+BENCHMARK(bm_stable_commit)->Arg(4)->Arg(32)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_stable_read(benchmark::State& state) {
+  storage::StableStorage s;
+  for (int k = 0; k < 256; ++k) {
+    s.write("key" + std::to_string(k), std::int64_t{k});
+  }
+  s.commit(0);
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.read("key" + std::to_string(k & 255)));
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_stable_read)->Unit(benchmark::kNanosecond);
+
+void bm_bus_round(benchmark::State& state) {
+  const std::int64_t endpoints = state.range(0);
+  bus::TdmaSchedule schedule;
+  for (std::int64_t e = 0; e < endpoints; ++e) {
+    schedule.add_slot(EndpointId{static_cast<std::uint32_t>(e)}, 100);
+  }
+  bus::Bus the_bus(schedule);
+  for (std::int64_t e = 0; e < endpoints; ++e) {
+    the_bus.register_endpoint(EndpointId{static_cast<std::uint32_t>(e)});
+  }
+  SimTime now = 0;
+  for (auto _ : state) {
+    for (std::int64_t e = 0; e < endpoints; ++e) {
+      the_bus.post(EndpointId{static_cast<std::uint32_t>(e)}, "t",
+                   std::int64_t{e}, now);
+    }
+    now += schedule.round_length();
+    the_bus.deliver_until(now);
+    for (std::int64_t e = 0; e < endpoints; ++e) {
+      benchmark::DoNotOptimize(
+          the_bus.collect(EndpointId{static_cast<std::uint32_t>(e)}).size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * endpoints);
+}
+BENCHMARK(bm_bus_round)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void bm_self_checking_pair(benchmark::State& state) {
+  failstop::SelfCheckingPair pair;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.run([&x] { return x *= 0x9E3779B9ULL; }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_self_checking_pair)->Unit(benchmark::kNanosecond);
+
+void bm_fta_step(benchmark::State& state) {
+  failstop::ProcessorGroup group;
+  group.add_processor(ProcessorId{1});
+  group.add_processor(ProcessorId{2});
+  failstop::FtaRunner runner(
+      group, {ProcessorId{1}, ProcessorId{2}},
+      [](storage::StableStorage& stable) {
+        const std::int64_t p =
+            stable.read_as<std::int64_t>("p").value_or(0);
+        stable.write("p", p + 1);
+        return false;  // endless action: measure steady-state step cost
+      },
+      [](const storage::StableStorage& failed,
+         storage::StableStorage& replacement) {
+        replacement.write("p",
+                          failed.read_as<std::int64_t>("p").value_or(0));
+      });
+  Cycle cycle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.step(cycle++).steps_executed);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("S&S FTA step (baseline model)");
+}
+BENCHMARK(bm_fta_step)->Unit(benchmark::kNanosecond);
+
+void bm_scram_idle_frame(benchmark::State& state) {
+  support::RandomSpecParams params;
+  params.apps = static_cast<std::size_t>(state.range(0));
+  const core::ReconfigSpec spec = support::make_random_spec(params, 1);
+  core::Scram scram(spec);
+  const env::EnvState env = spec.factors().enumerate_states().front();
+  Cycle cycle = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scram.begin_frame(cycle, 0, {}, {}, env));
+    benchmark::DoNotOptimize(scram.end_frame(cycle, {}));
+    ++cycle;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_scram_idle_frame)->Arg(3)->Arg(16)->Unit(benchmark::kNanosecond);
+
+void bm_activity_scan(benchmark::State& state) {
+  const std::int64_t processors = state.range(0);
+  failstop::ActivityMonitor monitor(2);
+  failstop::DetectorBank bank;
+  for (std::int64_t p = 0; p < processors; ++p) {
+    monitor.watch(ProcessorId{static_cast<std::uint32_t>(p)});
+  }
+  Cycle cycle = 0;
+  for (auto _ : state) {
+    for (std::int64_t p = 0; p < processors; ++p) {
+      monitor.heartbeat(ProcessorId{static_cast<std::uint32_t>(p)});
+    }
+    monitor.end_of_frame(cycle++, 0, bank);
+  }
+  state.SetItemsProcessed(state.iterations() * processors);
+}
+BENCHMARK(bm_activity_scan)->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -1,0 +1,255 @@
+// Small-satellite attitude control: the newest APIs composed.
+//
+// Three applications built with SpecBuilder, a modular application
+// (internal reconfiguration over sensor-fusion / control / actuation
+// modules), and inter-application message passing:
+//
+//   adcs    — attitude determination & control (ModularApp): NOMINAL mode
+//             runs fusion+control+actuation; COARSE mode drops the control
+//             module (magnetorquer-only detumble-style control inside
+//             actuation).
+//   thermal — monitors temperatures, messages heater commands to payload.
+//   payload — imaging payload: on only in the SCIENCE configuration.
+//
+// Configurations:
+//   SCIENCE  — sunlit, wheels healthy: adcs NOMINAL + payload on.
+//   CRUISE   — eclipse (power constrained): adcs NOMINAL, payload off.
+//   SAFEHOLD — reaction wheel failed: adcs COARSE, payload off (safe).
+//
+// Environment: eclipse factor (orbit phase) and wheel-health factor.
+//
+// Run: build/examples/satellite_adcs
+
+#include <iostream>
+#include <memory>
+
+#include "arfs/analysis/coverage.hpp"
+#include "arfs/core/builder.hpp"
+#include "arfs/core/describe.hpp"
+#include "arfs/core/modular_app.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/mission.hpp"
+#include "arfs/trace/export.hpp"
+
+namespace {
+
+using namespace arfs;
+
+constexpr AppId kAdcs{1};
+constexpr AppId kThermal{2};
+constexpr AppId kPayload{3};
+constexpr SpecId kAdcsNominal{10};
+constexpr SpecId kAdcsCoarse{11};
+constexpr SpecId kThermalFull{20};
+constexpr SpecId kPayloadImaging{30};
+constexpr ConfigId kScience{1};
+constexpr ConfigId kCruise{2};
+constexpr ConfigId kSafehold{3};
+constexpr FactorId kEclipse{1};
+constexpr FactorId kWheelHealth{2};
+constexpr ProcessorId kObc{1};      // onboard computer
+constexpr ProcessorId kPayloadCpu{2};
+
+core::ReconfigSpec make_sat_spec() {
+  return core::SpecBuilder()
+      .app(kAdcs, "adcs")
+          .spec(kAdcsNominal, "nominal", {.cpu = 0.5}, 300, 700)
+          .spec(kAdcsCoarse, "coarse", {.cpu = 0.2}, 120, 400)
+      .app(kThermal, "thermal")
+          .spec(kThermalFull, "thermal", {.cpu = 0.1}, 80, 250)
+      .app(kPayload, "payload")
+          .spec(kPayloadImaging, "imaging", {.cpu = 0.6}, 400, 900)
+      .factor(kEclipse, "eclipse", 0, 1)
+      .factor(kWheelHealth, "wheel-health", 0, 1)
+      .config(kScience, "science").rank(2)
+          .runs(kAdcs, kAdcsNominal, kObc)
+          .runs(kThermal, kThermalFull, kObc)
+          .runs(kPayload, kPayloadImaging, kPayloadCpu)
+      .config(kCruise, "cruise").rank(1)
+          .runs(kAdcs, kAdcsNominal, kObc)
+          .runs(kThermal, kThermalFull, kObc)
+      .config(kSafehold, "safehold").safe().rank(0)
+          .runs(kAdcs, kAdcsCoarse, kObc)
+          .runs(kThermal, kThermalFull, kObc)
+      .all_transitions(8)
+      // The payload's imaging pipeline restarts only after attitude control
+      // is re-established.
+      .dependency(kPayload, kAdcs)
+      .choose([](ConfigId, const env::EnvState& e) {
+        if (e.at(kWheelHealth) != 0) return kSafehold;
+        return e.at(kEclipse) != 0 ? kCruise : kScience;
+      })
+      .initial(kScience)
+      .dwell(10)  // orbit-period flapping guard
+      .build();
+}
+
+/// ADCS modules. The attitude estimate flows fusion -> control ->
+/// actuation inside the application; the estimate is also messaged to the
+/// payload for image annotation.
+class FusionModule final : public core::AppModule {
+ public:
+  FusionModule() : AppModule("fusion") {}
+  SimDuration do_work(const core::ReconfigurableApp::Ctx& ctx,
+                      int mode) override {
+    estimate_ += (mode == 1 ? 0.01 : 0.05);  // coarse mode drifts faster
+    if (ctx.own != nullptr) ctx.own->write("attitude_est", estimate_);
+    return 100;
+  }
+  void do_halt(const core::ReconfigurableApp::Ctx&) override {}
+  void do_prepare(const core::ReconfigurableApp::Ctx&, int) override {}
+  void do_initialize(const core::ReconfigurableApp::Ctx&, int) override {
+    estimate_ = 0.0;
+  }
+  void on_volatile_lost() override { estimate_ = 0.0; }
+
+ private:
+  double estimate_ = 0.0;
+};
+
+class ControlModule final : public core::AppModule {
+ public:
+  ControlModule() : AppModule("control") {}
+  SimDuration do_work(const core::ReconfigurableApp::Ctx&, int) override {
+    ++law_iterations_;
+    return 150;
+  }
+  void do_halt(const core::ReconfigurableApp::Ctx&) override {}
+  void do_prepare(const core::ReconfigurableApp::Ctx&, int) override {}
+  void do_initialize(const core::ReconfigurableApp::Ctx&, int) override {}
+  [[nodiscard]] std::uint64_t law_iterations() const {
+    return law_iterations_;
+  }
+
+ private:
+  std::uint64_t law_iterations_ = 0;
+};
+
+class ActuationModule final : public core::AppModule {
+ public:
+  ActuationModule() : AppModule("actuation") {}
+  SimDuration do_work(const core::ReconfigurableApp::Ctx& ctx,
+                      int mode) override {
+    // Mode 1: reaction wheels; mode 0: magnetorquers only.
+    if (ctx.mail != nullptr) {
+      ctx.mail->send(kPayload, "attitude",
+                     std::string(mode == 1 ? "fine" : "coarse"));
+    }
+    return 50;
+  }
+  void do_halt(const core::ReconfigurableApp::Ctx&) override {}
+  void do_prepare(const core::ReconfigurableApp::Ctx&, int) override {}
+  void do_initialize(const core::ReconfigurableApp::Ctx&, int) override {}
+};
+
+std::unique_ptr<core::ModularApp> make_adcs() {
+  auto adcs = std::make_unique<core::ModularApp>(kAdcs, "adcs");
+  adcs->add_module(std::make_unique<FusionModule>());
+  adcs->add_module(std::make_unique<ControlModule>());
+  adcs->add_module(std::make_unique<ActuationModule>());
+  adcs->map_spec(kAdcsNominal,
+                 {{"fusion", 1}, {"control", 1}, {"actuation", 1}});
+  adcs->map_spec(kAdcsCoarse, {{"fusion", 0}, {"actuation", 0}});
+  return adcs;
+}
+
+class ThermalApp final : public core::ReconfigurableApp {
+ public:
+  ThermalApp() : ReconfigurableApp(kThermal, "thermal") {}
+
+ protected:
+  StepResult do_work(const Ctx& ctx) override {
+    if (ctx.own != nullptr) {
+      ctx.own->write("temp_c", 20.0);
+    }
+    StepResult result;
+    result.consumed = 80;
+    return result;
+  }
+  bool do_halt(const Ctx&) override { return true; }
+  bool do_prepare(const Ctx&, std::optional<SpecId>) override { return true; }
+  bool do_initialize(const Ctx&, std::optional<SpecId>) override {
+    return true;
+  }
+};
+
+class PayloadApp final : public core::ReconfigurableApp {
+ public:
+  PayloadApp() : ReconfigurableApp(kPayload, "payload") {}
+  [[nodiscard]] std::uint64_t fine_images() const { return fine_images_; }
+  [[nodiscard]] std::uint64_t coarse_frames_seen() const {
+    return coarse_frames_;
+  }
+
+ protected:
+  StepResult do_work(const Ctx& ctx) override {
+    if (ctx.mail != nullptr) {
+      if (const core::AppMessage* m = ctx.mail->latest("attitude")) {
+        if (std::get<std::string>(m->payload) == "fine") {
+          ++fine_images_;
+        } else {
+          ++coarse_frames_;
+        }
+      }
+    }
+    StepResult result;
+    result.consumed = 400;
+    return result;
+  }
+  bool do_halt(const Ctx&) override { return true; }
+  bool do_prepare(const Ctx&, std::optional<SpecId>) override { return true; }
+  bool do_initialize(const Ctx&, std::optional<SpecId>) override {
+    return true;
+  }
+
+ private:
+  std::uint64_t fine_images_ = 0;
+  std::uint64_t coarse_frames_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace arfs;
+
+  const core::ReconfigSpec spec = make_sat_spec();
+  std::cout << core::describe(spec) << "\n";
+
+  const analysis::CoverageReport coverage = analysis::check_coverage(spec);
+  std::cout << "coverage: " << coverage.discharged << "/"
+            << coverage.generated << " obligations discharged\n\n";
+  if (!coverage.all_discharged()) return 1;
+
+  core::System system(spec);
+  system.add_app(make_adcs());
+  system.add_app(std::make_unique<ThermalApp>());
+  auto payload = std::make_unique<PayloadApp>();
+  PayloadApp* payload_ptr = payload.get();
+  system.add_app(std::move(payload));
+
+  // Orbit: 100-frame period with a 40-frame eclipse, repeated; a reaction
+  // wheel fails during the third orbit and is never repaired.
+  support::MissionProfile mission(10'000);
+  mission.periodic(kEclipse, /*low=*/0, /*high=*/1, /*period=*/100,
+                   /*duty=*/40, /*phase=*/60, /*until=*/420);
+  mission.at(230, kWheelHealth, 1, "reaction wheel seized");
+  system.set_fault_plan(mission.build());
+  system.run(420);
+
+  std::cout << "final configuration: "
+            << spec.config(system.scram().current_config()).name << "\n";
+  std::cout << "reconfigurations: "
+            << system.scram().stats().reconfigs_completed
+            << "  (dwell-blocked frames: "
+            << system.scram().stats().dwell_blocked_frames << ")\n";
+  std::cout << "payload fine-pointing images: " << payload_ptr->fine_images()
+            << ", coarse frames observed: "
+            << payload_ptr->coarse_frames_seen() << "\n";
+  std::cout << "messages: " << system.messaging().sent << " sent, "
+            << system.messaging().delivered << " delivered\n\n";
+
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  std::cout << props::render(report) << "\n";
+  return report.all_hold() ? 0 : 1;
+}

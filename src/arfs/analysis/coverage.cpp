@@ -1,0 +1,83 @@
+#include "arfs/analysis/coverage.hpp"
+
+#include <sstream>
+
+namespace arfs::analysis {
+
+namespace {
+
+void add(CoverageReport& report, bool keep, std::string description,
+         bool discharged, std::string detail = {}) {
+  ++report.generated;
+  if (discharged) ++report.discharged;
+  if (discharged && !keep) return;
+  report.obligations.push_back(
+      Obligation{std::move(description), discharged, std::move(detail)});
+}
+
+}  // namespace
+
+std::vector<Obligation> CoverageReport::failures() const {
+  std::vector<Obligation> out;
+  for (const Obligation& o : obligations) {
+    if (!o.discharged) out.push_back(o);
+  }
+  return out;
+}
+
+CoverageReport check_coverage(const core::ReconfigSpec& spec,
+                              bool keep_discharged, std::size_t env_limit) {
+  CoverageReport report;
+
+  const std::vector<env::EnvState> states =
+      spec.factors().enumerate_states(env_limit);
+
+  for (const auto& [from, config] : spec.configs()) {
+    for (const env::EnvState& e : states) {
+      std::ostringstream name;
+      name << "covering_txns(c" << from.value() << ", " << env::to_string(e)
+           << ")";
+
+      ConfigId to{};
+      bool choose_ok = true;
+      std::string detail;
+      try {
+        to = spec.choose(from, e);
+        if (!spec.has_config(to)) {
+          choose_ok = false;
+          detail = "choose returned undeclared configuration " +
+                   std::to_string(to.value());
+        }
+      } catch (const std::exception& ex) {
+        choose_ok = false;
+        detail = std::string("choose threw: ") + ex.what();
+      }
+      add(report, keep_discharged, name.str(), choose_ok, detail);
+      if (!choose_ok || to == from) continue;
+
+      const bool bounded = spec.transition_bound(from, to).has_value();
+      add(report, keep_discharged,
+          "T(c" + std::to_string(from.value()) + ",c" +
+              std::to_string(to.value()) + ") defined",
+          bounded,
+          bounded ? "" : "no transition time bound for a reachable transition");
+    }
+  }
+
+  add(report, keep_discharged, "at least one safe configuration",
+      !spec.safe_configs().empty(),
+      spec.safe_configs().empty() ? "no configuration is marked safe" : "");
+
+  const TransitionGraph graph = TransitionGraph::build(spec, env_limit);
+  const std::set<ConfigId> safe_reaching = graph.can_reach_safe(spec);
+  for (const ConfigId c : graph.reachable_from(spec.initial_config())) {
+    const bool ok = safe_reaching.contains(c);
+    add(report, keep_discharged,
+        "safe configuration reachable from c" + std::to_string(c.value()), ok,
+        ok ? "" : "no path from this configuration to any safe configuration");
+  }
+
+  return report;
+}
+
+}  // namespace arfs::analysis

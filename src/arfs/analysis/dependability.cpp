@@ -1,0 +1,102 @@
+#include "arfs/analysis/dependability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::analysis {
+
+DependabilityEstimate estimate_dependability(const DesignUnits& design,
+                                             const MissionParams& mission,
+                                             Rng& rng) {
+  require(design.safe >= 1 && design.safe <= design.full &&
+              design.full <= design.total,
+          "need 1 <= safe <= full <= total");
+  require(mission.mission_hours > 0 && mission.trials > 0,
+          "mission must have positive duration and trials");
+  require(mission.failure_rate_per_hour >= 0, "negative failure rate");
+
+  DependabilityEstimate out;
+  const double T = mission.mission_hours;
+  const double lambda = mission.failure_rate_per_hour;
+
+  std::vector<double> failure_times;
+  for (std::uint32_t trial = 0; trial < mission.trials; ++trial) {
+    // Draw each component's failure instant; beyond T means it survives.
+    failure_times.clear();
+    int failures = 0;
+    for (int unit = 0; unit < design.total; ++unit) {
+      if (lambda <= 0) continue;
+      double u = rng.uniform01();
+      while (u == 0.0) u = rng.uniform01();
+      const double t = -std::log(u) / lambda;  // Exp(lambda) lifetime
+      if (t < T) {
+        failure_times.push_back(t);
+        ++failures;
+      }
+    }
+    std::sort(failure_times.begin(), failure_times.end());
+    out.mean_failures += failures;
+
+    // Walk the failure sequence, accumulating time at each service level.
+    const int full_margin = design.total - design.full;  // failures tolerable
+    const int safe_margin = design.total - design.safe;  // before losing level
+    double full_time = T;
+    double safe_time = T;
+    bool lost = false;
+    bool below_full = false;
+    for (std::size_t i = 0; i < failure_times.size(); ++i) {
+      const int failed_so_far = static_cast<int>(i) + 1;
+      if (!below_full && failed_so_far > full_margin) {
+        below_full = true;
+        full_time = failure_times[i];
+      }
+      if (failed_so_far > safe_margin) {
+        lost = true;
+        safe_time = failure_times[i];
+        break;
+      }
+    }
+
+    if (!below_full) out.p_full_whole_mission += 1.0;
+    if (!lost) out.p_safe_whole_mission += 1.0;
+    if (lost) out.p_loss += 1.0;
+    out.full_service_fraction += full_time / T;
+    out.safe_or_better_fraction += safe_time / T;
+  }
+
+  const double n = static_cast<double>(mission.trials);
+  out.p_full_whole_mission /= n;
+  out.p_safe_whole_mission /= n;
+  out.p_loss /= n;
+  out.full_service_fraction /= n;
+  out.safe_or_better_fraction /= n;
+  out.mean_failures /= n;
+  return out;
+}
+
+DesignPair section51_designs(int units_full_service, int units_safe_service,
+                             int spares) {
+  require(units_safe_service >= 1 &&
+              units_safe_service <= units_full_service && spares >= 0,
+          "need 1 <= safe <= full and spares >= 0");
+  DesignPair pair;
+  // Masking: full service plus spares; any drop below full is loss (the
+  // original framework masks or fails — it cannot degrade).
+  pair.masking.total = units_full_service + spares;
+  pair.masking.full = units_full_service;
+  pair.masking.safe = units_full_service;
+  // Reconfiguration: safe-service floor plus spares; degrades gracefully.
+  pair.reconfig.total = units_safe_service + spares;
+  pair.reconfig.full = units_full_service;  // may exceed total: then the
+                                            // design never offers full
+  pair.reconfig.safe = units_safe_service;
+  // Guard the full <= total invariant: a reconfig design smaller than the
+  // full-service requirement simply caps at its total.
+  pair.reconfig.full = std::min(pair.reconfig.full, pair.reconfig.total);
+  return pair;
+}
+
+}  // namespace arfs::analysis

@@ -1,0 +1,65 @@
+// Mission dependability of masking vs. reconfiguration designs.
+//
+// Section 5.1 argues with worst-case component counts; this module puts
+// probabilities on the same comparison. Components fail independently with
+// an exponential lifetime; a design survives at a given service level while
+// enough components remain:
+//   * a masking design fields (full + spares) components and provides full
+//     service while at least `full` survive — below that it has *lost* (the
+//     original fail-stop framework has no degraded mode, section 5.2);
+//   * a reconfiguration design fields a chosen total and degrades: full
+//     service while >= full survive, safe service while >= safe survive,
+//     loss below safe.
+// Monte-Carlo simulation (deterministic from a seed) yields whole-mission
+// probabilities and the time-weighted fraction of the mission spent at each
+// level, so equal-hardware and equal-dependability comparisons can both be
+// read off.
+#pragma once
+
+#include <cstdint>
+
+#include "arfs/common/rng.hpp"
+
+namespace arfs::analysis {
+
+struct MissionParams {
+  double mission_hours = 10.0;
+  /// Failure rate per component per hour (exponential lifetimes).
+  double failure_rate_per_hour = 1e-3;
+  std::uint32_t trials = 20'000;
+};
+
+struct DesignUnits {
+  int total = 0;  ///< Components fielded.
+  int full = 0;   ///< Minimum components for full service.
+  int safe = 0;   ///< Minimum components for basic safe service
+                  ///< (masking designs: safe == full — no degraded mode).
+};
+
+struct DependabilityEstimate {
+  double p_full_whole_mission = 0.0;  ///< Never dropped below full service.
+  double p_safe_whole_mission = 0.0;  ///< Never dropped below safe service.
+  double p_loss = 0.0;                ///< Dropped below safe at some point.
+  double full_service_fraction = 0.0; ///< Time-weighted, mean over trials.
+  double safe_or_better_fraction = 0.0;
+  double mean_failures = 0.0;
+};
+
+/// Runs the Monte-Carlo estimate for one design. Preconditions:
+/// 0 < safe <= full <= total, positive mission and trials.
+[[nodiscard]] DependabilityEstimate estimate_dependability(
+    const DesignUnits& design, const MissionParams& mission, Rng& rng);
+
+/// Convenience: the section 5.1 design pair for a given service shape and
+/// spare count — masking fields full+spares with no degraded mode;
+/// reconfiguration fields safe+spares and degrades.
+struct DesignPair {
+  DesignUnits masking;
+  DesignUnits reconfig;
+};
+
+[[nodiscard]] DesignPair section51_designs(int units_full_service,
+                                           int units_safe_service,
+                                           int spares);
+
+}  // namespace arfs::analysis

@@ -1,0 +1,64 @@
+#include "arfs/analysis/economics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::analysis {
+
+HwEconomicsResult compute_hw_economics(const HwEconomicsInput& input) {
+  require(input.units_full_service >= 1, "full service needs >= 1 unit");
+  require(input.units_safe_service >= 1, "safe service needs >= 1 unit");
+  require(input.units_safe_service <= input.units_full_service,
+          "safe service cannot need more units than full service");
+  require(input.max_expected_failures >= 0, "failures cannot be negative");
+
+  HwEconomicsResult r;
+  r.masking_units = input.units_full_service + input.max_expected_failures;
+  r.reconfig_units = input.units_safe_service + input.max_expected_failures;
+  r.saved_units = r.masking_units - r.reconfig_units;
+  r.saved_weight_kg = r.saved_units * input.unit_weight_kg;
+  r.saved_power_w = r.saved_units * input.unit_power_w;
+  r.saving_fraction =
+      static_cast<double>(r.saved_units) / static_cast<double>(r.masking_units);
+  r.no_excess_equipment = r.reconfig_units <= input.units_full_service;
+  return r;
+}
+
+HybridResult compute_hybrid_economics(const HybridInput& input) {
+  require(input.masked_units >= 0 &&
+              input.masked_units <= input.units_full_service,
+          "masked units must be within full-service units");
+  require(input.units_safe_service <= input.units_full_service,
+          "safe service cannot exceed full service");
+
+  HybridResult r;
+  r.pure_masking_units =
+      input.units_full_service + input.max_expected_failures;
+  r.pure_reconfig_units =
+      input.units_safe_service + input.max_expected_failures;
+  // Hybrid: masked functions carry their own spares (pessimistically the
+  // full expected-failure count could hit them); the reconfigurable rest
+  // only needs its safe-service floor plus the shared spare pool.
+  const int reconfigurable_full =
+      input.units_full_service - input.masked_units;
+  const int reconfigurable_safe =
+      std::min(input.units_safe_service, reconfigurable_full);
+  r.total_units = input.masked_units + input.max_expected_failures +
+                  reconfigurable_safe;
+  return r;
+}
+
+std::string render(const HwEconomicsResult& result) {
+  std::ostringstream os;
+  os << "masking=" << result.masking_units
+     << " reconfig=" << result.reconfig_units
+     << " saved=" << result.saved_units << " ("
+     << static_cast<int>(result.saving_fraction * 100.0) << "%)"
+     << (result.no_excess_equipment ? " [no excess equipment in routine ops]"
+                                    : "");
+  return os.str();
+}
+
+}  // namespace arfs::analysis

@@ -1,0 +1,66 @@
+// Hardware economics of masking vs. reconfiguration (paper section 5.1).
+//
+// "In a system where faults are masked ... the total number of required
+// components is thus the sum of the maximum number expected to fail during
+// the longest planned mission and the minimum number needed to provide full
+// service. With the approach we advocate, the total number of required
+// components is the sum of the maximum number expected to fail during the
+// longest planned mission and the minimum number needed to provide the most
+// basic form of safe service."
+//
+// These formulas are the paper's quantitative claim about what
+// reconfiguration buys; compute_hw_economics evaluates them, and the hybrid
+// variant models section 5.2's combination ("failures of those functions can
+// be masked, while failures in other functions can trigger a
+// reconfiguration").
+#pragma once
+
+#include <string>
+
+namespace arfs::analysis {
+
+struct HwEconomicsInput {
+  int units_full_service = 0;  ///< Min components for full service.
+  int units_safe_service = 0;  ///< Min components for basic safe service.
+  int max_expected_failures = 0;
+  double unit_weight_kg = 0.0;
+  double unit_power_w = 0.0;
+};
+
+struct HwEconomicsResult {
+  int masking_units = 0;   ///< full + failures.
+  int reconfig_units = 0;  ///< safe + failures.
+  int saved_units = 0;
+  double saved_weight_kg = 0.0;
+  double saved_power_w = 0.0;
+  double saving_fraction = 0.0;  ///< saved / masking.
+  /// True when reconfig_units <= units_full_service: during routine
+  /// operation the system runs with no excess equipment (the paper's ideal).
+  bool no_excess_equipment = false;
+};
+
+[[nodiscard]] HwEconomicsResult compute_hw_economics(
+    const HwEconomicsInput& input);
+
+/// Hybrid masking+reconfiguration (section 5.2): `masked_units` components
+/// belong to functions whose failures must be masked (each needs its own
+/// spares), the rest reconfigure.
+struct HybridInput {
+  int units_full_service = 0;
+  int units_safe_service = 0;
+  int masked_units = 0;  ///< Of the full-service units, how many are in
+                         ///< must-mask functions (masked_units <= full).
+  int max_expected_failures = 0;
+};
+
+struct HybridResult {
+  int total_units = 0;
+  int pure_masking_units = 0;
+  int pure_reconfig_units = 0;
+};
+
+[[nodiscard]] HybridResult compute_hybrid_economics(const HybridInput& input);
+
+[[nodiscard]] std::string render(const HwEconomicsResult& result);
+
+}  // namespace arfs::analysis

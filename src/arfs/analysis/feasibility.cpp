@@ -1,0 +1,90 @@
+#include "arfs/analysis/feasibility.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace arfs::analysis {
+
+bool PlatformModel::is_low_power(ConfigId config) const {
+  return std::find(low_power_configs.begin(), low_power_configs.end(),
+                   config) != low_power_configs.end();
+}
+
+bool FeasibilityReport::all_feasible() const {
+  return std::all_of(findings.begin(), findings.end(),
+                     [](const FeasibilityFinding& f) { return f.feasible; });
+}
+
+std::vector<FeasibilityFinding> FeasibilityReport::violations() const {
+  std::vector<FeasibilityFinding> out;
+  for (const FeasibilityFinding& f : findings) {
+    if (!f.feasible) out.push_back(f);
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_demand(const core::ResourceDemand& d) {
+  std::ostringstream os;
+  os << "cpu=" << d.cpu << " mem=" << d.memory_mb << "MB power=" << d.power_w
+     << "W";
+  return os.str();
+}
+
+}  // namespace
+
+FeasibilityReport check_feasibility(const core::ReconfigSpec& spec,
+                                    const PlatformModel& platform) {
+  FeasibilityReport report;
+  for (const auto& [config_id, config] : spec.configs()) {
+    const bool low_power = platform.is_low_power(config_id);
+
+    // Aggregate demand per host processor.
+    std::map<ProcessorId, core::ResourceDemand> demand;
+    for (const auto& [app, spec_id] : config.assignment) {
+      demand[config.placement.at(app)] =
+          demand[config.placement.at(app)] + spec.spec(spec_id).demand;
+    }
+
+    for (const auto& [processor, total] : demand) {
+      FeasibilityFinding f;
+      f.config = config_id;
+      f.processor = processor;
+      f.demand = total;
+      const auto cap = platform.processors.find(processor);
+      if (cap == platform.processors.end()) {
+        f.feasible = false;
+        f.detail = "processor not in the platform model";
+        report.findings.push_back(std::move(f));
+        continue;
+      }
+      f.capacity = low_power ? cap->second.low_power : cap->second.normal;
+      f.feasible = core::fits_within(total, f.capacity);
+      if (!f.feasible) {
+        f.detail = "demand " + render_demand(total) + " exceeds capacity " +
+                   render_demand(f.capacity) +
+                   (low_power ? " (low-power mode)" : "");
+      }
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+bool would_overload(const core::ReconfigSpec& spec, ConfigId config,
+                    ProcessorId processor, const PlatformModel& platform) {
+  const core::Configuration& cfg = spec.config(config);
+  core::ResourceDemand total;
+  for (const auto& [app, spec_id] : cfg.assignment) {
+    total = total + spec.spec(spec_id).demand;
+  }
+  const auto cap = platform.processors.find(processor);
+  if (cap == platform.processors.end()) return true;
+  const core::ResourceDemand& capacity = platform.is_low_power(config)
+                                             ? cap->second.low_power
+                                             : cap->second.normal;
+  return !core::fits_within(total, capacity);
+}
+
+}  // namespace arfs::analysis

@@ -1,0 +1,69 @@
+// Resource feasibility of configurations.
+//
+// The paper's example justifies its degraded configurations by capacity:
+// "The applications must share a single computer that does not have the
+// capacity to support full service from the applications" (§7, Reduced
+// Service), and Minimal Service exists because the remaining computer runs
+// "in low-power mode". This pass makes that reasoning checkable: given each
+// processor's capacity (per power mode), every configuration must fit —
+// the sum of its co-located specifications' demands within each host's
+// capacity, and the configuration's total power draw within the platform's
+// power budget for the environment states that select it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/core/spec.hpp"
+
+namespace arfs::analysis {
+
+/// What one processor can supply. `low_power` models the §7 "low-power
+/// operating mode": the capacity used when the platform is power-limited.
+struct ProcessorCapacity {
+  core::ResourceDemand normal;
+  core::ResourceDemand low_power;
+};
+
+struct PlatformModel {
+  std::map<ProcessorId, ProcessorCapacity> processors;
+  /// Configurations whose hosts must use the low-power capacity (e.g. the
+  /// paper's Minimal Service).
+  std::vector<ConfigId> low_power_configs;
+
+  [[nodiscard]] bool is_low_power(ConfigId config) const;
+};
+
+struct FeasibilityFinding {
+  ConfigId config{};
+  ProcessorId processor{};
+  core::ResourceDemand demand;      ///< Sum over co-located specifications.
+  core::ResourceDemand capacity;    ///< Applicable capacity (mode-dependent).
+  bool feasible = false;
+  std::string detail;
+};
+
+struct FeasibilityReport {
+  std::vector<FeasibilityFinding> findings;
+  [[nodiscard]] bool all_feasible() const;
+  [[nodiscard]] std::vector<FeasibilityFinding> violations() const;
+};
+
+/// Checks every configuration of `spec` against `platform`. Every processor
+/// a configuration places applications on must appear in the platform
+/// model (missing processors are infeasible findings, not errors).
+[[nodiscard]] FeasibilityReport check_feasibility(
+    const core::ReconfigSpec& spec, const PlatformModel& platform);
+
+/// The feasibility *argument* of the paper's example: verifies that the
+/// demanding configuration genuinely does NOT fit the constrained platform
+/// (i.e., the degraded configuration is necessary, not gratuitous).
+/// Returns true iff `config` placed entirely on `processor` would exceed
+/// that processor's applicable capacity.
+[[nodiscard]] bool would_overload(const core::ReconfigSpec& spec,
+                                  ConfigId config, ProcessorId processor,
+                                  const PlatformModel& platform);
+
+}  // namespace arfs::analysis

@@ -1,0 +1,101 @@
+#include "arfs/analysis/graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace arfs::analysis {
+
+TransitionGraph TransitionGraph::build(const core::ReconfigSpec& spec,
+                                       std::size_t env_limit) {
+  TransitionGraph g;
+  for (const auto& [id, config] : spec.configs()) g.nodes_.push_back(id);
+
+  const std::vector<env::EnvState> states =
+      spec.factors().enumerate_states(env_limit);
+  std::set<std::pair<ConfigId, ConfigId>> seen;
+  for (const ConfigId from : g.nodes_) {
+    for (const env::EnvState& e : states) {
+      const ConfigId to = spec.choose(from, e);
+      if (to == from) continue;
+      if (seen.insert({from, to}).second) {
+        g.edges_.push_back(Transition{from, to, e});
+        g.succ_[from].push_back(to);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<ConfigId> TransitionGraph::successors(ConfigId from) const {
+  const auto it = succ_.find(from);
+  if (it == succ_.end()) return {};
+  return it->second;
+}
+
+std::set<ConfigId> TransitionGraph::reachable_from(ConfigId start) const {
+  std::set<ConfigId> seen{start};
+  std::vector<ConfigId> stack{start};
+  while (!stack.empty()) {
+    const ConfigId node = stack.back();
+    stack.pop_back();
+    for (const ConfigId next : successors(node)) {
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return seen;
+}
+
+bool TransitionGraph::has_cycle() const { return find_cycle().has_value(); }
+
+std::optional<std::vector<ConfigId>> TransitionGraph::find_cycle() const {
+  std::map<ConfigId, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<ConfigId> path;
+  std::optional<std::vector<ConfigId>> found;
+
+  std::function<bool(ConfigId)> dfs = [&](ConfigId node) {
+    color[node] = 1;
+    path.push_back(node);
+    for (const ConfigId next : successors(node)) {
+      if (color[next] == 1) {
+        // Extract the cycle from the path.
+        std::vector<ConfigId> cycle;
+        auto it = std::find(path.begin(), path.end(), next);
+        cycle.assign(it, path.end());
+        found = cycle;
+        return true;
+      }
+      if (color[next] == 0 && dfs(next)) return true;
+    }
+    color[node] = 2;
+    path.pop_back();
+    return false;
+  };
+
+  for (const ConfigId node : nodes_) {
+    if (color[node] == 0 && dfs(node)) return found;
+  }
+  return std::nullopt;
+}
+
+std::set<ConfigId> TransitionGraph::can_reach_safe(
+    const core::ReconfigSpec& spec) const {
+  // Reverse reachability from the safe set.
+  std::map<ConfigId, std::vector<ConfigId>> pred;
+  for (const Transition& t : edges_) pred[t.to].push_back(t.from);
+
+  std::set<ConfigId> seen;
+  std::vector<ConfigId> stack;
+  for (const ConfigId safe : spec.safe_configs()) {
+    if (seen.insert(safe).second) stack.push_back(safe);
+  }
+  while (!stack.empty()) {
+    const ConfigId node = stack.back();
+    stack.pop_back();
+    for (const ConfigId p : pred[node]) {
+      if (seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  return seen;
+}
+
+}  // namespace arfs::analysis

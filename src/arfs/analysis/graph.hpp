@@ -1,0 +1,68 @@
+// Transition graph of a reconfiguration specification.
+//
+// The choose function "implicitly includes information on valid transitions"
+// (paper section 6.3). This module makes that information explicit by
+// enumerating the (finite) environment-state space and recording, for each
+// configuration, where choose can send the system. The graph feeds:
+//   * cycle detection (paper section 5.3: "Potential cycles can be detected
+//     through a static analysis of permissible transitions");
+//   * reachability and safe-configuration reachability;
+//   * the restriction-time bounds in timing.hpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/env/environment.hpp"
+
+namespace arfs::analysis {
+
+struct Transition {
+  ConfigId from{};
+  ConfigId to{};
+  /// One environment state that induces this transition (a witness; several
+  /// may exist).
+  env::EnvState witness;
+};
+
+class TransitionGraph {
+ public:
+  /// Enumerates the environment space (precondition: it fits within
+  /// `env_limit` states) and evaluates choose at every (config, env) pair.
+  /// Self-transitions (choose returns the current configuration) are not
+  /// edges: the SCRAM absorbs those triggers.
+  static TransitionGraph build(const core::ReconfigSpec& spec,
+                               std::size_t env_limit = 1u << 20);
+
+  [[nodiscard]] const std::vector<ConfigId>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Transition>& edges() const { return edges_; }
+
+  [[nodiscard]] std::vector<ConfigId> successors(ConfigId from) const;
+
+  /// Configurations reachable from `start` by any transition sequence
+  /// (including `start`).
+  [[nodiscard]] std::set<ConfigId> reachable_from(ConfigId start) const;
+
+  /// True if the transition graph contains a directed cycle — the condition
+  /// under which "the time to reconfigure could be infinite" (section 5.3).
+  [[nodiscard]] bool has_cycle() const;
+
+  /// One directed cycle if any exists (configs in order; the last transitions
+  /// back to the first).
+  [[nodiscard]] std::optional<std::vector<ConfigId>> find_cycle() const;
+
+  /// Configurations from which some safe configuration is reachable.
+  [[nodiscard]] std::set<ConfigId> can_reach_safe(
+      const core::ReconfigSpec& spec) const;
+
+ private:
+  std::vector<ConfigId> nodes_;
+  std::vector<Transition> edges_;
+  std::map<ConfigId, std::vector<ConfigId>> succ_;
+};
+
+}  // namespace arfs::analysis

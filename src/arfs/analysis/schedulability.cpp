@@ -1,0 +1,61 @@
+#include "arfs/analysis/schedulability.hpp"
+
+#include <algorithm>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::analysis {
+
+BuiltSchedule build_schedule(const core::ReconfigSpec& spec, ConfigId config,
+                             SimDuration frame_length) {
+  const core::Configuration& cfg = spec.config(config);
+  BuiltSchedule built{config, rtos::ScheduleTable(frame_length), {}};
+
+  // Pack windows per processor, ascending app id (map order is sorted).
+  std::map<ProcessorId, SimDuration> cursor;
+  for (const auto& [app, spec_id] : cfg.assignment) {
+    const core::FunctionalSpec& fs = spec.spec(spec_id);
+    const ProcessorId host = cfg.placement.at(app);
+    const SimDuration offset = cursor[host];
+    if (offset + fs.budget_us > frame_length) {
+      throw Error("configuration " + cfg.name + " is unschedulable: " +
+                  "processor " + std::to_string(host.value()) +
+                  " load exceeds the frame length");
+    }
+    const PartitionId partition{app.value()};
+    built.table.add_window(
+        rtos::Window{partition, host, offset, fs.budget_us});
+    built.partitions[app] = partition;
+    cursor[host] = offset + fs.budget_us;
+  }
+  return built;
+}
+
+std::vector<ScheduleFinding> check_schedulability(
+    const core::ReconfigSpec& spec, SimDuration frame_length) {
+  require(frame_length > 0, "frame length must be positive");
+  std::vector<ScheduleFinding> findings;
+  for (const auto& [config_id, cfg] : spec.configs()) {
+    std::map<ProcessorId, SimDuration> load;
+    for (const auto& [app, spec_id] : cfg.assignment) {
+      load[cfg.placement.at(app)] += spec.spec(spec_id).budget_us;
+    }
+    for (const auto& [processor, total] : load) {
+      ScheduleFinding f;
+      f.config = config_id;
+      f.processor = processor;
+      f.load = total;
+      f.frame_length = frame_length;
+      f.feasible = total <= frame_length;
+      findings.push_back(f);
+    }
+  }
+  return findings;
+}
+
+bool all_schedulable(const std::vector<ScheduleFinding>& finds) {
+  return std::all_of(finds.begin(), finds.end(),
+                     [](const ScheduleFinding& f) { return f.feasible; });
+}
+
+}  // namespace arfs::analysis

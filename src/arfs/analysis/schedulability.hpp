@@ -1,0 +1,53 @@
+// Derives ARINC 653-style partition schedules from configurations.
+//
+// Each configuration of a reconfiguration specification induces, per
+// processor, a static partition schedule: one partition per application
+// placed there, with the window length taken from the assigned functional
+// specification's frame budget. A reconfiguration is then also an RTOS mode
+// change — the platform swaps schedule tables when the SCRAM starts the
+// target configuration. This module builds those tables and checks that
+// they fit the frame (schedulability is a coverage-style static obligation).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/rtos/schedule.hpp"
+
+namespace arfs::analysis {
+
+struct BuiltSchedule {
+  ConfigId config{};
+  rtos::ScheduleTable table;
+  /// Partition id assigned to each application (PartitionId == AppId value).
+  std::map<AppId, PartitionId> partitions;
+};
+
+/// Builds the schedule table for one configuration. Windows are packed
+/// back-to-back per processor in ascending application-id order.
+/// Throws Error if the per-processor budgets exceed the frame length.
+[[nodiscard]] BuiltSchedule build_schedule(const core::ReconfigSpec& spec,
+                                           ConfigId config,
+                                           SimDuration frame_length);
+
+/// One schedulability finding for a configuration/processor pair.
+struct ScheduleFinding {
+  ConfigId config{};
+  ProcessorId processor{};
+  SimDuration load = 0;
+  SimDuration frame_length = 0;
+  bool feasible = false;
+};
+
+/// Checks every configuration of the specification for schedulability and
+/// returns per-processor utilization findings.
+[[nodiscard]] std::vector<ScheduleFinding> check_schedulability(
+    const core::ReconfigSpec& spec, SimDuration frame_length);
+
+/// True iff every finding is feasible.
+[[nodiscard]] bool all_schedulable(const std::vector<ScheduleFinding>& finds);
+
+}  // namespace arfs::analysis

@@ -1,0 +1,150 @@
+#include "arfs/analysis/timing.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace arfs::analysis {
+
+ChainBound worst_chain_restriction(const core::ReconfigSpec& spec,
+                                   const TransitionGraph& graph) {
+  ChainBound result;
+  if (graph.has_cycle()) {
+    result.note = "transition graph is cyclic: restriction time unbounded "
+                  "without a dwell rule";
+    return result;
+  }
+
+  // Longest path (by summed T bounds) from any configuration to a safe
+  // configuration, over the DAG. Memoized DFS.
+  struct Best {
+    bool computed = false;
+    std::optional<Cycle> frames;  // nullopt = no path to safe
+    std::vector<ConfigId> chain;
+  };
+  std::map<ConfigId, Best> memo;
+
+  std::function<const Best&(ConfigId)> longest = [&](ConfigId node)
+      -> const Best& {
+    Best& b = memo[node];
+    if (b.computed) return b;
+    b.computed = true;
+    if (spec.config(node).safe) {
+      b.frames = 0;
+      b.chain = {node};
+      // A safe node can still continue to another safe node, but the chain
+      // ends at the *first* safe configuration reached.
+      return b;
+    }
+    for (const ConfigId next : graph.successors(node)) {
+      const std::optional<Cycle> t = spec.transition_bound(node, next);
+      if (!t.has_value()) continue;  // unusable edge for the bound
+      const Best& sub = longest(next);
+      if (!sub.frames.has_value()) continue;
+      const Cycle total = *t + *sub.frames;
+      if (!b.frames.has_value() || total > *b.frames) {
+        b.frames = total;
+        b.chain.clear();
+        b.chain.push_back(node);
+        b.chain.insert(b.chain.end(), sub.chain.begin(), sub.chain.end());
+      }
+    }
+    return b;
+  };
+
+  for (const ConfigId node : graph.nodes()) {
+    const Best& b = longest(node);
+    if (b.frames.has_value() &&
+        (!result.frames.has_value() || *b.frames > *result.frames)) {
+      result.frames = b.frames;
+      result.chain = b.chain;
+    }
+  }
+  if (!result.frames.has_value()) {
+    result.note = "no configuration has a bounded chain to a safe "
+                  "configuration";
+  }
+  return result;
+}
+
+InterpositionBound safe_interposition_restriction(
+    const core::ReconfigSpec& spec) {
+  InterpositionBound result;
+  const std::vector<ConfigId> safes = spec.safe_configs();
+
+  Cycle worst = 0;
+  bool all_covered = true;
+  for (const auto& [id, config] : spec.configs()) {
+    if (config.safe) continue;  // already safe; no interposed hop needed
+    std::optional<Cycle> best;
+    for (const ConfigId s : safes) {
+      const std::optional<Cycle> t = spec.transition_bound(id, s);
+      if (t.has_value() && (!best.has_value() || *t < *best)) best = t;
+    }
+    if (!best.has_value()) {
+      all_covered = false;
+      result.missing_safe_edges.push_back(id);
+      continue;
+    }
+    worst = std::max(worst, *best);
+  }
+  if (all_covered) result.frames = worst;
+  return result;
+}
+
+core::ReconfigSpec with_safe_interposition(const core::ReconfigSpec& spec) {
+  core::ReconfigSpec out = spec;
+
+  std::map<ConfigId, bool> is_safe;
+  for (const auto& [id, config] : spec.configs()) is_safe[id] = config.safe;
+
+  // Nearest safe configuration per unsafe configuration, by T bound.
+  std::map<ConfigId, ConfigId> nearest;
+  for (const auto& [id, config] : spec.configs()) {
+    if (config.safe) continue;
+    std::optional<Cycle> best;
+    for (const ConfigId safe : spec.safe_configs()) {
+      const std::optional<Cycle> t = spec.transition_bound(id, safe);
+      if (t.has_value() && (!best.has_value() || *t < *best)) {
+        best = t;
+        nearest[id] = safe;
+      }
+    }
+  }
+
+  out.set_choose([base = spec.choose_fn(), is_safe, nearest](
+                     ConfigId current, const env::EnvState& e) {
+    const ConfigId target = base(current, e);
+    if (target == current) return target;
+    if (is_safe.at(current) || is_safe.at(target)) return target;
+    const auto it = nearest.find(current);
+    return it == nearest.end() ? target : it->second;
+  });
+  return out;
+}
+
+CycleExposure cycle_exposure(const core::ReconfigSpec& spec,
+                             const TransitionGraph& graph) {
+  CycleExposure result;
+  const std::optional<std::vector<ConfigId>> cycle = graph.find_cycle();
+  if (!cycle.has_value()) return result;
+  result.cyclic = true;
+  result.example_cycle = *cycle;
+
+  Cycle total = 0;
+  bool bounded = true;
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const ConfigId from = (*cycle)[i];
+    const ConfigId to = (*cycle)[(i + 1) % cycle->size()];
+    const std::optional<Cycle> t = spec.transition_bound(from, to);
+    if (!t.has_value()) {
+      bounded = false;
+      break;
+    }
+    total += *t;
+  }
+  if (bounded) result.cycle_frames = total;
+  return result;
+}
+
+}  // namespace arfs::analysis

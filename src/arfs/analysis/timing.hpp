@@ -1,0 +1,87 @@
+// Restriction-time analysis (paper section 5.3).
+//
+// "In the worst case, each failure cannot be dealt with until the end of the
+// current reconfiguration. In this case, the longest restriction of system
+// function is equal to the sum of the maximum time allowed between each
+// reconfiguration in the longest chain of transitions to some safe system
+// configuration Cs ... This time can be reduced ... such as interposing a
+// safe configuration Cs in between any transition between two unsafe
+// configurations. With this addition, the new maximum time over all possible
+// system transitions Ci -> Cj would be max{T(i,s)}."
+//
+// worst_chain computes the chain-sum bound over the transition graph;
+// safe_interposition computes the bound after the interposition transform.
+// A cyclic transition graph makes the chain-sum unbounded (the paper's
+// caveat), reported as nullopt.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/analysis/graph.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+
+namespace arfs::analysis {
+
+struct ChainBound {
+  /// Total frames of restricted function along the worst chain; nullopt when
+  /// the transition graph is cyclic (unbounded, section 5.3's caveat) or a
+  /// needed T bound is missing.
+  std::optional<Cycle> frames;
+  /// The worst chain C1, ..., Cs (empty when unbounded/undefined).
+  std::vector<ConfigId> chain;
+  std::string note;
+};
+
+/// Longest-chain bound: max over chains ending at a safe configuration of
+/// the sum of per-transition bounds T(i-1, i).
+[[nodiscard]] ChainBound worst_chain_restriction(
+    const core::ReconfigSpec& spec, const TransitionGraph& graph);
+
+struct InterpositionBound {
+  /// max over configurations i of T(i, s(i)), where s(i) is the cheapest
+  /// safe configuration directly reachable from i. nullopt when some
+  /// configuration has no bounded direct transition to a safe configuration
+  /// (the transform requires adding those transitions first).
+  std::optional<Cycle> frames;
+  /// Configurations missing a direct bounded transition to any safe config —
+  /// the edges the designer must add to apply the transform.
+  std::vector<ConfigId> missing_safe_edges;
+};
+
+[[nodiscard]] InterpositionBound safe_interposition_restriction(
+    const core::ReconfigSpec& spec);
+
+/// Minimum dwell frames that break every cycle: with the section 5.3 rule
+/// ("forcing a check that the system has been functional for the necessary
+/// amount of time ... before a subsequent reconfiguration"), any positive
+/// dwell bounds the reconfiguration *rate*; this helper reports whether the
+/// graph has cycles at all, and the shortest cycle's total transition time
+/// (the period a flapping environment could sustain).
+struct CycleExposure {
+  bool cyclic = false;
+  std::vector<ConfigId> example_cycle;
+  /// Sum of T bounds around the example cycle; nullopt if a bound is absent.
+  std::optional<Cycle> cycle_frames;
+};
+
+[[nodiscard]] CycleExposure cycle_exposure(const core::ReconfigSpec& spec,
+                                           const TransitionGraph& graph);
+
+/// The section 5.3 interposition transform as a design-time spec rewrite:
+/// returns a copy of `spec` whose choose function routes every
+/// unsafe -> unsafe transition through the nearest safe configuration (by
+/// transition bound). The deferred demand is picked up by the SCRAM's
+/// completion re-evaluation, which then continues to the original target if
+/// the environment still requires it. Configurations with no bounded direct
+/// transition to a safe configuration keep their original (direct) routing —
+/// check safe_interposition_restriction().missing_safe_edges first.
+///
+/// Because this rewrites choose itself, SP2 holds against the transformed
+/// specification by construction, and the SCRAM remains a pure table
+/// interpreter.
+[[nodiscard]] core::ReconfigSpec with_safe_interposition(
+    const core::ReconfigSpec& spec);
+
+}  // namespace arfs::analysis

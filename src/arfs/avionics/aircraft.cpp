@@ -1,0 +1,67 @@
+#include "arfs/avionics/aircraft.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+namespace arfs::avionics {
+
+double WindModel::vs_disturbance(double t_s) const {
+  if (gust_vs_fpm == 0.0) return 0.0;
+  const double w1 = 2.0 * std::numbers::pi / gust_period_s;
+  const double w2 = w1 * std::numbers::sqrt2;  // incommensurate second tone
+  return gust_vs_fpm * (0.7 * std::sin(w1 * t_s) + 0.3 * std::sin(w2 * t_s));
+}
+
+double WindModel::bank_disturbance(double t_s) const {
+  if (gust_bank_deg == 0.0) return 0.0;
+  const double w1 = 2.0 * std::numbers::pi / (gust_period_s * 0.8);
+  const double w2 = w1 * std::numbers::phi;
+  return gust_bank_deg *
+         (0.6 * std::sin(w1 * t_s + 1.0) + 0.4 * std::sin(w2 * t_s));
+}
+
+AircraftDynamics::AircraftDynamics(DynamicsParams params,
+                                   AircraftState initial)
+    : params_(params), state_(initial) {}
+
+void AircraftDynamics::step(const ControlSurfaces& surfaces, double dt_s) {
+  const double elevator = std::clamp(surfaces.elevator, -1.0, 1.0);
+  const double aileron = std::clamp(surfaces.aileron, -1.0, 1.0);
+  elapsed_s_ += dt_s;
+
+  // First-order responses toward the commanded steady states, with the
+  // wind's disturbance added to the steady state (gusts push the aircraft;
+  // the control loop must hold against them).
+  const double vs_target = elevator * params_.max_vs_fpm +
+                           wind_.vs_disturbance(elapsed_s_);
+  const double vs_alpha = std::min(1.0, dt_s / params_.vs_tau_s);
+  state_.vs_fpm += (vs_target - state_.vs_fpm) * vs_alpha;
+
+  const double bank_target = aileron * params_.max_bank_deg +
+                             wind_.bank_disturbance(elapsed_s_);
+  const double bank_alpha = std::min(1.0, dt_s / params_.bank_tau_s);
+  state_.bank_deg += (bank_target - state_.bank_deg) * bank_alpha;
+
+  state_.altitude_ft += state_.vs_fpm * dt_s / 60.0;
+  state_.altitude_ft = std::max(0.0, state_.altitude_ft);
+
+  const double turn_rate_dps = params_.turn_rate_at_max_bank_dps *
+                               (state_.bank_deg / params_.max_bank_deg);
+  state_.heading_deg = wrap_heading_deg(state_.heading_deg +
+                                        turn_rate_dps * dt_s);
+}
+
+double heading_error_deg(double target_deg, double current_deg) {
+  double err = std::fmod(target_deg - current_deg, 360.0);
+  if (err > 180.0) err -= 360.0;
+  if (err <= -180.0) err += 360.0;
+  return err;
+}
+
+double wrap_heading_deg(double heading_deg) {
+  double wrapped = std::fmod(heading_deg, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  return wrapped;
+}
+
+}  // namespace arfs::avionics

@@ -1,0 +1,84 @@
+// Aircraft dynamics and control surfaces.
+//
+// Paper section 7: "This example has been operated in a simulated
+// environment that includes aircraft state sensors and a simple model of
+// aircraft dynamics." Functionality is representative, as in the paper: a
+// first-order longitudinal/lateral model adequate to make the example's
+// reconfiguration preconditions ("the control surfaces be centered, i.e.,
+// not exerting turning forces on the aircraft") concretely checkable.
+#pragma once
+
+#include <cmath>
+
+namespace arfs::avionics {
+
+/// Normalized control-surface deflections in [-1, 1]; 0 is centered.
+struct ControlSurfaces {
+  double elevator = 0.0;  ///< +1 = full nose-up.
+  double aileron = 0.0;   ///< +1 = full right roll.
+
+  [[nodiscard]] bool centered(double eps = 1e-6) const {
+    return std::abs(elevator) <= eps && std::abs(aileron) <= eps;
+  }
+};
+
+struct AircraftState {
+  double altitude_ft = 5000.0;
+  double heading_deg = 90.0;   ///< [0, 360).
+  double airspeed_kt = 100.0;
+  double vs_fpm = 0.0;         ///< Vertical speed.
+  double bank_deg = 0.0;
+};
+
+struct DynamicsParams {
+  double max_vs_fpm = 1500.0;     ///< Vertical speed at full elevator.
+  double max_bank_deg = 25.0;     ///< Bank at full aileron.
+  double vs_tau_s = 2.0;          ///< First-order lag of vertical speed.
+  double bank_tau_s = 1.5;        ///< First-order lag of bank.
+  double turn_rate_at_max_bank_dps = 3.0;  ///< Standard-rate-ish turn.
+};
+
+/// Deterministic turbulence: sinusoidal gusts perturbing vertical speed and
+/// bank, so control loops are exercised against disturbances without
+/// sacrificing replayability. Intensity 0 disables it.
+struct WindModel {
+  double gust_vs_fpm = 0.0;     ///< Peak vertical-speed disturbance.
+  double gust_bank_deg = 0.0;   ///< Peak bank disturbance.
+  double gust_period_s = 11.0;  ///< Primary gust period.
+
+  /// Disturbances at time `t_s` (sum of two incommensurate sinusoids so the
+  /// pattern does not repeat within typical runs).
+  [[nodiscard]] double vs_disturbance(double t_s) const;
+  [[nodiscard]] double bank_disturbance(double t_s) const;
+};
+
+class AircraftDynamics {
+ public:
+  explicit AircraftDynamics(DynamicsParams params = {},
+                            AircraftState initial = {});
+
+  /// Advances the model by `dt_s` seconds under the given deflections.
+  void step(const ControlSurfaces& surfaces, double dt_s);
+
+  /// Installs (or clears, with a default-constructed model) turbulence.
+  void set_wind(WindModel wind) { wind_ = wind; }
+  [[nodiscard]] const WindModel& wind() const { return wind_; }
+
+  [[nodiscard]] const AircraftState& state() const { return state_; }
+  [[nodiscard]] AircraftState& mutable_state() { return state_; }
+  [[nodiscard]] const DynamicsParams& params() const { return params_; }
+
+ private:
+  DynamicsParams params_;
+  AircraftState state_;
+  WindModel wind_;
+  double elapsed_s_ = 0.0;
+};
+
+/// Normalizes a heading difference to (-180, 180].
+[[nodiscard]] double heading_error_deg(double target_deg, double current_deg);
+
+/// Wraps a heading into [0, 360).
+[[nodiscard]] double wrap_heading_deg(double heading_deg);
+
+}  // namespace arfs::avionics

@@ -1,0 +1,134 @@
+#include "arfs/avionics/autopilot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arfs::avionics {
+
+namespace {
+constexpr double kAltGainPerFt = 1.0 / 800.0;   ///< Full pitch at 800 ft error.
+constexpr double kHdgGainPerDeg = 1.0 / 25.0;   ///< Full roll at 25 deg error.
+constexpr double kAltCaptureFt = 50.0;
+constexpr double kHdgCaptureDeg = 3.0;
+constexpr SimDuration kFullWorkUs = 400;
+constexpr SimDuration kAltHoldWorkUs = 150;
+}  // namespace
+
+AutopilotApp::AutopilotApp(UavPlant& plant)
+    : ReconfigurableApp(kAutopilot, "autopilot"), plant_(plant) {}
+
+bool AutopilotApp::engage(ApMode mode, double target) {
+  if (!current_spec().has_value()) return false;  // off in this configuration
+  if (!full_spec() && mode != ApMode::kAltitudeHold &&
+      mode != ApMode::kClimbTo) {
+    // Altitude-hold-only specification: heading services unavailable.
+    // Climb-to degrades to plain altitude hold at the requested altitude.
+    return false;
+  }
+  engaged_ = true;
+  mode_ = mode;
+  target_ = target;
+  capture_complete_ = false;
+  return true;
+}
+
+void AutopilotApp::disengage() { engaged_ = false; }
+
+void AutopilotApp::publish(const Ctx& ctx, double pitch, double roll) const {
+  if (ctx.own == nullptr) return;
+  ctx.own->write("cmd_pitch", pitch);
+  ctx.own->write("cmd_roll", roll);
+  ctx.own->write("engaged", engaged_);
+}
+
+core::ReconfigurableApp::StepResult AutopilotApp::do_work(const Ctx& ctx) {
+  StepResult result;
+  result.consumed = full_spec() ? kFullWorkUs : kAltHoldWorkUs;
+
+  if (!engaged_) {
+    publish(ctx, 0.0, 0.0);
+    return result;
+  }
+
+  const SensorReadings& r = plant_.readings();
+  double pitch = 0.0;
+  double roll = 0.0;
+
+  switch (mode_) {
+    case ApMode::kClimbTo:
+      if (std::abs(target_ - r.altitude_ft) <= kAltCaptureFt) {
+        mode_ = ApMode::kAltitudeHold;
+        capture_complete_ = true;
+      }
+      [[fallthrough]];
+    case ApMode::kAltitudeHold:
+      pitch = std::clamp((target_ - r.altitude_ft) * kAltGainPerFt, -1.0, 1.0);
+      break;
+    case ApMode::kTurnTo:
+      if (std::abs(heading_error_deg(target_, r.heading_deg)) <=
+          kHdgCaptureDeg) {
+        mode_ = ApMode::kHeadingHold;
+        capture_complete_ = true;
+      }
+      [[fallthrough]];
+    case ApMode::kHeadingHold:
+      roll = std::clamp(heading_error_deg(target_, r.heading_deg) *
+                            kHdgGainPerDeg,
+                        -1.0, 1.0);
+      // Heading modes also hold the entry altitude loosely: pitch toward
+      // zero vertical speed.
+      pitch = std::clamp(-plant_.truth().vs_fpm / 1500.0, -1.0, 1.0);
+      break;
+  }
+
+  if (!full_spec()) roll = 0.0;  // altitude hold only
+  publish(ctx, pitch, roll);
+  return result;
+}
+
+bool AutopilotApp::do_halt(const Ctx& ctx) {
+  // Postcondition: cease operation (paper section 7.1).
+  engaged_ = false;
+  publish(ctx, 0.0, 0.0);
+  return true;
+}
+
+bool AutopilotApp::do_prepare(const Ctx& ctx,
+                              std::optional<SpecId> target_spec) {
+  // Transition condition: commands neutral, mode collapsed to the target
+  // specification's service set.
+  (void)target_spec;
+  mode_ = ApMode::kAltitudeHold;
+  target_ = plant_.readings().altitude_ft;
+  publish(ctx, 0.0, 0.0);
+  return true;
+}
+
+bool AutopilotApp::do_initialize(const Ctx& ctx,
+                                 std::optional<SpecId> target_spec) {
+  // Precondition for every configuration: the autopilot is disengaged when
+  // the new configuration is entered (paper section 7.1).
+  (void)target_spec;
+  engaged_ = false;
+  capture_complete_ = false;
+  publish(ctx, 0.0, 0.0);
+  return true;
+}
+
+void AutopilotApp::on_volatile_lost() {
+  // Targets and engagement lived in volatile storage; fail-stop erased them.
+  engaged_ = false;
+  capture_complete_ = false;
+}
+
+std::string to_string(ApMode mode) {
+  switch (mode) {
+    case ApMode::kAltitudeHold: return "altitude-hold";
+    case ApMode::kHeadingHold:  return "heading-hold";
+    case ApMode::kClimbTo:      return "climb-to";
+    case ApMode::kTurnTo:       return "turn-to";
+  }
+  return "?";
+}
+
+}  // namespace arfs::avionics

@@ -1,0 +1,66 @@
+// Autopilot application (paper section 7).
+//
+// "In its primary specification, the autopilot provides four services to aid
+// the pilot: altitude hold, heading hold, climb to altitude, and turn to
+// heading. It also implements a second specification in which it provides
+// altitude hold only. Its second specification requires substantially less
+// processing and memory resources."
+//
+// The autopilot reads the sensor suite, computes pitch/roll commands, and
+// publishes them in its stable region (keys "cmd_pitch", "cmd_roll",
+// "engaged") for the FCS to consume. Its reconfiguration precondition is to
+// be disengaged when a new configuration is entered (section 7.1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "arfs/avionics/ids.hpp"
+#include "arfs/avionics/sensors.hpp"
+#include "arfs/core/app.hpp"
+
+namespace arfs::avionics {
+
+enum class ApMode { kAltitudeHold, kHeadingHold, kClimbTo, kTurnTo };
+
+class AutopilotApp final : public core::ReconfigurableApp {
+ public:
+  /// `plant` must outlive the application.
+  explicit AutopilotApp(UavPlant& plant);
+
+  /// Engages the autopilot in `mode` with the given target (feet for
+  /// altitude modes, degrees for heading modes). Under the altitude-hold-
+  /// only specification, heading modes are refused (returns false).
+  bool engage(ApMode mode, double target);
+  void disengage();
+
+  [[nodiscard]] bool engaged() const { return engaged_; }
+  [[nodiscard]] ApMode mode() const { return mode_; }
+  [[nodiscard]] double target() const { return target_; }
+
+  /// True once a climb-to / turn-to has converged and collapsed into the
+  /// corresponding hold mode.
+  [[nodiscard]] bool capture_complete() const { return capture_complete_; }
+
+ protected:
+  StepResult do_work(const Ctx& ctx) override;
+  bool do_halt(const Ctx& ctx) override;
+  bool do_prepare(const Ctx& ctx, std::optional<SpecId> target_spec) override;
+  bool do_initialize(const Ctx& ctx,
+                     std::optional<SpecId> target_spec) override;
+  void on_volatile_lost() override;
+
+ private:
+  [[nodiscard]] bool full_spec() const { return current_spec() == kApFull; }
+  void publish(const Ctx& ctx, double pitch, double roll) const;
+
+  UavPlant& plant_;
+  bool engaged_ = false;
+  ApMode mode_ = ApMode::kAltitudeHold;
+  double target_ = 0.0;
+  bool capture_complete_ = false;
+};
+
+[[nodiscard]] std::string to_string(ApMode mode);
+
+}  // namespace arfs::avionics

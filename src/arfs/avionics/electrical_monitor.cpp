@@ -1,0 +1,15 @@
+#include "arfs/avionics/electrical_monitor.hpp"
+
+namespace arfs::avionics {
+
+ElectricalAdapter::ElectricalAdapter(env::ElectricalParams params)
+    : electrical_(kPowerFactor, params) {}
+
+void ElectricalAdapter::attach(core::System& system) {
+  const SimDuration frame = system.clock().frame_length();
+  system.add_env_hook(
+      [this, frame](env::Environment& environment, Cycle /*cycle*/,
+                    SimTime now) { electrical_.step(environment, frame, now); });
+}
+
+}  // namespace arfs::avionics

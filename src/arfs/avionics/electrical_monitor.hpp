@@ -1,0 +1,39 @@
+// Adapter wiring the electrical power system into a running System.
+//
+// "The electrical system operates independently of the reconfigurable
+// system; it merely provides the system details of its state" (paper
+// section 7). The adapter advances the physical model once per frame through
+// a System environment hook and publishes the power state into the
+// kPowerFactor environmental factor; the System's virtual factor monitor
+// turns changes into SCRAM signals.
+#pragma once
+
+#include "arfs/avionics/ids.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/env/electrical.hpp"
+
+namespace arfs::avionics {
+
+class ElectricalAdapter {
+ public:
+  explicit ElectricalAdapter(env::ElectricalParams params = {});
+
+  /// Installs the per-frame hook on `system`. Call once before running.
+  void attach(core::System& system);
+
+  /// Direct failure injection (examples and tests usually use the System's
+  /// fault plan with environment-change events instead; these helpers model
+  /// the physical alternators themselves breaking).
+  void fail_alternator(int index) { electrical_.fail_alternator(index); }
+  void repair_alternator(int index) { electrical_.repair_alternator(index); }
+
+  [[nodiscard]] const env::ElectricalSystem& electrical() const {
+    return electrical_;
+  }
+  [[nodiscard]] env::ElectricalSystem& electrical() { return electrical_; }
+
+ private:
+  env::ElectricalSystem electrical_;
+};
+
+}  // namespace arfs::avionics

@@ -1,0 +1,107 @@
+#include "arfs/avionics/fcs.hpp"
+
+#include <algorithm>
+
+namespace arfs::avionics {
+
+namespace {
+constexpr double kSmoothing = 0.35;       ///< Augmentation low-pass factor.
+constexpr double kBankDamping = 0.01;     ///< Counter-bank per degree.
+constexpr SimDuration kAugmentedWorkUs = 300;
+constexpr SimDuration kDirectWorkUs = 100;
+}  // namespace
+
+FcsApp::FcsApp(UavPlant& plant)
+    : ReconfigurableApp(kFcs, "flight-control"), plant_(plant) {}
+
+void FcsApp::select_input(const Ctx& ctx, double& pitch, double& roll) const {
+  pitch = plant_.pilot_pitch;
+  roll = plant_.pilot_roll;
+  if (ctx.peers == nullptr) return;
+  const Expected<storage::Value> engaged =
+      ctx.peers->read_peer(kAutopilot, "engaged");
+  if (!engaged) return;
+  const Expected<bool> engaged_flag = storage::get_as<bool>(engaged.value());
+  if (!engaged_flag || !engaged_flag.value()) return;
+
+  const Expected<storage::Value> p = ctx.peers->read_peer(kAutopilot,
+                                                          "cmd_pitch");
+  const Expected<storage::Value> r = ctx.peers->read_peer(kAutopilot,
+                                                          "cmd_roll");
+  if (p && r) {
+    const Expected<double> pd = storage::get_as<double>(p.value());
+    const Expected<double> rd = storage::get_as<double>(r.value());
+    if (pd && rd) {
+      pitch = pd.value();
+      roll = rd.value();
+    }
+  }
+}
+
+core::ReconfigurableApp::StepResult FcsApp::do_work(const Ctx& ctx) {
+  StepResult result;
+  result.consumed = augmented() ? kAugmentedWorkUs : kDirectWorkUs;
+
+  double pitch = 0.0;
+  double roll = 0.0;
+  select_input(ctx, pitch, roll);
+
+  if (augmented()) {
+    // Simulated stability augmentation: low-pass the commands and damp the
+    // bank so abrupt inputs do not upset the aircraft.
+    smooth_elev_ += (pitch - smooth_elev_) * kSmoothing;
+    smooth_ail_ += (roll - smooth_ail_) * kSmoothing;
+    const double damped_ail =
+        smooth_ail_ - plant_.truth().bank_deg * kBankDamping;
+    plant_.surfaces().elevator = std::clamp(smooth_elev_, -1.0, 1.0);
+    plant_.surfaces().aileron = std::clamp(damped_ail, -1.0, 1.0);
+  } else {
+    // Direct control: commands applied to the surfaces unmodified.
+    plant_.surfaces().elevator = std::clamp(pitch, -1.0, 1.0);
+    plant_.surfaces().aileron = std::clamp(roll, -1.0, 1.0);
+  }
+
+  if (ctx.own != nullptr) {
+    ctx.own->write("surface_elev", plant_.surfaces().elevator);
+    ctx.own->write("surface_ail", plant_.surfaces().aileron);
+  }
+  return result;
+}
+
+bool FcsApp::do_halt(const Ctx& ctx) {
+  // Postcondition: cease operation; surfaces hold their last position until
+  // initialization centers them.
+  (void)ctx;
+  return true;
+}
+
+bool FcsApp::do_prepare(const Ctx& ctx, std::optional<SpecId> target_spec) {
+  // Transition condition: internal command state neutral for the new
+  // specification.
+  (void)ctx;
+  (void)target_spec;
+  smooth_elev_ = 0.0;
+  smooth_ail_ = 0.0;
+  return true;
+}
+
+bool FcsApp::do_initialize(const Ctx& ctx,
+                           std::optional<SpecId> target_spec) {
+  // Precondition: control surfaces centered — not exerting turning forces —
+  // when the new configuration is entered (paper section 7.1).
+  (void)target_spec;
+  plant_.surfaces().elevator = 0.0;
+  plant_.surfaces().aileron = 0.0;
+  if (ctx.own != nullptr) {
+    ctx.own->write("surface_elev", 0.0);
+    ctx.own->write("surface_ail", 0.0);
+  }
+  return true;
+}
+
+void FcsApp::on_volatile_lost() {
+  smooth_elev_ = 0.0;
+  smooth_ail_ = 0.0;
+}
+
+}  // namespace arfs::avionics

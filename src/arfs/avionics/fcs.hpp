@@ -1,0 +1,54 @@
+// Flight control system application (paper section 7).
+//
+// "The FCS provides a single service in its primary specification: it
+// accepts input from the pilot or autopilot and generates commands for the
+// control surface actuators. This primary specification could include
+// stability augmentation facilities designed to reduce pilot workload,
+// although we merely simulate this. The FCS also implements a second
+// specification in which it provides direct control only."
+//
+// Input priority: if the autopilot's stable region reports engaged=true, its
+// committed pitch/roll commands are used; otherwise the pilot's stick. The
+// augmented specification applies first-order smoothing plus bank/vs damping
+// (the simulated stability augmentation); the direct specification copies
+// the input straight to the surfaces. The reconfiguration precondition is
+// that the control surfaces are centered when a new configuration is entered
+// (section 7.1).
+#pragma once
+
+#include <optional>
+
+#include "arfs/avionics/ids.hpp"
+#include "arfs/avionics/sensors.hpp"
+#include "arfs/core/app.hpp"
+
+namespace arfs::avionics {
+
+class FcsApp final : public core::ReconfigurableApp {
+ public:
+  /// `plant` must outlive the application.
+  explicit FcsApp(UavPlant& plant);
+
+ protected:
+  StepResult do_work(const Ctx& ctx) override;
+  bool do_halt(const Ctx& ctx) override;
+  bool do_prepare(const Ctx& ctx, std::optional<SpecId> target_spec) override;
+  bool do_initialize(const Ctx& ctx,
+                     std::optional<SpecId> target_spec) override;
+  void on_volatile_lost() override;
+
+ private:
+  [[nodiscard]] bool augmented() const {
+    return current_spec() == kFcsAugmented;
+  }
+  /// Autopilot command if engaged, else pilot stick.
+  void select_input(const Ctx& ctx, double& pitch, double& roll) const;
+
+  UavPlant& plant_;
+  // Smoothed surface state for the augmented mode (volatile: re-converges
+  // after a fail-stop).
+  double smooth_elev_ = 0.0;
+  double smooth_ail_ = 0.0;
+};
+
+}  // namespace arfs::avionics

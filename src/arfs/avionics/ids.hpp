@@ -1,0 +1,46 @@
+// Identifiers of the paper's section 7 example instantiation.
+#pragma once
+
+#include "arfs/common/ids.hpp"
+
+namespace arfs::avionics {
+
+// Applications.
+inline constexpr AppId kAutopilot{1};
+inline constexpr AppId kFcs{2};
+
+// Autopilot specifications: primary provides altitude hold, heading hold,
+// climb to altitude, and turn to heading; the secondary provides altitude
+// hold only (paper section 7).
+inline constexpr SpecId kApFull{11};
+inline constexpr SpecId kApAltHold{12};
+
+// FCS specifications: primary accepts pilot/autopilot input and generates
+// actuator commands (with simulated stability augmentation); the secondary
+// provides direct control only.
+inline constexpr SpecId kFcsAugmented{21};
+inline constexpr SpecId kFcsDirect{22};
+
+// Configurations (paper section 7): Full, Reduced, and Minimal Service.
+inline constexpr ConfigId kFullService{1};
+inline constexpr ConfigId kReducedService{2};
+inline constexpr ConfigId kMinimalService{3};
+// Extension (enabled by UavSpecOptions::with_computer_status): Backup
+// Service mirrors Reduced on computer 2, covering loss of computer 1 — the
+// 777-style reconfiguration for computing-equipment failure the paper's
+// introduction motivates.
+inline constexpr ConfigId kBackupService{4};
+
+// Environmental factor exporting the electrical system's state.
+inline constexpr FactorId kPowerFactor{1};
+// Extension factors: computer status published via bind_processor_factor
+// (0 = running, 1 = failed).
+inline constexpr FactorId kComputer1Factor{2};
+inline constexpr FactorId kComputer2Factor{3};
+
+// Platform processors. In Full Service each application has its own
+// computer; in Reduced/Minimal both share kComputer1.
+inline constexpr ProcessorId kComputer1{1};
+inline constexpr ProcessorId kComputer2{2};
+
+}  // namespace arfs::avionics

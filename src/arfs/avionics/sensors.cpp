@@ -1,0 +1,30 @@
+#include "arfs/avionics/sensors.hpp"
+
+namespace arfs::avionics {
+
+SensorReadings SensorSuite::sample(const AircraftState& truth) {
+  SensorReadings r;
+  if (altimeter_failed_) {
+    r.altitude_ft = last_altitude_;  // stuck-at-last-value failure mode
+  } else {
+    r.altitude_ft = truth.altitude_ft + rng_.gaussian(noise_.altimeter_sigma_ft);
+    last_altitude_ = r.altitude_ft;
+  }
+  r.heading_deg =
+      wrap_heading_deg(truth.heading_deg + rng_.gaussian(noise_.compass_sigma_deg));
+  r.airspeed_kt = truth.airspeed_kt + rng_.gaussian(noise_.airspeed_sigma_kt);
+  return r;
+}
+
+UavPlant::UavPlant(std::uint64_t seed, DynamicsParams params,
+                   AircraftState initial)
+    : dyn_(params, initial), sensors_(SensorNoise{}, seed) {
+  readings_ = sensors_.sample(dyn_.state());
+}
+
+void UavPlant::step(double dt_s) {
+  dyn_.step(surfaces_, dt_s);
+  readings_ = sensors_.sample(dyn_.state());
+}
+
+}  // namespace arfs::avionics

@@ -1,0 +1,73 @@
+// Aircraft state sensors with deterministic noise.
+#pragma once
+
+#include "arfs/avionics/aircraft.hpp"
+#include "arfs/common/rng.hpp"
+
+namespace arfs::avionics {
+
+struct SensorNoise {
+  double altimeter_sigma_ft = 4.0;
+  double compass_sigma_deg = 0.5;
+  double airspeed_sigma_kt = 1.0;
+};
+
+struct SensorReadings {
+  double altitude_ft = 0.0;
+  double heading_deg = 0.0;
+  double airspeed_kt = 0.0;
+};
+
+class SensorSuite {
+ public:
+  SensorSuite(SensorNoise noise, std::uint64_t seed)
+      : noise_(noise), rng_(seed) {}
+
+  /// Samples every sensor against the true state.
+  [[nodiscard]] SensorReadings sample(const AircraftState& truth);
+
+  void fail_altimeter() { altimeter_failed_ = true; }
+  [[nodiscard]] bool altimeter_failed() const { return altimeter_failed_; }
+
+ private:
+  SensorNoise noise_;
+  Rng rng_;
+  bool altimeter_failed_ = false;
+  double last_altitude_ = 0.0;
+};
+
+/// The physical plant shared by the avionics applications: dynamics, control
+/// surfaces (written by the FCS through actuator interface units), sensors
+/// (read through sensor interface units), and the pilot's stick input.
+class UavPlant {
+ public:
+  UavPlant(std::uint64_t seed = 42, DynamicsParams params = {},
+           AircraftState initial = {});
+
+  /// Advances physics by `dt_s` and refreshes the sensor snapshot.
+  void step(double dt_s);
+
+  [[nodiscard]] const AircraftState& truth() const { return dyn_.state(); }
+  [[nodiscard]] const SensorReadings& readings() const { return readings_; }
+
+  [[nodiscard]] ControlSurfaces& surfaces() { return surfaces_; }
+  [[nodiscard]] const ControlSurfaces& surfaces() const { return surfaces_; }
+
+  /// Pilot stick input in [-1, 1] (used by the FCS when the autopilot is
+  /// disengaged or off).
+  double pilot_pitch = 0.0;
+  double pilot_roll = 0.0;
+
+  [[nodiscard]] SensorSuite& sensors() { return sensors_; }
+
+  /// Installs turbulence on the underlying dynamics.
+  void set_wind(WindModel wind) { dyn_.set_wind(wind); }
+
+ private:
+  AircraftDynamics dyn_;
+  ControlSurfaces surfaces_;
+  SensorSuite sensors_;
+  SensorReadings readings_;
+};
+
+}  // namespace arfs::avionics

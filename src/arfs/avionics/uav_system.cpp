@@ -1,0 +1,209 @@
+#include "arfs/avionics/uav_system.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::avionics {
+
+core::ReconfigSpec make_uav_spec(UavSpecOptions options) {
+  core::ReconfigSpec spec;
+
+  // Applications and their specification sets (paper section 7).
+  core::AppDecl autopilot;
+  autopilot.id = kAutopilot;
+  autopilot.name = "autopilot";
+  autopilot.specs = {
+      core::FunctionalSpec{kApFull, "ap-primary",
+                           core::ResourceDemand{0.45, 96.0, 35.0}, 400, 800},
+      core::FunctionalSpec{kApAltHold, "ap-altitude-hold",
+                           core::ResourceDemand{0.15, 32.0, 12.0}, 150, 400},
+  };
+  spec.declare_app(std::move(autopilot));
+
+  core::AppDecl fcs;
+  fcs.id = kFcs;
+  fcs.name = "flight-control";
+  fcs.specs = {
+      core::FunctionalSpec{kFcsAugmented, "fcs-augmented",
+                           core::ResourceDemand{0.40, 64.0, 30.0}, 300, 600},
+      core::FunctionalSpec{kFcsDirect, "fcs-direct",
+                           core::ResourceDemand{0.10, 16.0, 8.0}, 100, 300},
+  };
+  spec.declare_app(std::move(fcs));
+
+  // The power-state factor exported by the electrical system.
+  spec.declare_factor(env::FactorSpec{
+      kPowerFactor, "power-state",
+      static_cast<std::int64_t>(env::PowerState::kFullPower),
+      static_cast<std::int64_t>(env::PowerState::kDepleted),
+      static_cast<std::int64_t>(env::PowerState::kFullPower)});
+
+  // Full Service: full power; each application on its own computer.
+  core::Configuration full;
+  full.id = kFullService;
+  full.name = "full-service";
+  full.assignment = {{kAutopilot, kApFull}, {kFcs, kFcsAugmented}};
+  full.placement = {{kAutopilot, kComputer1}, {kFcs, kComputer2}};
+  full.service_rank = 2;
+  spec.declare_config(std::move(full));
+
+  // Reduced Service: one alternator; both applications share computer 1;
+  // autopilot provides altitude hold only, FCS direct control.
+  core::Configuration reduced;
+  reduced.id = kReducedService;
+  reduced.name = "reduced-service";
+  reduced.assignment = {{kAutopilot, kApAltHold}, {kFcs, kFcsDirect}};
+  reduced.placement = {{kAutopilot, kComputer1}, {kFcs, kComputer1}};
+  reduced.service_rank = 1;
+  spec.declare_config(std::move(reduced));
+
+  // Minimal Service: battery only; computer 1 in low-power mode; the
+  // autopilot is turned off, the FCS provides direct control. This is the
+  // system's safe configuration.
+  core::Configuration minimal;
+  minimal.id = kMinimalService;
+  minimal.name = "minimal-service";
+  minimal.assignment = {{kFcs, kFcsDirect}};
+  minimal.placement = {{kFcs, kComputer1}};
+  minimal.safe = true;
+  minimal.service_rank = 0;
+  spec.declare_config(std::move(minimal));
+
+  if (options.with_computer_status) {
+    spec.declare_factor(env::FactorSpec{kComputer1Factor, "computer-1-status",
+                                        0, 1, 0});
+    spec.declare_factor(env::FactorSpec{kComputer2Factor, "computer-2-status",
+                                        0, 1, 0});
+
+    // Backup Service: computer 1 lost; both applications run degraded on
+    // computer 2 (mirror of Reduced Service).
+    core::Configuration backup;
+    backup.id = kBackupService;
+    backup.name = "backup-service";
+    backup.assignment = {{kAutopilot, kApAltHold}, {kFcs, kFcsDirect}};
+    backup.placement = {{kAutopilot, kComputer2}, {kFcs, kComputer2}};
+    backup.safe = true;  // a second safe harbor: minimal-equivalent service
+    backup.service_rank = 1;
+    spec.declare_config(std::move(backup));
+  }
+
+  const bool computers = options.with_computer_status;
+  // choose(): the paper's example reconfigures on the power state alone
+  // (section 7: "the anticipated component failures ... are all based on
+  // the electrical system"); the computer-status extension adds computing
+  // equipment loss on top, with placement viability dominating power level.
+  spec.set_choose([computers](ConfigId current, const env::EnvState& e) {
+    const auto factor = [&e](FactorId id, std::int64_t fallback) {
+      const auto it = e.find(id);
+      return it == e.end() ? fallback : it->second;
+    };
+    const auto power = static_cast<env::PowerState>(factor(
+        kPowerFactor, static_cast<std::int64_t>(env::PowerState::kFullPower)));
+
+    if (computers) {
+      const bool c1_down = factor(kComputer1Factor, 0) != 0;
+      const bool c2_down = factor(kComputer2Factor, 0) != 0;
+      if (c1_down && c2_down) return current;  // no viable placement
+      if (c1_down) return kBackupService;
+      if (power == env::PowerState::kBatteryOnly ||
+          power == env::PowerState::kDepleted) {
+        return kMinimalService;
+      }
+      if (c2_down || power == env::PowerState::kSingleAlternator) {
+        return kReducedService;
+      }
+      return kFullService;
+    }
+
+    switch (power) {
+      case env::PowerState::kFullPower:        return kFullService;
+      case env::PowerState::kSingleAlternator: return kReducedService;
+      case env::PowerState::kBatteryOnly:
+      case env::PowerState::kDepleted:         return kMinimalService;
+    }
+    return kMinimalService;
+  });
+
+  spec.set_transition_bound(kFullService, kReducedService,
+                            options.t_full_reduced);
+  spec.set_transition_bound(kFullService, kMinimalService,
+                            options.t_full_minimal);
+  spec.set_transition_bound(kReducedService, kMinimalService,
+                            options.t_reduced_minimal);
+  spec.set_transition_bound(kReducedService, kFullService,
+                            options.t_reduced_full);
+  spec.set_transition_bound(kMinimalService, kReducedService,
+                            options.t_minimal_reduced);
+  spec.set_transition_bound(kMinimalService, kFullService,
+                            options.t_minimal_full);
+  for (const ConfigId c : {kFullService, kReducedService, kMinimalService}) {
+    spec.set_transition_bound(c, c, options.t_self);
+  }
+  if (options.with_computer_status) {
+    for (const ConfigId c :
+         {kFullService, kReducedService, kMinimalService}) {
+      spec.set_transition_bound(c, kBackupService, 6);
+      spec.set_transition_bound(kBackupService, c, 6);
+    }
+    spec.set_transition_bound(kBackupService, kBackupService,
+                              options.t_self);
+  }
+
+  if (options.with_dependency) {
+    // Section 7.1: the autopilot cannot resume service in Reduced Service
+    // until the FCS has completed its reconfiguration.
+    spec.add_dependency(core::Dependency{kAutopilot, kFcs,
+                                         core::DepPhase::kInitialize,
+                                         kReducedService});
+  }
+
+  spec.set_initial_config(kFullService);
+  spec.set_dwell_frames(options.dwell_frames);
+  spec.validate();
+  return spec;
+}
+
+analysis::PlatformModel make_uav_platform() {
+  analysis::PlatformModel platform;
+  const analysis::ProcessorCapacity computer{
+      core::ResourceDemand{0.6, 128.0, 50.0},   // normal mode
+      core::ResourceDemand{0.15, 32.0, 10.0}};  // low-power mode
+  platform.processors[kComputer1] = computer;
+  platform.processors[kComputer2] = computer;
+  platform.low_power_configs = {kMinimalService};
+  return platform;
+}
+
+UavSystem::UavSystem(UavOptions options)
+    : spec_(make_uav_spec(options.spec)), plant_(options.plant_seed),
+      electrical_(options.electrical) {
+  system_ = std::make_unique<core::System>(spec_, options.system);
+
+  // Physics first: the plant advances once per frame, before the electrical
+  // model publishes and before applications run.
+  const double dt_s =
+      static_cast<double>(options.system.frame_length) / 1e6;
+  system_->add_env_hook([this, dt_s](env::Environment&, Cycle, SimTime) {
+    plant_.step(dt_s);
+  });
+  electrical_.attach(*system_);
+
+  if (options.spec.with_computer_status) {
+    system_->bind_processor_factor(kComputer1, kComputer1Factor);
+    system_->bind_processor_factor(kComputer2, kComputer2Factor);
+  }
+
+  system_->add_app(std::make_unique<AutopilotApp>(plant_));
+  system_->add_app(std::make_unique<FcsApp>(plant_));
+}
+
+AutopilotApp& UavSystem::autopilot() {
+  return static_cast<AutopilotApp&>(system_->app(kAutopilot));
+}
+
+FcsApp& UavSystem::fcs() {
+  return static_cast<FcsApp&>(system_->app(kFcs));
+}
+
+}  // namespace arfs::avionics

@@ -1,0 +1,70 @@
+#include "arfs/bus/bus.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::bus {
+
+Bus::Bus(TdmaSchedule schedule) : schedule_(std::move(schedule)) {}
+
+void Bus::register_endpoint(EndpointId endpoint) {
+  mailboxes_.try_emplace(endpoint);
+}
+
+void Bus::post(EndpointId source, const std::string& topic,
+               storage::Value payload, SimTime now) {
+  const SimTime slot_start = schedule_.next_transmit_time(source, now);
+  Message msg;
+  msg.source = source;
+  msg.topic = topic;
+  msg.payload = std::move(payload);
+  msg.posted_at = now;
+  msg.delivered_at = schedule_.delivery_time(source, slot_start);
+
+  auto it = std::upper_bound(in_flight_.begin(), in_flight_.end(), msg,
+                             [](const Message& a, const Message& b) {
+                               return a.delivered_at < b.delivered_at;
+                             });
+  in_flight_.insert(it, std::move(msg));
+  ++stats_.posted;
+}
+
+void Bus::deliver_until(SimTime until) {
+  std::size_t n = 0;
+  while (n < in_flight_.size() && in_flight_[n].delivered_at <= until) ++n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Message& msg = in_flight_[i];
+    stats_.worst_latency =
+        std::max(stats_.worst_latency, msg.delivered_at - msg.posted_at);
+    for (auto& [endpoint, box] : mailboxes_) {
+      if (endpoint == msg.source) continue;  // broadcast excludes the sender
+      box.push_back(msg);
+      ++stats_.delivered;
+    }
+  }
+  in_flight_.erase(in_flight_.begin(),
+                   in_flight_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::vector<Message> Bus::collect(EndpointId endpoint) {
+  const auto it = mailboxes_.find(endpoint);
+  require(it != mailboxes_.end(), "collect() on unregistered endpoint");
+  std::vector<Message> out = std::move(it->second);
+  it->second.clear();
+  return out;
+}
+
+const Message* Bus::peek_latest(EndpointId endpoint,
+                                const std::string& topic) const {
+  const auto it = mailboxes_.find(endpoint);
+  if (it == mailboxes_.end()) return nullptr;
+  const std::vector<Message>& box = it->second;
+  for (auto rit = box.rbegin(); rit != box.rend(); ++rit) {
+    if (rit->topic == topic) return &*rit;
+  }
+  return nullptr;
+}
+
+}  // namespace arfs::bus

@@ -1,0 +1,71 @@
+// Simulated time-triggered broadcast bus.
+//
+// Messages are posted by an endpoint, transmitted in that endpoint's next
+// TDMA slot, and delivered to every other registered endpoint at the end of
+// the slot. Latency is therefore bounded by the schedule's worst-case round
+// trip — the property the paper's architecture relies on for its timing
+// guarantees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arfs/bus/schedule.hpp"
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/storage/value.hpp"
+
+namespace arfs::bus {
+
+struct Message {
+  EndpointId source;
+  std::string topic;
+  storage::Value payload;
+  SimTime posted_at = 0;
+  SimTime delivered_at = 0;
+};
+
+struct BusStats {
+  std::uint64_t posted = 0;
+  std::uint64_t delivered = 0;
+  SimDuration worst_latency = 0;
+};
+
+class Bus {
+ public:
+  explicit Bus(TdmaSchedule schedule);
+
+  /// Registers a receiving endpoint. Endpoints that only transmit must still
+  /// hold a slot in the schedule but need not register.
+  void register_endpoint(EndpointId endpoint);
+
+  /// Posts a message at time `now`. The message is delivered (broadcast) at
+  /// the end of the source's next slot. Precondition: the source owns a slot.
+  void post(EndpointId source, const std::string& topic,
+            storage::Value payload, SimTime now);
+
+  /// Moves every message whose delivery instant is <= `until` into the
+  /// mailboxes of all registered endpoints other than the sender.
+  void deliver_until(SimTime until);
+
+  /// Drains the mailbox of `endpoint`, in delivery order.
+  [[nodiscard]] std::vector<Message> collect(EndpointId endpoint);
+
+  /// Latest delivered message on `topic` visible to `endpoint` without
+  /// draining its mailbox (peeking is what activity monitors use).
+  [[nodiscard]] const Message* peek_latest(EndpointId endpoint,
+                                           const std::string& topic) const;
+
+  [[nodiscard]] const TdmaSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+
+ private:
+  TdmaSchedule schedule_;
+  std::vector<Message> in_flight_;  // sorted by delivered_at
+  std::map<EndpointId, std::vector<Message>> mailboxes_;
+  BusStats stats_;
+};
+
+}  // namespace arfs::bus

@@ -1,0 +1,50 @@
+// Contract checking.
+//
+// Following the Core Guidelines (I.6/E.12), interface preconditions are
+// expressed as explicit checks that throw on violation. A violated contract
+// in this library is always a programming error in the caller, never an
+// expected runtime condition, so an exception type distinct from domain
+// errors is used.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace arfs {
+
+/// Thrown when a caller violates a documented precondition or when an
+/// internal invariant is broken.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Thrown for domain errors: malformed reconfiguration specifications,
+/// unknown ids, operations on failed components, and similar.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Checks a precondition; throws ContractViolation with location info.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw ContractViolation(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Checks an internal invariant; throws ContractViolation with location info.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw ContractViolation(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) +
+                            ": invariant broken: " + message);
+  }
+}
+
+}  // namespace arfs

@@ -1,0 +1,74 @@
+// Strongly-typed identifiers.
+//
+// The formal model names four kinds of entity: applications, functional
+// specifications, system configurations, and environmental factors. Using a
+// distinct C++ type for each prevents the classic "passed the config id where
+// the spec id was expected" bug at compile time while keeping the ids cheap
+// (a single integer).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace arfs {
+
+namespace detail {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; ids are ordered and hashable so they can key standard containers.
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace detail
+
+struct AppTag {};
+struct SpecTag {};
+struct ConfigTag {};
+struct FactorTag {};
+struct ProcessorTag {};
+struct EndpointTag {};
+struct PartitionTag {};
+
+/// Identifies one reconfigurable application (paper: a_i in Apps).
+using AppId = detail::StrongId<AppTag>;
+/// Identifies one functional specification of an application (paper: s_ij).
+using SpecId = detail::StrongId<SpecTag>;
+/// Identifies one system configuration (paper: c_k in C).
+using ConfigId = detail::StrongId<ConfigTag>;
+/// Identifies one environmental factor (component status, power state, ...).
+using FactorId = detail::StrongId<FactorTag>;
+/// Identifies one fail-stop processor.
+using ProcessorId = detail::StrongId<ProcessorTag>;
+/// Identifies one endpoint on the time-triggered bus.
+using EndpointId = detail::StrongId<EndpointTag>;
+/// Identifies one RTOS partition.
+using PartitionId = detail::StrongId<PartitionTag>;
+
+}  // namespace arfs
+
+namespace std {
+template <typename Tag>
+struct hash<arfs::detail::StrongId<Tag>> {
+  size_t operator()(arfs::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,32 @@
+#include "arfs/common/log.hpp"
+
+#include <iostream>
+
+namespace arfs {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  std::clog << "[" << level_name(level) << "] " << component << ": "
+            << message << '\n';
+}
+
+}  // namespace arfs

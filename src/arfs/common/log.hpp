@@ -1,0 +1,66 @@
+// Leveled logging for the simulator.
+//
+// Benchmarks run with logging off; integration tests and examples enable it
+// to narrate reconfigurations. The logger is a process-wide singleton because
+// log output is inherently a process-wide concern; everything else in the
+// library is instance-scoped.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace arfs {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+namespace logdetail {
+
+template <typename... Args>
+void emit(LogLevel level, const std::string& component, const Args&... args) {
+  Logger& lg = Logger::instance();
+  if (!lg.enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << args);
+  lg.write(level, component, os.str());
+}
+
+}  // namespace logdetail
+
+template <typename... Args>
+void log_trace(const std::string& component, const Args&... args) {
+  logdetail::emit(LogLevel::kTrace, component, args...);
+}
+template <typename... Args>
+void log_debug(const std::string& component, const Args&... args) {
+  logdetail::emit(LogLevel::kDebug, component, args...);
+}
+template <typename... Args>
+void log_info(const std::string& component, const Args&... args) {
+  logdetail::emit(LogLevel::kInfo, component, args...);
+}
+template <typename... Args>
+void log_warn(const std::string& component, const Args&... args) {
+  logdetail::emit(LogLevel::kWarn, component, args...);
+}
+template <typename... Args>
+void log_error(const std::string& component, const Args&... args) {
+  logdetail::emit(LogLevel::kError, component, args...);
+}
+
+}  // namespace arfs

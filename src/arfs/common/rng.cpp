@@ -1,0 +1,56 @@
+#include "arfs/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs {
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "Rng::uniform: lo > hi");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = span * (UINT64_MAX / span);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + v % span;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+double Rng::gaussian(double stddev) {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = uniform01();
+  while (u1 == 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  return stddev * std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::fork() {
+  // Mixing through two draws decorrelates parent and child streams.
+  const std::uint64_t a = next_u64();
+  const std::uint64_t b = next_u64();
+  return Rng(a ^ (b << 1) ^ 0xA5A5A5A5A5A5A5A5ULL);
+}
+
+}  // namespace arfs

@@ -1,0 +1,44 @@
+// Deterministic random number generation.
+//
+// Every source of nondeterminism in the simulator (fault schedules, sensor
+// noise, randomized test systems) draws from a seeded Rng so that any run is
+// exactly replayable from its seed. The generator is SplitMix64: tiny, fast,
+// and statistically adequate for simulation workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace arfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool chance(double p);
+
+  /// Zero-mean Gaussian sample with the given standard deviation
+  /// (Box-Muller, one sample per call).
+  [[nodiscard]] double gaussian(double stddev);
+
+  /// Derives an independent child generator; used to give each subsystem its
+  /// own stream so adding draws in one does not perturb another.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace arfs

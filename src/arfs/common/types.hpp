@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every arfs module.
+//
+// The paper's system model (section 6.1) is synchronous and frame-based:
+// every application performs exactly one unit of work per real-time frame and
+// commits to stable storage at the frame boundary. All simulation time in
+// this library is therefore expressed either as a frame index (`Cycle`) or as
+// simulated microseconds (`SimTime`).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace arfs {
+
+/// Index of a real-time frame (the paper's "cycle"). Frame 0 is the first
+/// frame executed by the system.
+using Cycle = std::uint64_t;
+
+/// Simulated time in microseconds since system start.
+using SimTime = std::int64_t;
+
+/// Duration in simulated microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::min();
+
+/// Converts a frame count to simulated time given the fixed frame length.
+[[nodiscard]] constexpr SimDuration frames_to_time(Cycle frames,
+                                                   SimDuration frame_len) {
+  return static_cast<SimDuration>(frames) * frame_len;
+}
+
+}  // namespace arfs

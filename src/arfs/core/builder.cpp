@@ -1,0 +1,144 @@
+#include "arfs/core/builder.hpp"
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::core {
+
+void SpecBuilder::flush_app() {
+  if (!open_app_.has_value()) return;
+  out_.declare_app(std::move(*open_app_));
+  open_app_.reset();
+}
+
+void SpecBuilder::flush_config() {
+  if (!open_config_.has_value()) return;
+  declared_configs_.push_back(open_config_->id);
+  out_.declare_config(std::move(*open_config_));
+  open_config_.reset();
+}
+
+SpecBuilder& SpecBuilder::app(AppId id, std::string name) {
+  flush_app();
+  flush_config();
+  open_app_ = AppDecl{};
+  open_app_->id = id;
+  open_app_->name = std::move(name);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::spec(SpecId id, std::string name,
+                               ResourceDemand demand, SimDuration wcet_us,
+                               SimDuration budget_us) {
+  require(open_app_.has_value(), "spec() outside an app() declaration");
+  open_app_->specs.push_back(
+      FunctionalSpec{id, std::move(name), demand, wcet_us, budget_us});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::factor(FactorId id, std::string name,
+                                 std::int64_t min_value,
+                                 std::int64_t max_value,
+                                 std::int64_t initial) {
+  flush_app();
+  flush_config();
+  out_.declare_factor(
+      env::FactorSpec{id, std::move(name), min_value, max_value, initial});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::config(ConfigId id, std::string name) {
+  flush_app();
+  flush_config();
+  open_config_ = Configuration{};
+  open_config_->id = id;
+  open_config_->name = std::move(name);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::runs(AppId app, SpecId spec, ProcessorId host) {
+  require(open_config_.has_value(), "runs() outside a config() declaration");
+  open_config_->assignment[app] = spec;
+  open_config_->placement[app] = host;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::safe() {
+  require(open_config_.has_value(), "safe() outside a config() declaration");
+  open_config_->safe = true;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::rank(int service_rank) {
+  require(open_config_.has_value(), "rank() outside a config() declaration");
+  open_config_->service_rank = service_rank;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::transition(ConfigId from, ConfigId to,
+                                     Cycle frames) {
+  flush_app();
+  flush_config();
+  out_.set_transition_bound(from, to, frames);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::all_self_transitions(Cycle frames) {
+  flush_app();
+  flush_config();
+  for (const ConfigId c : declared_configs_) {
+    out_.set_transition_bound(c, c, frames);
+  }
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::all_transitions(Cycle frames) {
+  flush_app();
+  flush_config();
+  for (const ConfigId from : declared_configs_) {
+    for (const ConfigId to : declared_configs_) {
+      out_.set_transition_bound(from, to, frames);
+    }
+  }
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::choose(ChooseFn fn) {
+  flush_app();
+  flush_config();
+  out_.set_choose(std::move(fn));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::initial(ConfigId config) {
+  flush_app();
+  flush_config();
+  out_.set_initial_config(config);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::dwell(Cycle frames) {
+  out_.set_dwell_frames(frames);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::dependency(AppId dependent, AppId independent,
+                                     DepPhase phase,
+                                     std::optional<ConfigId> only_for_target) {
+  flush_app();
+  flush_config();
+  out_.add_dependency(
+      Dependency{dependent, independent, phase, only_for_target});
+  return *this;
+}
+
+ReconfigSpec SpecBuilder::build() {
+  flush_app();
+  flush_config();
+  out_.validate();
+  ReconfigSpec result = std::move(out_);
+  out_ = ReconfigSpec{};
+  declared_configs_.clear();
+  return result;
+}
+
+}  // namespace arfs::core

@@ -1,0 +1,89 @@
+// Fluent construction of reconfiguration specifications.
+//
+// ReconfigSpec's primitive declare_* interface is verbose for realistic
+// systems; SpecBuilder provides the compact, checked front end:
+//
+//   auto spec = SpecBuilder()
+//       .app(kAp, "autopilot")
+//           .spec(kApFull, "primary", {.cpu = 0.45}, 400, 800)
+//           .spec(kApAlt, "alt-hold", {.cpu = 0.15}, 150, 400)
+//       .app(kFcs, "flight-control")
+//           .spec(kFcsAug, "augmented", {.cpu = 0.40}, 300, 600)
+//       .factor(kPower, "power-state", 0, 3)
+//       .config(kFull, "full-service")
+//           .runs(kAp, kApFull, kComputer1)
+//           .runs(kFcs, kFcsAug, kComputer2)
+//       .config(kMin, "minimal").safe()
+//           .runs(kFcs, kFcsAug, kComputer1)
+//       .transition(kFull, kMin, 5)
+//       .all_self_transitions(4)
+//       .choose([](ConfigId, const env::EnvState& e) { ... })
+//       .initial(kFull)
+//       .build();   // validates
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "arfs/core/reconfig_spec.hpp"
+
+namespace arfs::core {
+
+class SpecBuilder {
+ public:
+  SpecBuilder() = default;
+
+  /// Starts declaring an application; subsequent spec() calls attach to it.
+  SpecBuilder& app(AppId id, std::string name);
+
+  /// Adds a functional specification to the current application.
+  /// Precondition: an app() declaration is open.
+  SpecBuilder& spec(SpecId id, std::string name, ResourceDemand demand = {},
+                    SimDuration wcet_us = 100, SimDuration budget_us = 200);
+
+  /// Declares an environmental factor with domain [min, max].
+  SpecBuilder& factor(FactorId id, std::string name, std::int64_t min_value,
+                      std::int64_t max_value, std::int64_t initial = 0);
+
+  /// Starts declaring a configuration; runs()/safe()/rank() attach to it.
+  SpecBuilder& config(ConfigId id, std::string name);
+
+  /// Assigns and places an application in the current configuration.
+  SpecBuilder& runs(AppId app, SpecId spec, ProcessorId host);
+
+  /// Marks the current configuration safe.
+  SpecBuilder& safe();
+
+  /// Sets the current configuration's service rank.
+  SpecBuilder& rank(int service_rank);
+
+  SpecBuilder& transition(ConfigId from, ConfigId to, Cycle frames);
+  /// Declares T(c, c) = frames for every configuration declared so far.
+  SpecBuilder& all_self_transitions(Cycle frames);
+  /// Declares T = frames for every ordered pair of configurations declared
+  /// so far (including self-transitions).
+  SpecBuilder& all_transitions(Cycle frames);
+
+  SpecBuilder& choose(ChooseFn fn);
+  SpecBuilder& initial(ConfigId config);
+  SpecBuilder& dwell(Cycle frames);
+  SpecBuilder& dependency(AppId dependent, AppId independent,
+                          DepPhase phase = DepPhase::kInitialize,
+                          std::optional<ConfigId> only_for_target = {});
+
+  /// Finalizes any open declarations, validates, and returns the spec.
+  /// The builder is left empty (single use).
+  [[nodiscard]] ReconfigSpec build();
+
+ private:
+  void flush_app();
+  void flush_config();
+
+  ReconfigSpec out_;
+  std::optional<AppDecl> open_app_;
+  std::optional<Configuration> open_config_;
+  std::vector<ConfigId> declared_configs_;
+};
+
+}  // namespace arfs::core

@@ -1,0 +1,29 @@
+#include "arfs/core/configuration.hpp"
+
+#include <algorithm>
+
+namespace arfs::core {
+
+std::optional<SpecId> Configuration::spec_of(AppId app) const {
+  const auto it = assignment.find(app);
+  if (it == assignment.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ProcessorId> Configuration::host_of(AppId app) const {
+  const auto it = placement.find(app);
+  if (it == placement.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ProcessorId> Configuration::processors_used() const {
+  std::vector<ProcessorId> out;
+  for (const auto& [app, proc] : placement) {
+    if (std::find(out.begin(), out.end(), proc) == out.end()) {
+      out.push_back(proc);
+    }
+  }
+  return out;
+}
+
+}  // namespace arfs::core

@@ -1,0 +1,49 @@
+// System configurations.
+//
+// Paper section 3: "certain specification combinations, denoted
+// configurations and defined in a reconfiguration specification, provide
+// acceptable services." A configuration assigns each application either one
+// of its specifications or *off* (the paper's Minimal Service turns the
+// autopilot off entirely), and places each assigned application on a
+// processor (the example's Reduced Service moves both applications onto a
+// single shared computer).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+
+namespace arfs::core {
+
+struct Configuration {
+  ConfigId id{};
+  std::string name;
+
+  /// Application -> specification. An application absent from the map is off
+  /// in this configuration.
+  std::map<AppId, SpecId> assignment;
+
+  /// Application -> host processor, for every assigned application. The
+  /// mapping is static per configuration (paper section 3).
+  std::map<AppId, ProcessorId> placement;
+
+  /// A safe configuration is "built with high enough dependability that
+  /// failures at the rate anticipated for the safe configuration do not
+  /// compromise system dependability goals" (paper section 4).
+  bool safe = false;
+
+  /// Ordering of service quality for degradation metrics; higher is better.
+  int service_rank = 0;
+
+  [[nodiscard]] bool runs(AppId app) const { return assignment.contains(app); }
+  [[nodiscard]] std::optional<SpecId> spec_of(AppId app) const;
+  [[nodiscard]] std::optional<ProcessorId> host_of(AppId app) const;
+
+  /// Processors used by this configuration.
+  [[nodiscard]] std::vector<ProcessorId> processors_used() const;
+};
+
+}  // namespace arfs::core

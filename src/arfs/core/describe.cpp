@@ -1,0 +1,74 @@
+#include "arfs/core/describe.hpp"
+
+#include <sstream>
+
+namespace arfs::core {
+
+std::string describe(const ReconfigSpec& spec) {
+  std::ostringstream os;
+
+  os << "applications (" << spec.apps().size() << "):\n";
+  for (const AppDecl& app : spec.apps()) {
+    os << "  a" << app.id.value() << " \"" << app.name << "\"\n";
+    for (const FunctionalSpec& s : app.specs) {
+      os << "    spec s" << s.id.value() << " \"" << s.name
+         << "\"  cpu=" << s.demand.cpu << " mem=" << s.demand.memory_mb
+         << "MB power=" << s.demand.power_w << "W wcet=" << s.wcet_us
+         << "us budget=" << s.budget_us << "us\n";
+    }
+  }
+
+  os << "environmental factors (" << spec.factors().factors().size()
+     << "):\n";
+  for (const env::FactorSpec& f : spec.factors().factors()) {
+    os << "  f" << f.id.value() << " \"" << f.name << "\" domain ["
+       << f.min_value << ", " << f.max_value << "] initial " << f.initial
+       << "\n";
+  }
+
+  os << "configurations (" << spec.configs().size() << "):\n";
+  for (const auto& [id, config] : spec.configs()) {
+    os << "  c" << id.value() << " \"" << config.name << "\""
+       << (config.safe ? " [SAFE]" : "") << " rank " << config.service_rank;
+    if (id == spec.initial_config()) os << " [INITIAL]";
+    os << "\n";
+    for (const AppDecl& app : spec.apps()) {
+      os << "    a" << app.id.value() << ": ";
+      const std::optional<SpecId> s = config.spec_of(app.id);
+      if (!s.has_value()) {
+        os << "off\n";
+        continue;
+      }
+      os << "s" << s->value() << " on processor "
+         << config.host_of(app.id)->value() << "\n";
+    }
+  }
+
+  os << "transition bounds T(i,j) in frames:\n";
+  for (const auto& [from, from_cfg] : spec.configs()) {
+    for (const auto& [to, to_cfg] : spec.configs()) {
+      const std::optional<Cycle> t = spec.transition_bound(from, to);
+      if (t.has_value()) {
+        os << "  T(c" << from.value() << ", c" << to.value() << ") = " << *t
+           << "\n";
+      }
+    }
+  }
+
+  if (!spec.dependencies().all().empty()) {
+    os << "dependencies:\n";
+    for (const Dependency& d : spec.dependencies().all()) {
+      os << "  a" << d.dependent.value() << " waits for a"
+         << d.independent.value() << " in " << to_string(d.phase);
+      if (d.only_for_target.has_value()) {
+        os << " (target c" << d.only_for_target->value() << " only)";
+      }
+      os << "\n";
+    }
+  }
+
+  os << "dwell: " << spec.dwell_frames() << " frames\n";
+  return os.str();
+}
+
+}  // namespace arfs::core

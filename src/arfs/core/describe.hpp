@@ -1,0 +1,17 @@
+// Human-readable rendering of a reconfiguration specification: the
+// "reconfiguration specification document" a reviewer or certifier would
+// read, generated from the machine-checked artifact.
+#pragma once
+
+#include <string>
+
+#include "arfs/core/reconfig_spec.hpp"
+
+namespace arfs::core {
+
+/// Renders applications with their specification sets, environmental
+/// factors, configurations with assignments/placements/safety, transition
+/// bounds, dependencies, and policy parameters.
+[[nodiscard]] std::string describe(const ReconfigSpec& spec);
+
+}  // namespace arfs::core

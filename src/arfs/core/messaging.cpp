@@ -1,0 +1,26 @@
+#include "arfs/core/messaging.hpp"
+
+namespace arfs::core {
+
+void Mailbox::send(AppId to, std::string topic, storage::Value payload) {
+  AppMessage msg;
+  msg.to = to;
+  msg.topic = std::move(topic);
+  msg.payload = std::move(payload);
+  outgoing_.push_back(std::move(msg));
+}
+
+const AppMessage* Mailbox::latest(const std::string& topic) const {
+  for (auto it = inbox_.rbegin(); it != inbox_.rend(); ++it) {
+    if (it->topic == topic) return &*it;
+  }
+  return nullptr;
+}
+
+Mailbox& MessageRouter::endpoint(AppId app) { return boxes_[app]; }
+
+bool MessageRouter::has_endpoint(AppId app) const {
+  return boxes_.contains(app);
+}
+
+}  // namespace arfs::core

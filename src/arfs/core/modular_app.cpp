@@ -1,0 +1,85 @@
+#include "arfs/core/modular_app.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::core {
+
+ModularApp::ModularApp(AppId id, std::string name)
+    : ReconfigurableApp(id, std::move(name)) {}
+
+void ModularApp::add_module(std::unique_ptr<AppModule> module) {
+  require(module != nullptr, "null module");
+  for (const auto& existing : modules_) {
+    require(existing->name() != module->name(), "duplicate module name");
+  }
+  modules_.push_back(std::move(module));
+}
+
+void ModularApp::map_spec(SpecId spec, std::map<std::string, int> modes) {
+  for (const auto& [name, mode] : modes) {
+    bool known = false;
+    for (const auto& module : modules_) {
+      if (module->name() == name) known = true;
+    }
+    require(known, "mode map names unknown module: " + name);
+    require(mode >= 0, "use absence, not negative modes, to disable");
+  }
+  spec_modes_[spec] = std::move(modes);
+}
+
+int ModularApp::mode_of(const std::string& module,
+                        std::optional<SpecId> spec) const {
+  if (!spec.has_value()) return kModuleOff;
+  const auto it = spec_modes_.find(*spec);
+  require(it != spec_modes_.end(),
+          "application specification has no module mode map");
+  const auto mode = it->second.find(module);
+  return mode == it->second.end() ? kModuleOff : mode->second;
+}
+
+int ModularApp::module_mode(const std::string& module) const {
+  return mode_of(module, current_spec());
+}
+
+ReconfigurableApp::StepResult ModularApp::do_work(const Ctx& ctx) {
+  StepResult result;
+  // Producers before consumers: module (declaration) order.
+  for (const auto& module : modules_) {
+    const int mode = mode_of(module->name(), current_spec());
+    if (mode == kModuleOff) continue;
+    result.consumed += module->do_work(ctx, mode);
+  }
+  return result;
+}
+
+bool ModularApp::do_halt(const Ctx& ctx) {
+  // Consumers cease before their producers: reverse order.
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    (*it)->do_halt(ctx);
+  }
+  return true;
+}
+
+bool ModularApp::do_prepare(const Ctx& ctx,
+                            std::optional<SpecId> target_spec) {
+  for (const auto& module : modules_) {
+    module->do_prepare(ctx, mode_of(module->name(), target_spec));
+  }
+  return true;
+}
+
+bool ModularApp::do_initialize(const Ctx& ctx,
+                               std::optional<SpecId> target_spec) {
+  for (const auto& module : modules_) {
+    module->do_initialize(ctx, mode_of(module->name(), target_spec));
+  }
+  return true;
+}
+
+void ModularApp::on_volatile_lost() {
+  for (const auto& module : modules_) module->on_volatile_lost();
+}
+
+}  // namespace arfs::core

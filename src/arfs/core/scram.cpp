@@ -1,0 +1,309 @@
+#include "arfs/core/scram.hpp"
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/log.hpp"
+
+namespace arfs::core {
+
+Scram::Scram(const ReconfigSpec& spec, ScramOptions options)
+    : spec_(spec), options_(options), current_(spec.initial_config()) {
+  spec.validate();
+}
+
+std::optional<ConfigId> Scram::target_config() const {
+  if (phase_ == Phase::kIdle) return std::nullopt;
+  return target_;
+}
+
+std::optional<Cycle> Scram::active_start_cycle() const { return active_start_; }
+
+DirectiveKind Scram::phase_directive() const {
+  switch (phase_) {
+    case Phase::kHalt:       return DirectiveKind::kHalt;
+    case Phase::kPrepare:    return DirectiveKind::kPrepare;
+    case Phase::kInitialize: return DirectiveKind::kInitialize;
+    default:                 return DirectiveKind::kNone;
+  }
+}
+
+DepPhase Scram::phase_dep() const {
+  switch (phase_) {
+    case Phase::kHalt:       return DepPhase::kHalt;
+    case Phase::kPrepare:    return DepPhase::kPrepare;
+    default:                 return DepPhase::kInitialize;
+  }
+}
+
+bool Scram::deps_met(AppId app, DepPhase phase,
+                     const std::map<AppId, bool>& completed) const {
+  for (const Dependency& c :
+       spec_.dependencies().constraints_on(app, phase, target_)) {
+    const auto it = completed.find(c.independent);
+    if (it == completed.end() || !it->second) return false;
+  }
+  return true;
+}
+
+bool Scram::try_start(Cycle cycle, const env::EnvState& env_now,
+                      FramePlan& plan) {
+  if (spec_.dwell_frames() > 0 && cycle < dwell_until_) {
+    ++stats_.dwell_blocked_frames;
+    return false;  // pending_trigger_ stays set; retried next frame
+  }
+  const ConfigId chosen = spec_.choose(current_, env_now);
+  if (chosen == current_) {
+    pending_trigger_ = false;
+    ++stats_.triggers_absorbed;
+    return false;
+  }
+  require(spec_.has_config(chosen),
+          "choose() returned an undeclared configuration");
+
+  pending_trigger_ = false;
+  target_ = chosen;
+  phase_ = Phase::kSignaled;
+  active_start_ = cycle;
+  done_.clear();
+  stage_.clear();
+  halt_done_.clear();
+  prepare_done_.clear();
+  init_done_.clear();
+  plan.trigger_accepted = true;
+  plan.target = target_;
+  ++stats_.reconfigs_started;
+  log_info("scram", "cycle ", cycle, ": reconfiguration ",
+           current_.value(), " -> ", target_.value(), " accepted");
+  return true;
+}
+
+void Scram::plan_global(FramePlan& plan) const {
+  const DirectiveKind kind = phase_directive();
+  const DepPhase dep_phase = phase_dep();
+  const Configuration& target_cfg = spec_.config(target_);
+
+  for (const AppDecl& app : spec_.apps()) {
+    Directive d;
+    const auto it = done_.find(app.id);
+    const bool already_done = it != done_.end() && it->second;
+    if (already_done || !deps_met(app.id, dep_phase, done_)) {
+      d.kind = DirectiveKind::kNone;
+    } else {
+      d.kind = kind;
+    }
+    d.target_spec = target_cfg.spec_of(app.id);
+    d.target_config = target_;
+    plan.directives[app.id] = d;
+  }
+}
+
+void Scram::plan_relaxed(FramePlan& plan) const {
+  const Configuration& target_cfg = spec_.config(target_);
+  for (const AppDecl& app : spec_.apps()) {
+    Directive d;
+    d.target_spec = target_cfg.spec_of(app.id);
+    d.target_config = target_;
+    switch (stage_.at(app.id)) {
+      case AppStage::kHalt:
+        d.kind = deps_met(app.id, DepPhase::kHalt, halt_done_)
+                     ? DirectiveKind::kHalt
+                     : DirectiveKind::kNone;
+        break;
+      case AppStage::kPrepare:
+        d.kind = deps_met(app.id, DepPhase::kPrepare, prepare_done_)
+                     ? DirectiveKind::kPrepare
+                     : DirectiveKind::kNone;
+        break;
+      case AppStage::kInitialize:
+        d.kind = deps_met(app.id, DepPhase::kInitialize, init_done_)
+                     ? DirectiveKind::kInitialize
+                     : DirectiveKind::kNone;
+        break;
+      case AppStage::kDone:
+        d.kind = DirectiveKind::kNone;
+        break;
+    }
+    plan.directives[app.id] = d;
+  }
+}
+
+FramePlan Scram::begin_frame(
+    Cycle cycle, SimTime now,
+    const std::vector<failstop::FailureSignal>& hw_signals,
+    const std::vector<env::EnvChangeSignal>& env_signals,
+    const env::EnvState& env_now) {
+  (void)now;
+  FramePlan plan;
+
+  const std::size_t signal_count = hw_signals.size() + env_signals.size();
+  stats_.triggers_received += signal_count;
+
+  if (signal_count > 0) {
+    if (phase_ == Phase::kIdle) {
+      pending_trigger_ = true;
+    } else if (options_.policy == ReconfigPolicy::kBuffer) {
+      stats_.buffered_triggers += signal_count;
+      pending_trigger_ = true;
+    } else {
+      // Immediate policy (section 5.3 option 1): the postconditions either
+      // are or will be established by the halt stage; re-choose the target.
+      const ConfigId chosen = spec_.choose(current_, env_now);
+      if (chosen != target_) {
+        ++stats_.retargets;
+        log_info("scram", "cycle ", cycle, ": retarget ", target_.value(),
+                 " -> ", chosen.value());
+        target_ = chosen;
+        if (options_.barrier == PhaseBarrier::kGlobal) {
+          if (phase_ == Phase::kPrepare || phase_ == Phase::kInitialize) {
+            // Work toward the old target is void; rerun prepare toward the
+            // new target. Applications past halt rewind to halted.
+            phase_ = Phase::kPrepare;
+            done_.clear();
+            plan.retargeted = true;
+          }
+          // kSignaled / kHalt: the halt stage is target-independent.
+        } else {
+          // Relaxed: every application past its halt stage re-prepares.
+          bool any_rewound = false;
+          for (auto& [app, stage] : stage_) {
+            if (stage == AppStage::kInitialize || stage == AppStage::kDone) {
+              stage = AppStage::kPrepare;
+              any_rewound = true;
+            }
+          }
+          if (any_rewound || !prepare_done_.empty()) {
+            prepare_done_.clear();
+            init_done_.clear();
+            plan.retargeted = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Idle with a pending (new or buffered or dwell-deferred) trigger: decide.
+  if (phase_ == Phase::kIdle && pending_trigger_) {
+    try_start(cycle, env_now, plan);
+    // Frame 0 of Table 1: signal receipt only, no application directives.
+    return plan;
+  }
+
+  if (phase_ == Phase::kIdle) return plan;
+  plan.target = target_;
+
+  if (phase_ == Phase::kSignaled) {
+    // Frame 1 begins the halt stage.
+    phase_ = Phase::kHalt;
+    done_.clear();
+    if (options_.barrier == PhaseBarrier::kRelaxed) {
+      for (const AppDecl& app : spec_.apps()) {
+        stage_[app.id] = AppStage::kHalt;
+      }
+    }
+  }
+
+  if (options_.barrier == PhaseBarrier::kGlobal) {
+    plan_global(plan);
+  } else {
+    plan_relaxed(plan);
+  }
+  return plan;
+}
+
+FrameOutcome Scram::complete(Cycle cycle) {
+  FrameOutcome outcome;
+  outcome.completed = true;
+  outcome.from = current_;
+  outcome.to = target_;
+  current_ = target_;
+  phase_ = Phase::kIdle;
+  done_.clear();
+  stage_.clear();
+  halt_done_.clear();
+  prepare_done_.clear();
+  init_done_.clear();
+  active_start_.reset();
+  dwell_until_ = cycle + 1 + spec_.dwell_frames();
+  // Re-evaluate once at completion: signals consumed while reconfiguring may
+  // leave the environment demanding a further transition (section 5.3's
+  // buffered option), and design-time choose transforms (safe interposition)
+  // rely on the deferred demand being picked up here. If the current
+  // configuration is already the proper choice, the evaluation is absorbed.
+  pending_trigger_ = true;
+  ++stats_.reconfigs_completed;
+  log_info("scram", "cycle ", cycle, ": reconfiguration to ",
+           current_.value(), " complete");
+  return outcome;
+}
+
+FrameOutcome Scram::end_frame_global(Cycle cycle,
+                                     const std::map<AppId, bool>& phase_done) {
+  FrameOutcome outcome;
+  for (const auto& [app, done] : phase_done) {
+    if (done) done_[app] = true;
+  }
+
+  for (const AppDecl& app : spec_.apps()) {
+    const auto it = done_.find(app.id);
+    if (it == done_.end() || !it->second) return outcome;  // phase incomplete
+  }
+
+  switch (phase_) {
+    case Phase::kHalt:
+      phase_ = Phase::kPrepare;
+      done_.clear();
+      return outcome;
+    case Phase::kPrepare:
+      phase_ = Phase::kInitialize;
+      done_.clear();
+      return outcome;
+    case Phase::kInitialize:
+      // Every application established its precondition: the system starts
+      // operating in the target configuration at this frame boundary.
+      return complete(cycle);
+    default:
+      return outcome;
+  }
+}
+
+FrameOutcome Scram::end_frame_relaxed(
+    Cycle cycle, const std::map<AppId, bool>& phase_done) {
+  FrameOutcome outcome;
+  for (const auto& [app, done] : phase_done) {
+    if (!done) continue;
+    const auto it = stage_.find(app);
+    if (it == stage_.end()) continue;
+    switch (it->second) {
+      case AppStage::kHalt:
+        halt_done_[app] = true;
+        it->second = AppStage::kPrepare;
+        break;
+      case AppStage::kPrepare:
+        prepare_done_[app] = true;
+        it->second = AppStage::kInitialize;
+        break;
+      case AppStage::kInitialize:
+        init_done_[app] = true;
+        it->second = AppStage::kDone;
+        break;
+      case AppStage::kDone:
+        break;
+    }
+  }
+
+  for (const AppDecl& app : spec_.apps()) {
+    const auto it = stage_.find(app.id);
+    if (it == stage_.end() || it->second != AppStage::kDone) return outcome;
+  }
+  return complete(cycle);
+}
+
+FrameOutcome Scram::end_frame(Cycle cycle,
+                              const std::map<AppId, bool>& phase_done) {
+  if (phase_ == Phase::kIdle || phase_ == Phase::kSignaled) return {};
+  if (options_.barrier == PhaseBarrier::kGlobal) {
+    return end_frame_global(cycle, phase_done);
+  }
+  return end_frame_relaxed(cycle, phase_done);
+}
+
+}  // namespace arfs::core

@@ -1,0 +1,165 @@
+// SCRAM: System Control Reconfiguration Analysis and Management kernel.
+//
+// The SCRAM (paper sections 3, 5.2, 6.3) is the external-reconfiguration
+// mechanism: it receives component-failure and environment-change signals,
+// determines the necessary reconfiguration from a statically defined table
+// (here: the ReconfigSpec's choose function), and drives every application
+// through the SFTA phase sequence of Table 1 by writing the
+// configuration_status values halt / prepare / initialize on successive
+// frames. It coordinates inter-application dependencies by withholding a
+// phase directive from a dependent application until the applications it
+// depends on have completed that phase (section 6.3).
+//
+// Failures arriving *during* a reconfiguration are handled by one of the two
+// policies of section 5.3: buffered until the current reconfiguration
+// completes, or addressed immediately by re-choosing the target once
+// applications have met their postconditions.
+//
+// The kernel is a pure table interpreter: all behaviour is determined by the
+// ReconfigSpec, which is what lets the static analyses in arfs::analysis
+// speak about the running system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/core/app.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/env/factor.hpp"
+#include "arfs/failstop/detector.hpp"
+
+namespace arfs::core {
+
+/// Section 5.3's two options for failures that occur during reconfiguration.
+enum class ReconfigPolicy {
+  kBuffer,     ///< Queue the trigger; handle it after completion.
+  kImmediate,  ///< Re-choose the target now (postconditions already met).
+};
+
+/// How application stages are synchronized across the system.
+enum class PhaseBarrier {
+  /// Table 1's canonical protocol: the SCRAM signals one stage per frame
+  /// span and waits for every application to complete it before signaling
+  /// the next (a global barrier per stage).
+  kGlobal,
+  /// Section 6.3's relaxation: "allowing the applications to complete
+  /// multiple sequential stages without signals from the SCRAM" — each
+  /// application advances through halt/prepare/initialize at its own pace;
+  /// cross-application ordering is enforced only by declared dependencies.
+  kRelaxed,
+};
+
+struct ScramOptions {
+  ReconfigPolicy policy = ReconfigPolicy::kBuffer;
+  PhaseBarrier barrier = PhaseBarrier::kGlobal;
+};
+
+/// The SCRAM's plan for one frame.
+struct FramePlan {
+  std::map<AppId, Directive> directives;
+  /// True exactly in an SFTA's frame 0: the trigger was accepted this frame
+  /// and every application's current AFTA counts as interrupted.
+  bool trigger_accepted = false;
+  /// True when the immediate policy re-chose the target this frame;
+  /// applications past the halt stage must rewind to halted.
+  bool retargeted = false;
+  ConfigId target{};  ///< Meaningful while reconfiguring.
+};
+
+/// What the SCRAM concluded at the end of a frame.
+struct FrameOutcome {
+  bool completed = false;  ///< Reconfiguration finished this frame.
+  ConfigId from{};
+  ConfigId to{};
+};
+
+struct ScramStats {
+  std::uint64_t triggers_received = 0;  ///< Signals delivered to the SCRAM.
+  std::uint64_t reconfigs_started = 0;
+  std::uint64_t reconfigs_completed = 0;
+  std::uint64_t triggers_absorbed = 0;  ///< choose() returned current config.
+  std::uint64_t retargets = 0;          ///< Immediate-policy target changes.
+  std::uint64_t buffered_triggers = 0;  ///< Signals queued mid-reconfig.
+  std::uint64_t dwell_blocked_frames = 0;
+};
+
+class Scram {
+ public:
+  /// `spec` must outlive the Scram and must validate().
+  explicit Scram(const ReconfigSpec& spec, ScramOptions options = {});
+
+  /// Start-of-frame step: consumes the frame's failure and environment
+  /// signals, runs the trigger/dwell/retarget logic, and returns the
+  /// directive for every application.
+  [[nodiscard]] FramePlan begin_frame(
+      Cycle cycle, SimTime now,
+      const std::vector<failstop::FailureSignal>& hw_signals,
+      const std::vector<env::EnvChangeSignal>& env_signals,
+      const env::EnvState& env_now);
+
+  /// End-of-frame step: `phase_done` reports, for each application that was
+  /// issued a phase directive this frame, whether it completed the stage.
+  [[nodiscard]] FrameOutcome end_frame(Cycle cycle,
+                                       const std::map<AppId, bool>& phase_done);
+
+  [[nodiscard]] ConfigId current_config() const { return current_; }
+  [[nodiscard]] bool reconfiguring() const { return phase_ != Phase::kIdle; }
+  [[nodiscard]] std::optional<ConfigId> target_config() const;
+  [[nodiscard]] const ScramStats& stats() const { return stats_; }
+  [[nodiscard]] ReconfigPolicy policy() const { return options_.policy; }
+
+  /// Cycle at which the in-progress reconfiguration started (its frame 0).
+  [[nodiscard]] std::optional<Cycle> active_start_cycle() const;
+
+ private:
+  enum class Phase { kIdle, kSignaled, kHalt, kPrepare, kInitialize };
+  /// Per-application stage progression for the relaxed barrier.
+  enum class AppStage { kHalt, kPrepare, kInitialize, kDone };
+
+  /// Evaluates choose() and either starts a reconfiguration or absorbs the
+  /// trigger. Returns true if a reconfiguration started.
+  bool try_start(Cycle cycle, const env::EnvState& env_now, FramePlan& plan);
+
+  /// Fills plan.directives for the global-barrier protocol.
+  void plan_global(FramePlan& plan) const;
+  /// Fills plan.directives for the relaxed protocol.
+  void plan_relaxed(FramePlan& plan) const;
+
+  [[nodiscard]] FrameOutcome end_frame_global(
+      Cycle cycle, const std::map<AppId, bool>& phase_done);
+  [[nodiscard]] FrameOutcome end_frame_relaxed(
+      Cycle cycle, const std::map<AppId, bool>& phase_done);
+  FrameOutcome complete(Cycle cycle);
+
+  /// Whether every dependency of `app` for `phase` is satisfied by
+  /// `completed` (the set of apps that finished that phase).
+  [[nodiscard]] bool deps_met(AppId app, DepPhase phase,
+                              const std::map<AppId, bool>& completed) const;
+
+  /// Directive kind for the current phase.
+  [[nodiscard]] DirectiveKind phase_directive() const;
+  [[nodiscard]] DepPhase phase_dep() const;
+
+  const ReconfigSpec& spec_;
+  ScramOptions options_;
+  ConfigId current_;
+  ConfigId target_{};
+  Phase phase_ = Phase::kIdle;
+  std::map<AppId, bool> done_;     ///< Per-app completion of current phase.
+  // Relaxed-barrier state: each app's current stage and per-stage
+  // completions (needed to evaluate dependencies).
+  std::map<AppId, AppStage> stage_;
+  std::map<AppId, bool> halt_done_;
+  std::map<AppId, bool> prepare_done_;
+  std::map<AppId, bool> init_done_;
+  bool pending_trigger_ = false;   ///< Buffered/deferred evaluation request.
+  std::optional<Cycle> active_start_;
+  Cycle dwell_until_ = 0;          ///< No new reconfiguration before this.
+  ScramStats stats_;
+};
+
+}  // namespace arfs::core

@@ -1,0 +1,15 @@
+#include "arfs/core/spec.hpp"
+
+namespace arfs::core {
+
+ResourceDemand operator+(const ResourceDemand& a, const ResourceDemand& b) {
+  return ResourceDemand{a.cpu + b.cpu, a.memory_mb + b.memory_mb,
+                        a.power_w + b.power_w};
+}
+
+bool fits_within(const ResourceDemand& demand, const ResourceDemand& capacity) {
+  return demand.cpu <= capacity.cpu && demand.memory_mb <= capacity.memory_mb &&
+         demand.power_w <= capacity.power_w;
+}
+
+}  // namespace arfs::core

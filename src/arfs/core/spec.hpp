@@ -1,0 +1,52 @@
+// Functional specifications.
+//
+// Paper section 4: "Each a_i in Apps possesses a set of possible functional
+// specifications S_i = {s_i1, s_i2, ...} and always operates in accordance
+// with one of those specifications unless engaged in reconfiguration."
+//
+// A specification here carries, besides identity, the resource demand the
+// paper's example varies between specifications ("its second specification
+// requires substantially less processing and memory resources") and the
+// timing data the platform needs: a worst-case execution time per frame and
+// the partition budget it must fit in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::core {
+
+/// Resources one specification demands from its host platform; the currency
+/// of the section 5.1 economics argument and of configuration feasibility.
+struct ResourceDemand {
+  double cpu = 0.0;        ///< Fraction of one processor, [0, 1].
+  double memory_mb = 0.0;
+  double power_w = 0.0;
+};
+
+struct FunctionalSpec {
+  SpecId id{};
+  std::string name;
+  ResourceDemand demand;
+  SimDuration wcet_us = 100;    ///< Worst-case execution time per frame.
+  SimDuration budget_us = 200;  ///< Frame budget; overrun is a timing fault.
+};
+
+/// Declaration of one reconfigurable application and its specification set.
+struct AppDecl {
+  AppId id{};
+  std::string name;
+  std::vector<FunctionalSpec> specs;
+};
+
+/// Sum of demands, used when several specifications share one processor.
+[[nodiscard]] ResourceDemand operator+(const ResourceDemand& a,
+                                       const ResourceDemand& b);
+
+[[nodiscard]] bool fits_within(const ResourceDemand& demand,
+                               const ResourceDemand& capacity);
+
+}  // namespace arfs::core

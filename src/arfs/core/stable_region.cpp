@@ -1,0 +1,19 @@
+#include "arfs/core/stable_region.hpp"
+
+namespace arfs::core {
+
+std::size_t StableRegion::relocate(const storage::StableStorage& source,
+                                   storage::StableStorage& target,
+                                   const std::string& prefix) {
+  std::size_t copied = 0;
+  for (const std::string& key : source.keys()) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    const Expected<storage::Value> value = source.read(key);
+    if (!value) continue;
+    target.write(key, value.value());
+    ++copied;
+  }
+  return copied;
+}
+
+}  // namespace arfs::core

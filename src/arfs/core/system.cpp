@@ -1,0 +1,451 @@
+#include "arfs/core/system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/log.hpp"
+
+namespace arfs::core {
+
+/// Reads peer applications' committed stable variables by polling the
+/// processor currently holding the peer's region (which may itself have
+/// failed — polling stable storage of failed processors is the fail-stop
+/// model's recovery primitive).
+class System::SystemPeerReader final : public PeerReader {
+ public:
+  explicit SystemPeerReader(const System& system) : system_(&system) {}
+
+  [[nodiscard]] Expected<storage::Value> read_peer(
+      AppId peer, const std::string& key) const override {
+    const auto it = system_->region_host_.find(peer);
+    if (it == system_->region_host_.end()) {
+      return unexpected("peer app has no stable region");
+    }
+    const std::string full_key =
+        "a" + std::to_string(peer.value()) + "/" + key;
+    return system_->group_.processor(it->second).poll_stable().read(full_key);
+  }
+
+ private:
+  const System* system_;
+};
+
+namespace {
+
+/// All processors any configuration places an application on.
+std::vector<ProcessorId> placement_processors(const ReconfigSpec& spec) {
+  std::vector<ProcessorId> out;
+  for (const auto& [id, config] : spec.configs()) {
+    for (const ProcessorId p : config.processors_used()) {
+      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::string directive_name(DirectiveKind kind) {
+  switch (kind) {
+    case DirectiveKind::kNone:       return "normal";
+    case DirectiveKind::kHalt:       return "halt";
+    case DirectiveKind::kPrepare:    return "prepare";
+    case DirectiveKind::kInitialize: return "initialize";
+  }
+  return "?";
+}
+
+}  // namespace
+
+System::System(const ReconfigSpec& spec, SystemOptions options)
+    : spec_(spec), options_(options), clock_(options.frame_length),
+      activity_(options.detection_threshold), scram_(spec, options.scram),
+      noise_rng_(options.noise_seed), trace_(options.frame_length) {
+  spec.validate();
+  require(options.heartbeat_loss_prob >= 0.0 &&
+              options.heartbeat_loss_prob < 1.0,
+          "heartbeat loss probability must be in [0, 1)");
+
+  std::uint32_t max_id = 0;
+  for (const ProcessorId p : placement_processors(spec)) {
+    group_.add_processor(p);
+    max_id = std::max(max_id, p.value() + 1);
+  }
+  scram_proc_ = ProcessorId{max_id};
+  group_.add_processor(scram_proc_);
+
+  spec.factors().initialize(environment_);
+  for (const env::FactorSpec& f : spec.factors().factors()) {
+    monitors_.emplace_back(spec.factors(), f.id);
+  }
+
+  peer_reader_ = std::make_unique<SystemPeerReader>(*this);
+}
+
+System::~System() = default;
+
+void System::add_app(std::unique_ptr<ReconfigurableApp> app) {
+  require(app != nullptr, "null application");
+  require(!started_, "cannot add applications after the system started");
+  require(spec_.has_app(app->id()), "application was not declared in the spec");
+  const AppId id = app->id();
+  const bool inserted = apps_.emplace(id, std::move(app)).second;
+  require(inserted, "application added twice");
+}
+
+void System::set_fault_plan(sim::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+}
+
+void System::bind_processor_factor(ProcessorId processor, FactorId factor) {
+  require(group_.has_processor(processor), "unknown processor");
+  require(spec_.factors().declared(factor),
+          "processor factor must be declared in the spec");
+  processor_factors_[processor] = factor;
+}
+
+void System::add_env_hook(EnvHook hook) {
+  require(static_cast<bool>(hook), "null environment hook");
+  env_hooks_.push_back(std::move(hook));
+}
+
+void System::set_factor(FactorId factor, std::int64_t value) {
+  environment_.set(factor, value, clock_.now());
+}
+
+ReconfigurableApp& System::app(AppId id) {
+  const auto it = apps_.find(id);
+  require(it != apps_.end(), "unknown application id");
+  return *it->second;
+}
+
+ProcessorId System::region_host(AppId app) const {
+  const auto it = region_host_.find(app);
+  require(it != region_host_.end(), "app has no stable region yet");
+  return it->second;
+}
+
+void System::run(Cycle frames) {
+  for (Cycle i = 0; i < frames; ++i) run_frame();
+}
+
+void System::apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
+                               SimTime now) {
+  ++stats_.fault_events_applied;
+  switch (event.kind) {
+    case sim::FaultKind::kProcessorFailStop: {
+      require(group_.has_processor(event.processor),
+              "fault plan names unknown processor");
+      failstop::Processor& proc = group_.processor(event.processor);
+      if (!proc.running()) break;
+      proc.fail(cycle);
+      for (const auto& [app_id, host] : region_host_) {
+        if (host == event.processor) apps_.at(app_id)->on_host_failure();
+      }
+      break;
+    }
+    case sim::FaultKind::kProcessorRepair: {
+      failstop::Processor& proc = group_.processor(event.processor);
+      if (proc.running()) break;
+      proc.repair(cycle);
+      break;
+    }
+    case sim::FaultKind::kEnvironmentChange:
+      environment_.set(event.factor, event.new_value, now);
+      break;
+    case sim::FaultKind::kTimingOverrun:
+      forced_overrun_[event.app] = true;
+      break;
+    case sim::FaultKind::kSoftwareFault:
+      forced_fault_[event.app] = true;
+      break;
+  }
+}
+
+std::optional<ProcessorId> System::execution_host(
+    AppId app, const Directive& directive) const {
+  const auto region_it = region_host_.find(app);
+  ensure(region_it != region_host_.end(), "app region host unset");
+  const ProcessorId region = region_it->second;
+
+  switch (directive.kind) {
+    case DirectiveKind::kNone:
+    case DirectiveKind::kHalt: {
+      if (group_.processor(region).running()) return region;
+      return std::nullopt;
+    }
+    case DirectiveKind::kPrepare:
+    case DirectiveKind::kInitialize: {
+      const Configuration& target = spec_.config(directive.target_config);
+      const std::optional<ProcessorId> host = target.host_of(app);
+      if (host.has_value()) {
+        if (group_.processor(*host).running()) return *host;
+        return std::nullopt;  // target host is down
+      }
+      // The application is off in the target configuration; wind-down runs
+      // on the old host if it survives, else it is trivially complete.
+      if (group_.processor(region).running()) return region;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void System::relocate_region_if_needed(AppId app, ProcessorId to,
+                                       Cycle cycle) {
+  const ProcessorId from = region_host_.at(app);
+  if (from == to) return;
+  const std::string prefix = "a" + std::to_string(app.value()) + "/";
+  const std::size_t copied = StableRegion::relocate(
+      group_.processor(from).poll_stable(), group_.processor(to).stable(),
+      prefix);
+  region_host_[app] = to;
+  ++stats_.region_relocations;
+  log_debug("system", "cycle ", cycle, ": relocated region of app ",
+            app.value(), " from processor ", from.value(), " to ",
+            to.value(), " (", copied, " keys)");
+}
+
+void System::publish_processor_factors(SimTime now) {
+  for (const auto& [processor, factor] : processor_factors_) {
+    const std::int64_t value = group_.processor(processor).running() ? 0 : 1;
+    environment_.set(factor, value, now);
+  }
+}
+
+void System::run_frame() {
+  const Cycle cycle = clock_.current_frame();
+  const SimTime t0 = clock_.now();
+
+  if (!started_) {
+    require(apps_.size() == spec_.apps().size(),
+            "every declared application must be added before running");
+    const Configuration& initial = spec_.config(spec_.initial_config());
+    for (const AppDecl& decl : spec_.apps()) {
+      apps_.at(decl.id)->force_spec(initial.spec_of(decl.id));
+      std::optional<ProcessorId> host = initial.host_of(decl.id);
+      if (!host.has_value()) {
+        // Off initially: park the region on the first processor any
+        // configuration would place the app on.
+        for (const auto& [cid, config] : spec_.configs()) {
+          if (const auto h = config.host_of(decl.id); h.has_value()) {
+            host = h;
+            break;
+          }
+        }
+      }
+      region_host_[decl.id] = host.value_or(scram_proc_);
+    }
+    group_.watch_all(activity_);
+    for (const AppDecl& decl : spec_.apps()) {
+      router_.endpoint(decl.id);
+    }
+    if (options_.record_storage_history) {
+      for (const ProcessorId p : group_.processor_ids()) {
+        if (group_.processor(p).running()) {
+          group_.processor(p).stable().enable_history(true);
+        }
+      }
+    }
+    started_ = true;
+  }
+
+  // 1. Physical/environment models.
+  for (const EnvHook& hook : env_hooks_) hook(environment_, cycle, t0);
+
+  // 2. Scheduled fault injection.
+  for (const sim::FaultEvent& event : fault_plan_.consume_until(t0)) {
+    apply_fault_event(event, cycle, t0);
+  }
+  publish_processor_factors(t0);
+
+  // 3. Heartbeats and processor-failure detection. The noise model may
+  // suppress a running processor's heartbeat; the detection threshold is
+  // what filters such glitches from real fail-stops.
+  if (options_.heartbeat_loss_prob <= 0.0) {
+    group_.heartbeat_all(activity_);
+  } else {
+    for (const ProcessorId id : group_.running_ids()) {
+      if (noise_rng_.chance(options_.heartbeat_loss_prob)) {
+        ++stats_.heartbeats_lost;
+        continue;
+      }
+      activity_.heartbeat(id);
+    }
+  }
+  activity_.end_of_frame(cycle, t0, bank_);
+
+  // 4. Virtual monitor applications sample the environment.
+  std::vector<env::EnvChangeSignal> env_signals;
+  for (env::FactorMonitor& monitor : monitors_) {
+    for (env::EnvChangeSignal& s : monitor.sample(environment_, cycle, t0)) {
+      env_signals.push_back(s);
+    }
+  }
+
+  // 4b. Frame-boundary message delivery (messages sent during the previous
+  // frame arrive now; receivers on fail-stopped hosts lose theirs).
+  router_.exchange(cycle, [this](AppId app) {
+    return group_.processor(region_host_.at(app)).running();
+  });
+
+  // 4c. Runtime SP3 watchdog: an in-progress reconfiguration that has
+  // already consumed its whole T bound is a deadline violation — raised
+  // once as a timing signal so the SCRAM (and the operator) see it.
+  if (scram_.reconfiguring() && !deadline_alarm_raised_) {
+    const std::optional<Cycle> started = scram_.active_start_cycle();
+    const std::optional<ConfigId> target = scram_.target_config();
+    if (started.has_value() && target.has_value()) {
+      const std::optional<Cycle> bound =
+          spec_.transition_bound(scram_.current_config(), *target);
+      if (bound.has_value() && cycle - *started + 1 > *bound) {
+        deadline_alarm_raised_ = true;
+        ++stats_.deadline_violations;
+        log_warn("system", "cycle ", cycle,
+                 ": reconfiguration exceeded its T bound (", *bound,
+                 " frames)");
+        failstop::TimingMonitor().report_overrun(
+            AppId{}, cycle, t0, bank_,
+            "reconfiguration deadline exceeded");
+      }
+    }
+  }
+
+  // 5. The SCRAM consumes this frame's signals. Classify processor-failure
+  // signals against ground truth for detector-quality accounting.
+  const std::vector<failstop::FailureSignal> hw_signals = bank_.drain();
+  for (const failstop::FailureSignal& s : hw_signals) {
+    if (s.kind != failstop::SignalKind::kProcessorFailure) continue;
+    if (group_.processor(s.processor).running()) {
+      ++stats_.false_alarms;
+    } else {
+      ++stats_.true_detections;
+    }
+  }
+  FramePlan plan = scram_.begin_frame(cycle, t0, hw_signals, env_signals,
+                                      environment_.state());
+  if (plan.trigger_accepted) {
+    for (const AppDecl& decl : spec_.apps()) {
+      apps_.at(decl.id)->mark_interrupted();
+    }
+  }
+  if (plan.retargeted) {
+    for (const AppDecl& decl : spec_.apps()) {
+      apps_.at(decl.id)->rewind_to_halted();
+    }
+  }
+
+  // Record the configuration_status protocol in the SCRAM's stable storage.
+  if (group_.processor(scram_proc_).running()) {
+    storage::StableStorage& scram_stable =
+        group_.processor(scram_proc_).stable();
+    for (const AppDecl& decl : spec_.apps()) {
+      const auto it = plan.directives.find(decl.id);
+      const DirectiveKind kind =
+          it == plan.directives.end() ? DirectiveKind::kNone : it->second.kind;
+      scram_stable.write(
+          "scram/a" + std::to_string(decl.id.value()) + "/status",
+          directive_name(kind));
+    }
+  }
+
+  // 6. Applications perform their unit of work for the frame.
+  std::map<AppId, bool> phase_done;
+  for (const AppDecl& decl : spec_.apps()) {
+    ReconfigurableApp& application = *apps_.at(decl.id);
+    Directive directive;
+    if (const auto it = plan.directives.find(decl.id);
+        it != plan.directives.end()) {
+      directive = it->second;
+    }
+
+    const std::optional<ProcessorId> host =
+        execution_host(decl.id, directive);
+    std::optional<StableRegion> region;
+    if (host.has_value()) {
+      relocate_region_if_needed(decl.id, *host, cycle);
+      region.emplace(group_.processor(*host).stable(),
+                     "a" + std::to_string(decl.id.value()) + "/");
+    }
+
+    ReconfigurableApp::Ctx ctx;
+    ctx.cycle = cycle;
+    ctx.now = t0;
+    ctx.own = region.has_value() ? &*region : nullptr;
+    ctx.peers = peer_reader_.get();
+    ctx.mail = &router_.endpoint(decl.id);
+
+    ReconfigurableApp::StepResult result =
+        application.frame_step(ctx, directive);
+
+    if (forced_fault_[decl.id]) {
+      forced_fault_[decl.id] = false;
+      result.ok = false;
+      result.fault_detail = "injected software fault";
+    }
+
+    // Budget enforcement applies to normal AFTA frames.
+    if (directive.kind == DirectiveKind::kNone &&
+        application.reconf_state() == trace::ReconfState::kNormal &&
+        application.current_spec().has_value()) {
+      const FunctionalSpec& fs = spec_.spec(*application.current_spec());
+      SimDuration consumed = result.consumed;
+      if (forced_overrun_[decl.id]) {
+        forced_overrun_[decl.id] = false;
+        consumed = fs.budget_us + 100;
+      }
+      if (consumed > fs.budget_us) {
+        health_.report_overrun(PartitionId{decl.id.value()}, decl.id, cycle,
+                               t0, consumed, fs.budget_us, bank_);
+      }
+    }
+    if (!result.ok) {
+      health_.report_app_fault(PartitionId{decl.id.value()}, decl.id, cycle,
+                               t0, result.fault_detail, bank_);
+    }
+    if (directive.kind != DirectiveKind::kNone) {
+      phase_done[decl.id] = result.phase_done;
+    }
+  }
+
+  // 7. The SCRAM collects completion reports; on completion, start signals.
+  const FrameOutcome outcome = scram_.end_frame(cycle, phase_done);
+  if (outcome.completed) {
+    const Configuration& cfg = spec_.config(outcome.to);
+    for (const AppDecl& decl : spec_.apps()) {
+      apps_.at(decl.id)->start(cfg.spec_of(decl.id));
+    }
+    deadline_alarm_raised_ = false;
+  }
+
+  // 8. Frame-boundary commit and trace snapshot.
+  group_.commit_all(cycle);
+  if (options_.record_trace) {
+    record_snapshot(cycle, t0 + options_.frame_length);
+  }
+
+  ++stats_.frames_run;
+  clock_.advance_frame();
+}
+
+void System::record_snapshot(Cycle cycle, SimTime frame_end) {
+  trace::SysState state;
+  state.cycle = cycle;
+  state.time = frame_end;
+  state.svclvl = scram_.current_config();
+  state.env = environment_.state();
+  for (const AppDecl& decl : spec_.apps()) {
+    const ReconfigurableApp& application = *apps_.at(decl.id);
+    trace::AppSnapshot snap;
+    snap.reconf_st = application.reconf_state();
+    snap.spec = application.current_spec();
+    snap.host_running =
+        group_.processor(region_host_.at(decl.id)).running();
+    snap.postcondition_ok = application.postcondition_ok();
+    snap.transition_ok = application.transition_ok();
+    snap.precondition_ok = application.precondition_ok();
+    state.apps[decl.id] = snap;
+  }
+  trace_.append(std::move(state));
+}
+
+}  // namespace arfs::core

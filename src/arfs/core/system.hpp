@@ -1,0 +1,186 @@
+// System: the complete architecture of paper Figure 1, assembled.
+//
+// Owns the computing platform (fail-stop processors + activity monitoring),
+// the environment with its virtual monitor applications, the SCRAM on its
+// own fail-stop processor, the reconfigurable applications, and the trace
+// recorder. Each call to run_frame() executes one synchronous real-time
+// frame end to end:
+//
+//   1. environment hooks advance physical models (e.g. the electrical
+//      system) and publish factor values;
+//   2. scheduled fault-plan events are applied (processor fail-stop,
+//      repairs, environment changes, forced timing/software faults);
+//   3. running processors heartbeat; the activity monitor raises processor-
+//      failure signals after its detection threshold;
+//   4. virtual factor monitors sample the environment and raise change
+//      signals;
+//   5. the SCRAM consumes the frame's signals and issues per-application
+//      configuration_status directives (Table 1);
+//   6. every application performs its one unit of work for the frame —
+//      a normal AFTA or one reconfiguration stage — with budget enforcement
+//      feeding the health monitor;
+//   7. the SCRAM collects stage-completion reports and, when the last stage
+//      finishes, starts the target configuration;
+//   8. all processors commit stable storage and the end-of-frame system
+//      state is appended to the trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/rng.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/core/app.hpp"
+#include "arfs/core/messaging.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/core/scram.hpp"
+#include "arfs/env/environment.hpp"
+#include "arfs/env/factor.hpp"
+#include "arfs/failstop/detector.hpp"
+#include "arfs/failstop/group.hpp"
+#include "arfs/rtos/health.hpp"
+#include "arfs/sim/clock.hpp"
+#include "arfs/sim/fault_plan.hpp"
+#include "arfs/trace/recorder.hpp"
+
+namespace arfs::core {
+
+struct SystemOptions {
+  SimDuration frame_length = 10'000;  ///< 10 ms frames by default.
+  /// Frames of silence before the activity monitor reports a processor
+  /// failure (detection latency).
+  Cycle detection_threshold = 1;
+  /// Probability that a *running* processor's heartbeat is lost in a given
+  /// frame (bus glitches, scheduling jitter). With a threshold of 1 frame,
+  /// every lost heartbeat is a false failure signal; higher thresholds
+  /// trade detection latency for false-alarm immunity.
+  double heartbeat_loss_prob = 0.0;
+  /// Seed for the platform's noise processes (heartbeat loss).
+  std::uint64_t noise_seed = 9001;
+  ScramOptions scram;
+  /// Retain full stable-storage commit history (post-mortem debugging).
+  bool record_storage_history = false;
+  /// Record the per-frame sys_trace (needed for get_reconfigs and the
+  /// SP1-SP4 checkers). Disable only for unbounded benchmark runs.
+  bool record_trace = true;
+};
+
+struct SystemStats {
+  std::uint64_t frames_run = 0;
+  std::uint64_t fault_events_applied = 0;
+  std::uint64_t region_relocations = 0;
+  /// Reconfigurations that exceeded their T bound while still in progress
+  /// (runtime SP3 watchdog; each counted once).
+  std::uint64_t deadline_violations = 0;
+  /// Heartbeats suppressed by the noise model.
+  std::uint64_t heartbeats_lost = 0;
+  /// Processor-failure signals raised for processors that were running
+  /// (false alarms from the activity monitor under heartbeat noise).
+  std::uint64_t false_alarms = 0;
+  /// Processor-failure signals for genuinely failed processors.
+  std::uint64_t true_detections = 0;
+};
+
+class System {
+ public:
+  /// `spec` must outlive the System and must validate(). Processors are
+  /// created for every placement any configuration mentions, plus one
+  /// dedicated processor for the SCRAM.
+  explicit System(const ReconfigSpec& spec, SystemOptions options = {});
+  ~System();  // out of line: SystemPeerReader is incomplete here
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Registers the implementation of a declared application. Every declared
+  /// application must be added before the first frame runs.
+  void add_app(std::unique_ptr<ReconfigurableApp> app);
+
+  /// Installs the deterministic fault schedule.
+  void set_fault_plan(sim::FaultPlan plan);
+
+  /// Auto-publishes a processor's status (0 = running, 1 = failed) into the
+  /// given environmental factor — the section 6.3 unification of component
+  /// failures with environment changes. The factor must be declared in the
+  /// spec.
+  void bind_processor_factor(ProcessorId processor, FactorId factor);
+
+  /// Hook called at the start of every frame, before fault injection; used
+  /// by scenarios to advance physical models that feed the environment.
+  using EnvHook = std::function<void(env::Environment&, Cycle, SimTime)>;
+  void add_env_hook(EnvHook hook);
+
+  /// Runs `frames` frames.
+  void run(Cycle frames);
+  /// Runs a single frame.
+  void run_frame();
+
+  /// Sets an environmental factor immediately (programmatic trigger).
+  void set_factor(FactorId factor, std::int64_t value);
+
+  // --- observers ---
+  [[nodiscard]] const trace::SysTrace& trace() const { return trace_; }
+  [[nodiscard]] const Scram& scram() const { return scram_; }
+  [[nodiscard]] env::Environment& environment() { return environment_; }
+  [[nodiscard]] failstop::ProcessorGroup& processors() { return group_; }
+  [[nodiscard]] const sim::VirtualClock& clock() const { return clock_; }
+  [[nodiscard]] ReconfigurableApp& app(AppId id);
+  [[nodiscard]] const SystemStats& stats() const { return stats_; }
+  [[nodiscard]] const rtos::HealthMonitor& health() const { return health_; }
+  [[nodiscard]] ProcessorId scram_processor() const { return scram_proc_; }
+
+  /// Processor currently holding `app`'s stable region.
+  [[nodiscard]] ProcessorId region_host(AppId app) const;
+
+  /// Message-passing statistics (paper section 3 communication).
+  [[nodiscard]] const MessagingStats& messaging() const {
+    return router_.stats();
+  }
+
+ private:
+  class SystemPeerReader;
+
+  void apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
+                         SimTime now);
+  /// Execution host for `app` this frame given its directive; nullopt when
+  /// the application cannot execute anywhere.
+  [[nodiscard]] std::optional<ProcessorId> execution_host(
+      AppId app, const Directive& directive) const;
+  void relocate_region_if_needed(AppId app, ProcessorId to, Cycle cycle);
+  void record_snapshot(Cycle cycle, SimTime frame_end);
+  void publish_processor_factors(SimTime now);
+
+  const ReconfigSpec& spec_;
+  SystemOptions options_;
+  sim::VirtualClock clock_;
+  failstop::ProcessorGroup group_;
+  ProcessorId scram_proc_{};
+  env::Environment environment_;
+  std::vector<env::FactorMonitor> monitors_;
+  failstop::ActivityMonitor activity_;
+  failstop::DetectorBank bank_;
+  rtos::HealthMonitor health_;
+  Scram scram_;
+  std::map<AppId, std::unique_ptr<ReconfigurableApp>> apps_;
+  std::map<AppId, ProcessorId> region_host_;
+  std::map<ProcessorId, FactorId> processor_factors_;
+  sim::FaultPlan fault_plan_;
+  std::vector<EnvHook> env_hooks_;
+  std::map<AppId, bool> forced_overrun_;
+  std::map<AppId, bool> forced_fault_;
+  MessageRouter router_;
+  bool deadline_alarm_raised_ = false;
+  Rng noise_rng_{9001};
+  trace::SysTrace trace_;
+  std::unique_ptr<SystemPeerReader> peer_reader_;
+  SystemStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace arfs::core

@@ -1,0 +1,76 @@
+#include "arfs/env/electrical.hpp"
+
+#include <algorithm>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::env {
+
+ElectricalSystem::ElectricalSystem(FactorId factor, ElectricalParams params)
+    : factor_(factor), params_(params),
+      battery_wh_(params.battery_capacity_wh) {
+  require(params.battery_capacity_wh > 0, "battery capacity must be positive");
+}
+
+void ElectricalSystem::declare_factor(FactorRegistry& registry) const {
+  registry.declare(FactorSpec{
+      factor_, "power-state",
+      static_cast<std::int64_t>(PowerState::kFullPower),
+      static_cast<std::int64_t>(PowerState::kDepleted),
+      static_cast<std::int64_t>(PowerState::kFullPower)});
+}
+
+void ElectricalSystem::fail_alternator(int index) {
+  require(index == 0 || index == 1, "alternator index is 0 or 1");
+  alternator_ok_[index] = false;
+}
+
+void ElectricalSystem::repair_alternator(int index) {
+  require(index == 0 || index == 1, "alternator index is 0 or 1");
+  alternator_ok_[index] = true;
+}
+
+bool ElectricalSystem::alternator_ok(int index) const {
+  require(index == 0 || index == 1, "alternator index is 0 or 1");
+  return alternator_ok_[index];
+}
+
+int ElectricalSystem::alternators_ok() const {
+  return (alternator_ok_[0] ? 1 : 0) + (alternator_ok_[1] ? 1 : 0);
+}
+
+PowerState ElectricalSystem::power_state() const {
+  switch (alternators_ok()) {
+    case 2: return PowerState::kFullPower;
+    case 1: return PowerState::kSingleAlternator;
+    default:
+      return battery_wh_ > 0 ? PowerState::kBatteryOnly
+                             : PowerState::kDepleted;
+  }
+}
+
+void ElectricalSystem::step(Environment& environment, SimDuration dt,
+                            SimTime now) {
+  require(dt >= 0, "negative time step");
+  const double hours = static_cast<double>(dt) / 3.6e9;  // us -> hours
+  if (alternators_ok() == 0) {
+    battery_wh_ = std::max(0.0, battery_wh_ - params_.battery_drain_w * hours);
+  } else if (alternators_ok() == 2) {
+    // The spare alternator charges the battery during normal operation.
+    battery_wh_ = std::min(params_.battery_capacity_wh,
+                           battery_wh_ + params_.battery_charge_w * hours);
+  }
+  environment.set(factor_, static_cast<std::int64_t>(power_state()), now);
+}
+
+std::string to_string(PowerState state) {
+  switch (state) {
+    case PowerState::kFullPower:        return "full-power";
+    case PowerState::kSingleAlternator: return "single-alternator";
+    case PowerState::kBatteryOnly:      return "battery-only";
+    case PowerState::kDepleted:         return "depleted";
+  }
+  return "?";
+}
+
+}  // namespace arfs::env

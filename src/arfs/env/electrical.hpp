@@ -1,0 +1,71 @@
+// Electrical power generation system (paper section 7).
+//
+// "The electrical system consists of two alternators and a battery ... One
+// alternator provides primary vehicle power; the second is a spare, but
+// normally charges the battery, which is an emergency power source. Loss of
+// one alternator reduces available power below the threshold needed for full
+// operation. Loss of both alternators leaves the battery as the only power
+// source. The electrical system operates independently of the reconfigurable
+// system; it merely provides the system details of its state."
+//
+// The model publishes a discrete PowerState as an environmental factor and
+// additionally tracks battery charge so long scenarios can exercise battery
+// exhaustion (an extension hook; the paper's example stops at BATTERY_ONLY).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/env/environment.hpp"
+#include "arfs/env/factor.hpp"
+
+namespace arfs::env {
+
+enum class PowerState : std::int64_t {
+  kFullPower = 0,        ///< Both alternators operating.
+  kSingleAlternator = 1, ///< Exactly one alternator operating.
+  kBatteryOnly = 2,      ///< No alternator; battery supplies power.
+  kDepleted = 3,         ///< Battery exhausted (extension beyond the paper).
+};
+
+struct ElectricalParams {
+  double battery_capacity_wh = 200.0;
+  double battery_drain_w = 120.0;   ///< Load when on battery only.
+  double battery_charge_w = 60.0;   ///< Charge rate from the spare alternator.
+};
+
+class ElectricalSystem {
+ public:
+  /// `factor` is the environmental factor through which the power state is
+  /// published. The factor domain is [kFullPower, kDepleted].
+  ElectricalSystem(FactorId factor, ElectricalParams params = {});
+
+  /// Declares the power-state factor in `registry`.
+  void declare_factor(FactorRegistry& registry) const;
+
+  /// Fails / repairs one alternator. Precondition: index is 0 or 1.
+  void fail_alternator(int index);
+  void repair_alternator(int index);
+
+  [[nodiscard]] bool alternator_ok(int index) const;
+  [[nodiscard]] int alternators_ok() const;
+  [[nodiscard]] double battery_charge_wh() const { return battery_wh_; }
+  [[nodiscard]] PowerState power_state() const;
+  [[nodiscard]] FactorId factor() const { return factor_; }
+
+  /// Advances the physical model by `dt` (battery charge/drain) and
+  /// publishes the current power state into `environment` at time `now`.
+  void step(Environment& environment, SimDuration dt, SimTime now);
+
+ private:
+  FactorId factor_;
+  ElectricalParams params_;
+  bool alternator_ok_[2] = {true, true};
+  double battery_wh_;
+};
+
+[[nodiscard]] std::string to_string(PowerState state);
+
+}  // namespace arfs::env

@@ -1,0 +1,53 @@
+#include "arfs/env/environment.hpp"
+
+namespace arfs::env {
+
+void Environment::declare(FactorId factor, std::int64_t initial) {
+  require(!state_.contains(factor), "factor declared twice");
+  state_[factor] = initial;
+  initial_[factor] = initial;
+}
+
+void Environment::set(FactorId factor, std::int64_t value, SimTime when) {
+  const auto it = state_.find(factor);
+  require(it != state_.end(), "set() on undeclared factor");
+  require(history_.empty() || history_.back().when <= when,
+          "environment history must be recorded in time order");
+  if (it->second == value) return;
+  it->second = value;
+  ++changes_;
+  history_.push_back(HistoryEntry{when, factor, value});
+}
+
+std::int64_t Environment::get(FactorId factor) const {
+  const auto it = state_.find(factor);
+  require(it != state_.end(), "get() on undeclared factor");
+  return it->second;
+}
+
+bool Environment::declared(FactorId factor) const {
+  return state_.contains(factor);
+}
+
+EnvState Environment::state_at(SimTime when) const {
+  require(when >= 0, "time before system start");
+  EnvState s = initial_;
+  for (const HistoryEntry& entry : history_) {
+    if (entry.when > when) break;
+    s[entry.factor] = entry.value;
+  }
+  return s;
+}
+
+std::string to_string(const EnvState& state) {
+  std::string out;
+  bool first = true;
+  for (const auto& [factor, value] : state) {
+    if (!first) out += ',';
+    first = false;
+    out += "f" + std::to_string(factor.value()) + "=" + std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace arfs::env

@@ -1,0 +1,64 @@
+// Environment state and history.
+//
+// Paper section 6.3: "the status of a component is modeled as an element of
+// the environment, and a failure is simply a change in the environment."
+// The environment is a finite vector of discrete-valued factors. A full
+// history of (time, state) is retained because property SP2 quantifies over
+// the environment at instants *during* a reconfiguration: the chosen target
+// configuration must equal choose(svclvl_at_start, env(c)) for some c in the
+// reconfiguration interval.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::env {
+
+/// A complete assignment of values to factors.
+using EnvState = std::map<FactorId, std::int64_t>;
+
+class Environment {
+ public:
+  /// Declares a factor with its initial value. Ids must be unique.
+  void declare(FactorId factor, std::int64_t initial);
+
+  /// Updates a declared factor at simulated time `when`; records history.
+  void set(FactorId factor, std::int64_t value, SimTime when);
+
+  [[nodiscard]] std::int64_t get(FactorId factor) const;
+  [[nodiscard]] bool declared(FactorId factor) const;
+  [[nodiscard]] const EnvState& state() const { return state_; }
+
+  /// The environment state as of instant `when` (the latest recorded state
+  /// with timestamp <= when). Precondition: when >= 0.
+  [[nodiscard]] EnvState state_at(SimTime when) const;
+
+  /// Number of set() calls that actually changed a value.
+  [[nodiscard]] std::uint64_t change_count() const { return changes_; }
+
+  struct HistoryEntry {
+    SimTime when;
+    FactorId factor;
+    std::int64_t value;
+  };
+  [[nodiscard]] const std::vector<HistoryEntry>& history() const {
+    return history_;
+  }
+
+ private:
+  EnvState state_;
+  EnvState initial_;
+  std::vector<HistoryEntry> history_;  // time-ordered
+  std::uint64_t changes_ = 0;
+};
+
+/// Renders an EnvState as "f0=v0,f1=v1,..." for logs and reports.
+[[nodiscard]] std::string to_string(const EnvState& state);
+
+}  // namespace arfs::env

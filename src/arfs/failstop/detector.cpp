@@ -1,0 +1,92 @@
+#include "arfs/failstop/detector.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::failstop {
+
+void DetectorBank::raise(FailureSignal signal) {
+  pending_.push_back(std::move(signal));
+  ++total_;
+}
+
+std::vector<FailureSignal> DetectorBank::drain() {
+  std::vector<FailureSignal> out = std::move(pending_);
+  pending_.clear();
+  return out;
+}
+
+ActivityMonitor::ActivityMonitor(Cycle miss_threshold)
+    : miss_threshold_(miss_threshold) {
+  require(miss_threshold >= 1, "miss threshold must be at least one frame");
+}
+
+void ActivityMonitor::watch(ProcessorId processor) {
+  watches_.try_emplace(processor);
+}
+
+void ActivityMonitor::heartbeat(ProcessorId processor) {
+  const auto it = watches_.find(processor);
+  require(it != watches_.end(), "heartbeat from unwatched processor");
+  it->second.beat_this_frame = true;
+}
+
+void ActivityMonitor::end_of_frame(Cycle cycle, SimTime now,
+                                   DetectorBank& bank) {
+  for (auto& [processor, watch] : watches_) {
+    if (watch.beat_this_frame) {
+      watch.beat_this_frame = false;
+      watch.misses = 0;
+      watch.reported = false;
+      continue;
+    }
+    ++watch.misses;
+    if (watch.misses >= miss_threshold_ && !watch.reported) {
+      watch.reported = true;
+      FailureSignal s;
+      s.at = now;
+      s.cycle = cycle;
+      s.kind = SignalKind::kProcessorFailure;
+      s.processor = processor;
+      s.detail = "activity monitor: " + std::to_string(watch.misses) +
+                 " silent frames";
+      bank.raise(std::move(s));
+    }
+  }
+}
+
+void TimingMonitor::report_overrun(AppId app, Cycle cycle, SimTime now,
+                                   DetectorBank& bank,
+                                   const std::string& detail) {
+  FailureSignal s;
+  s.at = now;
+  s.cycle = cycle;
+  s.kind = SignalKind::kTimingViolation;
+  s.app = app;
+  s.detail = detail.empty() ? "frame budget overrun" : detail;
+  bank.raise(std::move(s));
+}
+
+void SignalMonitor::report_fault(AppId app, Cycle cycle, SimTime now,
+                                 DetectorBank& bank,
+                                 const std::string& detail) {
+  FailureSignal s;
+  s.at = now;
+  s.cycle = cycle;
+  s.kind = SignalKind::kSoftwareFailure;
+  s.app = app;
+  s.detail = detail.empty() ? "application fault signal" : detail;
+  bank.raise(std::move(s));
+}
+
+std::string to_string(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kProcessorFailure: return "processor-failure";
+    case SignalKind::kTimingViolation:  return "timing-violation";
+    case SignalKind::kSoftwareFailure:  return "software-failure";
+  }
+  return "?";
+}
+
+}  // namespace arfs::failstop

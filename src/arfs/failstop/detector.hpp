@@ -1,0 +1,105 @@
+// Failure detection.
+//
+// Paper section 3: "Component failures are detected by conventional means
+// such as activity, timing, and signal monitors. A detected component failure
+// is communicated to the SCRAM via an abstract signal."
+//
+// Three monitor kinds are provided:
+//  * ActivityMonitor — expects a heartbeat from each processor every frame;
+//    after `miss_threshold` consecutive silent frames it raises a signal.
+//    Detection latency is therefore bounded and configurable.
+//  * TimingMonitor — raised synchronously when an application exceeds its
+//    frame budget (fed by the RTOS health monitor).
+//  * SignalMonitor — forwards explicit software fault signals.
+//
+// All monitors deposit FailureSignal records into a DetectorBank that the
+// SCRAM drains once per frame.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::failstop {
+
+enum class SignalKind {
+  kProcessorFailure,
+  kTimingViolation,
+  kSoftwareFailure,
+};
+
+struct FailureSignal {
+  SimTime at = 0;
+  Cycle cycle = 0;
+  SignalKind kind = SignalKind::kProcessorFailure;
+  ProcessorId processor{};
+  AppId app{};
+  std::string detail;
+};
+
+/// Shared sink for all monitors; drained by the SCRAM each frame.
+class DetectorBank {
+ public:
+  void raise(FailureSignal signal);
+
+  /// Removes and returns all pending signals, in raise order.
+  [[nodiscard]] std::vector<FailureSignal> drain();
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t total_raised() const { return total_; }
+
+ private:
+  std::vector<FailureSignal> pending_;
+  std::uint64_t total_ = 0;
+};
+
+class ActivityMonitor {
+ public:
+  /// `miss_threshold` >= 1: consecutive silent frames before detection.
+  explicit ActivityMonitor(Cycle miss_threshold);
+
+  /// Registers a processor to be watched.
+  void watch(ProcessorId processor);
+
+  /// Records a heartbeat from `processor` during the current frame.
+  void heartbeat(ProcessorId processor);
+
+  /// Closes the current frame: every watched processor that did not
+  /// heartbeat accumulates a miss; crossing the threshold raises exactly one
+  /// signal (re-raised only after the processor resumes heartbeating and
+  /// goes silent again).
+  void end_of_frame(Cycle cycle, SimTime now, DetectorBank& bank);
+
+  [[nodiscard]] Cycle miss_threshold() const { return miss_threshold_; }
+
+ private:
+  struct Watch {
+    Cycle misses = 0;
+    bool beat_this_frame = false;
+    bool reported = false;
+  };
+  Cycle miss_threshold_;
+  std::map<ProcessorId, Watch> watches_;
+};
+
+class TimingMonitor {
+ public:
+  /// Reports that `app` overran its budget during `cycle`.
+  void report_overrun(AppId app, Cycle cycle, SimTime now, DetectorBank& bank,
+                      const std::string& detail = {});
+};
+
+class SignalMonitor {
+ public:
+  /// Forwards an explicit application fault signal.
+  void report_fault(AppId app, Cycle cycle, SimTime now, DetectorBank& bank,
+                    const std::string& detail = {});
+};
+
+[[nodiscard]] std::string to_string(SignalKind kind);
+
+}  // namespace arfs::failstop

@@ -1,0 +1,97 @@
+#include "arfs/failstop/fta.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/log.hpp"
+
+namespace arfs::failstop {
+
+FtaRunner::FtaRunner(ProcessorGroup& group,
+                     std::vector<ProcessorId> processors, FtaBody body,
+                     FtaRecovery recovery)
+    : group_(group), processors_(std::move(processors)),
+      body_(std::move(body)), recovery_(std::move(recovery)) {
+  require(!processors_.empty(), "an FTA needs at least one processor");
+  require(static_cast<bool>(body_), "FTA body must be callable");
+  require(static_cast<bool>(recovery_), "FTA recovery must be callable");
+  for (const ProcessorId p : processors_) {
+    require(group.has_processor(p), "FTA processor not in the group");
+  }
+  report_.final_processor = processors_.front();
+}
+
+ProcessorId FtaRunner::current_processor() const {
+  return processors_[current_];
+}
+
+bool FtaRunner::fail_over(Cycle cycle) {
+  const std::size_t failed_index = current_;
+  // Find the next running spare.
+  for (std::size_t next = current_ + 1; next < processors_.size(); ++next) {
+    if (!group_.processor(processors_[next]).running()) continue;
+    // Recovery: the replacement polls the failed processor's stable storage
+    // and re-establishes the action's invariant in its own.
+    const storage::StableStorage& failed_state =
+        group_.processor(processors_[failed_index]).poll_stable();
+    storage::StableStorage& replacement =
+        group_.processor(processors_[next]).stable();
+    recovery_(failed_state, replacement);
+    group_.processor(processors_[next]).commit_frame(cycle);
+    current_ = next;
+    ++report_.failures_survived;
+    report_.final_processor = processors_[next];
+    log_debug("fta", "recovered onto processor ",
+              processors_[next].value(), " at cycle ", cycle);
+    return true;
+  }
+  report_.status = FtaStatus::kExhausted;
+  log_warn("fta", "no spare processor remains at cycle ", cycle);
+  return false;
+}
+
+FtaReport FtaRunner::step(Cycle cycle) {
+  if (report_.status != FtaStatus::kRunning) return report_;
+
+  if (!group_.processor(current_processor()).running()) {
+    if (!fail_over(cycle)) return report_;
+  }
+
+  Processor& proc = group_.processor(current_processor());
+  // The self-checking pair runs the action on both units; a side-effecting
+  // body must execute exactly once, so only its digest is replayed for the
+  // comparator (modeling lockstep units that duplicate the computation in
+  // hardware while the software-visible effect happens once).
+  bool done = false;
+  bool executed_once = false;
+  const bool executed = proc.run_action(
+      [&] {
+        if (!executed_once) {
+          executed_once = true;
+          done = body_(proc.stable());
+        }
+        return std::uint64_t{1};
+      },
+      cycle);
+  if (!executed) {
+    // The self-checking pair tripped during the step: the processor has
+    // fail-stopped with the step's writes dropped; retry after fail-over on
+    // the next step() call.
+    return report_;
+  }
+  proc.commit_frame(cycle);
+  ++report_.steps_executed;
+  if (done) report_.status = FtaStatus::kCompleted;
+  return report_;
+}
+
+FtaReport FtaRunner::run(Cycle start_cycle, std::uint32_t max_steps) {
+  Cycle cycle = start_cycle;
+  for (std::uint32_t i = 0;
+       i < max_steps && report_.status == FtaStatus::kRunning; ++i) {
+    (void)step(cycle++);
+  }
+  return report_;
+}
+
+}  // namespace arfs::failstop

@@ -1,0 +1,98 @@
+// Fault-tolerant actions: the original Schlichting & Schneider programming
+// model that this paper extends (paper section 5.2).
+//
+// "An FTA is a software operation that either: (1) completes a correctly-
+// executed action A on a functioning processor; or (2) experiences a
+// hardware failure that precludes the completion of A and, when restarted
+// on another processor, completes a specified recovery action R. Thus, an
+// FTA is composed of either a single action, or an action and a number of
+// recoveries equal to the number of failures experienced during the FTA's
+// execution."
+//
+// This module implements that original, masking-only model as the paper's
+// baseline: an FtaRunner executes an action on a primary fail-stop
+// processor; if the processor fails mid-action, the runner restarts the
+// recovery protocol on a backup, which reads the failed processor's stable
+// storage to learn the state at failure (section 5.1: "If one processor
+// fails, the others poll its stable storage"). In the original framework
+// "a recovery protocol may complete only the original action" — there is no
+// reconfiguration; masking succeeds only while spare processors remain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/failstop/group.hpp"
+#include "arfs/storage/stable_storage.hpp"
+
+namespace arfs::failstop {
+
+/// The action body: performs one step of work against the stable storage of
+/// the processor it currently runs on. Returns true when the whole action
+/// has completed (multi-step actions return false until done, committing
+/// intermediate state each step so recovery can resume).
+using FtaBody = std::function<bool(storage::StableStorage&)>;
+
+/// The recovery protocol: runs on the replacement processor with read
+/// access to the failed processor's stable storage and write access to its
+/// own; must re-establish the action's invariant so the body can resume.
+/// In the original S&S model this completes (or re-enables) the *original*
+/// action — never a different one.
+using FtaRecovery = std::function<void(const storage::StableStorage& failed,
+                                       storage::StableStorage& replacement)>;
+
+enum class FtaStatus {
+  kRunning,    ///< Action in progress on the current processor.
+  kCompleted,  ///< Action A completed.
+  kExhausted,  ///< A failure occurred and no spare processor remains.
+};
+
+struct FtaReport {
+  FtaStatus status = FtaStatus::kRunning;
+  std::uint32_t failures_survived = 0;  ///< = number of recoveries executed.
+  std::uint32_t steps_executed = 0;
+  ProcessorId final_processor{};
+};
+
+/// Executes one FTA over a group of fail-stop processors: a primary plus an
+/// ordered list of spares. Failures are injected by the caller between
+/// steps (fail the current processor in the group); the runner detects the
+/// failure at its next step, moves to the next spare, runs the recovery
+/// protocol there, and resumes the body.
+class FtaRunner {
+ public:
+  /// `processors` is the primary followed by the spares, all present in
+  /// `group`. Preconditions: at least one processor; body and recovery
+  /// callable.
+  FtaRunner(ProcessorGroup& group, std::vector<ProcessorId> processors,
+            FtaBody body, FtaRecovery recovery);
+
+  /// Executes one step: if the current processor has failed, fails over
+  /// (recovery) first. Each step commits the current processor's stable
+  /// storage (the step is the FTA's atomic unit). Returns the report so
+  /// far. No-op after completion or exhaustion.
+  FtaReport step(Cycle cycle);
+
+  /// Runs steps until completion or exhaustion, at most `max_steps`.
+  FtaReport run(Cycle start_cycle, std::uint32_t max_steps = 1000);
+
+  [[nodiscard]] const FtaReport& report() const { return report_; }
+  [[nodiscard]] ProcessorId current_processor() const;
+
+ private:
+  bool fail_over(Cycle cycle);
+
+  ProcessorGroup& group_;
+  std::vector<ProcessorId> processors_;
+  std::size_t current_ = 0;
+  FtaBody body_;
+  FtaRecovery recovery_;
+  FtaReport report_;
+};
+
+}  // namespace arfs::failstop

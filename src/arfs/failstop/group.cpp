@@ -1,0 +1,80 @@
+#include "arfs/failstop/group.hpp"
+
+namespace arfs::failstop {
+
+Processor& ProcessorGroup::add_processor(ProcessorId id) {
+  require(!processors_.contains(id), "duplicate processor id");
+  auto [it, inserted] =
+      processors_.emplace(id, std::make_unique<Processor>(id));
+  order_.push_back(id);
+  return *it->second;
+}
+
+void ProcessorGroup::assign_app(AppId app, ProcessorId processor) {
+  require(processors_.contains(processor),
+          "assigning app to unknown processor");
+  require(!app_host_.contains(app), "app already assigned to a processor");
+  app_host_[app] = processor;
+}
+
+Processor& ProcessorGroup::processor(ProcessorId id) {
+  const auto it = processors_.find(id);
+  require(it != processors_.end(), "unknown processor id");
+  return *it->second;
+}
+
+const Processor& ProcessorGroup::processor(ProcessorId id) const {
+  const auto it = processors_.find(id);
+  require(it != processors_.end(), "unknown processor id");
+  return *it->second;
+}
+
+bool ProcessorGroup::has_processor(ProcessorId id) const {
+  return processors_.contains(id);
+}
+
+ProcessorId ProcessorGroup::host_of(AppId app) const {
+  const auto it = app_host_.find(app);
+  require(it != app_host_.end(), "app not assigned to any processor");
+  return it->second;
+}
+
+Processor& ProcessorGroup::host_processor(AppId app) {
+  return processor(host_of(app));
+}
+
+std::vector<AppId> ProcessorGroup::apps_on(ProcessorId processor) const {
+  std::vector<AppId> out;
+  for (const auto& [app, host] : app_host_) {
+    if (host == processor) out.push_back(app);
+  }
+  return out;
+}
+
+std::vector<ProcessorId> ProcessorGroup::running_ids() const {
+  std::vector<ProcessorId> out;
+  for (const ProcessorId id : order_) {
+    if (processors_.at(id)->running()) out.push_back(id);
+  }
+  return out;
+}
+
+bool ProcessorGroup::app_host_running(AppId app) const {
+  return processor(host_of(app)).running();
+}
+
+void ProcessorGroup::heartbeat_all(ActivityMonitor& monitor) const {
+  for (const ProcessorId id : order_) {
+    if (processors_.at(id)->running()) monitor.heartbeat(id);
+  }
+}
+
+void ProcessorGroup::watch_all(ActivityMonitor& monitor) const {
+  for (const ProcessorId id : order_) monitor.watch(id);
+}
+
+void ProcessorGroup::commit_all(Cycle cycle) {
+  for (const ProcessorId id : order_) processors_.at(id)->commit_frame(cycle);
+}
+
+}  // namespace arfs::failstop

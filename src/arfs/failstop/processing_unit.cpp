@@ -1,0 +1,18 @@
+#include "arfs/failstop/processing_unit.hpp"
+
+namespace arfs::failstop {
+
+std::uint64_t ProcessingUnit::execute(const Action& action) {
+  ++executions_;
+  std::uint64_t digest = action();
+  if (fault_armed_) {
+    fault_armed_ = false;
+    ++faults_manifested_;
+    // Any deterministic perturbation models a wrong result; flipping a bit
+    // and adding a constant guarantees digest != correct value.
+    digest = (digest ^ 0x1ULL) + 0x9E3779B9ULL;
+  }
+  return digest;
+}
+
+}  // namespace arfs::failstop

@@ -1,0 +1,41 @@
+// One processing unit inside a fail-stop processor.
+//
+// Schlichting & Schneider define a fail-stop processor as "one or more
+// processing units, volatile storage, and stable storage". A unit executes
+// actions and can suffer transient computational faults; the fail-stop
+// property is manufactured on top by redundancy (see SelfCheckingPair).
+//
+// Actions are modeled as closures returning a 64-bit result digest, which is
+// what the pair's comparator compares. Fault injection arms the unit so its
+// next execution produces a corrupted digest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace arfs::failstop {
+
+using Action = std::function<std::uint64_t()>;
+
+class ProcessingUnit {
+ public:
+  /// Runs the action and returns its digest, corrupted if a fault is armed.
+  /// A corrupted execution consumes the armed fault.
+  [[nodiscard]] std::uint64_t execute(const Action& action);
+
+  /// Arms a transient computational fault for the next execution.
+  void arm_fault() { fault_armed_ = true; }
+  [[nodiscard]] bool fault_armed() const { return fault_armed_; }
+
+  [[nodiscard]] std::uint64_t executions() const { return executions_; }
+  [[nodiscard]] std::uint64_t faults_manifested() const {
+    return faults_manifested_;
+  }
+
+ private:
+  bool fault_armed_ = false;
+  std::uint64_t executions_ = 0;
+  std::uint64_t faults_manifested_ = 0;
+};
+
+}  // namespace arfs::failstop

@@ -1,0 +1,56 @@
+#include "arfs/failstop/processor.hpp"
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/log.hpp"
+
+namespace arfs::failstop {
+
+bool Processor::run_action(const Action& action, Cycle cycle) {
+  require(running(), "run_action on failed processor");
+  if (pair_.run(action)) return true;
+  // Comparator divergence: the self-checking pair converted a computational
+  // fault into a halt; apply fail-stop semantics.
+  log_warn("failstop", "processor ", id_.value(),
+           " comparator divergence at cycle ", cycle);
+  fail(cycle);
+  return false;
+}
+
+void Processor::fail(Cycle cycle) {
+  if (state_ == ProcessorState::kFailed) return;
+  state_ = ProcessorState::kFailed;
+  failed_at_ = cycle;
+  ++failures_;
+  // The fail-stop contract: uncommitted work vanishes, volatile is erased,
+  // committed stable storage is preserved.
+  stable_.drop_pending();
+  volatile_.erase_all();
+  log_info("failstop", "processor ", id_.value(), " fail-stopped at cycle ",
+           cycle);
+}
+
+void Processor::repair(Cycle cycle) {
+  require(state_ == ProcessorState::kFailed, "repair on running processor");
+  state_ = ProcessorState::kRunning;
+  pair_.reset();
+  failed_at_.reset();
+  log_info("failstop", "processor ", id_.value(), " repaired at cycle ",
+           cycle);
+}
+
+storage::StableStorage& Processor::stable() {
+  require(running(), "stable-storage write access on failed processor");
+  return stable_;
+}
+
+storage::VolatileStorage& Processor::volatile_store() {
+  require(running(), "volatile-storage access on failed processor");
+  return volatile_;
+}
+
+void Processor::commit_frame(Cycle cycle) {
+  if (!running()) return;
+  stable_.commit(cycle);
+}
+
+}  // namespace arfs::failstop

@@ -1,0 +1,82 @@
+// Fail-stop processor.
+//
+// Enforces the two halves of the fail-stop contract (paper section 5.1):
+//  * "The processor stops executing at the end of the last instruction that
+//    it completed successfully." — once failed, run_action() refuses to
+//    execute and staged (uncommitted) stable writes are dropped, so the
+//    observable state is exactly the last frame commit.
+//  * "The contents of volatile storage are lost, but the contents of stable
+//    storage are preserved." — fail() erases volatile storage; committed
+//    stable storage remains pollable by other processors via poll_stable().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/failstop/self_checking_pair.hpp"
+#include "arfs/storage/stable_storage.hpp"
+#include "arfs/storage/volatile_storage.hpp"
+
+namespace arfs::failstop {
+
+enum class ProcessorState { kRunning, kFailed };
+
+class Processor {
+ public:
+  explicit Processor(ProcessorId id) : id_(id) {}
+
+  [[nodiscard]] ProcessorId id() const { return id_; }
+  [[nodiscard]] ProcessorState state() const { return state_; }
+  [[nodiscard]] bool running() const {
+    return state_ == ProcessorState::kRunning;
+  }
+
+  /// Runs one action through the self-checking pair. If the comparator
+  /// trips, the processor fail-stops (as if by fail()). Returns true if the
+  /// action completed. Precondition: the processor is running.
+  bool run_action(const Action& action, Cycle cycle);
+
+  /// Forces a fail-stop failure at `cycle` (injected hardware fault).
+  /// Idempotent on an already-failed processor.
+  void fail(Cycle cycle);
+
+  /// Restores the processor to service with empty volatile storage and its
+  /// stable storage intact. Precondition: the processor is failed.
+  void repair(Cycle cycle);
+
+  /// Storage owned by this processor. Writing requires a running processor;
+  /// contract enforced by the mutable accessors.
+  [[nodiscard]] storage::StableStorage& stable();
+  [[nodiscard]] storage::VolatileStorage& volatile_store();
+
+  /// Read-only poll of stable storage — permitted even after failure; this
+  /// is how surviving processors learn the failed processor's last state.
+  [[nodiscard]] const storage::StableStorage& poll_stable() const {
+    return stable_;
+  }
+  [[nodiscard]] const storage::VolatileStorage& peek_volatile() const {
+    return volatile_;
+  }
+
+  /// Commits this processor's staged stable writes at the end of `cycle`.
+  /// A failed processor commits nothing (its pending writes were dropped).
+  void commit_frame(Cycle cycle);
+
+  [[nodiscard]] std::optional<Cycle> failed_at() const { return failed_at_; }
+  [[nodiscard]] std::uint64_t failure_count() const { return failures_; }
+  [[nodiscard]] SelfCheckingPair& pair() { return pair_; }
+
+ private:
+  ProcessorId id_;
+  ProcessorState state_ = ProcessorState::kRunning;
+  SelfCheckingPair pair_;
+  storage::StableStorage stable_;
+  storage::VolatileStorage volatile_;
+  std::optional<Cycle> failed_at_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace arfs::failstop

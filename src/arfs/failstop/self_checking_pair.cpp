@@ -1,0 +1,32 @@
+#include "arfs/failstop/self_checking_pair.hpp"
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::failstop {
+
+bool SelfCheckingPair::run(const Action& action) {
+  if (halted_) return false;
+  const std::uint64_t a = units_[0].execute(action);
+  const std::uint64_t b = units_[1].execute(action);
+  ++comparisons_;
+  if (a != b) {
+    ++divergences_;
+    halted_ = true;
+    return false;
+  }
+  return true;
+}
+
+void SelfCheckingPair::reset() { halted_ = false; }
+
+void SelfCheckingPair::inject_unit_fault(int unit) {
+  require(unit == 0 || unit == 1, "self-checking pair has units 0 and 1");
+  units_[unit].arm_fault();
+}
+
+void SelfCheckingPair::inject_common_mode_fault() {
+  units_[0].arm_fault();
+  units_[1].arm_fault();
+}
+
+}  // namespace arfs::failstop

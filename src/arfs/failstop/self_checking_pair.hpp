@@ -1,0 +1,47 @@
+// Self-checking pair: the paper's example realization of a fail-stop
+// processor (section 3: "An example fail-stop processor might be a
+// self-checking pair").
+//
+// Two processing units execute every action; a comparator checks the result
+// digests. On divergence the pair halts permanently — converting an arbitrary
+// computational fault into a clean fail-stop. This is the mechanism that
+// justifies the fail-stop semantics assumed by everything above it.
+#pragma once
+
+#include <cstdint>
+
+#include "arfs/failstop/processing_unit.hpp"
+
+namespace arfs::failstop {
+
+class SelfCheckingPair {
+ public:
+  /// Executes `action` on both units and compares digests.
+  /// Returns true if the results agreed (pair still running); false if the
+  /// comparator tripped (pair is now halted) or the pair was already halted.
+  bool run(const Action& action);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Restores a halted pair (models replacement/repair of the module).
+  void reset();
+
+  /// Arms a transient fault in unit 0 or 1. Precondition: unit is 0 or 1.
+  void inject_unit_fault(int unit);
+
+  /// Arms the same fault in both units — the comparator cannot catch a
+  /// common-mode fault, which is exactly why the model calls for additional
+  /// system-level defenses. Exposed so tests can demonstrate the limit.
+  void inject_common_mode_fault();
+
+  [[nodiscard]] std::uint64_t comparisons() const { return comparisons_; }
+  [[nodiscard]] std::uint64_t divergences() const { return divergences_; }
+
+ private:
+  ProcessingUnit units_[2];
+  bool halted_ = false;
+  std::uint64_t comparisons_ = 0;
+  std::uint64_t divergences_ = 0;
+};
+
+}  // namespace arfs::failstop

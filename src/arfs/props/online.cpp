@@ -1,0 +1,78 @@
+#include "arfs/props/online.hpp"
+
+#include <algorithm>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::props {
+
+OnlineMonitor::OnlineMonitor(const core::ReconfigSpec& spec,
+                             SimDuration frame_length)
+    : spec_(spec), frame_length_(frame_length) {
+  require(frame_length > 0, "frame length must be positive");
+}
+
+std::optional<ReconfigVerdict> OnlineMonitor::observe(
+    const trace::SysState& state) {
+  if (expected_cycle_.has_value()) {
+    require(state.cycle == *expected_cycle_,
+            "online monitor requires contiguous frames");
+  }
+  expected_cycle_ = state.cycle + 1;
+  ++stats_.frames_observed;
+
+  const bool normal = trace::all_normal(state);
+
+  if (buffer_.empty()) {
+    if (normal) {
+      last_normal_ = state;
+      return std::nullopt;
+    }
+    // A reconfiguration interval opens at this frame.
+    buffer_.push_back(state);
+    return std::nullopt;
+  }
+
+  buffer_.push_back(state);
+  stats_.max_buffered_frames =
+      std::max(stats_.max_buffered_frames, buffer_.size());
+  if (!normal) return std::nullopt;
+
+  // Interval closed: rebase the buffered frames (the checkers only use
+  // relative positions and state content) into a miniature trace whose
+  // cycle 0 is the pre-interval all-normal frame.
+  trace::SysTrace mini(frame_length_);
+  Cycle next = 0;
+  const bool have_prelude = last_normal_.has_value();
+  if (have_prelude) {
+    trace::SysState prelude = *last_normal_;
+    prelude.cycle = next++;
+    mini.append(std::move(prelude));
+  }
+  for (const trace::SysState& buffered : buffer_) {
+    trace::SysState copy = buffered;
+    copy.cycle = next++;
+    mini.append(std::move(copy));
+  }
+
+  trace::Reconfiguration r;
+  r.start_c = have_prelude ? 1 : 0;
+  r.end_c = next - 1;
+  r.from = mini.at(r.start_c).svclvl;
+  r.to = mini.at(r.end_c).svclvl;
+
+  ReconfigVerdict verdict = check_all(mini, r, spec_);
+  // Restore the real-world cycle numbers in the reported interval.
+  const Cycle base = buffer_.front().cycle;
+  verdict.reconfig.start_c = base;
+  verdict.reconfig.end_c = state.cycle;
+
+  ++stats_.reconfigs_checked;
+  if (!verdict.all_hold()) ++stats_.violations;
+
+  buffer_.clear();
+  last_normal_ = state;
+  return verdict;
+}
+
+}  // namespace arfs::props

@@ -1,0 +1,63 @@
+// Executable checkers for the formal reconfiguration properties SP1-SP4
+// (paper Table 2). The PVS theorems quantify over all traces of the model;
+// these checkers evaluate the identical predicates over recorded traces,
+// which is how the reproduction discharges the paper's definitional
+// obligations on every simulated run (DESIGN.md, experiment E2).
+//
+//   SP1  R begins at the same time any application is no longer operating
+//        under Ci and ends when all applications are operating under Cj:
+//        some application is `interrupted` at start_c; all applications are
+//        `normal` at start_c - 1 and at end_c; no application is `normal`
+//        strictly inside (start_c, end_c).
+//   SP2  Cj is the proper choice for the target at some point during R:
+//        exists c in [start_c, end_c] with
+//        tr(end_c).svclvl = choose(tr(start_c).svclvl, env(c)).
+//   SP3  R takes at most T(Ci, Cj):
+//        (end_c - start_c + 1) * cycle_time <= T(svclvl@start, svclvl@end).
+//   SP4  The precondition for Cj holds when R ends: every application
+//        assigned in Cj has established its precondition at end_c.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/trace/reconfigs.hpp"
+#include "arfs/trace/recorder.hpp"
+
+namespace arfs::props {
+
+struct PropertyResult {
+  bool holds = false;
+  std::string detail;  ///< Explanation when the property fails.
+};
+
+[[nodiscard]] PropertyResult check_sp1(const trace::SysTrace& s,
+                                       const trace::Reconfiguration& r);
+
+[[nodiscard]] PropertyResult check_sp2(const trace::SysTrace& s,
+                                       const trace::Reconfiguration& r,
+                                       const core::ReconfigSpec& spec);
+
+[[nodiscard]] PropertyResult check_sp3(const trace::SysTrace& s,
+                                       const trace::Reconfiguration& r,
+                                       const core::ReconfigSpec& spec);
+
+[[nodiscard]] PropertyResult check_sp4(const trace::SysTrace& s,
+                                       const trace::Reconfiguration& r,
+                                       const core::ReconfigSpec& spec);
+
+/// All four properties for one reconfiguration.
+struct ReconfigVerdict {
+  trace::Reconfiguration reconfig;
+  PropertyResult sp1, sp2, sp3, sp4;
+  [[nodiscard]] bool all_hold() const {
+    return sp1.holds && sp2.holds && sp3.holds && sp4.holds;
+  }
+};
+
+[[nodiscard]] ReconfigVerdict check_all(const trace::SysTrace& s,
+                                        const trace::Reconfiguration& r,
+                                        const core::ReconfigSpec& spec);
+
+}  // namespace arfs::props

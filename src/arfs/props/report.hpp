@@ -1,0 +1,33 @@
+// Aggregate property reports over whole traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arfs/props/properties.hpp"
+
+namespace arfs::props {
+
+struct TraceReport {
+  std::vector<ReconfigVerdict> verdicts;
+  std::uint64_t reconfig_count = 0;
+  std::uint64_t sp1_failures = 0;
+  std::uint64_t sp2_failures = 0;
+  std::uint64_t sp3_failures = 0;
+  std::uint64_t sp4_failures = 0;
+  bool incomplete_at_end = false;  ///< Trace ended mid-reconfiguration.
+
+  [[nodiscard]] bool all_hold() const {
+    return sp1_failures + sp2_failures + sp3_failures + sp4_failures == 0;
+  }
+};
+
+/// Extracts every reconfiguration from the trace and checks SP1-SP4 on each.
+[[nodiscard]] TraceReport check_trace(const trace::SysTrace& s,
+                                      const core::ReconfigSpec& spec);
+
+/// Human-readable summary (benchmarks print this).
+[[nodiscard]] std::string render(const TraceReport& report);
+
+}  // namespace arfs::props

@@ -1,0 +1,73 @@
+#include "arfs/rtos/executive.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::rtos {
+
+CyclicExecutive::CyclicExecutive(ScheduleTable schedule,
+                                 failstop::ProcessorGroup& group,
+                                 HealthMonitor& health,
+                                 failstop::DetectorBank& bank)
+    : schedule_(std::move(schedule)), group_(group), health_(health),
+      bank_(bank) {}
+
+void CyclicExecutive::add_partition(std::unique_ptr<Partition> partition) {
+  require(partition != nullptr, "null partition");
+  bool scheduled = false;
+  for (const Window& w : schedule_.windows()) {
+    if (w.partition == partition->id()) {
+      scheduled = true;
+      require(w.processor == partition->host(),
+              "schedule window and partition disagree on host processor");
+    }
+  }
+  require(scheduled, "partition has no schedule window");
+  const PartitionId id = partition->id();
+  const bool inserted =
+      partitions_.emplace(id, std::move(partition)).second;
+  require(inserted, "duplicate partition id");
+}
+
+FrameReport CyclicExecutive::run_frame(Cycle cycle, SimTime frame_start) {
+  FrameReport report;
+  report.cycle = cycle;
+
+  for (const Window& window : schedule_.activation_order()) {
+    const auto it = partitions_.find(window.partition);
+    require(it != partitions_.end(), "scheduled partition was never added");
+    Partition& part = *it->second;
+
+    if (!group_.processor(part.host()).running()) {
+      ++report.skipped;
+      continue;
+    }
+
+    const SimTime activation_time = frame_start + window.offset;
+    const ActivationResult result = part.activate(cycle);
+    ++report.activated;
+
+    if (result.consumed > part.budget()) {
+      ++report.overruns;
+      health_.report_overrun(part.id(), part.app(), cycle, activation_time,
+                             result.consumed, part.budget(), bank_);
+    }
+    if (!result.completed) {
+      ++report.faults;
+      health_.report_app_fault(part.id(), part.app(), cycle, activation_time,
+                               result.fault_detail, bank_);
+    }
+  }
+
+  ++frames_run_;
+  return report;
+}
+
+Partition& CyclicExecutive::partition(PartitionId id) {
+  const auto it = partitions_.find(id);
+  require(it != partitions_.end(), "unknown partition id");
+  return *it->second;
+}
+
+}  // namespace arfs::rtos

@@ -1,0 +1,59 @@
+// Cyclic executive.
+//
+// Drives the synchronous frame structure the formal model assumes (paper
+// section 6.1): all partitions share one frame length, frames start together,
+// and each partition performs exactly one unit of work per frame. The
+// executive activates partitions in schedule order, enforces budgets through
+// the health monitor, and skips partitions whose host processor has
+// fail-stopped (their absence is what the activity monitor detects).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/failstop/group.hpp"
+#include "arfs/rtos/health.hpp"
+#include "arfs/rtos/partition.hpp"
+#include "arfs/rtos/schedule.hpp"
+
+namespace arfs::rtos {
+
+struct FrameReport {
+  Cycle cycle = 0;
+  std::size_t activated = 0;  ///< Partitions that ran.
+  std::size_t skipped = 0;    ///< Partitions on failed processors.
+  std::size_t overruns = 0;
+  std::size_t faults = 0;
+};
+
+class CyclicExecutive {
+ public:
+  CyclicExecutive(ScheduleTable schedule, failstop::ProcessorGroup& group,
+                  HealthMonitor& health, failstop::DetectorBank& bank);
+
+  /// Registers a partition. Its id must appear in the schedule and be unique.
+  void add_partition(std::unique_ptr<Partition> partition);
+
+  /// Executes one major frame: activates every scheduled partition whose
+  /// processor is running, enforcing budgets. `frame_start` is the simulated
+  /// time at which the frame begins.
+  FrameReport run_frame(Cycle cycle, SimTime frame_start);
+
+  [[nodiscard]] Partition& partition(PartitionId id);
+  [[nodiscard]] const ScheduleTable& schedule() const { return schedule_; }
+  [[nodiscard]] std::uint64_t frames_run() const { return frames_run_; }
+
+ private:
+  ScheduleTable schedule_;
+  failstop::ProcessorGroup& group_;
+  HealthMonitor& health_;
+  failstop::DetectorBank& bank_;
+  std::map<PartitionId, std::unique_ptr<Partition>> partitions_;
+  std::uint64_t frames_run_ = 0;
+};
+
+}  // namespace arfs::rtos

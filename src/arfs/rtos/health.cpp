@@ -1,0 +1,28 @@
+#include "arfs/rtos/health.hpp"
+
+namespace arfs::rtos {
+
+void HealthMonitor::report_overrun(PartitionId partition, AppId app,
+                                   Cycle cycle, SimTime now,
+                                   SimDuration consumed, SimDuration budget,
+                                   failstop::DetectorBank& bank) {
+  const std::string detail = "partition consumed " +
+                             std::to_string(consumed) + "us of " +
+                             std::to_string(budget) + "us budget";
+  events_.push_back(HealthEvent{cycle, HealthEventKind::kBudgetOverrun,
+                                partition, app, detail});
+  ++overruns_;
+  timing_.report_overrun(app, cycle, now, bank, detail);
+}
+
+void HealthMonitor::report_app_fault(PartitionId partition, AppId app,
+                                     Cycle cycle, SimTime now,
+                                     const std::string& detail,
+                                     failstop::DetectorBank& bank) {
+  events_.push_back(HealthEvent{cycle, HealthEventKind::kApplicationFault,
+                                partition, app, detail});
+  ++faults_;
+  signal_.report_fault(app, cycle, now, bank, detail);
+}
+
+}  // namespace arfs::rtos

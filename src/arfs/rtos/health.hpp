@@ -1,0 +1,53 @@
+// RTOS health monitor.
+//
+// ARINC 653's health-monitoring function, reduced to the events our model
+// produces: partition budget overruns and partition-level application faults.
+// Events are recorded for post-mortem inspection and forwarded to the
+// platform's failure detectors so the SCRAM sees them as abstract signals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/failstop/detector.hpp"
+
+namespace arfs::rtos {
+
+enum class HealthEventKind { kBudgetOverrun, kApplicationFault };
+
+struct HealthEvent {
+  Cycle cycle = 0;
+  HealthEventKind kind = HealthEventKind::kBudgetOverrun;
+  PartitionId partition{};
+  AppId app{};
+  std::string detail;
+};
+
+class HealthMonitor {
+ public:
+  void report_overrun(PartitionId partition, AppId app, Cycle cycle,
+                      SimTime now, SimDuration consumed, SimDuration budget,
+                      failstop::DetectorBank& bank);
+
+  void report_app_fault(PartitionId partition, AppId app, Cycle cycle,
+                        SimTime now, const std::string& detail,
+                        failstop::DetectorBank& bank);
+
+  [[nodiscard]] const std::vector<HealthEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t overrun_count() const { return overruns_; }
+  [[nodiscard]] std::uint64_t fault_count() const { return faults_; }
+
+ private:
+  std::vector<HealthEvent> events_;
+  failstop::TimingMonitor timing_;
+  failstop::SignalMonitor signal_;
+  std::uint64_t overruns_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace arfs::rtos

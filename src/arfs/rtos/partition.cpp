@@ -1,0 +1,20 @@
+#include "arfs/rtos/partition.hpp"
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::rtos {
+
+Partition::Partition(PartitionId id, std::string name, ProcessorId host,
+                     AppId app, SimDuration budget, Entry entry)
+    : id_(id), name_(std::move(name)), host_(host), app_(app),
+      budget_(budget), entry_(std::move(entry)) {
+  require(budget > 0, "partition budget must be positive");
+  require(static_cast<bool>(entry_), "partition entry must be callable");
+}
+
+void Partition::set_budget(SimDuration budget) {
+  require(budget > 0, "partition budget must be positive");
+  budget_ = budget;
+}
+
+}  // namespace arfs::rtos

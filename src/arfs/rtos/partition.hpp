@@ -1,0 +1,59 @@
+// RTOS partition.
+//
+// The platform runs "a real-time operating system ... for example one that
+// complies with the ARINC 653 specification" (paper section 3). ARINC 653's
+// core ideas, reduced to what the paper's model needs (section 6.1): each
+// application runs in its own partition with a fixed per-frame time budget,
+// partitions execute under a static schedule, and a partition exceeding its
+// budget is a detectable timing fault rather than silent interference.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::rtos {
+
+/// Outcome of one partition activation (one unit of work, paper 6.1).
+struct ActivationResult {
+  SimDuration consumed = 0;  ///< Simulated execution time used this frame.
+  bool completed = true;     ///< False if the application raised a fault.
+  std::string fault_detail;  ///< Meaningful when !completed.
+};
+
+class Partition {
+ public:
+  using Entry = std::function<ActivationResult(Cycle)>;
+
+  /// `budget` is the per-frame execution budget in simulated microseconds.
+  Partition(PartitionId id, std::string name, ProcessorId host, AppId app,
+            SimDuration budget, Entry entry);
+
+  [[nodiscard]] PartitionId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ProcessorId host() const { return host_; }
+  [[nodiscard]] AppId app() const { return app_; }
+  [[nodiscard]] SimDuration budget() const { return budget_; }
+
+  /// Runs the partition's unit of work for `cycle`.
+  [[nodiscard]] ActivationResult activate(Cycle cycle) const {
+    return entry_(cycle);
+  }
+
+  /// Replaces the budget (used when a reconfiguration moves the partition to
+  /// a lower-resource specification).
+  void set_budget(SimDuration budget);
+
+ private:
+  PartitionId id_;
+  std::string name_;
+  ProcessorId host_;
+  AppId app_;
+  SimDuration budget_;
+  Entry entry_;
+};
+
+}  // namespace arfs::rtos

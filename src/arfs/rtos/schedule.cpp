@@ -1,0 +1,44 @@
+#include "arfs/rtos/schedule.hpp"
+
+#include <algorithm>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::rtos {
+
+ScheduleTable::ScheduleTable(SimDuration frame_length)
+    : frame_length_(frame_length) {
+  require(frame_length > 0, "frame length must be positive");
+}
+
+void ScheduleTable::add_window(Window window) {
+  require(window.offset >= 0 && window.length > 0, "malformed window");
+  require(window.offset + window.length <= frame_length_,
+          "window exceeds the frame");
+  for (const Window& other : windows_) {
+    if (other.processor != window.processor) continue;
+    const bool disjoint = window.offset + window.length <= other.offset ||
+                          other.offset + other.length <= window.offset;
+    require(disjoint, "windows overlap on one processor");
+  }
+  windows_.push_back(window);
+}
+
+std::vector<Window> ScheduleTable::activation_order() const {
+  std::vector<Window> out = windows_;
+  std::sort(out.begin(), out.end(), [](const Window& a, const Window& b) {
+    if (a.offset != b.offset) return a.offset < b.offset;
+    return a.partition < b.partition;
+  });
+  return out;
+}
+
+SimDuration ScheduleTable::load_on(ProcessorId processor) const {
+  SimDuration load = 0;
+  for (const Window& w : windows_) {
+    if (w.processor == processor) load += w.length;
+  }
+  return load;
+}
+
+}  // namespace arfs::rtos

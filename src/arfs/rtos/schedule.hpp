@@ -1,0 +1,47 @@
+// Static partition schedule.
+//
+// One major frame equals one of the paper's real-time frames (all
+// applications share a single frame length and the frames start together,
+// section 6.1). Within the frame, each partition is given a window; the
+// windows of partitions on the *same* processor must not overlap, while
+// partitions on different processors may run concurrently.
+#pragma once
+
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::rtos {
+
+struct Window {
+  PartitionId partition;
+  ProcessorId processor;
+  SimDuration offset;  ///< Start relative to frame start.
+  SimDuration length;  ///< Window duration (>= partition budget).
+};
+
+class ScheduleTable {
+ public:
+  /// `frame_length` is the major frame (= the paper's real-time frame).
+  explicit ScheduleTable(SimDuration frame_length);
+
+  /// Adds a window. Preconditions: it fits inside the frame and does not
+  /// overlap an existing window on the same processor.
+  void add_window(Window window);
+
+  [[nodiscard]] SimDuration frame_length() const { return frame_length_; }
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+
+  /// Windows sorted by offset (activation order within a frame).
+  [[nodiscard]] std::vector<Window> activation_order() const;
+
+  /// Total scheduled time on `processor` per frame (utilization numerator).
+  [[nodiscard]] SimDuration load_on(ProcessorId processor) const;
+
+ private:
+  SimDuration frame_length_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace arfs::rtos

@@ -1,0 +1,32 @@
+#include "arfs/sim/clock.hpp"
+
+namespace arfs::sim {
+
+VirtualClock::VirtualClock(SimDuration frame_length)
+    : frame_length_(frame_length) {
+  require(frame_length > 0, "frame length must be positive");
+}
+
+SimTime VirtualClock::frame_start(Cycle frame) const {
+  return static_cast<SimTime>(frame) * frame_length_;
+}
+
+Cycle VirtualClock::frame_of(SimTime t) const {
+  require(t >= 0, "time before system start");
+  return static_cast<Cycle>(t / frame_length_);
+}
+
+void VirtualClock::advance_frame() {
+  ++frame_;
+  now_ = frame_start(frame_);
+}
+
+void VirtualClock::advance_within_frame(SimDuration delta) {
+  require(delta >= 0, "cannot move time backwards");
+  const SimTime target = now_ + delta;
+  require(target < frame_start(frame_ + 1),
+          "advance_within_frame crossed a frame boundary");
+  now_ = target;
+}
+
+}  // namespace arfs::sim

@@ -1,0 +1,42 @@
+// Virtual clock.
+//
+// The paper's Java demo modeled real time with a virtual clock synchronized
+// to Linux clocks; our reproduction goes further and makes the clock entirely
+// virtual so runs are deterministic. The clock advances in whole frames (the
+// paper assumes one fixed, global real-time frame length, section 6.1) but
+// also exposes sub-frame time for bus-slot and detection-latency modeling.
+#pragma once
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::sim {
+
+class VirtualClock {
+ public:
+  /// Precondition: frame_length > 0 (simulated microseconds).
+  explicit VirtualClock(SimDuration frame_length);
+
+  [[nodiscard]] SimDuration frame_length() const { return frame_length_; }
+  [[nodiscard]] Cycle current_frame() const { return frame_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Time at which the given frame starts.
+  [[nodiscard]] SimTime frame_start(Cycle frame) const;
+  /// Frame containing the given instant. Precondition: t >= 0.
+  [[nodiscard]] Cycle frame_of(SimTime t) const;
+
+  /// Advances to the start of the next frame.
+  void advance_frame();
+
+  /// Advances within the current frame. Precondition: the new time stays
+  /// inside the current frame.
+  void advance_within_frame(SimDuration delta);
+
+ private:
+  SimDuration frame_length_;
+  Cycle frame_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace arfs::sim

@@ -1,0 +1,31 @@
+#include "arfs/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace arfs::sim {
+
+void EventQueue::schedule(SimTime when, Action action) {
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop: the action may schedule new events.
+    Action action = queue_.top().action;
+    queue_.pop();
+    action();
+    ++fired;
+  }
+  return fired;
+}
+
+SimTime EventQueue::next_time() const {
+  return queue_.empty() ? kNoTime : queue_.top().when;
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace arfs::sim

@@ -1,0 +1,54 @@
+// Discrete-event queue.
+//
+// Used by the bus (message delivery at slot boundaries) and by fault
+// injection (failures scheduled at arbitrary instants). Events at the same
+// time fire in insertion order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "arfs/common/types.hpp"
+
+namespace arfs::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to fire at absolute simulated time `when`.
+  void schedule(SimTime when, Action action);
+
+  /// Fires every event with time <= `until`, in (time, insertion) order.
+  /// Returns the number of events fired. Events may schedule further events;
+  /// those also fire if they fall within `until`.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Time of the earliest pending event; kNoTime if empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace arfs::sim

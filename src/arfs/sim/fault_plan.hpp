@@ -1,0 +1,100 @@
+// Fault injection.
+//
+// The paper assumes a reconfiguration trigger whose source "might be a
+// hardware failure, a software functional failure, the failure of software to
+// meet its timing constraints, or a change in the external environment"
+// (section 4). A FaultPlan is a deterministic schedule of such triggers; the
+// system under test consumes them as the virtual clock passes each instant.
+//
+// Plans can be authored explicitly (scenario tests, examples) or generated
+// from a seeded random campaign (property sweeps, benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/rng.hpp"
+#include "arfs/common/types.hpp"
+
+namespace arfs::sim {
+
+enum class FaultKind {
+  kProcessorFailStop,   ///< A fail-stop processor halts (volatile lost).
+  kProcessorRepair,     ///< A previously failed processor is restored.
+  kEnvironmentChange,   ///< An environmental factor changes value.
+  kTimingOverrun,       ///< An application exceeds its frame budget once.
+  kSoftwareFault,       ///< An application signals a functional failure.
+};
+
+/// One scheduled injection. Which fields are meaningful depends on `kind`:
+/// processor events use `processor`; environment changes use `factor` and
+/// `new_value`; timing/software faults use `app`.
+struct FaultEvent {
+  SimTime when = 0;
+  FaultKind kind = FaultKind::kProcessorFailStop;
+  ProcessorId processor{};
+  FactorId factor{};
+  std::int64_t new_value = 0;
+  AppId app{};
+  std::string note;
+};
+
+/// A time-ordered schedule of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Adds an event. Events may be added in any order; the plan keeps itself
+  /// sorted by (time, insertion order).
+  void add(FaultEvent event);
+
+  // Convenience builders.
+  void fail_processor(SimTime when, ProcessorId p, std::string note = {});
+  void repair_processor(SimTime when, ProcessorId p, std::string note = {});
+  void change_environment(SimTime when, FactorId f, std::int64_t value,
+                          std::string note = {});
+  void timing_overrun(SimTime when, AppId app, std::string note = {});
+  void software_fault(SimTime when, AppId app, std::string note = {});
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Returns all events with `when` <= `until` that have not been consumed
+  /// yet and marks them consumed. Consumption order is (time, insertion).
+  [[nodiscard]] std::vector<FaultEvent> consume_until(SimTime until);
+
+  /// Resets consumption so the same plan can be replayed.
+  void rewind() { next_ = 0; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::size_t next_ = 0;
+};
+
+/// Parameters for a randomly generated fault campaign.
+struct CampaignParams {
+  SimTime horizon = 0;               ///< Events are drawn in [0, horizon).
+  std::size_t processor_failures = 0;
+  std::size_t environment_changes = 0;
+  std::size_t timing_overruns = 0;
+  std::size_t software_faults = 0;
+  std::vector<ProcessorId> processors;  ///< Candidates for processor events.
+  std::vector<FactorId> factors;        ///< Candidates for env changes.
+  std::int64_t factor_min = 0;          ///< Env value range (inclusive).
+  std::int64_t factor_max = 1;
+  std::vector<AppId> apps;              ///< Candidates for app faults.
+};
+
+/// Draws a deterministic random campaign from `rng`.
+[[nodiscard]] FaultPlan generate_campaign(const CampaignParams& params,
+                                          Rng& rng);
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+}  // namespace arfs::sim

@@ -1,0 +1,105 @@
+#include "arfs/storage/replicated.hpp"
+
+#include <map>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::storage {
+
+ReplicatedStableStorage::ReplicatedStableStorage(std::size_t replicas) {
+  require(replicas >= 1, "need at least one replica");
+  replicas_.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>());
+  }
+}
+
+void ReplicatedStableStorage::write(const std::string& key, Value value) {
+  for (const auto& replica : replicas_) {
+    if (replica->available) replica->storage.write(key, value);
+  }
+}
+
+void ReplicatedStableStorage::commit(Cycle cycle) {
+  for (const auto& replica : replicas_) {
+    if (replica->available) replica->storage.commit(cycle);
+  }
+}
+
+Expected<Value> ReplicatedStableStorage::read(const std::string& key) const {
+  ++stats_.reads;
+  // Tally committed values across available replicas by rendered identity.
+  std::map<std::string, std::pair<std::size_t, Value>> tally;
+  std::size_t responding = 0;
+  for (const auto& replica : replicas_) {
+    if (!replica->available) continue;
+    const Expected<Value> v = replica->storage.read(key);
+    if (!v) continue;
+    ++responding;
+    const std::string rendered =
+        type_name(v.value()) + ":" + to_string(v.value());
+    auto [it, inserted] = tally.try_emplace(rendered, 0, v.value());
+    ++it->second.first;
+  }
+
+  const std::size_t majority = replicas_.size() / 2 + 1;
+  for (const auto& [rendered, entry] : tally) {
+    if (entry.first >= majority) {
+      if (entry.first < responding) ++stats_.masked_corruptions;
+      return entry.second;
+    }
+  }
+  ++stats_.unavailable_reads;
+  return unexpected("no majority for key: " + key);
+}
+
+void ReplicatedStableStorage::fail_replica(std::size_t index) {
+  require(index < replicas_.size(), "replica index out of range");
+  replicas_[index]->available = false;
+  replicas_[index]->storage.drop_pending();
+}
+
+void ReplicatedStableStorage::repair_replica(std::size_t index, Cycle cycle) {
+  require(index < replicas_.size(), "replica index out of range");
+  Replica& replica = *replicas_[index];
+  require(!replica.available, "replica is not failed");
+
+  // Resynchronize: copy every key a surviving majority agrees on. The key
+  // set is the union over available replicas.
+  std::map<std::string, bool> keys;
+  for (const auto& other : replicas_) {
+    if (!other->available) continue;
+    for (const std::string& key : other->storage.keys()) keys[key] = true;
+  }
+  for (const auto& [key, unused] : keys) {
+    const Expected<Value> v = read(key);
+    if (v) replica.storage.write(key, v.value());
+  }
+  replica.storage.commit(cycle);
+  replica.available = true;
+}
+
+void ReplicatedStableStorage::corrupt_replica(std::size_t index,
+                                              const std::string& key,
+                                              Value bad_value, Cycle cycle) {
+  require(index < replicas_.size(), "replica index out of range");
+  Replica& replica = *replicas_[index];
+  replica.storage.write(key, std::move(bad_value));
+  replica.storage.commit(cycle);
+}
+
+std::size_t ReplicatedStableStorage::available_count() const {
+  std::size_t n = 0;
+  for (const auto& replica : replicas_) {
+    if (replica->available) ++n;
+  }
+  return n;
+}
+
+const StableStorage& ReplicatedStableStorage::replica(
+    std::size_t index) const {
+  require(index < replicas_.size(), "replica index out of range");
+  return replicas_[index]->storage;
+}
+
+}  // namespace arfs::storage

@@ -1,0 +1,74 @@
+// Replicated stable storage.
+//
+// The fail-stop model *assumes* stable storage whose contents survive
+// processor failures; Schlichting & Schneider note it is itself built from
+// redundant, less-reliable parts (mirrored devices with voting). This module
+// shows that construction: k replicas, each an ordinary StableStorage that
+// can fail (lose availability) or corrupt a value (which voting masks), with
+// majority reads and all-replica writes. It justifies the library's
+// treatment of StableStorage as ultra-reliable — and quantifies the
+// replication factor behind that assumption.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arfs/common/expected.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/storage/stable_storage.hpp"
+
+namespace arfs::storage {
+
+struct ReplicationStats {
+  std::uint64_t reads = 0;
+  std::uint64_t masked_corruptions = 0;  ///< Reads where voting overrode a
+                                         ///< minority of bad replicas.
+  std::uint64_t unavailable_reads = 0;   ///< No majority could be formed.
+};
+
+class ReplicatedStableStorage {
+ public:
+  /// Precondition: replicas >= 1 (use an odd count for clean majorities).
+  explicit ReplicatedStableStorage(std::size_t replicas);
+
+  /// Writes go to every available replica.
+  void write(const std::string& key, Value value);
+
+  /// Commits every available replica at the frame boundary.
+  void commit(Cycle cycle);
+
+  /// Majority read: the value agreed by more than half of the *configured*
+  /// replicas. Errors when no such majority exists (too many replicas
+  /// failed or diverged).
+  [[nodiscard]] Expected<Value> read(const std::string& key) const;
+
+  /// Fails replica `index`: it stops serving reads and taking writes.
+  void fail_replica(std::size_t index);
+  /// Restores replica `index`, resynchronized from a current majority
+  /// (every key readable by majority is copied in and committed).
+  void repair_replica(std::size_t index, Cycle cycle);
+
+  /// Corrupts one committed value on one replica (models a latent media
+  /// fault that voting must mask).
+  void corrupt_replica(std::size_t index, const std::string& key,
+                       Value bad_value, Cycle cycle);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] std::size_t available_count() const;
+  [[nodiscard]] const ReplicationStats& stats() const { return stats_; }
+
+  /// Direct access for tests (replica may be failed).
+  [[nodiscard]] const StableStorage& replica(std::size_t index) const;
+
+ private:
+  struct Replica {
+    StableStorage storage;
+    bool available = true;
+  };
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  mutable ReplicationStats stats_;
+};
+
+}  // namespace arfs::storage

@@ -1,0 +1,56 @@
+#include "arfs/storage/stable_storage.hpp"
+
+#include <utility>
+
+namespace arfs::storage {
+
+void StableStorage::write(const std::string& key, Value value) {
+  pending_[key] = std::move(value);
+}
+
+std::size_t StableStorage::commit(Cycle cycle) {
+  const std::size_t n = pending_.size();
+  for (auto& [key, value] : pending_) {
+    if (history_on_) history_.push_back(CommitRecord{cycle, key, value});
+    committed_[key] = Slot{std::move(value), cycle};
+  }
+  pending_.clear();
+  ++epochs_;
+  return n;
+}
+
+void StableStorage::drop_pending() { pending_.clear(); }
+
+Expected<Value> StableStorage::read(const std::string& key) const {
+  const auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    return unexpected("stable-storage key not committed: " + key);
+  }
+  return it->second.value;
+}
+
+Expected<Value> StableStorage::read_own(const std::string& key) const {
+  const auto pit = pending_.find(key);
+  if (pit != pending_.end()) return pit->second;
+  return read(key);
+}
+
+bool StableStorage::contains(const std::string& key) const {
+  return committed_.contains(key);
+}
+
+std::optional<Cycle> StableStorage::last_commit_cycle(
+    const std::string& key) const {
+  const auto it = committed_.find(key);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second.committed_at;
+}
+
+std::vector<std::string> StableStorage::keys() const {
+  std::vector<std::string> out;
+  out.reserve(committed_.size());
+  for (const auto& [key, slot] : committed_) out.push_back(key);
+  return out;
+}
+
+}  // namespace arfs::storage

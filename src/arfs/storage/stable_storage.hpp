@@ -1,0 +1,103 @@
+// Stable storage with atomic end-of-frame commit.
+//
+// Semantics required by the paper:
+//  * contents survive a fail-stop processor failure (section 5.1);
+//  * each application commits its results at the end of each computation
+//    cycle (section 6.1), and readers in frame n+1 observe exactly the values
+//    committed by the end of frame n — never a torn, partially-written frame;
+//  * other processors can poll a failed processor's stable storage to learn
+//    the state it was in when it failed (section 5.1).
+//
+// The implementation therefore separates a committed map from a pending
+// write buffer. `write` stages into the buffer; `commit` applies the whole
+// buffer atomically and stamps the commit cycle; a fail-stop failure calls
+// `drop_pending`, discarding staged writes while preserving every committed
+// value — precisely the "last successfully completed instruction" boundary,
+// lifted to frame granularity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arfs/common/expected.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/storage/value.hpp"
+
+namespace arfs::storage {
+
+/// One committed write, retained when history recording is on.
+struct CommitRecord {
+  Cycle cycle = 0;
+  std::string key;
+  Value value;
+};
+
+class StableStorage {
+ public:
+  StableStorage() = default;
+
+  /// Stages a write; visible to readers only after the next commit().
+  void write(const std::string& key, Value value);
+
+  /// Atomically applies all staged writes, stamping them with `cycle`.
+  /// Returns the number of keys committed.
+  std::size_t commit(Cycle cycle);
+
+  /// Discards staged writes (fail-stop failure between commits).
+  void drop_pending();
+
+  /// Reads the committed value for `key`.
+  [[nodiscard]] Expected<Value> read(const std::string& key) const;
+
+  /// Reads the committed value, checking the type.
+  template <typename T>
+  [[nodiscard]] Expected<T> read_as(const std::string& key) const {
+    Expected<Value> v = read(key);
+    if (!v) return unexpected(v.error());
+    return get_as<T>(v.value());
+  }
+
+  /// Reads the staged (pending) value if one exists, else the committed one.
+  /// Only the owning application uses this (its own uncommitted state);
+  /// cross-processor polls always use read().
+  [[nodiscard]] Expected<Value> read_own(const std::string& key) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Cycle at which `key` was last committed; nullopt if never.
+  [[nodiscard]] std::optional<Cycle> last_commit_cycle(
+      const std::string& key) const;
+
+  [[nodiscard]] std::size_t committed_count() const {
+    return committed_.size();
+  }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// All committed keys, sorted (map order).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Enables retention of every commit for post-mortem analysis.
+  void enable_history(bool on) { history_on_ = on; }
+  [[nodiscard]] const std::vector<CommitRecord>& history() const {
+    return history_;
+  }
+
+  /// Number of commit() calls, for instrumentation.
+  [[nodiscard]] std::uint64_t commit_epochs() const { return epochs_; }
+
+ private:
+  struct Slot {
+    Value value;
+    Cycle committed_at = 0;
+  };
+
+  std::map<std::string, Slot> committed_;
+  std::map<std::string, Value> pending_;
+  std::vector<CommitRecord> history_;
+  bool history_on_ = false;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace arfs::storage

@@ -1,0 +1,25 @@
+#include "arfs/storage/value.hpp"
+
+namespace arfs::storage {
+
+std::string type_name(const Value& v) {
+  switch (v.index()) {
+    case 0: return "bool";
+    case 1: return "int64";
+    case 2: return "double";
+    case 3: return "string";
+    default: return "?";
+  }
+}
+
+std::string to_string(const Value& v) {
+  switch (v.index()) {
+    case 0: return std::get<bool>(v) ? "true" : "false";
+    case 1: return std::to_string(std::get<std::int64_t>(v));
+    case 2: return std::to_string(std::get<double>(v));
+    case 3: return std::get<std::string>(v);
+    default: return "?";
+  }
+}
+
+}  // namespace arfs::storage

@@ -1,0 +1,31 @@
+// Typed values held in processor storage.
+//
+// Stable storage in the fail-stop model is a small, ultra-reliable store of
+// named variables (Schlichting & Schneider section on stable storage; paper
+// section 6.2 uses it for the SCRAM <-> application `configuration_status`
+// protocol and for all inter-application data flow). Variables are typed so
+// that a reader asking for the wrong type is a detectable fault, not silent
+// corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "arfs/common/expected.hpp"
+
+namespace arfs::storage {
+
+using Value = std::variant<bool, std::int64_t, double, std::string>;
+
+[[nodiscard]] std::string type_name(const Value& v);
+[[nodiscard]] std::string to_string(const Value& v);
+
+/// Extracts a T from a Value, reporting a type mismatch as an error.
+template <typename T>
+[[nodiscard]] Expected<T> get_as(const Value& v) {
+  if (const T* p = std::get_if<T>(&v)) return *p;
+  return unexpected("stable-storage type mismatch: stored " + type_name(v));
+}
+
+}  // namespace arfs::storage

@@ -1,0 +1,28 @@
+#include "arfs/storage/volatile_storage.hpp"
+
+#include <utility>
+
+namespace arfs::storage {
+
+void VolatileStorage::write(const std::string& key, Value value) {
+  data_[key] = std::move(value);
+}
+
+Expected<Value> VolatileStorage::read(const std::string& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) {
+    return unexpected("volatile key not present: " + key);
+  }
+  return it->second;
+}
+
+bool VolatileStorage::contains(const std::string& key) const {
+  return data_.contains(key);
+}
+
+void VolatileStorage::erase_all() {
+  data_.clear();
+  ++erases_;
+}
+
+}  // namespace arfs::storage

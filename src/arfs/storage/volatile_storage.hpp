@@ -1,0 +1,44 @@
+// Volatile storage.
+//
+// The second half of the fail-stop contract: "the contents of volatile
+// storage are lost" on failure (paper section 5.1). Applications keep scratch
+// state here; a failure erases all of it, and correctness of recovery must
+// rest only on what was committed to stable storage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arfs/common/expected.hpp"
+#include "arfs/storage/value.hpp"
+
+namespace arfs::storage {
+
+class VolatileStorage {
+ public:
+  void write(const std::string& key, Value value);
+  [[nodiscard]] Expected<Value> read(const std::string& key) const;
+
+  template <typename T>
+  [[nodiscard]] Expected<T> read_as(const std::string& key) const {
+    Expected<Value> v = read(key);
+    if (!v) return unexpected(v.error());
+    return get_as<T>(v.value());
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Models loss of volatile contents at a fail-stop failure.
+  void erase_all();
+
+  /// Number of erase_all() calls observed (instrumentation for tests).
+  [[nodiscard]] std::uint64_t erase_count() const { return erases_; }
+
+ private:
+  std::map<std::string, Value> data_;
+  std::uint64_t erases_ = 0;
+};
+
+}  // namespace arfs::storage

@@ -1,0 +1,247 @@
+#include "arfs/support/conformance.hpp"
+
+#include <sstream>
+
+#include "arfs/common/check.hpp"
+#include "arfs/core/stable_region.hpp"
+#include "arfs/storage/stable_storage.hpp"
+
+namespace arfs::support {
+
+bool ConformanceReport::all_passed() const {
+  for (const ConformanceCase& c : cases) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+std::string ConformanceReport::summary() const {
+  std::ostringstream os;
+  std::size_t passed = 0;
+  for (const ConformanceCase& c : cases) {
+    if (c.passed) ++passed;
+  }
+  os << passed << "/" << cases.size() << " conformance cases passed";
+  for (const ConformanceCase& c : cases) {
+    if (!c.passed) os << "\n  FAILED " << c.name << ": " << c.detail;
+  }
+  return os.str();
+}
+
+namespace {
+
+using core::Directive;
+using core::DirectiveKind;
+using core::ReconfigurableApp;
+
+struct Bench {
+  storage::StableStorage backing;
+  core::StableRegion region{backing, "conf/"};
+  core::MessageRouter router;
+  Cycle cycle = 0;
+
+  ReconfigurableApp::Ctx ctx(bool with_host = true) {
+    ReconfigurableApp::Ctx c;
+    c.cycle = cycle;
+    c.now = static_cast<SimTime>(cycle) * 10'000;
+    c.own = with_host ? &region : nullptr;
+    c.mail = &router.endpoint(AppId{1});
+    return c;
+  }
+
+  void end_frame() {
+    backing.commit(cycle);
+    router.exchange(cycle + 1, [](AppId) { return true; });
+    ++cycle;
+  }
+};
+
+Directive make_directive(DirectiveKind kind, std::optional<SpecId> target) {
+  Directive d;
+  d.kind = kind;
+  d.target_spec = target;
+  d.target_config = ConfigId{2};
+  return d;
+}
+
+/// Drives one stage to completion within `bound` frames; empty string on
+/// success, failure detail otherwise.
+std::string drive_stage(ReconfigurableApp& app, Bench& bench,
+                        DirectiveKind kind, std::optional<SpecId> target,
+                        Cycle bound) {
+  for (Cycle i = 0; i < bound; ++i) {
+    const auto r = app.frame_step(bench.ctx(), make_directive(kind, target));
+    bench.end_frame();
+    if (!r.ok) return "stage raised a fault: " + r.fault_detail;
+    if (r.phase_done) return {};
+  }
+  return "stage did not complete within the bound";
+}
+
+}  // namespace
+
+ConformanceReport check_app_conformance(const ConformanceInputs& inputs) {
+  require(static_cast<bool>(inputs.factory), "factory must be callable");
+  require(inputs.stage_bound >= 1, "stage bound must be at least one frame");
+  ConformanceReport report;
+
+  const auto run_case =
+      [&](const std::string& name,
+          const std::function<std::string()>& body) {
+        ConformanceCase c;
+        c.name = name;
+        try {
+          c.detail = body();
+          c.passed = c.detail.empty();
+        } catch (const std::exception& e) {
+          c.passed = false;
+          c.detail = std::string("threw: ") + e.what();
+        }
+        report.cases.push_back(std::move(c));
+      };
+
+  const auto fresh = [&](Bench& bench) {
+    auto app = inputs.factory();
+    app->force_spec(inputs.initial_spec);
+    // One frame of normal operation to settle.
+    (void)app->frame_step(bench.ctx(),
+                          make_directive(DirectiveKind::kNone, {}));
+    bench.end_frame();
+    app->mark_interrupted();
+    return app;
+  };
+
+  run_case("halt-completes", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    const std::string err = drive_stage(*app, bench, DirectiveKind::kHalt,
+                                        inputs.target_spec,
+                                        inputs.stage_bound);
+    if (!err.empty()) return err;
+    if (!app->postcondition_ok()) return "postcondition flag not set";
+    if (app->reconf_state() != trace::ReconfState::kHalted) {
+      return "application is not halted";
+    }
+    return {};
+  });
+
+  run_case("prepare-completes", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    std::string err = drive_stage(*app, bench, DirectiveKind::kHalt,
+                                  inputs.target_spec, inputs.stage_bound);
+    if (!err.empty()) return "halt: " + err;
+    err = drive_stage(*app, bench, DirectiveKind::kPrepare,
+                      inputs.target_spec, inputs.stage_bound);
+    if (!err.empty()) return err;
+    if (!app->transition_ok()) return "transition flag not set";
+    return {};
+  });
+
+  run_case("initialize-completes", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    std::string err = drive_stage(*app, bench, DirectiveKind::kHalt,
+                                  inputs.target_spec, inputs.stage_bound);
+    if (!err.empty()) return "halt: " + err;
+    err = drive_stage(*app, bench, DirectiveKind::kPrepare,
+                      inputs.target_spec, inputs.stage_bound);
+    if (!err.empty()) return "prepare: " + err;
+    err = drive_stage(*app, bench, DirectiveKind::kInitialize,
+                      inputs.target_spec, inputs.stage_bound);
+    if (!err.empty()) return err;
+    if (!app->precondition_ok()) return "precondition flag not set";
+    return {};
+  });
+
+  run_case("start-applies-spec", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    for (const DirectiveKind kind :
+         {DirectiveKind::kHalt, DirectiveKind::kPrepare,
+          DirectiveKind::kInitialize}) {
+      const std::string err = drive_stage(*app, bench, kind,
+                                          inputs.target_spec,
+                                          inputs.stage_bound);
+      if (!err.empty()) return err;
+    }
+    app->start(inputs.target_spec);
+    if (app->reconf_state() != trace::ReconfState::kNormal) {
+      return "application did not return to normal";
+    }
+    if (app->current_spec() != inputs.target_spec) {
+      return "application is not running the target specification";
+    }
+    const auto r = app->frame_step(bench.ctx(),
+                                   make_directive(DirectiveKind::kNone, {}));
+    if (!r.ok) return "first AFTA under the new spec faulted";
+    return {};
+  });
+
+  run_case("hold-does-no-work", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    const std::string err = drive_stage(*app, bench, DirectiveKind::kHalt,
+                                        inputs.target_spec,
+                                        inputs.stage_bound);
+    if (!err.empty()) return err;
+    const auto r = app->frame_step(bench.ctx(),
+                                   make_directive(DirectiveKind::kNone, {}));
+    if (!r.ok) return "hold frame faulted";
+    if (app->reconf_state() != trace::ReconfState::kHalted) {
+      return "hold frame changed the reconfiguration state";
+    }
+    return {};
+  });
+
+  if (inputs.check_off_target) {
+    run_case("off-target-initialize", [&]() -> std::string {
+      Bench bench;
+      auto app = fresh(bench);
+      std::string err = drive_stage(*app, bench, DirectiveKind::kHalt,
+                                    std::nullopt, inputs.stage_bound);
+      if (!err.empty()) return "halt: " + err;
+      err = drive_stage(*app, bench, DirectiveKind::kPrepare, std::nullopt,
+                        inputs.stage_bound);
+      if (!err.empty()) return "prepare: " + err;
+      err = drive_stage(*app, bench, DirectiveKind::kInitialize,
+                        std::nullopt, inputs.stage_bound);
+      if (!err.empty()) return err;
+      app->start(std::nullopt);
+      const auto r = app->frame_step(
+          bench.ctx(), make_directive(DirectiveKind::kNone, {}));
+      if (!r.ok) return "off application faulted on a normal frame";
+      return {};
+    });
+  }
+
+  run_case("volatile-loss-tolerated", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    app->on_host_failure();
+    for (const DirectiveKind kind :
+         {DirectiveKind::kHalt, DirectiveKind::kPrepare,
+          DirectiveKind::kInitialize}) {
+      const std::string err = drive_stage(*app, bench, kind,
+                                          inputs.target_spec,
+                                          inputs.stage_bound);
+      if (!err.empty()) return err;
+    }
+    return {};
+  });
+
+  run_case("no-host-halt-trivial", [&]() -> std::string {
+    Bench bench;
+    auto app = fresh(bench);
+    const auto r = app->frame_step(
+        bench.ctx(/*with_host=*/false),
+        make_directive(DirectiveKind::kHalt, inputs.target_spec));
+    if (!r.phase_done) return "host-less halt did not complete";
+    if (!app->postcondition_ok()) return "postcondition flag not set";
+    return {};
+  });
+
+  return report;
+}
+
+}  // namespace arfs::support

@@ -1,0 +1,64 @@
+// Declarative mission profiles.
+//
+// Scenario authors describe a mission as a timeline of named events —
+// environment values over mission time, component failures and repairs —
+// and compile it into the deterministic FaultPlan the System consumes.
+// Profiles also support periodic patterns (orbits, duty cycles) and
+// seeded jitter so campaigns stay replayable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arfs/common/rng.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/sim/fault_plan.hpp"
+
+namespace arfs::support {
+
+class MissionProfile {
+ public:
+  /// `frame_length` converts frame-denominated times into simulated time.
+  explicit MissionProfile(SimDuration frame_length);
+
+  /// Environment value change at mission frame `frame`.
+  MissionProfile& at(Cycle frame, FactorId factor, std::int64_t value,
+                     std::string note = {});
+
+  /// Processor fail-stop / repair at mission frame `frame`.
+  MissionProfile& fail(Cycle frame, ProcessorId processor,
+                       std::string note = {});
+  MissionProfile& repair(Cycle frame, ProcessorId processor,
+                         std::string note = {});
+
+  /// Periodic pattern: sets `factor` to `high` every `period` frames for
+  /// `duty` frames starting at `phase`, until `until` (e.g. eclipses).
+  /// Preconditions: duty < period, period > 0.
+  MissionProfile& periodic(FactorId factor, std::int64_t low,
+                           std::int64_t high, Cycle period, Cycle duty,
+                           Cycle phase, Cycle until);
+
+  /// Adds uniform jitter of up to `max_frames` frames to every event added
+  /// *after* this call, drawn deterministically from `seed`.
+  MissionProfile& with_jitter(Cycle max_frames, std::uint64_t seed);
+
+  /// Compiles the accumulated events into a FaultPlan.
+  [[nodiscard]] sim::FaultPlan build() const;
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct Event {
+    Cycle frame;
+    sim::FaultEvent proto;
+  };
+  void add(Cycle frame, sim::FaultEvent proto);
+
+  SimDuration frame_length_;
+  std::vector<Event> events_;
+  Cycle jitter_frames_ = 0;
+  std::uint64_t jitter_state_ = 0;
+  bool jitter_on_ = false;
+};
+
+}  // namespace arfs::support

@@ -1,0 +1,68 @@
+#include "arfs/support/simple_app.hpp"
+
+#include <utility>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::support {
+
+SimpleApp::SimpleApp(AppId id, std::string name, SimpleAppParams params)
+    : ReconfigurableApp(id, std::move(name)), params_(params) {
+  require(params.halt_frames >= 1 && params.prepare_frames >= 1 &&
+              params.initialize_frames >= 1,
+          "every stage takes at least one frame");
+}
+
+core::ReconfigurableApp::StepResult SimpleApp::do_work(const Ctx& ctx) {
+  StepResult result;
+  result.consumed = params_.work_cost_us;
+  ++work_count_;
+  if (ctx.own != nullptr) {
+    ctx.own->write("work_count", static_cast<std::int64_t>(work_count_));
+    ctx.own->write("last_cycle", static_cast<std::int64_t>(ctx.cycle));
+  }
+  if (fault_budget_ > 0) {
+    --fault_budget_;
+    result.ok = false;
+    result.fault_detail = "simple-app injected work fault";
+  }
+  return result;
+}
+
+bool SimpleApp::do_halt(const Ctx& ctx) {
+  (void)ctx;
+  if (++stage_progress_ < params_.halt_frames) return false;
+  stage_progress_ = 0;
+  ++halts_;
+  return true;
+}
+
+bool SimpleApp::do_prepare(const Ctx& ctx,
+                           std::optional<SpecId> target_spec) {
+  (void)ctx;
+  (void)target_spec;
+  if (++stage_progress_ < params_.prepare_frames) return false;
+  stage_progress_ = 0;
+  ++prepares_;
+  return true;
+}
+
+bool SimpleApp::do_initialize(const Ctx& ctx,
+                              std::optional<SpecId> target_spec) {
+  if (++stage_progress_ < params_.initialize_frames) return false;
+  stage_progress_ = 0;
+  ++initializes_;
+  if (ctx.own != nullptr && target_spec.has_value()) {
+    ctx.own->write("initialized_for",
+                   static_cast<std::int64_t>(target_spec->value()));
+  }
+  return true;
+}
+
+void SimpleApp::on_volatile_lost() {
+  work_count_ = 0;
+  stage_progress_ = 0;
+  ++volatile_losses_;
+}
+
+}  // namespace arfs::support

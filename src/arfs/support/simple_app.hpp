@@ -1,0 +1,62 @@
+// A generic reconfigurable application for examples, tests, and benchmarks.
+//
+// SimpleApp performs bookkeeping work each frame (counting AFTAs and
+// persisting the count to stable storage) and lets the scenario configure
+// how many frames each reconfiguration stage takes — the knob that exercises
+// multi-frame phases, dependency waits, and SP3 margins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "arfs/core/app.hpp"
+
+namespace arfs::support {
+
+struct SimpleAppParams {
+  /// Frames each stage needs to complete (>= 1).
+  Cycle halt_frames = 1;
+  Cycle prepare_frames = 1;
+  Cycle initialize_frames = 1;
+  /// Simulated execution time consumed by one normal AFTA.
+  SimDuration work_cost_us = 100;
+};
+
+class SimpleApp final : public core::ReconfigurableApp {
+ public:
+  SimpleApp(AppId id, std::string name, SimpleAppParams params = {});
+
+  /// Total normal AFTAs completed (volatile: reset by host failure).
+  [[nodiscard]] std::uint64_t work_count() const { return work_count_; }
+  /// Stable-storage work counter as of the last commit; survives failures.
+  [[nodiscard]] std::uint64_t halts() const { return halts_; }
+  [[nodiscard]] std::uint64_t prepares() const { return prepares_; }
+  [[nodiscard]] std::uint64_t initializes() const { return initializes_; }
+  [[nodiscard]] std::uint64_t volatile_losses() const {
+    return volatile_losses_;
+  }
+
+  /// Makes the next `n` work frames raise an application fault signal.
+  void inject_work_faults(std::uint64_t n) { fault_budget_ = n; }
+
+ protected:
+  StepResult do_work(const Ctx& ctx) override;
+  bool do_halt(const Ctx& ctx) override;
+  bool do_prepare(const Ctx& ctx, std::optional<SpecId> target_spec) override;
+  bool do_initialize(const Ctx& ctx,
+                     std::optional<SpecId> target_spec) override;
+  void on_volatile_lost() override;
+
+ private:
+  SimpleAppParams params_;
+  std::uint64_t work_count_ = 0;
+  std::uint64_t halts_ = 0;
+  std::uint64_t prepares_ = 0;
+  std::uint64_t initializes_ = 0;
+  std::uint64_t volatile_losses_ = 0;
+  std::uint64_t fault_budget_ = 0;
+  Cycle stage_progress_ = 0;
+};
+
+}  // namespace arfs::support

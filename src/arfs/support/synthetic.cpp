@@ -1,0 +1,215 @@
+#include "arfs/support/synthetic.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arfs/common/check.hpp"
+
+namespace arfs::support {
+
+AppId synthetic_app(std::size_t index) {
+  return AppId{static_cast<std::uint32_t>(index + 1)};
+}
+SpecId synthetic_spec(std::size_t app_index, std::size_t spec_index) {
+  return SpecId{static_cast<std::uint32_t>(1000 + app_index * 64 + spec_index)};
+}
+ConfigId synthetic_config(std::size_t index) {
+  return ConfigId{static_cast<std::uint32_t>(index + 1)};
+}
+FactorId synthetic_factor(std::size_t index) {
+  return FactorId{static_cast<std::uint32_t>(index + 1)};
+}
+ProcessorId synthetic_processor(std::size_t index) {
+  return ProcessorId{static_cast<std::uint32_t>(index + 1)};
+}
+
+core::ReconfigSpec make_chain_spec(const ChainSpecParams& params) {
+  require(params.configs >= 2, "a chain needs at least two configurations");
+  require(params.apps >= 1, "a chain needs at least one application");
+
+  core::ReconfigSpec spec;
+
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    core::AppDecl decl;
+    decl.id = synthetic_app(a);
+    decl.name = "chain-app-" + std::to_string(a);
+    decl.specs = {
+        core::FunctionalSpec{synthetic_spec(a, 0), "primary",
+                             core::ResourceDemand{0.4, 64.0, 20.0}, 200, 500},
+        core::FunctionalSpec{synthetic_spec(a, 1), "degraded",
+                             core::ResourceDemand{0.1, 16.0, 5.0}, 80, 300},
+    };
+    spec.declare_app(std::move(decl));
+  }
+
+  spec.declare_factor(env::FactorSpec{
+      kChainSeverityFactor, "severity", 0,
+      static_cast<std::int64_t>(params.configs - 1), 0});
+
+  for (std::size_t c = 0; c < params.configs; ++c) {
+    core::Configuration config;
+    config.id = synthetic_config(c);
+    config.name = "chain-level-" + std::to_string(c);
+    for (std::size_t a = 0; a < params.apps; ++a) {
+      config.assignment[synthetic_app(a)] = synthetic_spec(a, c == 0 ? 0 : 1);
+      config.placement[synthetic_app(a)] = synthetic_processor(a);
+    }
+    config.safe = (c == params.configs - 1);
+    config.service_rank = static_cast<int>(params.configs - 1 - c);
+    spec.declare_config(std::move(config));
+  }
+
+  // Bounds for every ordered pair, including self-transitions: under the
+  // immediate policy a retarget can legitimately complete back into the
+  // source configuration, and SP3 then needs T(c,c).
+  for (std::size_t i = 0; i < params.configs; ++i) {
+    for (std::size_t j = 0; j < params.configs; ++j) {
+      spec.set_transition_bound(synthetic_config(i), synthetic_config(j),
+                                params.transition_bound);
+    }
+  }
+
+  const std::size_t levels = params.configs;
+  const bool recovery = params.with_recovery_edges;
+  spec.set_choose([levels, recovery](ConfigId current,
+                                     const env::EnvState& e) {
+    const auto it = e.find(kChainSeverityFactor);
+    const std::size_t severity =
+        it == e.end() ? 0
+                      : static_cast<std::size_t>(
+                            std::clamp<std::int64_t>(
+                                it->second, 0,
+                                static_cast<std::int64_t>(levels - 1)));
+    if (recovery) {
+      // Severity fully dictates the level; recovery moves back up-chain
+      // (this makes the transition graph cyclic on purpose).
+      return synthetic_config(severity);
+    }
+    // Monotone degradation: never move to a better level than the current
+    // one, which keeps the transition graph acyclic.
+    const std::size_t current_level = current.value() - 1;
+    return synthetic_config(std::max(current_level, severity));
+  });
+
+  spec.set_initial_config(synthetic_config(0));
+  spec.set_dwell_frames(params.dwell_frames);
+  spec.validate();
+  return spec;
+}
+
+core::ReconfigSpec make_random_spec(const RandomSpecParams& params,
+                                    std::uint64_t seed) {
+  require(params.apps >= 1 && params.configs >= 2, "degenerate random spec");
+  require(params.specs_per_app >= 1, "apps need at least one spec");
+  require(params.factors >= 1 && params.factors <= 16,
+          "factors must be in [1, 16]");
+  require(params.processors >= 1, "need at least one processor");
+
+  Rng rng(seed);
+  core::ReconfigSpec spec;
+
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    core::AppDecl decl;
+    decl.id = synthetic_app(a);
+    decl.name = "rnd-app-" + std::to_string(a);
+    for (std::size_t s = 0; s < params.specs_per_app; ++s) {
+      decl.specs.push_back(core::FunctionalSpec{
+          synthetic_spec(a, s), "spec-" + std::to_string(s),
+          core::ResourceDemand{0.1 + 0.1 * static_cast<double>(s), 16.0, 5.0},
+          100, 400});
+    }
+    spec.declare_app(std::move(decl));
+  }
+
+  for (std::size_t f = 0; f < params.factors; ++f) {
+    spec.declare_factor(env::FactorSpec{synthetic_factor(f),
+                                        "rnd-factor-" + std::to_string(f), 0,
+                                        1, 0});
+  }
+
+  for (std::size_t c = 0; c < params.configs; ++c) {
+    core::Configuration config;
+    config.id = synthetic_config(c);
+    config.name = "rnd-config-" + std::to_string(c);
+    for (std::size_t a = 0; a < params.apps; ++a) {
+      // App 0 is always assigned so no configuration is fully off; others
+      // are off with probability ~1/6.
+      if (a != 0 && rng.chance(1.0 / 6.0)) continue;
+      const std::size_t s = rng.uniform(0, params.specs_per_app - 1);
+      config.assignment[synthetic_app(a)] = synthetic_spec(a, s);
+      config.placement[synthetic_app(a)] =
+          synthetic_processor(rng.uniform(0, params.processors - 1));
+    }
+    config.safe = (c == params.configs - 1);
+    config.service_rank = static_cast<int>(params.configs - 1 - c);
+    spec.declare_config(std::move(config));
+  }
+
+  for (std::size_t i = 0; i < params.configs; ++i) {
+    for (std::size_t j = 0; j < params.configs; ++j) {
+      spec.set_transition_bound(synthetic_config(i), synthetic_config(j),
+                                params.transition_bound);
+    }
+  }
+
+  // Deterministic pseudo-random choose table: each non-zero environment
+  // state demands one attractor configuration (the style of the paper's
+  // SCRAM_table `primary` mapping, Figure 2); the all-zero environment keeps
+  // the current configuration. Per-environment attractors make choose
+  // idempotent — choose(choose(c,e), e) == choose(c,e) — which the model
+  // implicitly assumes: the "proper choice" for an environment must itself
+  // be stable under that environment, or reconfiguration would never
+  // quiesce.
+  const std::size_t env_space = std::size_t{1} << params.factors;
+  std::vector<std::size_t> attractor(env_space, 0);
+  for (std::size_t e = 1; e < env_space; ++e) {
+    attractor[e] = rng.uniform(0, params.configs - 1);
+  }
+  // The worst-case (all-ones) environment always demands the safe (last)
+  // configuration, so safe reachability holds for every generated spec.
+  attractor[env_space - 1] = params.configs - 1;
+  const std::size_t factor_count = params.factors;
+  spec.set_choose([attractor = std::move(attractor), factor_count](
+                      ConfigId current, const env::EnvState& e) {
+    std::size_t bits = 0;
+    for (std::size_t f = 0; f < factor_count; ++f) {
+      const auto it = e.find(synthetic_factor(f));
+      if (it != e.end() && it->second != 0) bits |= std::size_t{1} << f;
+    }
+    if (bits == 0) return current;
+    return synthetic_config(attractor[bits]);
+  });
+
+  // Acyclic dependencies: dependent index strictly greater than independent.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (params.apps >= 2 && added < params.dependencies &&
+         attempts < params.dependencies * 8) {
+    ++attempts;
+    const std::size_t indep = rng.uniform(0, params.apps - 2);
+    const std::size_t dep = rng.uniform(indep + 1, params.apps - 1);
+    bool duplicate = false;
+    for (const core::Dependency& d : spec.dependencies().all()) {
+      if (d.dependent == synthetic_app(dep) &&
+          d.independent == synthetic_app(indep)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    spec.add_dependency(core::Dependency{synthetic_app(dep),
+                                         synthetic_app(indep),
+                                         core::DepPhase::kInitialize,
+                                         std::nullopt});
+    ++added;
+  }
+
+  spec.set_initial_config(synthetic_config(0));
+  spec.set_dwell_frames(params.dwell_frames);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace arfs::support

@@ -1,0 +1,60 @@
+// Synthetic reconfiguration specifications for property sweeps, scale tests,
+// and benchmarks.
+//
+// Two families:
+//  * chain specs — a linear degradation chain C0 -> C1 -> ... -> C(n-1)
+//    driven by a single severity factor; Cn-1 is safe. Exercises the
+//    section 5.3 restriction-time formulas directly.
+//  * random specs — N applications, M configurations, K binary factors, a
+//    deterministic pseudo-random choose function, and optional acyclic
+//    dependencies. Used by the SP1-SP4 property sweeps: whatever the
+//    (seeded) shape, the four properties must hold on every trace.
+#pragma once
+
+#include <cstdint>
+
+#include "arfs/common/rng.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+
+namespace arfs::support {
+
+struct ChainSpecParams {
+  std::size_t configs = 4;        ///< Chain length (>= 2); last one is safe.
+  std::size_t apps = 2;
+  Cycle transition_bound = 16;    ///< T for each chain edge.
+  bool with_recovery_edges = false;  ///< Also allow moving back up-chain
+                                     ///< (creates cycles).
+  Cycle dwell_frames = 0;
+};
+
+/// Severity factor: value v in [0, configs-1] demands configuration v.
+/// The factor id is kChainSeverityFactor.
+inline constexpr FactorId kChainSeverityFactor{100};
+
+[[nodiscard]] core::ReconfigSpec make_chain_spec(
+    const ChainSpecParams& params);
+
+struct RandomSpecParams {
+  std::size_t apps = 3;
+  std::size_t specs_per_app = 2;
+  std::size_t configs = 4;
+  std::size_t factors = 2;       ///< Binary factors.
+  std::size_t processors = 3;
+  std::size_t dependencies = 1;  ///< Acyclic initialize-phase dependencies.
+  Cycle transition_bound = 64;   ///< Generous; property sweeps tighten it.
+  Cycle dwell_frames = 0;
+};
+
+/// Deterministic from `seed`: the same seed always yields the same spec.
+[[nodiscard]] core::ReconfigSpec make_random_spec(
+    const RandomSpecParams& params, std::uint64_t seed);
+
+/// Id helpers used by the generators (and by tests inspecting the results).
+[[nodiscard]] AppId synthetic_app(std::size_t index);
+[[nodiscard]] SpecId synthetic_spec(std::size_t app_index,
+                                    std::size_t spec_index);
+[[nodiscard]] ConfigId synthetic_config(std::size_t index);
+[[nodiscard]] FactorId synthetic_factor(std::size_t index);
+[[nodiscard]] ProcessorId synthetic_processor(std::size_t index);
+
+}  // namespace arfs::support

@@ -1,0 +1,27 @@
+// Trace rendering: CSV export for offline analysis and a Table-1-style
+// phase table used to reproduce the paper's SFTA phase protocol (experiment
+// E1 in DESIGN.md).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "arfs/trace/reconfigs.hpp"
+#include "arfs/trace/recorder.hpp"
+
+namespace arfs::trace {
+
+/// Writes one row per (cycle, application) with status and predicate flags.
+void write_csv(const SysTrace& s, std::ostream& os);
+
+/// Writes the full trace as a JSON document: frame metadata, per-application
+/// snapshots, the environment, and the extracted reconfigurations.
+void write_json(const SysTrace& s, std::ostream& os);
+
+/// Renders the frames of one reconfiguration in the layout of paper Table 1:
+/// relative frame number, per-application action/status, and the predicates
+/// established in that frame.
+[[nodiscard]] std::string render_phase_table(const SysTrace& s,
+                                             const Reconfiguration& r);
+
+}  // namespace arfs::trace

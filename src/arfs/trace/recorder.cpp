@@ -1,0 +1,22 @@
+#include "arfs/trace/recorder.hpp"
+
+#include <utility>
+
+namespace arfs::trace {
+
+SysTrace::SysTrace(SimDuration frame_length) : frame_length_(frame_length) {
+  require(frame_length > 0, "frame length must be positive");
+}
+
+void SysTrace::append(SysState state) {
+  require(state.cycle == states_.size(),
+          "trace cycles must be contiguous from 0");
+  states_.push_back(std::move(state));
+}
+
+const SysState& SysTrace::at(Cycle cycle) const {
+  require(cycle < states_.size(), "cycle beyond recorded trace");
+  return states_[static_cast<std::size_t>(cycle)];
+}
+
+}  // namespace arfs::trace

@@ -1,0 +1,39 @@
+// SysTrace: the recorded function cycle -> sys_state.
+//
+// The model's sys_trace couples the trace function `tr` with the
+// reconfiguration specification `sp` and the environment trace `env`; here
+// the recorder stores the per-cycle states (which embed the environment
+// snapshot) and the frame length needed to convert frame counts into the
+// real-time quantities SP3 compares against.
+#pragma once
+
+#include <vector>
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/trace/state.hpp"
+
+namespace arfs::trace {
+
+class SysTrace {
+ public:
+  /// `frame_length` is the global real-time frame length (cycle_time in the
+  /// model). Precondition: positive.
+  explicit SysTrace(SimDuration frame_length);
+
+  /// Appends the end-of-frame snapshot for the next cycle. Cycles must be
+  /// recorded contiguously starting at 0.
+  void append(SysState state);
+
+  [[nodiscard]] const SysState& at(Cycle cycle) const;
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] bool empty() const { return states_.empty(); }
+  [[nodiscard]] SimDuration frame_length() const { return frame_length_; }
+  [[nodiscard]] const std::vector<SysState>& states() const { return states_; }
+
+ private:
+  SimDuration frame_length_;
+  std::vector<SysState> states_;
+};
+
+}  // namespace arfs::trace

@@ -1,0 +1,30 @@
+#include "arfs/trace/state.hpp"
+
+namespace arfs::trace {
+
+std::string to_string(ReconfState st) {
+  switch (st) {
+    case ReconfState::kNormal:        return "normal";
+    case ReconfState::kInterrupted:   return "interrupted";
+    case ReconfState::kHalted:        return "halted";
+    case ReconfState::kPrepared:      return "prepared";
+    case ReconfState::kAwaitingStart: return "awaiting-start";
+  }
+  return "?";
+}
+
+bool all_normal(const SysState& s) {
+  for (const auto& [app, snap] : s.apps) {
+    if (snap.reconf_st != ReconfState::kNormal) return false;
+  }
+  return true;
+}
+
+bool any_interrupted(const SysState& s) {
+  for (const auto& [app, snap] : s.apps) {
+    if (snap.reconf_st == ReconfState::kInterrupted) return true;
+  }
+  return false;
+}
+
+}  // namespace arfs::trace

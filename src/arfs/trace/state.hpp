@@ -1,0 +1,61 @@
+// System-state snapshots: the concrete counterpart of the paper's sys_trace.
+//
+// The PVS model records, per cycle, each application's reconfiguration status
+// (`reconf_st`), the system service level (`svclvl` — the current
+// configuration), and the environment. Properties SP1-SP4 (paper Table 2) are
+// predicates over exactly this data, so the snapshot captures it verbatim,
+// plus the three per-frame predicate flags from Table 1 (application
+// postconditions, transition conditions, preconditions) so the phase protocol
+// itself can be checked and printed.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/env/environment.hpp"
+
+namespace arfs::trace {
+
+/// Per-application reconfiguration status at the end of a frame.
+/// kNormal corresponds to the model's `normal`; kInterrupted to
+/// `interrupted`; the remaining values are the intermediate, non-normal
+/// stages of the SFTA phases (Table 1).
+enum class ReconfState {
+  kNormal,
+  kInterrupted,    ///< Trigger accepted this frame; AFTA could not complete.
+  kHalted,         ///< Postcondition established, application halted.
+  kPrepared,       ///< Transition condition for the target established.
+  kAwaitingStart,  ///< Precondition established; waiting for system start.
+};
+
+struct AppSnapshot {
+  ReconfState reconf_st = ReconfState::kNormal;
+  std::optional<SpecId> spec;  ///< Nullopt when the application is off.
+  bool host_running = true;
+  // Table 1 predicate flags, as established by the application this frame.
+  bool postcondition_ok = false;
+  bool transition_ok = false;
+  bool precondition_ok = false;
+};
+
+/// Snapshot of the whole system at the end of one frame.
+struct SysState {
+  Cycle cycle = 0;
+  SimTime time = 0;            ///< Frame end instant.
+  ConfigId svclvl{};           ///< Current configuration (service level).
+  std::map<AppId, AppSnapshot> apps;
+  env::EnvState env;
+};
+
+[[nodiscard]] std::string to_string(ReconfState st);
+
+/// True iff every application in the snapshot is in the normal state.
+[[nodiscard]] bool all_normal(const SysState& s);
+
+/// True iff at least one application is in the interrupted state.
+[[nodiscard]] bool any_interrupted(const SysState& s);
+
+}  // namespace arfs::trace

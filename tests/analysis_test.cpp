@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "arfs/analysis/coverage.hpp"
+#include "arfs/analysis/economics.hpp"
+#include "arfs/analysis/graph.hpp"
+#include "arfs/analysis/timing.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::analysis {
+namespace {
+
+using support::ChainSpecParams;
+using support::make_chain_spec;
+using support::synthetic_config;
+
+TEST(TransitionGraph, ChainWithoutRecoveryIsAcyclic) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  EXPECT_EQ(g.nodes().size(), 4u);
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_FALSE(g.find_cycle().has_value());
+}
+
+TEST(TransitionGraph, MonotoneChainEdgesOnlyGoDown) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  for (const Transition& t : g.edges()) {
+    EXPECT_LT(t.from.value(), t.to.value());
+  }
+}
+
+TEST(TransitionGraph, RecoveryEdgesCreateCycle) {
+  ChainSpecParams params;
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  const TransitionGraph g = TransitionGraph::build(spec);
+  EXPECT_TRUE(g.has_cycle());
+  const auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 2u);
+  // The reported cycle is a real cycle: each hop is an edge.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    const ConfigId from = (*cycle)[i];
+    const ConfigId to = (*cycle)[(i + 1) % cycle->size()];
+    const auto succ = g.successors(from);
+    EXPECT_NE(std::find(succ.begin(), succ.end(), to), succ.end());
+  }
+}
+
+TEST(TransitionGraph, ReachabilityFromInitial) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  const auto reachable = g.reachable_from(synthetic_config(0));
+  EXPECT_EQ(reachable.size(), 4u);  // whole chain
+  const auto from_last = g.reachable_from(synthetic_config(3));
+  EXPECT_EQ(from_last.size(), 1u);  // terminal: only itself
+}
+
+TEST(TransitionGraph, CanReachSafeCoversWholeChain) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  EXPECT_EQ(g.can_reach_safe(spec).size(), 4u);
+}
+
+TEST(TransitionGraph, WitnessEnvironmentActuallyInducesEdge) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  for (const Transition& t : g.edges()) {
+    EXPECT_EQ(spec.choose(t.from, t.witness), t.to);
+  }
+}
+
+TEST(Coverage, ChainSpecDischargesAllObligations) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const CoverageReport report = check_coverage(spec);
+  EXPECT_TRUE(report.all_discharged());
+  EXPECT_GT(report.generated, 0u);
+  EXPECT_TRUE(report.failures().empty());
+}
+
+TEST(Coverage, MissingTransitionBoundDetected) {
+  // Build a chain spec, then a copy-alike without one needed bound.
+  core::ReconfigSpec spec;
+  core::AppDecl decl;
+  decl.id = support::synthetic_app(0);
+  decl.name = "a";
+  decl.specs = {core::FunctionalSpec{support::synthetic_spec(0, 0), "s", {},
+                                     100, 200}};
+  spec.declare_app(std::move(decl));
+  spec.declare_factor(
+      env::FactorSpec{support::kChainSeverityFactor, "sev", 0, 1, 0});
+  for (int c = 0; c < 2; ++c) {
+    core::Configuration config;
+    config.id = synthetic_config(c);
+    config.name = "c" + std::to_string(c);
+    config.assignment = {{support::synthetic_app(0),
+                          support::synthetic_spec(0, 0)}};
+    config.placement = {{support::synthetic_app(0),
+                         support::synthetic_processor(0)}};
+    config.safe = (c == 1);
+    spec.declare_config(std::move(config));
+  }
+  // Deliberately no transition bound for the 0 -> 1 edge choose() induces.
+  spec.set_choose([](ConfigId, const env::EnvState& e) {
+    return e.at(support::kChainSeverityFactor) == 0 ? synthetic_config(0)
+                                                    : synthetic_config(1);
+  });
+  spec.set_initial_config(synthetic_config(0));
+  spec.validate();
+
+  const CoverageReport report = check_coverage(spec);
+  EXPECT_FALSE(report.all_discharged());
+  bool found = false;
+  for (const Obligation& o : report.failures()) {
+    if (o.description.find("T(c1,c2) defined") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Coverage, UnreachableSafeConfigDetected) {
+  // Two configurations, no transitions at all: from the initial config the
+  // safe one is unreachable.
+  core::ReconfigSpec spec;
+  core::AppDecl decl;
+  decl.id = support::synthetic_app(0);
+  decl.name = "a";
+  decl.specs = {core::FunctionalSpec{support::synthetic_spec(0, 0), "s", {},
+                                     100, 200}};
+  spec.declare_app(std::move(decl));
+  spec.declare_factor(
+      env::FactorSpec{support::kChainSeverityFactor, "sev", 0, 1, 0});
+  for (int c = 0; c < 2; ++c) {
+    core::Configuration config;
+    config.id = synthetic_config(c);
+    config.name = "c" + std::to_string(c);
+    config.assignment = {{support::synthetic_app(0),
+                          support::synthetic_spec(0, 0)}};
+    config.placement = {{support::synthetic_app(0),
+                         support::synthetic_processor(0)}};
+    config.safe = (c == 1);
+    spec.declare_config(std::move(config));
+  }
+  spec.set_choose([](ConfigId current, const env::EnvState&) {
+    return current;  // never reconfigures
+  });
+  spec.set_initial_config(synthetic_config(0));
+  spec.validate();
+
+  const CoverageReport report = check_coverage(spec);
+  EXPECT_FALSE(report.all_discharged());
+  bool found = false;
+  for (const Obligation& o : report.failures()) {
+    if (o.description.find("safe configuration reachable") !=
+        std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Coverage, KeepDischargedMaterializesAll) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const CoverageReport report = check_coverage(spec, /*keep_discharged=*/true);
+  EXPECT_EQ(report.obligations.size(), report.generated);
+}
+
+TEST(Timing, WorstChainSumsBoundsAlongLongestPath) {
+  ChainSpecParams params;
+  params.configs = 4;
+  params.transition_bound = 10;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  const TransitionGraph g = TransitionGraph::build(spec);
+  const ChainBound bound = worst_chain_restriction(spec, g);
+  ASSERT_TRUE(bound.frames.has_value());
+  // Longest chain is 0 -> 1 -> 2 -> 3: three hops of 10 frames.
+  EXPECT_EQ(*bound.frames, 30u);
+  EXPECT_EQ(bound.chain.size(), 4u);
+  EXPECT_EQ(bound.chain.front(), synthetic_config(0));
+  EXPECT_EQ(bound.chain.back(), synthetic_config(3));
+}
+
+TEST(Timing, CyclicGraphIsUnbounded) {
+  ChainSpecParams params;
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  const TransitionGraph g = TransitionGraph::build(spec);
+  const ChainBound bound = worst_chain_restriction(spec, g);
+  EXPECT_FALSE(bound.frames.has_value());
+  EXPECT_NE(bound.note.find("cyclic"), std::string::npos);
+}
+
+TEST(Timing, SafeInterpositionIsMaxOfDirectHops) {
+  ChainSpecParams params;
+  params.configs = 4;
+  params.transition_bound = 10;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  const InterpositionBound bound = safe_interposition_restriction(spec);
+  ASSERT_TRUE(bound.frames.has_value());
+  // Every unsafe config has a direct bounded hop to the safe one: max = 10,
+  // versus 30 for the worst chain — the section 5.3 improvement.
+  EXPECT_EQ(*bound.frames, 10u);
+  EXPECT_TRUE(bound.missing_safe_edges.empty());
+}
+
+TEST(Timing, MissingSafeEdgeReported) {
+  core::ReconfigSpec spec;
+  core::AppDecl decl;
+  decl.id = support::synthetic_app(0);
+  decl.name = "a";
+  decl.specs = {core::FunctionalSpec{support::synthetic_spec(0, 0), "s", {},
+                                     100, 200}};
+  spec.declare_app(std::move(decl));
+  spec.declare_factor(
+      env::FactorSpec{support::kChainSeverityFactor, "sev", 0, 2, 0});
+  for (int c = 0; c < 3; ++c) {
+    core::Configuration config;
+    config.id = synthetic_config(c);
+    config.name = "c" + std::to_string(c);
+    config.assignment = {{support::synthetic_app(0),
+                          support::synthetic_spec(0, 0)}};
+    config.placement = {{support::synthetic_app(0),
+                         support::synthetic_processor(0)}};
+    config.safe = (c == 2);
+    spec.declare_config(std::move(config));
+  }
+  // Config 0 can reach safe only via config 1: no direct bound 0 -> 2.
+  spec.set_transition_bound(synthetic_config(0), synthetic_config(1), 5);
+  spec.set_transition_bound(synthetic_config(1), synthetic_config(2), 5);
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(synthetic_config(0));
+
+  const InterpositionBound bound = safe_interposition_restriction(spec);
+  EXPECT_FALSE(bound.frames.has_value());
+  ASSERT_EQ(bound.missing_safe_edges.size(), 1u);
+  EXPECT_EQ(bound.missing_safe_edges[0], synthetic_config(0));
+}
+
+TEST(Timing, CycleExposureReportsPeriod) {
+  ChainSpecParams params;
+  params.configs = 3;
+  params.transition_bound = 7;
+  params.with_recovery_edges = true;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  const TransitionGraph g = TransitionGraph::build(spec);
+  const CycleExposure exposure = cycle_exposure(spec, g);
+  EXPECT_TRUE(exposure.cyclic);
+  ASSERT_TRUE(exposure.cycle_frames.has_value());
+  EXPECT_EQ(*exposure.cycle_frames % 7, 0u);  // sum of 7-frame hops
+  EXPECT_GE(exposure.example_cycle.size(), 2u);
+}
+
+TEST(Timing, AcyclicGraphHasNoExposure) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  const TransitionGraph g = TransitionGraph::build(spec);
+  const CycleExposure exposure = cycle_exposure(spec, g);
+  EXPECT_FALSE(exposure.cyclic);
+}
+
+TEST(Economics, MaskingVsReconfigFormulas) {
+  // Paper 5.1: masking = full + failures; reconfiguration = safe + failures.
+  HwEconomicsInput input;
+  input.units_full_service = 6;
+  input.units_safe_service = 2;
+  input.max_expected_failures = 3;
+  input.unit_weight_kg = 4.0;
+  input.unit_power_w = 50.0;
+  const HwEconomicsResult r = compute_hw_economics(input);
+  EXPECT_EQ(r.masking_units, 9);
+  EXPECT_EQ(r.reconfig_units, 5);
+  EXPECT_EQ(r.saved_units, 4);
+  EXPECT_DOUBLE_EQ(r.saved_weight_kg, 16.0);
+  EXPECT_DOUBLE_EQ(r.saved_power_w, 200.0);
+  EXPECT_NEAR(r.saving_fraction, 4.0 / 9.0, 1e-12);
+  // reconfig units (5) <= full service units (6): no excess equipment.
+  EXPECT_TRUE(r.no_excess_equipment);
+}
+
+TEST(Economics, NoExcessFlagFalseWhenSparesDominate) {
+  HwEconomicsInput input;
+  input.units_full_service = 3;
+  input.units_safe_service = 2;
+  input.max_expected_failures = 4;
+  const HwEconomicsResult r = compute_hw_economics(input);
+  EXPECT_FALSE(r.no_excess_equipment);  // 6 > 3
+}
+
+TEST(Economics, ZeroFailuresDegenerates) {
+  HwEconomicsInput input;
+  input.units_full_service = 4;
+  input.units_safe_service = 4;
+  input.max_expected_failures = 0;
+  const HwEconomicsResult r = compute_hw_economics(input);
+  EXPECT_EQ(r.saved_units, 0);
+  EXPECT_DOUBLE_EQ(r.saving_fraction, 0.0);
+}
+
+TEST(Economics, InvalidInputsRejected) {
+  HwEconomicsInput input;
+  input.units_full_service = 2;
+  input.units_safe_service = 3;  // safe > full
+  input.max_expected_failures = 0;
+  EXPECT_THROW((void)compute_hw_economics(input), ContractViolation);
+}
+
+TEST(Economics, HybridBetweenPureExtremes) {
+  HybridInput input;
+  input.units_full_service = 8;
+  input.units_safe_service = 3;
+  input.masked_units = 2;
+  input.max_expected_failures = 3;
+  const HybridResult r = compute_hybrid_economics(input);
+  EXPECT_EQ(r.pure_masking_units, 11);
+  EXPECT_EQ(r.pure_reconfig_units, 6);
+  EXPECT_GE(r.total_units, r.pure_reconfig_units);
+  EXPECT_LE(r.total_units, r.pure_masking_units);
+}
+
+TEST(Economics, RenderMentionsSavings) {
+  HwEconomicsInput input;
+  input.units_full_service = 6;
+  input.units_safe_service = 2;
+  input.max_expected_failures = 3;
+  const std::string text = render(compute_hw_economics(input));
+  EXPECT_NE(text.find("saved=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arfs::analysis

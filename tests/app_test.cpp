@@ -1,0 +1,173 @@
+// Unit tests of the ReconfigurableApp base state machine, driven directly
+// (no System): directive ordering contracts, predicate flags, host-absence
+// behaviour, and the rewind path.
+#include <gtest/gtest.h>
+
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::SimpleApp;
+using support::synthetic_app;
+using support::synthetic_spec;
+using trace::ReconfState;
+
+class AppStateMachine : public ::testing::Test {
+ protected:
+  AppStateMachine() : app_(synthetic_app(0), "unit") {
+    app_.force_spec(synthetic_spec(0, 0));
+    region_.emplace(backing_, "a1/");
+    ctx_.own = &*region_;
+  }
+
+  Directive directive(DirectiveKind kind) {
+    Directive d;
+    d.kind = kind;
+    d.target_spec = synthetic_spec(0, 1);
+    d.target_config = support::synthetic_config(1);
+    return d;
+  }
+
+  storage::StableStorage backing_;
+  std::optional<StableRegion> region_;
+  SimpleApp app_{synthetic_app(0), "unit"};
+  ReconfigurableApp::Ctx ctx_;
+};
+
+TEST_F(AppStateMachine, NormalWorkRunsAfta) {
+  const auto result = app_.frame_step(ctx_, directive(DirectiveKind::kNone));
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.phase_done);
+  EXPECT_EQ(app_.work_count(), 1u);
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kNormal);
+}
+
+TEST_F(AppStateMachine, OffAppDoesNothing) {
+  app_.force_spec(std::nullopt);
+  const auto result = app_.frame_step(ctx_, directive(DirectiveKind::kNone));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(app_.work_count(), 0u);
+}
+
+TEST_F(AppStateMachine, FullPhaseSequenceSetsPredicates) {
+  app_.mark_interrupted();
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kInterrupted);
+  EXPECT_FALSE(app_.postcondition_ok());
+
+  auto r = app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  EXPECT_TRUE(r.phase_done);
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kHalted);
+  EXPECT_TRUE(app_.postcondition_ok());
+
+  r = app_.frame_step(ctx_, directive(DirectiveKind::kPrepare));
+  EXPECT_TRUE(r.phase_done);
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kPrepared);
+  EXPECT_TRUE(app_.transition_ok());
+
+  r = app_.frame_step(ctx_, directive(DirectiveKind::kInitialize));
+  EXPECT_TRUE(r.phase_done);
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kAwaitingStart);
+  EXPECT_TRUE(app_.precondition_ok());
+
+  app_.start(synthetic_spec(0, 1));
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kNormal);
+  EXPECT_EQ(app_.current_spec(), synthetic_spec(0, 1));
+}
+
+TEST_F(AppStateMachine, PrepareBeforeHaltIsContractViolation) {
+  EXPECT_THROW(
+      (void)app_.frame_step(ctx_, directive(DirectiveKind::kPrepare)),
+      ContractViolation);
+}
+
+TEST_F(AppStateMachine, InitializeBeforePrepareIsContractViolation) {
+  app_.mark_interrupted();
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  EXPECT_THROW(
+      (void)app_.frame_step(ctx_, directive(DirectiveKind::kInitialize)),
+      ContractViolation);
+}
+
+TEST_F(AppStateMachine, HoldDuringReconfigDoesNoWork) {
+  app_.mark_interrupted();
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  const auto r = app_.frame_step(ctx_, directive(DirectiveKind::kNone));
+  EXPECT_TRUE(r.phase_done);  // held phase stays complete
+  EXPECT_EQ(app_.work_count(), 0u);
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kHalted);
+}
+
+TEST_F(AppStateMachine, NoHostHaltIsTriviallyDone) {
+  app_.mark_interrupted();
+  ctx_.own = nullptr;  // host fail-stopped
+  const auto r = app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  EXPECT_TRUE(r.phase_done);
+  EXPECT_TRUE(app_.postcondition_ok());
+}
+
+TEST_F(AppStateMachine, NoHostInitializeWithTargetSpecFaults) {
+  app_.mark_interrupted();
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kPrepare));
+  ctx_.own = nullptr;
+  const auto r = app_.frame_step(ctx_, directive(DirectiveKind::kInitialize));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.phase_done);
+  EXPECT_NE(r.fault_detail.find("no running host"), std::string::npos);
+}
+
+TEST_F(AppStateMachine, NoHostInitializeTowardOffIsTriviallyDone) {
+  app_.mark_interrupted();
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  Directive prep = directive(DirectiveKind::kPrepare);
+  prep.target_spec = std::nullopt;
+  (void)app_.frame_step(ctx_, prep);
+  ctx_.own = nullptr;
+  Directive init = directive(DirectiveKind::kInitialize);
+  init.target_spec = std::nullopt;  // off in the target configuration
+  const auto r = app_.frame_step(ctx_, init);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.phase_done);
+}
+
+TEST_F(AppStateMachine, RewindToHaltedClearsLaterPredicates) {
+  app_.mark_interrupted();
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  (void)app_.frame_step(ctx_, directive(DirectiveKind::kPrepare));
+  EXPECT_TRUE(app_.transition_ok());
+
+  app_.rewind_to_halted();
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kHalted);
+  EXPECT_TRUE(app_.postcondition_ok());  // postcondition survives
+  EXPECT_FALSE(app_.transition_ok());
+  EXPECT_FALSE(app_.precondition_ok());
+
+  // Re-prepare toward a different target works from the rewound state.
+  const auto r = app_.frame_step(ctx_, directive(DirectiveKind::kPrepare));
+  EXPECT_TRUE(r.phase_done);
+}
+
+TEST_F(AppStateMachine, RewindIsNoOpWhenNotPastHalt) {
+  app_.mark_interrupted();
+  app_.rewind_to_halted();
+  EXPECT_EQ(app_.reconf_state(), ReconfState::kInterrupted);
+}
+
+TEST_F(AppStateMachine, MultiFrameStageReportsNotDone) {
+  support::SimpleAppParams slow;
+  slow.halt_frames = 2;
+  SimpleApp app(synthetic_app(1), "slow", slow);
+  app.force_spec(synthetic_spec(0, 0));
+  app.mark_interrupted();
+  auto r = app.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  EXPECT_FALSE(r.phase_done);
+  EXPECT_EQ(app.reconf_state(), ReconfState::kInterrupted);
+  r = app.frame_step(ctx_, directive(DirectiveKind::kHalt));
+  EXPECT_TRUE(r.phase_done);
+  EXPECT_EQ(app.reconf_state(), ReconfState::kHalted);
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,411 @@
+// Tests of the section 7 example instantiation: aircraft dynamics, sensors,
+// the two applications' reconfiguration interfaces, the three-configuration
+// spec, the 7.1 scenario (alternator failure -> Reduced Service), and the
+// initialization dependency.
+#include <gtest/gtest.h>
+
+#include "arfs/analysis/coverage.hpp"
+#include "arfs/analysis/graph.hpp"
+#include "arfs/analysis/timing.hpp"
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/trace/reconfigs.hpp"
+
+namespace arfs::avionics {
+namespace {
+
+TEST(Aircraft, HeadingMath) {
+  EXPECT_DOUBLE_EQ(wrap_heading_deg(370.0), 10.0);
+  EXPECT_DOUBLE_EQ(wrap_heading_deg(-10.0), 350.0);
+  EXPECT_DOUBLE_EQ(heading_error_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(heading_error_deg(350.0, 10.0), -20.0);
+  EXPECT_DOUBLE_EQ(heading_error_deg(180.0, 0.0), 180.0);
+}
+
+TEST(Aircraft, ElevatorClimbsAileronTurns) {
+  AircraftDynamics dyn;
+  const double alt0 = dyn.state().altitude_ft;
+  const double hdg0 = dyn.state().heading_deg;
+  for (int i = 0; i < 500; ++i) {
+    dyn.step(ControlSurfaces{0.5, 0.3}, 0.02);
+  }
+  EXPECT_GT(dyn.state().altitude_ft, alt0 + 50.0);
+  EXPECT_GT(dyn.state().vs_fpm, 0.0);
+  EXPECT_GT(dyn.state().bank_deg, 0.0);
+  EXPECT_NE(dyn.state().heading_deg, hdg0);
+}
+
+TEST(Aircraft, CenteredSurfacesDecayBankAndVs) {
+  AircraftDynamics dyn;
+  for (int i = 0; i < 200; ++i) dyn.step(ControlSurfaces{1.0, 1.0}, 0.02);
+  for (int i = 0; i < 2000; ++i) dyn.step(ControlSurfaces{}, 0.02);
+  EXPECT_NEAR(dyn.state().vs_fpm, 0.0, 1.0);
+  EXPECT_NEAR(dyn.state().bank_deg, 0.0, 0.1);
+}
+
+TEST(Aircraft, AltitudeNeverNegative) {
+  AircraftDynamics dyn(DynamicsParams{}, AircraftState{.altitude_ft = 10.0});
+  for (int i = 0; i < 1000; ++i) dyn.step(ControlSurfaces{-1.0, 0.0}, 0.05);
+  EXPECT_GE(dyn.state().altitude_ft, 0.0);
+}
+
+TEST(Sensors, NoiseIsBoundedAndDeterministic) {
+  AircraftState truth;
+  SensorSuite a(SensorNoise{}, 7);
+  SensorSuite b(SensorNoise{}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const SensorReadings ra = a.sample(truth);
+    const SensorReadings rb = b.sample(truth);
+    EXPECT_DOUBLE_EQ(ra.altitude_ft, rb.altitude_ft);
+    EXPECT_NEAR(ra.altitude_ft, truth.altitude_ft, 30.0);
+    EXPECT_NEAR(heading_error_deg(ra.heading_deg, truth.heading_deg), 0.0,
+                5.0);
+  }
+}
+
+TEST(Sensors, FailedAltimeterSticks) {
+  AircraftState truth;
+  SensorSuite s(SensorNoise{}, 7);
+  const double before = s.sample(truth).altitude_ft;
+  s.fail_altimeter();
+  truth.altitude_ft = 9999.0;
+  EXPECT_DOUBLE_EQ(s.sample(truth).altitude_ft, before);
+}
+
+TEST(UavSpec, ValidatesAndCovers) {
+  const core::ReconfigSpec spec = make_uav_spec();
+  EXPECT_NO_THROW(spec.validate());
+  const analysis::CoverageReport coverage = analysis::check_coverage(spec);
+  EXPECT_TRUE(coverage.all_discharged());
+}
+
+TEST(UavSpec, ChooseMapsPowerStatesToConfigurations) {
+  const core::ReconfigSpec spec = make_uav_spec();
+  const auto choose_for = [&](env::PowerState p) {
+    return spec.choose(kFullService,
+                       env::EnvState{{kPowerFactor,
+                                      static_cast<std::int64_t>(p)}});
+  };
+  EXPECT_EQ(choose_for(env::PowerState::kFullPower), kFullService);
+  EXPECT_EQ(choose_for(env::PowerState::kSingleAlternator), kReducedService);
+  EXPECT_EQ(choose_for(env::PowerState::kBatteryOnly), kMinimalService);
+  EXPECT_EQ(choose_for(env::PowerState::kDepleted), kMinimalService);
+}
+
+TEST(UavSpec, TransitionGraphIsCyclicByDesign) {
+  // Power can be restored, so recovery transitions exist; the dwell rule is
+  // the cycle-breaking mechanism (section 5.3).
+  const core::ReconfigSpec spec = make_uav_spec();
+  const analysis::TransitionGraph g = analysis::TransitionGraph::build(spec);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(UavScenario, AlternatorFailureCommandsReducedService) {
+  UavSystem uav;
+  uav.run(10);
+  EXPECT_EQ(uav.system().scram().current_config(), kFullService);
+
+  uav.electrical().fail_alternator(0);
+  uav.run(10);
+  EXPECT_EQ(uav.system().scram().current_config(), kReducedService);
+
+  // Both applications now share computer 1.
+  EXPECT_EQ(uav.system().region_host(kAutopilot), kComputer1);
+  EXPECT_EQ(uav.system().region_host(kFcs), kComputer1);
+  // And run their degraded specifications.
+  EXPECT_EQ(uav.autopilot().current_spec(), kApAltHold);
+  EXPECT_EQ(uav.fcs().current_spec(), kFcsDirect);
+}
+
+TEST(UavScenario, ReducedTargetSftaTakesFiveFramesDueToDependency) {
+  UavSystem uav;
+  uav.run(10);
+  uav.electrical().fail_alternator(0);
+  uav.run(15);
+
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  // 4 canonical frames + 1 for the autopilot-waits-for-FCS dependency.
+  EXPECT_EQ(trace::duration_frames(reconfigs[0]), 5u);
+}
+
+TEST(UavScenario, WithoutDependencyFourFrames) {
+  UavOptions options;
+  options.spec.with_dependency = false;
+  UavSystem uav(options);
+  uav.run(10);
+  uav.electrical().fail_alternator(0);
+  uav.run(15);
+
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  EXPECT_EQ(trace::duration_frames(reconfigs[0]), 4u);
+}
+
+TEST(UavScenario, PreconditionsHoldOnEntry) {
+  UavSystem uav;
+  uav.run(5);
+  uav.autopilot().engage(ApMode::kClimbTo, 8000.0);
+  uav.run(100);  // surfaces deflected by the climb
+  EXPECT_FALSE(uav.plant().surfaces().centered(1e-3));
+
+  uav.electrical().fail_alternator(0);
+  uav.run(10);
+
+  // Section 7.1 preconditions at configuration entry: surfaces centered
+  // (checked at end_c by SP4 through the trace, and physically here)...
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  // ...and the autopilot disengaged.
+  EXPECT_FALSE(uav.autopilot().engaged());
+
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(UavScenario, SecondFailureCommandsMinimalServiceAutopilotOff) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.run(15);
+  uav.electrical().fail_alternator(1);
+  uav.run(15);
+
+  EXPECT_EQ(uav.system().scram().current_config(), kMinimalService);
+  EXPECT_FALSE(uav.autopilot().current_spec().has_value());  // off
+  EXPECT_EQ(uav.fcs().current_spec(), kFcsDirect);
+
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(UavScenario, DoubleFailureInOneFrameGoesStraightToMinimal) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.electrical().fail_alternator(1);
+  uav.run(15);
+
+  EXPECT_EQ(uav.system().scram().current_config(), kMinimalService);
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  ASSERT_EQ(reconfigs.size(), 1u);  // one reconfiguration, not two
+  EXPECT_EQ(reconfigs[0].to, kMinimalService);
+}
+
+TEST(UavScenario, AlternatorRepairRestoresFullService) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.run(15);
+  EXPECT_EQ(uav.system().scram().current_config(), kReducedService);
+
+  uav.electrical().repair_alternator(0);
+  uav.run(15);
+  EXPECT_EQ(uav.system().scram().current_config(), kFullService);
+  EXPECT_EQ(uav.autopilot().current_spec(), kApFull);
+  // Applications separated again onto their own computers.
+  EXPECT_EQ(uav.system().region_host(kFcs), kComputer2);
+}
+
+TEST(UavScenario, HeadingServiceRefusedInReducedService) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.run(15);
+
+  EXPECT_FALSE(uav.autopilot().engage(ApMode::kTurnTo, 90.0));
+  EXPECT_FALSE(uav.autopilot().engage(ApMode::kHeadingHold, 90.0));
+  EXPECT_TRUE(uav.autopilot().engage(ApMode::kAltitudeHold, 5000.0));
+}
+
+TEST(UavScenario, EngageRefusedWhenOff) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.electrical().fail_alternator(1);
+  uav.run(15);
+  EXPECT_FALSE(uav.autopilot().engage(ApMode::kAltitudeHold, 5000.0));
+}
+
+TEST(UavScenario, AutopilotHoldsAltitude) {
+  UavSystem uav;
+  uav.run(5);
+  uav.autopilot().engage(ApMode::kAltitudeHold, 5200.0);
+  // The proportional loop's closed-loop time constant is ~32 s; run 100
+  // simulated seconds (20 ms frames) to converge well within tolerance.
+  uav.run(5000);
+  EXPECT_NEAR(uav.plant().truth().altitude_ft, 5200.0, 60.0);
+}
+
+TEST(UavScenario, AutopilotTurnsToHeading) {
+  UavSystem uav;
+  uav.run(5);
+  uav.autopilot().engage(ApMode::kTurnTo, 140.0);
+  uav.run(3000);  // a minute: plenty for a 50-degree turn
+  EXPECT_TRUE(uav.autopilot().capture_complete());
+  EXPECT_NEAR(heading_error_deg(140.0, uav.plant().truth().heading_deg), 0.0,
+              6.0);
+}
+
+TEST(Aircraft, WindDisturbsUncontrolledFlight) {
+  AircraftDynamics calm;
+  AircraftDynamics gusty;
+  gusty.set_wind(WindModel{.gust_vs_fpm = 300.0, .gust_bank_deg = 5.0});
+  for (int i = 0; i < 500; ++i) {
+    calm.step(ControlSurfaces{}, 0.02);
+    gusty.step(ControlSurfaces{}, 0.02);
+  }
+  EXPECT_NEAR(calm.state().altitude_ft, 5000.0, 0.1);
+  EXPECT_NE(gusty.state().altitude_ft, calm.state().altitude_ft);
+  EXPECT_NE(gusty.state().heading_deg, calm.state().heading_deg);
+}
+
+TEST(UavScenario, AutopilotHoldsAltitudeThroughTurbulence) {
+  UavSystem uav;
+  uav.plant().set_wind(WindModel{.gust_vs_fpm = 250.0, .gust_bank_deg = 3.0});
+  uav.run(5);
+  uav.autopilot().engage(ApMode::kAltitudeHold, 5100.0);
+  uav.run(6000);  // 120 s: converge and ride the gusts
+  // The proportional loop holds against the disturbance within a wider
+  // band than in calm air.
+  EXPECT_NEAR(uav.plant().truth().altitude_ft, 5100.0, 120.0);
+
+  // The full reconfiguration story still works in turbulence.
+  uav.electrical().fail_alternator(0);
+  uav.run(20);
+  EXPECT_EQ(uav.system().scram().current_config(), kReducedService);
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(UavScenario, AugmentationSmoothsStepInputs) {
+  // The augmented FCS low-passes abrupt stick inputs; direct control
+  // applies them instantly (the simulated stability augmentation of
+  // section 7).
+  UavSystem augmented;
+  augmented.run(5);
+  augmented.plant().pilot_pitch = 1.0;  // step input
+  augmented.run(1);
+  const double first_response = augmented.plant().surfaces().elevator;
+  EXPECT_GT(first_response, 0.0);
+  EXPECT_LT(first_response, 0.7);  // smoothed, not instantaneous
+  augmented.run(30);
+  EXPECT_GT(augmented.plant().surfaces().elevator, 0.9);  // converges
+
+  UavSystem direct;
+  direct.run(5);
+  direct.electrical().fail_alternator(0);
+  direct.electrical().fail_alternator(1);
+  direct.run(15);  // Minimal Service: direct control
+  direct.plant().pilot_pitch = 1.0;
+  direct.run(1);
+  EXPECT_DOUBLE_EQ(direct.plant().surfaces().elevator, 1.0);  // instant
+}
+
+TEST(UavScenario, PilotHasDirectControlInMinimalService) {
+  UavSystem uav;
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.electrical().fail_alternator(1);
+  uav.run(15);
+
+  uav.plant().pilot_pitch = 0.4;
+  uav.run(5);
+  // Direct control: the surface equals the stick input exactly.
+  EXPECT_DOUBLE_EQ(uav.plant().surfaces().elevator, 0.4);
+}
+
+TEST(UavScenario, FlappingPowerWithDwellRuleStaysBounded) {
+  UavOptions options;
+  options.spec.dwell_frames = 20;
+  UavSystem uav(options);
+  uav.run(5);
+  // Alternator 0 flaps on/off rapidly.
+  for (int i = 0; i < 10; ++i) {
+    uav.electrical().fail_alternator(0);
+    uav.run(3);
+    uav.electrical().repair_alternator(0);
+    uav.run(3);
+  }
+  uav.run(60);
+
+  // The dwell rule bounds the reconfiguration rate: far fewer
+  // reconfigurations than flap events, and the system settles in Full.
+  const auto reconfigs = trace::get_reconfigs(uav.system().trace());
+  EXPECT_LE(reconfigs.size(), 5u);
+  EXPECT_EQ(uav.system().scram().current_config(), kFullService);
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(UavScenario, SafeInterpositionRoutesFullToReducedViaMinimal) {
+  // Full and Reduced are both unsafe; under the section 5.3 transform the
+  // alternator failure routes Full -> Minimal (safe) first, and the
+  // deferred demand then brings the system to Reduced.
+  const core::ReconfigSpec interposed =
+      analysis::with_safe_interposition(make_uav_spec());
+  core::System system(interposed);
+  UavPlant plant(42);
+  system.add_app(std::make_unique<AutopilotApp>(plant));
+  system.add_app(std::make_unique<FcsApp>(plant));
+  system.run(5);
+  system.set_factor(kPowerFactor,
+                    static_cast<std::int64_t>(
+                        env::PowerState::kSingleAlternator));
+  system.run(25);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 2u);
+  EXPECT_EQ(reconfigs[0].to, kMinimalService);
+  EXPECT_EQ(reconfigs[1].to, kReducedService);
+  EXPECT_EQ(system.scram().current_config(), kReducedService);
+  const props::TraceReport report =
+      props::check_trace(system.trace(), interposed);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(UavScenario, BatteryDepletionReachesMinimalAndStays) {
+  UavOptions options;
+  options.electrical.battery_capacity_wh = 0.02;  // tiny battery
+  options.electrical.battery_drain_w = 120.0;
+  UavSystem uav(options);
+  uav.run(5);
+  uav.electrical().fail_alternator(0);
+  uav.electrical().fail_alternator(1);
+  uav.run(100);  // 2 simulated seconds: battery depletes mid-run
+
+  EXPECT_EQ(uav.electrical().electrical().power_state(),
+            env::PowerState::kDepleted);
+  // Depleted also maps to Minimal Service: no further reconfiguration.
+  EXPECT_EQ(uav.system().scram().current_config(), kMinimalService);
+}
+
+TEST(UavScenario, FullRunSatisfiesAllProperties) {
+  UavSystem uav;
+  uav.run(5);
+  uav.autopilot().engage(ApMode::kClimbTo, 5600.0);
+  uav.run(200);
+  uav.electrical().fail_alternator(0);
+  uav.run(50);
+  uav.autopilot().engage(ApMode::kAltitudeHold, 5400.0);
+  uav.run(200);
+  uav.electrical().fail_alternator(1);
+  uav.run(50);
+  uav.electrical().repair_alternator(0);
+  uav.run(50);
+  uav.electrical().repair_alternator(1);
+  uav.run(50);
+
+  EXPECT_EQ(uav.system().scram().current_config(), kFullService);
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  EXPECT_GE(report.reconfig_count, 3u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+}  // namespace
+}  // namespace arfs::avionics

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/analysis/coverage.hpp"
+#include "arfs/analysis/timing.hpp"
+#include "arfs/core/builder.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+
+namespace arfs::core {
+namespace {
+
+constexpr AppId kNav{1};
+constexpr AppId kComms{2};
+constexpr SpecId kNavFull{10};
+constexpr SpecId kNavDead{11};
+constexpr SpecId kCommsFull{20};
+constexpr ConfigId kNominal{1};
+constexpr ConfigId kFallback{2};
+constexpr FactorId kGps{1};
+constexpr ProcessorId kP1{1};
+constexpr ProcessorId kP2{2};
+
+ReconfigSpec build_spec() {
+  return SpecBuilder()
+      .app(kNav, "navigation")
+          .spec(kNavFull, "gps-aided", {.cpu = 0.4}, 200, 500)
+          .spec(kNavDead, "dead-reckoning", {.cpu = 0.2}, 100, 300)
+      .app(kComms, "comms")
+          .spec(kCommsFull, "radio", {.cpu = 0.2}, 100, 300)
+      .factor(kGps, "gps-health", 0, 1)
+      .config(kNominal, "nominal").rank(1)
+          .runs(kNav, kNavFull, kP1)
+          .runs(kComms, kCommsFull, kP2)
+      .config(kFallback, "fallback").safe()
+          .runs(kNav, kNavDead, kP1)
+          .runs(kComms, kCommsFull, kP2)
+      .all_transitions(8)
+      .dependency(kComms, kNav)
+      .choose([](ConfigId, const env::EnvState& e) {
+        return e.at(kGps) == 0 ? kNominal : kFallback;
+      })
+      .initial(kNominal)
+      .dwell(5)
+      .build();
+}
+
+TEST(SpecBuilder, BuildsAValidSpec) {
+  const ReconfigSpec spec = build_spec();
+  EXPECT_EQ(spec.apps().size(), 2u);
+  EXPECT_EQ(spec.configs().size(), 2u);
+  EXPECT_EQ(spec.initial_config(), kNominal);
+  EXPECT_EQ(spec.dwell_frames(), 5u);
+  EXPECT_EQ(spec.dependencies().all().size(), 1u);
+  EXPECT_EQ(spec.transition_bound(kNominal, kFallback), Cycle{8});
+  EXPECT_EQ(spec.transition_bound(kNominal, kNominal), Cycle{8});
+  EXPECT_TRUE(spec.config(kFallback).safe);
+  EXPECT_EQ(spec.config(kNominal).service_rank, 1);
+  EXPECT_TRUE(analysis::check_coverage(spec).all_discharged());
+}
+
+TEST(SpecBuilder, BuiltSpecRunsEndToEnd) {
+  const ReconfigSpec spec = build_spec();
+  System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(kNav, "nav"));
+  system.add_app(std::make_unique<support::SimpleApp>(kComms, "comms"));
+  system.run(3);
+  system.set_factor(kGps, 1);
+  system.run(12);
+
+  EXPECT_EQ(system.scram().current_config(), kFallback);
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_EQ(report.reconfig_count, 1u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+  // The comms-waits-for-nav dependency stretches the SFTA to 5 frames.
+  EXPECT_EQ(trace::duration_frames(report.verdicts[0].reconfig), 5u);
+}
+
+TEST(SpecBuilder, SpecOutsideAppRejected) {
+  SpecBuilder builder;
+  EXPECT_THROW(builder.spec(kNavFull, "s"), ContractViolation);
+}
+
+TEST(SpecBuilder, RunsOutsideConfigRejected) {
+  SpecBuilder builder;
+  EXPECT_THROW(builder.runs(kNav, kNavFull, kP1), ContractViolation);
+}
+
+TEST(SpecBuilder, SafeOutsideConfigRejected) {
+  SpecBuilder builder;
+  EXPECT_THROW(builder.safe(), ContractViolation);
+}
+
+TEST(SpecBuilder, BuildValidates) {
+  SpecBuilder builder;
+  builder.app(kNav, "nav").spec(kNavFull, "s");
+  // No configs, no choose, no initial: build() must fail validation.
+  EXPECT_THROW((void)builder.build(), Error);
+}
+
+TEST(SpecBuilder, InterpositionComposesWithBuilder) {
+  const ReconfigSpec spec = analysis::with_safe_interposition(build_spec());
+  EXPECT_NO_THROW(spec.validate());
+  // Nominal -> Fallback has a safe endpoint, so routing is unchanged.
+  EXPECT_EQ(spec.choose(kNominal, env::EnvState{{kGps, 1}}), kFallback);
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arfs/analysis/certify.hpp"
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::analysis {
+namespace {
+
+TEST(Certify, UavSpecCertifiesWithDwellAndPlatform) {
+  avionics::UavSpecOptions spec_options;
+  spec_options.dwell_frames = 10;  // the UAV graph is cyclic (repairs)
+  const core::ReconfigSpec spec = avionics::make_uav_spec(spec_options);
+
+  CertifyOptions options;
+  options.frame_length = 20'000;
+  options.platform = avionics::make_uav_platform();
+  const CertificationReport report = certify(spec, options);
+
+  EXPECT_TRUE(report.structure_ok);
+  EXPECT_TRUE(report.coverage.all_discharged());
+  EXPECT_TRUE(report.cyclic);
+  EXPECT_TRUE(report.dwell_ok);
+  EXPECT_TRUE(report.schedulable);
+  ASSERT_TRUE(report.feasibility.has_value());
+  EXPECT_TRUE(report.feasibility->all_feasible());
+  EXPECT_TRUE(report.certified());
+  EXPECT_NE(render(report).find("CERTIFIED"), std::string::npos);
+}
+
+TEST(Certify, CyclicWithoutDwellFails) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();  // dwell = 0
+  const CertificationReport report = certify(spec);
+  EXPECT_TRUE(report.cyclic);
+  EXPECT_FALSE(report.dwell_ok);
+  EXPECT_FALSE(report.certified());
+  EXPECT_NE(render(report).find("NO dwell rule"), std::string::npos);
+}
+
+TEST(Certify, CyclicWithoutDwellAcceptedWhenWaived) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  CertifyOptions options;
+  options.frame_length = 20'000;
+  options.require_dwell_for_cycles = false;
+  EXPECT_TRUE(certify(spec, options).certified());
+}
+
+TEST(Certify, AcyclicChainCertifiesWithoutDwell) {
+  const core::ReconfigSpec spec =
+      support::make_chain_spec(support::ChainSpecParams{});
+  const CertificationReport report = certify(spec);
+  EXPECT_FALSE(report.cyclic);
+  EXPECT_TRUE(report.certified());
+  ASSERT_TRUE(report.worst_chain.frames.has_value());
+}
+
+TEST(Certify, UnschedulableFrameFails) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec(
+      [] {
+        avionics::UavSpecOptions o;
+        o.dwell_frames = 10;
+        return o;
+      }());
+  CertifyOptions options;
+  options.frame_length = 500;  // cannot hold the 800us autopilot budget
+  const CertificationReport report = certify(spec, options);
+  EXPECT_FALSE(report.schedulable);
+  EXPECT_FALSE(report.certified());
+}
+
+TEST(Certify, InfeasiblePlatformFails) {
+  avionics::UavSpecOptions spec_options;
+  spec_options.dwell_frames = 10;
+  const core::ReconfigSpec spec = avionics::make_uav_spec(spec_options);
+  CertifyOptions options;
+  options.frame_length = 20'000;
+  PlatformModel starved = avionics::make_uav_platform();
+  starved.processors[avionics::kComputer2].normal =
+      core::ResourceDemand{0.1, 8.0, 4.0};
+  options.platform = starved;
+  const CertificationReport report = certify(spec, options);
+  EXPECT_FALSE(report.certified());
+  EXPECT_NE(render(report).find("exceeds capacity"), std::string::npos);
+}
+
+TEST(Certify, MalformedSpecShortCircuits) {
+  core::ReconfigSpec empty;
+  const CertificationReport report = certify(empty);
+  EXPECT_FALSE(report.structure_ok);
+  EXPECT_FALSE(report.certified());
+  EXPECT_NE(report.structure_detail.find("no applications"),
+            std::string::npos);
+  EXPECT_NE(render(report).find("[FAIL]"), std::string::npos);
+}
+
+TEST(Certify, JsonOutputIsWellFormedEnough) {
+  avionics::UavSpecOptions spec_options;
+  spec_options.dwell_frames = 10;
+  const core::ReconfigSpec spec = avionics::make_uav_spec(spec_options);
+  CertifyOptions options;
+  options.frame_length = 20'000;
+  options.platform = avionics::make_uav_platform();
+  const std::string json = render_json(certify(spec, options));
+  EXPECT_NE(json.find("\"certified\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"interposition_frames\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"chain_sum_frames\": null"), std::string::npos);
+  // Balanced braces (crude structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Certify, JsonReportsFailures) {
+  core::ReconfigSpec empty;
+  const std::string json = render_json(certify(empty));
+  EXPECT_NE(json.find("\"certified\": false"), std::string::npos);
+  EXPECT_NE(json.find("no applications"), std::string::npos);
+}
+
+TEST(Certify, RenderReportsBounds) {
+  const core::ReconfigSpec spec =
+      support::make_chain_spec(support::ChainSpecParams{});
+  const std::string text = render(certify(spec));
+  EXPECT_NE(text.find("restriction bounds"), std::string::npos);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+  EXPECT_NE(text.find("schedulability"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arfs::analysis

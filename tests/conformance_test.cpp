@@ -1,0 +1,147 @@
+// The conformance harness applied to every application implementation in
+// the repository — and to deliberately broken implementations, proving the
+// harness catches each class of non-conformance.
+#include <gtest/gtest.h>
+
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/core/modular_app.hpp"
+#include "arfs/support/conformance.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::support {
+namespace {
+
+TEST(Conformance, SimpleAppConforms) {
+  ConformanceInputs inputs;
+  inputs.factory = [] {
+    return std::make_unique<SimpleApp>(synthetic_app(0), "simple");
+  };
+  inputs.initial_spec = synthetic_spec(0, 0);
+  inputs.target_spec = synthetic_spec(0, 1);
+  const ConformanceReport report = check_app_conformance(inputs);
+  EXPECT_TRUE(report.all_passed()) << report.summary();
+  EXPECT_EQ(report.cases.size(), 8u);
+}
+
+TEST(Conformance, SlowStagesConformWithinBound) {
+  ConformanceInputs inputs;
+  inputs.factory = [] {
+    SimpleAppParams params;
+    params.halt_frames = 3;
+    params.initialize_frames = 2;
+    return std::make_unique<SimpleApp>(synthetic_app(0), "slow", params);
+  };
+  inputs.initial_spec = synthetic_spec(0, 0);
+  inputs.target_spec = synthetic_spec(0, 1);
+  inputs.stage_bound = 4;
+  EXPECT_TRUE(check_app_conformance(inputs).all_passed());
+
+  inputs.stage_bound = 2;  // tighter than the 3-frame halt
+  const ConformanceReport tight = check_app_conformance(inputs);
+  EXPECT_FALSE(tight.all_passed());
+  EXPECT_NE(tight.summary().find("halt-completes"), std::string::npos);
+}
+
+TEST(Conformance, AvionicsAppsConform) {
+  // The plant must outlive each app instance; one per factory call.
+  static avionics::UavPlant plant(5);
+
+  ConformanceInputs autopilot;
+  autopilot.factory = [] {
+    return std::make_unique<avionics::AutopilotApp>(plant);
+  };
+  autopilot.initial_spec = avionics::kApFull;
+  autopilot.target_spec = avionics::kApAltHold;
+  EXPECT_TRUE(check_app_conformance(autopilot).all_passed())
+      << check_app_conformance(autopilot).summary();
+
+  ConformanceInputs fcs;
+  fcs.factory = [] { return std::make_unique<avionics::FcsApp>(plant); };
+  fcs.initial_spec = avionics::kFcsAugmented;
+  fcs.target_spec = avionics::kFcsDirect;
+  EXPECT_TRUE(check_app_conformance(fcs).all_passed())
+      << check_app_conformance(fcs).summary();
+}
+
+/// A minimal conforming module for ModularApp conformance.
+class NopModule final : public core::AppModule {
+ public:
+  explicit NopModule(std::string name) : AppModule(std::move(name)) {}
+  SimDuration do_work(const core::ReconfigurableApp::Ctx&, int) override {
+    return 10;
+  }
+  void do_halt(const core::ReconfigurableApp::Ctx&) override {}
+  void do_prepare(const core::ReconfigurableApp::Ctx&, int) override {}
+  void do_initialize(const core::ReconfigurableApp::Ctx&, int) override {}
+};
+
+TEST(Conformance, ModularAppConforms) {
+  ConformanceInputs inputs;
+  inputs.factory = [] {
+    auto app = std::make_unique<core::ModularApp>(synthetic_app(0), "mod");
+    app->add_module(std::make_unique<NopModule>("x"));
+    app->add_module(std::make_unique<NopModule>("y"));
+    app->map_spec(synthetic_spec(0, 0), {{"x", 1}, {"y", 1}});
+    app->map_spec(synthetic_spec(0, 1), {{"x", 0}});
+    return app;
+  };
+  inputs.initial_spec = synthetic_spec(0, 0);
+  inputs.target_spec = synthetic_spec(0, 1);
+  const ConformanceReport report = check_app_conformance(inputs);
+  EXPECT_TRUE(report.all_passed()) << report.summary();
+}
+
+/// Deliberately broken: halt never completes.
+class StuckHaltApp final : public core::ReconfigurableApp {
+ public:
+  StuckHaltApp() : ReconfigurableApp(synthetic_app(0), "stuck") {}
+
+ protected:
+  StepResult do_work(const Ctx&) override { return {}; }
+  bool do_halt(const Ctx&) override { return false; }  // never done
+  bool do_prepare(const Ctx&, std::optional<SpecId>) override { return true; }
+  bool do_initialize(const Ctx&, std::optional<SpecId>) override {
+    return true;
+  }
+};
+
+TEST(Conformance, CatchesUnboundedHalt) {
+  ConformanceInputs inputs;
+  inputs.factory = [] { return std::make_unique<StuckHaltApp>(); };
+  inputs.initial_spec = synthetic_spec(0, 0);
+  inputs.target_spec = synthetic_spec(0, 1);
+  const ConformanceReport report = check_app_conformance(inputs);
+  EXPECT_FALSE(report.all_passed());
+  EXPECT_NE(report.summary().find("did not complete within the bound"),
+            std::string::npos);
+}
+
+/// Deliberately broken: initialize raises a fault.
+class FaultingInitApp final : public core::ReconfigurableApp {
+ public:
+  FaultingInitApp() : ReconfigurableApp(synthetic_app(0), "faulty") {}
+
+ protected:
+  StepResult do_work(const Ctx&) override { return {}; }
+  bool do_halt(const Ctx&) override { return true; }
+  bool do_prepare(const Ctx&, std::optional<SpecId>) override { return true; }
+  bool do_initialize(const Ctx&, std::optional<SpecId>) override {
+    throw Error("gains table missing");
+  }
+};
+
+TEST(Conformance, CatchesThrowingInitialize) {
+  ConformanceInputs inputs;
+  inputs.factory = [] { return std::make_unique<FaultingInitApp>(); };
+  inputs.initial_spec = synthetic_spec(0, 0);
+  inputs.target_spec = synthetic_spec(0, 1);
+  inputs.check_off_target = false;
+  const ConformanceReport report = check_app_conformance(inputs);
+  EXPECT_FALSE(report.all_passed());
+  EXPECT_NE(report.summary().find("threw: gains table missing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace arfs::support

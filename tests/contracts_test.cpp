@@ -1,0 +1,123 @@
+// Cross-module misuse battery: every documented precondition that is not
+// already exercised by a module's own test fails loudly (ContractViolation
+// or Error), never silently.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/bus/schedule.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/online.hpp"
+#include "arfs/rtos/schedule.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "arfs/trace/recorder.hpp"
+
+namespace arfs {
+namespace {
+
+using support::make_chain_spec;
+using support::synthetic_app;
+
+TEST(Contracts, BusScheduleRejectsEmptyOrZeroSlots) {
+  bus::TdmaSchedule schedule;
+  EXPECT_THROW(schedule.add_slot(EndpointId{1}, 0), ContractViolation);
+  EXPECT_THROW((void)schedule.next_transmit_time(EndpointId{1}, 0),
+               ContractViolation);
+}
+
+TEST(Contracts, RtosWindowRejectsNegativeOffset) {
+  rtos::ScheduleTable table(1000);
+  EXPECT_THROW(
+      table.add_window(rtos::Window{PartitionId{1}, ProcessorId{1}, -1, 10}),
+      ContractViolation);
+  EXPECT_THROW(
+      table.add_window(rtos::Window{PartitionId{1}, ProcessorId{1}, 0, 0}),
+      ContractViolation);
+}
+
+TEST(Contracts, SysTraceRejectsZeroFrameLength) {
+  EXPECT_THROW(trace::SysTrace(0), ContractViolation);
+}
+
+TEST(Contracts, OnlineMonitorRejectsZeroFrameLength) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  EXPECT_THROW(props::OnlineMonitor(spec, 0), ContractViolation);
+}
+
+TEST(Contracts, SystemRejectsNullEnvHook) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  core::System system(spec);
+  EXPECT_THROW(system.add_env_hook(nullptr), ContractViolation);
+}
+
+TEST(Contracts, SystemRejectsUnknownProcessorFactorBinding) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  core::System system(spec);
+  // Unknown processor.
+  EXPECT_THROW(
+      system.bind_processor_factor(ProcessorId{99}, FactorId{100}),
+      ContractViolation);
+  // Undeclared factor.
+  EXPECT_THROW(system.bind_processor_factor(
+                   support::synthetic_processor(0), FactorId{77}),
+               ContractViolation);
+}
+
+TEST(Contracts, SystemRejectsUndeclaredFactorSet) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  core::System system(spec);
+  EXPECT_THROW(system.set_factor(FactorId{77}, 1), ContractViolation);
+}
+
+TEST(Contracts, SystemRejectsAddAppAfterStart) {
+  support::ChainSpecParams params;
+  params.apps = 2;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  system.run(1);
+  EXPECT_THROW(system.add_app(std::make_unique<support::SimpleApp>(
+                   synthetic_app(0), "late")),
+               ContractViolation);
+}
+
+TEST(Contracts, SystemRejectsDuplicateAndNullApps) {
+  support::ChainSpecParams params;
+  params.apps = 2;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  EXPECT_THROW(system.add_app(std::make_unique<support::SimpleApp>(
+                   synthetic_app(0), "dup")),
+               ContractViolation);
+  EXPECT_THROW(system.add_app(nullptr), ContractViolation);
+}
+
+TEST(Contracts, SystemUnknownAppLookupThrows) {
+  const core::ReconfigSpec spec = make_chain_spec({});
+  core::System system(spec);
+  EXPECT_THROW((void)system.app(AppId{99}), ContractViolation);
+  EXPECT_THROW((void)system.region_host(AppId{99}), ContractViolation);
+}
+
+TEST(Contracts, FaultPlanRejectsAddAfterConsumption) {
+  sim::FaultPlan plan;
+  plan.fail_processor(100, ProcessorId{1});
+  (void)plan.consume_until(200);
+  EXPECT_THROW(plan.fail_processor(300, ProcessorId{1}), ContractViolation);
+  plan.rewind();
+  EXPECT_EQ(plan.consume_until(200).size(), 1u);
+}
+
+TEST(Contracts, ReconfigSpecChooseUnsetThrows) {
+  core::ReconfigSpec spec;
+  EXPECT_THROW((void)spec.choose(ConfigId{1}, env::EnvState{}),
+               ContractViolation);
+  EXPECT_THROW((void)spec.initial_config(), ContractViolation);
+  EXPECT_THROW(spec.set_choose(nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs

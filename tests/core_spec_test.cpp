@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "arfs/common/check.hpp"
+#include "arfs/core/configuration.hpp"
+#include "arfs/core/dependency.hpp"
+#include "arfs/core/reconfig_spec.hpp"
+#include "arfs/core/spec.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+TEST(ResourceDemand, AddsComponentwise) {
+  const ResourceDemand sum =
+      ResourceDemand{0.2, 32.0, 10.0} + ResourceDemand{0.3, 16.0, 5.0};
+  EXPECT_DOUBLE_EQ(sum.cpu, 0.5);
+  EXPECT_DOUBLE_EQ(sum.memory_mb, 48.0);
+  EXPECT_DOUBLE_EQ(sum.power_w, 15.0);
+}
+
+TEST(ResourceDemand, FitsWithin) {
+  EXPECT_TRUE(fits_within(ResourceDemand{0.5, 10, 10},
+                          ResourceDemand{1.0, 20, 20}));
+  EXPECT_FALSE(fits_within(ResourceDemand{1.1, 10, 10},
+                           ResourceDemand{1.0, 20, 20}));
+}
+
+TEST(Configuration, SpecAndHostLookups) {
+  Configuration c;
+  c.assignment = {{AppId{1}, SpecId{10}}};
+  c.placement = {{AppId{1}, ProcessorId{3}}};
+  EXPECT_TRUE(c.runs(AppId{1}));
+  EXPECT_FALSE(c.runs(AppId{2}));
+  EXPECT_EQ(c.spec_of(AppId{1}), SpecId{10});
+  EXPECT_EQ(c.spec_of(AppId{2}), std::nullopt);
+  EXPECT_EQ(c.host_of(AppId{1}), ProcessorId{3});
+}
+
+TEST(Configuration, ProcessorsUsedDeduplicates) {
+  Configuration c;
+  c.placement = {{AppId{1}, ProcessorId{1}}, {AppId{2}, ProcessorId{1}},
+                 {AppId{3}, ProcessorId{2}}};
+  EXPECT_EQ(c.processors_used().size(), 2u);
+}
+
+TEST(DependencyGraph, RejectsSelfDependency) {
+  DependencyGraph g;
+  EXPECT_THROW(g.add(Dependency{AppId{1}, AppId{1}, DepPhase::kHalt, {}}),
+               ContractViolation);
+}
+
+TEST(DependencyGraph, RejectsCycles) {
+  DependencyGraph g;
+  g.add(Dependency{AppId{2}, AppId{1}, DepPhase::kInitialize, {}});
+  g.add(Dependency{AppId{3}, AppId{2}, DepPhase::kInitialize, {}});
+  EXPECT_THROW(
+      g.add(Dependency{AppId{1}, AppId{3}, DepPhase::kInitialize, {}}),
+      ContractViolation);
+}
+
+TEST(DependencyGraph, ConstraintsFilterByPhaseAndTarget) {
+  DependencyGraph g;
+  g.add(Dependency{AppId{2}, AppId{1}, DepPhase::kInitialize, ConfigId{5}});
+  g.add(Dependency{AppId{2}, AppId{3}, DepPhase::kHalt, {}});
+
+  EXPECT_EQ(g.constraints_on(AppId{2}, DepPhase::kInitialize, ConfigId{5})
+                .size(), 1u);
+  EXPECT_TRUE(g.constraints_on(AppId{2}, DepPhase::kInitialize, ConfigId{6})
+                  .empty());
+  EXPECT_EQ(g.constraints_on(AppId{2}, DepPhase::kHalt, ConfigId{6}).size(),
+            1u);
+  EXPECT_TRUE(g.constraints_on(AppId{1}, DepPhase::kHalt, ConfigId{5})
+                  .empty());
+}
+
+TEST(DependencyGraph, LongestChainCountsEdges) {
+  DependencyGraph g;
+  g.add(Dependency{AppId{2}, AppId{1}, DepPhase::kInitialize, {}});
+  g.add(Dependency{AppId{3}, AppId{2}, DepPhase::kInitialize, {}});
+  g.add(Dependency{AppId{5}, AppId{4}, DepPhase::kHalt, {}});
+  EXPECT_EQ(g.longest_chain(DepPhase::kInitialize, ConfigId{1}), 2u);
+  EXPECT_EQ(g.longest_chain(DepPhase::kHalt, ConfigId{1}), 1u);
+  EXPECT_EQ(g.longest_chain(DepPhase::kPrepare, ConfigId{1}), 0u);
+}
+
+class ReconfigSpecTest : public ::testing::Test {
+ protected:
+  static AppDecl app(std::uint32_t id, std::uint32_t spec) {
+    AppDecl a;
+    a.id = AppId{id};
+    a.name = "a" + std::to_string(id);
+    a.specs = {FunctionalSpec{SpecId{spec}, "s", {}, 100, 200}};
+    return a;
+  }
+
+  static Configuration config(std::uint32_t id, bool safe = false) {
+    Configuration c;
+    c.id = ConfigId{id};
+    c.name = "c" + std::to_string(id);
+    c.safe = safe;
+    return c;
+  }
+};
+
+TEST_F(ReconfigSpecTest, ValidSpecPasses) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  Configuration c = config(1, true);
+  c.assignment = {{AppId{1}, SpecId{10}}};
+  c.placement = {{AppId{1}, ProcessorId{1}}};
+  spec.declare_config(std::move(c));
+  spec.declare_factor(env::FactorSpec{FactorId{1}, "f", 0, 1, 0});
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{1});
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST_F(ReconfigSpecTest, MissingSafeConfigFails) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  Configuration c = config(1, /*safe=*/false);
+  c.assignment = {{AppId{1}, SpecId{10}}};
+  c.placement = {{AppId{1}, ProcessorId{1}}};
+  spec.declare_config(std::move(c));
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{1});
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST_F(ReconfigSpecTest, AssignmentMustUseOwnSpecs) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  spec.declare_app(app(2, 20));
+  Configuration c = config(1, true);
+  c.assignment = {{AppId{1}, SpecId{20}}};  // app 2's spec
+  c.placement = {{AppId{1}, ProcessorId{1}}};
+  spec.declare_config(std::move(c));
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{1});
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST_F(ReconfigSpecTest, AssignedAppMustBePlaced) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  Configuration c = config(1, true);
+  c.assignment = {{AppId{1}, SpecId{10}}};  // no placement
+  spec.declare_config(std::move(c));
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{1});
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST_F(ReconfigSpecTest, PlacedAppMustBeAssigned) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  Configuration c = config(1, true);
+  c.assignment = {{AppId{1}, SpecId{10}}};
+  c.placement = {{AppId{1}, ProcessorId{1}}, {AppId{2}, ProcessorId{2}}};
+  spec.declare_config(std::move(c));
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{1});
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST_F(ReconfigSpecTest, InitialConfigMustBeDeclared) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  Configuration c = config(1, true);
+  c.assignment = {{AppId{1}, SpecId{10}}};
+  c.placement = {{AppId{1}, ProcessorId{1}}};
+  spec.declare_config(std::move(c));
+  spec.set_choose([](ConfigId cur, const env::EnvState&) { return cur; });
+  spec.set_initial_config(ConfigId{9});
+  EXPECT_THROW(spec.validate(), Error);
+}
+
+TEST_F(ReconfigSpecTest, DuplicateSpecIdsRejected) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  EXPECT_THROW(spec.declare_app(app(2, 10)), ContractViolation);
+}
+
+TEST_F(ReconfigSpecTest, TransitionBoundLookup) {
+  ReconfigSpec spec;
+  spec.set_transition_bound(ConfigId{1}, ConfigId{2}, 8);
+  EXPECT_EQ(spec.transition_bound(ConfigId{1}, ConfigId{2}), Cycle{8});
+  EXPECT_FALSE(spec.transition_bound(ConfigId{2}, ConfigId{1}).has_value());
+  EXPECT_THROW(spec.set_transition_bound(ConfigId{1}, ConfigId{3}, 0),
+               ContractViolation);
+}
+
+TEST_F(ReconfigSpecTest, SpecLookupHelpers) {
+  ReconfigSpec spec;
+  spec.declare_app(app(1, 10));
+  EXPECT_TRUE(spec.has_spec(SpecId{10}));
+  EXPECT_EQ(spec.app_of_spec(SpecId{10}), AppId{1});
+  EXPECT_EQ(spec.spec(SpecId{10}).name, "s");
+  EXPECT_THROW((void)spec.spec(SpecId{99}), Error);
+  EXPECT_THROW((void)spec.app_of_spec(SpecId{99}), Error);
+}
+
+TEST(SyntheticSpecs, ChainSpecValidates) {
+  const ReconfigSpec spec =
+      support::make_chain_spec(support::ChainSpecParams{});
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.configs().size(), 4u);
+  EXPECT_EQ(spec.safe_configs().size(), 1u);
+}
+
+TEST(SyntheticSpecs, RandomSpecDeterministicAndValid) {
+  support::RandomSpecParams params;
+  params.apps = 4;
+  params.configs = 5;
+  params.dependencies = 2;
+  const ReconfigSpec a = support::make_random_spec(params, 7);
+  const ReconfigSpec b = support::make_random_spec(params, 7);
+  EXPECT_NO_THROW(a.validate());
+  // Determinism: identical structure and identical choose behaviour.
+  ASSERT_EQ(a.configs().size(), b.configs().size());
+  for (const env::EnvState& e : a.factors().enumerate_states()) {
+    for (const auto& [id, cfg] : a.configs()) {
+      EXPECT_EQ(a.choose(id, e), b.choose(id, e));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arfs::core

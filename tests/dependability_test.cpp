@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arfs/analysis/dependability.hpp"
+#include "arfs/common/check.hpp"
+
+namespace arfs::analysis {
+namespace {
+
+MissionParams mission(double rate, double hours = 10.0,
+                      std::uint32_t trials = 20'000) {
+  MissionParams m;
+  m.mission_hours = hours;
+  m.failure_rate_per_hour = rate;
+  m.trials = trials;
+  return m;
+}
+
+TEST(Dependability, ZeroFailureRateIsPerfect) {
+  Rng rng(1);
+  DesignUnits design{3, 2, 1};
+  const DependabilityEstimate e =
+      estimate_dependability(design, mission(0.0), rng);
+  EXPECT_DOUBLE_EQ(e.p_full_whole_mission, 1.0);
+  EXPECT_DOUBLE_EQ(e.p_safe_whole_mission, 1.0);
+  EXPECT_DOUBLE_EQ(e.p_loss, 0.0);
+  EXPECT_DOUBLE_EQ(e.mean_failures, 0.0);
+}
+
+TEST(Dependability, MeanFailuresMatchesExpectation) {
+  Rng rng(2);
+  // 10 units, rate 0.05/h, 10h: P(fail) = 1 - e^-0.5 ~ 0.3935 each.
+  DesignUnits design{10, 1, 1};
+  const DependabilityEstimate e =
+      estimate_dependability(design, mission(0.05), rng);
+  EXPECT_NEAR(e.mean_failures, 10.0 * (1.0 - std::exp(-0.5)), 0.05);
+}
+
+TEST(Dependability, SingleUnitMatchesAnalyticReliability) {
+  Rng rng(3);
+  DesignUnits design{1, 1, 1};
+  const DependabilityEstimate e =
+      estimate_dependability(design, mission(0.1), rng);
+  const double analytic = std::exp(-0.1 * 10.0);  // e^-1
+  EXPECT_NEAR(e.p_full_whole_mission, analytic, 0.01);
+  EXPECT_NEAR(e.p_loss, 1.0 - analytic, 0.01);
+}
+
+TEST(Dependability, SpareImprovesSurvival) {
+  Rng a(4);
+  Rng b(4);
+  const DependabilityEstimate no_spare =
+      estimate_dependability(DesignUnits{2, 2, 1}, mission(0.05), a);
+  const DependabilityEstimate one_spare =
+      estimate_dependability(DesignUnits{3, 2, 1}, mission(0.05), b);
+  EXPECT_GT(one_spare.p_full_whole_mission, no_spare.p_full_whole_mission);
+  EXPECT_GT(one_spare.p_safe_whole_mission, no_spare.p_safe_whole_mission);
+}
+
+TEST(Dependability, DegradationBeatsLossAtEqualHardware) {
+  // Equal totals: a design that can degrade to one survivor outlives a
+  // masking design that needs both units.
+  Rng a(5);
+  Rng b(5);
+  const DependabilityEstimate masking =
+      estimate_dependability(DesignUnits{2, 2, 2}, mission(0.05), a);
+  const DependabilityEstimate degrading =
+      estimate_dependability(DesignUnits{2, 2, 1}, mission(0.05), b);
+  EXPECT_NEAR(masking.p_full_whole_mission, degrading.p_full_whole_mission,
+              0.02);
+  EXPECT_GT(degrading.p_safe_whole_mission, masking.p_safe_whole_mission);
+  EXPECT_LT(degrading.p_loss, masking.p_loss);
+}
+
+TEST(Dependability, Section51PairShapes) {
+  const DesignPair pair = section51_designs(4, 2, 2);
+  EXPECT_EQ(pair.masking.total, 6);
+  EXPECT_EQ(pair.masking.safe, 4);  // no degraded mode
+  EXPECT_EQ(pair.reconfig.total, 4);
+  EXPECT_EQ(pair.reconfig.safe, 2);
+  EXPECT_EQ(pair.reconfig.full, 4);
+}
+
+TEST(Dependability, Section51ReconfigKeepsSafetyWithLessHardware) {
+  // The paper's core claim in probabilistic form: with fewer components,
+  // the reconfiguration design's probability of retaining *safe* service is
+  // at least comparable to the masking design's probability of retaining
+  // *full* service, because its loss threshold is lower.
+  const DesignPair pair = section51_designs(4, 2, 2);
+  Rng a(6);
+  Rng b(6);
+  const DependabilityEstimate masking =
+      estimate_dependability(pair.masking, mission(0.02), a);
+  const DependabilityEstimate reconfig =
+      estimate_dependability(pair.reconfig, mission(0.02), b);
+  EXPECT_LT(pair.reconfig.total, pair.masking.total);
+  EXPECT_GE(reconfig.p_safe_whole_mission + 0.02,
+            masking.p_full_whole_mission);
+}
+
+TEST(Dependability, TimeFractionsBracketProbabilities) {
+  Rng rng(7);
+  const DependabilityEstimate e =
+      estimate_dependability(DesignUnits{3, 2, 1}, mission(0.1), rng);
+  // Whole-mission survival implies full time-fraction, so fractions bound
+  // the probabilities from above.
+  EXPECT_GE(e.full_service_fraction, e.p_full_whole_mission);
+  EXPECT_GE(e.safe_or_better_fraction, e.p_safe_whole_mission);
+  EXPECT_GE(e.safe_or_better_fraction, e.full_service_fraction);
+}
+
+TEST(Dependability, DeterministicFromSeed) {
+  Rng a(8);
+  Rng b(8);
+  const DependabilityEstimate ea =
+      estimate_dependability(DesignUnits{3, 2, 1}, mission(0.05), a);
+  const DependabilityEstimate eb =
+      estimate_dependability(DesignUnits{3, 2, 1}, mission(0.05), b);
+  EXPECT_DOUBLE_EQ(ea.p_loss, eb.p_loss);
+  EXPECT_DOUBLE_EQ(ea.full_service_fraction, eb.full_service_fraction);
+}
+
+TEST(Dependability, RejectsMalformedInputs) {
+  Rng rng(9);
+  EXPECT_THROW((void)estimate_dependability(DesignUnits{2, 3, 1},
+                                            mission(0.1), rng),
+               ContractViolation);
+  EXPECT_THROW((void)estimate_dependability(DesignUnits{3, 2, 0},
+                                            mission(0.1), rng),
+               ContractViolation);
+  MissionParams bad = mission(0.1);
+  bad.trials = 0;
+  EXPECT_THROW(
+      (void)estimate_dependability(DesignUnits{3, 2, 1}, bad, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs::analysis

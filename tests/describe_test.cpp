@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/core/describe.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+TEST(Describe, RendersAvionicsSpec) {
+  const std::string text = describe(avionics::make_uav_spec());
+  EXPECT_NE(text.find("applications (2)"), std::string::npos);
+  EXPECT_NE(text.find("\"autopilot\""), std::string::npos);
+  EXPECT_NE(text.find("configurations (3)"), std::string::npos);
+  EXPECT_NE(text.find("[SAFE]"), std::string::npos);
+  EXPECT_NE(text.find("[INITIAL]"), std::string::npos);
+  EXPECT_NE(text.find("off"), std::string::npos);  // autopilot off in Minimal
+  EXPECT_NE(text.find("waits for"), std::string::npos);  // 7.1 dependency
+  EXPECT_NE(text.find("T(c1, c2) = 6"), std::string::npos);
+}
+
+TEST(Describe, RendersChainSpec) {
+  support::ChainSpecParams params;
+  params.dwell_frames = 9;
+  const std::string text = describe(support::make_chain_spec(params));
+  EXPECT_NE(text.find("dwell: 9 frames"), std::string::npos);
+  EXPECT_NE(text.find("configurations (4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,106 @@
+// Tests of the activity-monitor quality model: heartbeat noise produces
+// false alarms at threshold 1; raising the threshold filters them at the
+// cost of detection latency; real failures are still detected and the
+// system still reconfigures correctly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::synthetic_app;
+using support::synthetic_processor;
+
+ReconfigSpec quiet_spec() {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  return support::make_chain_spec(params);
+}
+
+SystemStats run_noisy(Cycle threshold, double loss_prob, Cycle frames,
+                      bool fail_processor = false) {
+  const ReconfigSpec spec = quiet_spec();
+  SystemOptions options;
+  options.detection_threshold = threshold;
+  options.heartbeat_loss_prob = loss_prob;
+  options.noise_seed = 7;
+  System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  if (fail_processor) {
+    sim::FaultPlan plan;
+    plan.fail_processor(static_cast<SimTime>(frames / 2) * 10'000,
+                        synthetic_processor(0));
+    system.set_fault_plan(std::move(plan));
+  }
+  system.run(frames);
+  return system.stats();
+}
+
+TEST(DetectorNoise, NoNoiseNoFalseAlarms) {
+  const SystemStats stats = run_noisy(1, 0.0, 200);
+  EXPECT_EQ(stats.heartbeats_lost, 0u);
+  EXPECT_EQ(stats.false_alarms, 0u);
+}
+
+TEST(DetectorNoise, Threshold1TurnsEveryGlitchIntoAnAlarm) {
+  const SystemStats stats = run_noisy(1, 0.05, 400);
+  EXPECT_GT(stats.heartbeats_lost, 0u);
+  EXPECT_GT(stats.false_alarms, 0u);
+}
+
+TEST(DetectorNoise, HigherThresholdFiltersGlitches) {
+  const SystemStats at1 = run_noisy(1, 0.05, 400);
+  const SystemStats at3 = run_noisy(3, 0.05, 400);
+  // Independent glitches almost never align 3 frames in a row at p=0.05.
+  EXPECT_GT(at1.false_alarms, 0u);
+  EXPECT_LT(at3.false_alarms, at1.false_alarms);
+  EXPECT_EQ(at3.false_alarms, 0u);
+}
+
+TEST(DetectorNoise, RealFailureStillDetectedUnderNoise) {
+  const SystemStats stats = run_noisy(3, 0.05, 400, /*fail_processor=*/true);
+  EXPECT_GE(stats.true_detections, 1u);
+}
+
+TEST(DetectorNoise, FalseAlarmsAreAbsorbedHarmlessly) {
+  // The environment never changes, so every false-alarm evaluation is
+  // absorbed by choose(): no reconfiguration happens and properties hold
+  // trivially (the trace has no reconfigurations).
+  const ReconfigSpec spec = quiet_spec();
+  SystemOptions options;
+  options.detection_threshold = 1;
+  options.heartbeat_loss_prob = 0.05;
+  System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  system.run(300);
+
+  EXPECT_GT(system.stats().false_alarms, 0u);
+  EXPECT_EQ(system.scram().stats().reconfigs_started, 0u);
+  EXPECT_TRUE(trace::get_reconfigs(system.trace()).empty());
+}
+
+TEST(DetectorNoise, DeterministicFromNoiseSeed) {
+  const SystemStats a = run_noisy(1, 0.05, 300);
+  const SystemStats b = run_noisy(1, 0.05, 300);
+  EXPECT_EQ(a.heartbeats_lost, b.heartbeats_lost);
+  EXPECT_EQ(a.false_alarms, b.false_alarms);
+}
+
+TEST(DetectorNoise, RejectsInvalidProbability) {
+  const ReconfigSpec spec = quiet_spec();
+  SystemOptions options;
+  options.heartbeat_loss_prob = 1.0;
+  EXPECT_THROW(System(spec, options), ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "arfs/common/check.hpp"
+#include "arfs/failstop/detector.hpp"
+#include "arfs/failstop/group.hpp"
+#include "arfs/failstop/processing_unit.hpp"
+#include "arfs/failstop/processor.hpp"
+#include "arfs/failstop/self_checking_pair.hpp"
+
+namespace arfs::failstop {
+namespace {
+
+TEST(ProcessingUnit, ReturnsActionDigest) {
+  ProcessingUnit unit;
+  EXPECT_EQ(unit.execute([] { return std::uint64_t{42}; }), 42u);
+  EXPECT_EQ(unit.executions(), 1u);
+}
+
+TEST(ProcessingUnit, ArmedFaultCorruptsExactlyOnce) {
+  ProcessingUnit unit;
+  unit.arm_fault();
+  EXPECT_NE(unit.execute([] { return std::uint64_t{42}; }), 42u);
+  EXPECT_EQ(unit.execute([] { return std::uint64_t{42}; }), 42u);
+  EXPECT_EQ(unit.faults_manifested(), 1u);
+}
+
+TEST(SelfCheckingPair, AgreementKeepsRunning) {
+  SelfCheckingPair pair;
+  EXPECT_TRUE(pair.run([] { return std::uint64_t{7}; }));
+  EXPECT_FALSE(pair.halted());
+  EXPECT_EQ(pair.comparisons(), 1u);
+  EXPECT_EQ(pair.divergences(), 0u);
+}
+
+TEST(SelfCheckingPair, SingleUnitFaultTripsComparator) {
+  SelfCheckingPair pair;
+  pair.inject_unit_fault(0);
+  EXPECT_FALSE(pair.run([] { return std::uint64_t{7}; }));
+  EXPECT_TRUE(pair.halted());
+  EXPECT_EQ(pair.divergences(), 1u);
+}
+
+TEST(SelfCheckingPair, HaltIsPermanentUntilReset) {
+  SelfCheckingPair pair;
+  pair.inject_unit_fault(1);
+  EXPECT_FALSE(pair.run([] { return std::uint64_t{1}; }));
+  EXPECT_FALSE(pair.run([] { return std::uint64_t{1}; }));  // stays halted
+  pair.reset();
+  EXPECT_TRUE(pair.run([] { return std::uint64_t{1}; }));
+}
+
+TEST(SelfCheckingPair, CommonModeFaultEscapesComparator) {
+  // The documented limit of a self-checking pair: identical faults in both
+  // units produce agreeing (wrong) results.
+  SelfCheckingPair pair;
+  pair.inject_common_mode_fault();
+  EXPECT_TRUE(pair.run([] { return std::uint64_t{7}; }));
+  EXPECT_FALSE(pair.halted());
+}
+
+TEST(SelfCheckingPair, InvalidUnitIndexRejected) {
+  SelfCheckingPair pair;
+  EXPECT_THROW(pair.inject_unit_fault(2), ContractViolation);
+}
+
+TEST(Processor, FailErasesVolatilePreservesStable) {
+  Processor p(ProcessorId{1});
+  p.stable().write("state", std::int64_t{10});
+  p.commit_frame(0);
+  p.volatile_store().write("scratch", std::int64_t{99});
+
+  p.fail(5);
+  EXPECT_FALSE(p.running());
+  EXPECT_EQ(p.failed_at(), Cycle{5});
+  // Stable survives and is pollable by others.
+  EXPECT_EQ(std::get<std::int64_t>(p.poll_stable().read("state").value()), 10);
+  // Volatile is gone.
+  EXPECT_EQ(p.peek_volatile().size(), 0u);
+}
+
+TEST(Processor, FailDropsUncommittedStableWrites) {
+  Processor p(ProcessorId{1});
+  p.stable().write("k", std::int64_t{1});
+  p.commit_frame(0);
+  p.stable().write("k", std::int64_t{2});  // staged, not committed
+  p.fail(1);
+  EXPECT_EQ(std::get<std::int64_t>(p.poll_stable().read("k").value()), 1);
+}
+
+TEST(Processor, AccessAfterFailureIsContractViolation) {
+  Processor p(ProcessorId{1});
+  p.fail(0);
+  EXPECT_THROW((void)p.stable(), ContractViolation);
+  EXPECT_THROW((void)p.volatile_store(), ContractViolation);
+  EXPECT_THROW(p.run_action([] { return std::uint64_t{0}; }, 1),
+               ContractViolation);
+}
+
+TEST(Processor, RepairRestoresServiceWithStableIntact) {
+  Processor p(ProcessorId{1});
+  p.stable().write("k", std::int64_t{5});
+  p.commit_frame(0);
+  p.fail(1);
+  p.repair(2);
+  EXPECT_TRUE(p.running());
+  EXPECT_FALSE(p.failed_at().has_value());
+  EXPECT_EQ(std::get<std::int64_t>(p.stable().read("k").value()), 5);
+  EXPECT_EQ(p.failure_count(), 1u);
+}
+
+TEST(Processor, RepairOfRunningProcessorRejected) {
+  Processor p(ProcessorId{1});
+  EXPECT_THROW(p.repair(0), ContractViolation);
+}
+
+TEST(Processor, ComparatorDivergenceCausesFailStop) {
+  Processor p(ProcessorId{1});
+  p.volatile_store().write("scratch", std::int64_t{1});
+  p.pair().inject_unit_fault(0);
+  EXPECT_FALSE(p.run_action([] { return std::uint64_t{3}; }, 7));
+  EXPECT_FALSE(p.running());
+  EXPECT_EQ(p.failed_at(), Cycle{7});
+  EXPECT_EQ(p.peek_volatile().size(), 0u);
+}
+
+TEST(Processor, FailIsIdempotent) {
+  Processor p(ProcessorId{1});
+  p.fail(1);
+  p.fail(2);
+  EXPECT_EQ(p.failed_at(), Cycle{1});
+  EXPECT_EQ(p.failure_count(), 1u);
+}
+
+TEST(DetectorBank, DrainEmptiesInRaiseOrder) {
+  DetectorBank bank;
+  FailureSignal a;
+  a.kind = SignalKind::kProcessorFailure;
+  FailureSignal b;
+  b.kind = SignalKind::kSoftwareFailure;
+  bank.raise(a);
+  bank.raise(b);
+  const auto signals = bank.drain();
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_EQ(signals[0].kind, SignalKind::kProcessorFailure);
+  EXPECT_EQ(signals[1].kind, SignalKind::kSoftwareFailure);
+  EXPECT_EQ(bank.pending(), 0u);
+  EXPECT_EQ(bank.total_raised(), 2u);
+}
+
+TEST(ActivityMonitor, DetectsAtThreshold) {
+  ActivityMonitor monitor(2);
+  DetectorBank bank;
+  monitor.watch(ProcessorId{1});
+
+  // Frame 0: heartbeat present.
+  monitor.heartbeat(ProcessorId{1});
+  monitor.end_of_frame(0, 0, bank);
+  EXPECT_EQ(bank.pending(), 0u);
+
+  // Frames 1-2: silence; detection at the second missed frame.
+  monitor.end_of_frame(1, 100, bank);
+  EXPECT_EQ(bank.pending(), 0u);
+  monitor.end_of_frame(2, 200, bank);
+  ASSERT_EQ(bank.pending(), 1u);
+  const auto signals = bank.drain();
+  EXPECT_EQ(signals[0].kind, SignalKind::kProcessorFailure);
+  EXPECT_EQ(signals[0].processor, ProcessorId{1});
+  EXPECT_EQ(signals[0].cycle, 2u);
+}
+
+TEST(ActivityMonitor, ReportsOnceUntilRecovery) {
+  ActivityMonitor monitor(1);
+  DetectorBank bank;
+  monitor.watch(ProcessorId{1});
+  monitor.end_of_frame(0, 0, bank);
+  monitor.end_of_frame(1, 100, bank);
+  EXPECT_EQ(bank.drain().size(), 1u);  // not re-raised every frame
+
+  // Recovery then silence again: re-raised.
+  monitor.heartbeat(ProcessorId{1});
+  monitor.end_of_frame(2, 200, bank);
+  monitor.end_of_frame(3, 300, bank);
+  EXPECT_EQ(bank.drain().size(), 1u);
+}
+
+TEST(ActivityMonitor, HeartbeatFromUnwatchedProcessorRejected) {
+  ActivityMonitor monitor(1);
+  EXPECT_THROW(monitor.heartbeat(ProcessorId{9}), ContractViolation);
+}
+
+TEST(TimingAndSignalMonitors, RaiseTypedSignals) {
+  DetectorBank bank;
+  TimingMonitor timing;
+  SignalMonitor sig;
+  timing.report_overrun(AppId{1}, 4, 400, bank);
+  sig.report_fault(AppId{2}, 5, 500, bank, "assert");
+  const auto signals = bank.drain();
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_EQ(signals[0].kind, SignalKind::kTimingViolation);
+  EXPECT_EQ(signals[1].kind, SignalKind::kSoftwareFailure);
+  EXPECT_EQ(signals[1].detail, "assert");
+}
+
+TEST(ProcessorGroup, StaticAppAssignment) {
+  ProcessorGroup group;
+  group.add_processor(ProcessorId{1});
+  group.add_processor(ProcessorId{2});
+  group.assign_app(AppId{1}, ProcessorId{1});
+  group.assign_app(AppId{2}, ProcessorId{1});
+  group.assign_app(AppId{3}, ProcessorId{2});
+
+  EXPECT_EQ(group.host_of(AppId{1}), ProcessorId{1});
+  EXPECT_EQ(group.apps_on(ProcessorId{1}).size(), 2u);
+  EXPECT_THROW(group.assign_app(AppId{1}, ProcessorId{2}), ContractViolation);
+}
+
+TEST(ProcessorGroup, RunningIdsTrackFailures) {
+  ProcessorGroup group;
+  group.add_processor(ProcessorId{1});
+  group.add_processor(ProcessorId{2});
+  group.processor(ProcessorId{1}).fail(0);
+  EXPECT_EQ(group.running_ids(), (std::vector<ProcessorId>{ProcessorId{2}}));
+}
+
+TEST(ProcessorGroup, HeartbeatAllSkipsFailed) {
+  ProcessorGroup group;
+  group.add_processor(ProcessorId{1});
+  group.add_processor(ProcessorId{2});
+  ActivityMonitor monitor(1);
+  DetectorBank bank;
+  group.watch_all(monitor);
+
+  group.processor(ProcessorId{2}).fail(0);
+  group.heartbeat_all(monitor);
+  monitor.end_of_frame(0, 0, bank);
+  const auto signals = bank.drain();
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals[0].processor, ProcessorId{2});
+}
+
+TEST(ProcessorGroup, CommitAllSkipsFailedProcessors) {
+  ProcessorGroup group;
+  Processor& a = group.add_processor(ProcessorId{1});
+  Processor& b = group.add_processor(ProcessorId{2});
+  a.stable().write("k", std::int64_t{1});
+  b.stable().write("k", std::int64_t{2});
+  b.fail(0);
+  group.commit_all(0);
+  EXPECT_TRUE(a.poll_stable().contains("k"));
+  EXPECT_FALSE(b.poll_stable().contains("k"));
+}
+
+TEST(ProcessorGroup, DuplicateProcessorRejected) {
+  ProcessorGroup group;
+  group.add_processor(ProcessorId{1});
+  EXPECT_THROW(group.add_processor(ProcessorId{1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs::failstop

@@ -1,0 +1,110 @@
+// Tests of the resource-feasibility pass: every declared configuration fits
+// its platform, and the *degradation arguments* of the paper's example are
+// real (full service genuinely cannot share one computer; reduced service
+// genuinely cannot run in low-power mode).
+#include <gtest/gtest.h>
+
+#include "arfs/analysis/feasibility.hpp"
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::analysis {
+namespace {
+
+TEST(Feasibility, UavConfigurationsAllFit) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  const PlatformModel platform = avionics::make_uav_platform();
+  const FeasibilityReport report = check_feasibility(spec, platform);
+  EXPECT_TRUE(report.all_feasible());
+  // Findings exist for every (config, used-processor) pair: 2 + 1 + 1.
+  EXPECT_EQ(report.findings.size(), 4u);
+}
+
+TEST(Feasibility, FullServiceCannotShareOneComputer) {
+  // The paper's justification for Reduced Service: one computer "does not
+  // have the capacity to support full service from the applications".
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  const PlatformModel platform = avionics::make_uav_platform();
+  EXPECT_TRUE(would_overload(spec, avionics::kFullService,
+                             avionics::kComputer1, platform));
+}
+
+TEST(Feasibility, ReducedServiceCannotRunLowPower) {
+  // The justification for turning the autopilot off in Minimal Service:
+  // even the reduced pair exceeds the low-power capacity.
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  PlatformModel platform = avionics::make_uav_platform();
+  platform.low_power_configs.push_back(avionics::kReducedService);
+  EXPECT_TRUE(would_overload(spec, avionics::kReducedService,
+                             avionics::kComputer1, platform));
+}
+
+TEST(Feasibility, MinimalServiceFitsLowPower) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  const PlatformModel platform = avionics::make_uav_platform();
+  EXPECT_FALSE(would_overload(spec, avionics::kMinimalService,
+                              avionics::kComputer1, platform));
+}
+
+TEST(Feasibility, OverloadedConfigurationReported) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  PlatformModel tiny = avionics::make_uav_platform();
+  // Shrink computer 2 below the augmented FCS's 0.40 cpu demand: exactly
+  // Full Service's placement on computer 2 becomes infeasible.
+  tiny.processors[avionics::kComputer2].normal =
+      core::ResourceDemand{0.35, 128.0, 50.0};
+  const FeasibilityReport report = check_feasibility(spec, tiny);
+  EXPECT_FALSE(report.all_feasible());
+  const auto violations = report.violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].config, avionics::kFullService);
+  EXPECT_EQ(violations[0].processor, avionics::kComputer2);
+  EXPECT_NE(violations[0].detail.find("exceeds capacity"),
+            std::string::npos);
+}
+
+TEST(Feasibility, MissingProcessorIsInfeasible) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  PlatformModel partial = avionics::make_uav_platform();
+  partial.processors.erase(avionics::kComputer2);
+  const FeasibilityReport report = check_feasibility(spec, partial);
+  EXPECT_FALSE(report.all_feasible());
+  bool found = false;
+  for (const FeasibilityFinding& f : report.violations()) {
+    if (f.processor == avionics::kComputer2) {
+      found = true;
+      EXPECT_NE(f.detail.find("not in the platform model"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Feasibility, LowPowerModeUsesReducedCapacity) {
+  const core::ReconfigSpec spec = avionics::make_uav_spec();
+  const PlatformModel platform = avionics::make_uav_platform();
+  const FeasibilityReport report = check_feasibility(spec, platform);
+  for (const FeasibilityFinding& f : report.findings) {
+    if (f.config == avionics::kMinimalService) {
+      EXPECT_DOUBLE_EQ(f.capacity.cpu, 0.15);  // low-power capacity applied
+    } else {
+      EXPECT_DOUBLE_EQ(f.capacity.cpu, 0.6);
+    }
+  }
+}
+
+TEST(Feasibility, ChainSpecAgainstGenerousPlatform) {
+  support::ChainSpecParams params;
+  params.apps = 3;
+  const core::ReconfigSpec spec = support::make_chain_spec(params);
+  PlatformModel platform;
+  for (std::size_t p = 0; p < params.apps; ++p) {
+    platform.processors[support::synthetic_processor(p)] =
+        ProcessorCapacity{core::ResourceDemand{1.0, 256.0, 100.0},
+                          core::ResourceDemand{0.2, 64.0, 20.0}};
+  }
+  EXPECT_TRUE(check_feasibility(spec, platform).all_feasible());
+}
+
+}  // namespace
+}  // namespace arfs::analysis

@@ -1,0 +1,185 @@
+// Tests of the original Schlichting & Schneider fault-tolerant action model
+// (the paper's baseline): action completion, recovery on spares from stable
+// storage, comparator-trip handling, and spare exhaustion.
+#include <gtest/gtest.h>
+
+#include "arfs/failstop/fta.hpp"
+
+namespace arfs::failstop {
+namespace {
+
+/// A counting action: increments "progress" in stable storage each step;
+/// completes after `total` steps. Recovery copies the committed progress to
+/// the replacement, so completed steps are never redone.
+class CountingFta {
+ public:
+  explicit CountingFta(std::int64_t total) : total_(total) {}
+
+  FtaBody body() {
+    return [this](storage::StableStorage& stable) {
+      const std::int64_t progress =
+          stable.read_as<std::int64_t>("progress").value_or(0);
+      stable.write("progress", progress + 1);
+      ++work_done_;
+      return progress + 1 >= total_;
+    };
+  }
+
+  static FtaRecovery recovery() {
+    return [](const storage::StableStorage& failed,
+              storage::StableStorage& replacement) {
+      replacement.write(
+          "progress", failed.read_as<std::int64_t>("progress").value_or(0));
+    };
+  }
+
+  [[nodiscard]] std::int64_t work_done() const { return work_done_; }
+
+ private:
+  std::int64_t total_;
+  std::int64_t work_done_ = 0;
+};
+
+class FtaTest : public ::testing::Test {
+ protected:
+  FtaTest() {
+    for (std::uint32_t p = 1; p <= 3; ++p) {
+      group_.add_processor(ProcessorId{p});
+    }
+  }
+  ProcessorGroup group_;
+};
+
+TEST_F(FtaTest, CompletesWithoutFailures) {
+  CountingFta action(5);
+  FtaRunner runner(group_, {ProcessorId{1}, ProcessorId{2}}, action.body(),
+                   CountingFta::recovery());
+  const FtaReport report = runner.run(0);
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(report.steps_executed, 5u);
+  EXPECT_EQ(report.failures_survived, 0u);
+  EXPECT_EQ(report.final_processor, ProcessorId{1});
+  EXPECT_EQ(action.work_done(), 5);
+}
+
+TEST_F(FtaTest, RecoversOnSpareAndResumesFromCommittedState) {
+  CountingFta action(6);
+  FtaRunner runner(group_, {ProcessorId{1}, ProcessorId{2}}, action.body(),
+                   CountingFta::recovery());
+  for (Cycle c = 0; c < 3; ++c) (void)runner.step(c);
+  EXPECT_EQ(runner.report().steps_executed, 3u);
+
+  group_.processor(ProcessorId{1}).fail(3);
+  const FtaReport report = runner.run(4);
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(report.failures_survived, 1u);
+  EXPECT_EQ(report.final_processor, ProcessorId{2});
+  // Exactly 6 units of work: the recovery resumed from committed progress
+  // rather than restarting from zero.
+  EXPECT_EQ(action.work_done(), 6);
+  EXPECT_EQ(group_.processor(ProcessorId{2})
+                .poll_stable()
+                .read_as<std::int64_t>("progress")
+                .value(),
+            6);
+}
+
+TEST_F(FtaTest, SurvivesAsManyFailuresAsSpares) {
+  CountingFta action(9);
+  FtaRunner runner(group_,
+                   {ProcessorId{1}, ProcessorId{2}, ProcessorId{3}},
+                   action.body(), CountingFta::recovery());
+  for (Cycle c = 0; c < 3; ++c) (void)runner.step(c);
+  group_.processor(ProcessorId{1}).fail(3);
+  for (Cycle c = 4; c < 8; ++c) (void)runner.step(c);
+  group_.processor(ProcessorId{2}).fail(8);
+  const FtaReport report = runner.run(9);
+
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(report.failures_survived, 2u);
+  EXPECT_EQ(report.final_processor, ProcessorId{3});
+  EXPECT_EQ(action.work_done(), 9);
+}
+
+TEST_F(FtaTest, ExhaustsWhenSparesRunOut) {
+  CountingFta action(100);
+  FtaRunner runner(group_, {ProcessorId{1}, ProcessorId{2}}, action.body(),
+                   CountingFta::recovery());
+  (void)runner.step(0);
+  group_.processor(ProcessorId{1}).fail(1);
+  (void)runner.step(2);  // fails over to 2
+  group_.processor(ProcessorId{2}).fail(3);
+  const FtaReport report = runner.step(4);
+  EXPECT_EQ(report.status, FtaStatus::kExhausted);
+  // The original model cannot degrade: the action is simply lost — the
+  // limitation the paper's reconfiguration approach removes.
+}
+
+TEST_F(FtaTest, UncommittedStepLostOnFailureIsRedone) {
+  // The fail-stop contract at action granularity: a step whose commit never
+  // happened is not observable; recovery resumes from the last commit.
+  CountingFta action(4);
+  FtaRunner runner(group_, {ProcessorId{1}, ProcessorId{2}}, action.body(),
+                   CountingFta::recovery());
+  (void)runner.step(0);
+  (void)runner.step(1);
+  // Fail processor 1; its committed progress is 2.
+  group_.processor(ProcessorId{1}).fail(2);
+  const FtaReport report = runner.run(3);
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(group_.processor(ProcessorId{2})
+                .poll_stable()
+                .read_as<std::int64_t>("progress")
+                .value(),
+            4);
+}
+
+TEST_F(FtaTest, ComparatorTripIsHandledAsFailStop) {
+  CountingFta action(4);
+  FtaRunner runner(group_, {ProcessorId{1}, ProcessorId{2}}, action.body(),
+                   CountingFta::recovery());
+  (void)runner.step(0);
+  // A transient computational fault in one unit of the pair: the comparator
+  // trips mid-step, the step's writes are dropped, and the next step fails
+  // over and redoes it on the spare.
+  group_.processor(ProcessorId{1}).pair().inject_unit_fault(0);
+  (void)runner.step(1);  // comparator trips; no progress
+  EXPECT_FALSE(group_.processor(ProcessorId{1}).running());
+  const FtaReport report = runner.run(2);
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(report.failures_survived, 1u);
+  EXPECT_EQ(group_.processor(ProcessorId{2})
+                .poll_stable()
+                .read_as<std::int64_t>("progress")
+                .value(),
+            4);
+}
+
+TEST_F(FtaTest, SkipsAlreadyFailedSpares) {
+  CountingFta action(3);
+  FtaRunner runner(group_,
+                   {ProcessorId{1}, ProcessorId{2}, ProcessorId{3}},
+                   action.body(), CountingFta::recovery());
+  (void)runner.step(0);
+  group_.processor(ProcessorId{2}).fail(1);  // spare dies first
+  group_.processor(ProcessorId{1}).fail(1);
+  const FtaReport report = runner.run(2);
+  EXPECT_EQ(report.status, FtaStatus::kCompleted);
+  EXPECT_EQ(report.final_processor, ProcessorId{3});
+}
+
+TEST_F(FtaTest, RejectsBadConstruction) {
+  CountingFta action(1);
+  EXPECT_THROW(
+      FtaRunner(group_, {}, action.body(), CountingFta::recovery()),
+      ContractViolation);
+  EXPECT_THROW(FtaRunner(group_, {ProcessorId{9}}, action.body(),
+                         CountingFta::recovery()),
+               ContractViolation);
+  EXPECT_THROW(
+      FtaRunner(group_, {ProcessorId{1}}, nullptr, CountingFta::recovery()),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs::failstop

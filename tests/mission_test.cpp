@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/mission.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::support {
+namespace {
+
+TEST(MissionProfile, EventsCarryFrameTimes) {
+  MissionProfile mission(10'000);
+  mission.at(5, FactorId{1}, 2, "note").fail(10, ProcessorId{1});
+  const sim::FaultPlan plan = mission.build();
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].when, 50'000);
+  EXPECT_EQ(plan.events()[0].kind, sim::FaultKind::kEnvironmentChange);
+  EXPECT_EQ(plan.events()[0].new_value, 2);
+  EXPECT_EQ(plan.events()[0].note, "note");
+  EXPECT_EQ(plan.events()[1].when, 100'000);
+  EXPECT_EQ(plan.events()[1].kind, sim::FaultKind::kProcessorFailStop);
+}
+
+TEST(MissionProfile, PeriodicPatternAlternates) {
+  MissionProfile mission(10'000);
+  mission.periodic(FactorId{1}, 0, 1, /*period=*/10, /*duty=*/4,
+                   /*phase=*/2, /*until=*/30);
+  const sim::FaultPlan plan = mission.build();
+  // Highs at 2, 12, 22; lows at 6, 16, 26.
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan.events()[0].when, 20'000);
+  EXPECT_EQ(plan.events()[0].new_value, 1);
+  EXPECT_EQ(plan.events()[1].when, 60'000);
+  EXPECT_EQ(plan.events()[1].new_value, 0);
+  EXPECT_EQ(plan.events()[4].when, 220'000);
+}
+
+TEST(MissionProfile, JitterDeterministicAndBounded) {
+  const auto build = [] {
+    MissionProfile mission(10'000);
+    mission.with_jitter(3, 42);
+    for (Cycle f = 10; f < 100; f += 10) {
+      mission.at(f, FactorId{1}, 1);
+    }
+    return mission.build();
+  };
+  const sim::FaultPlan a = build();
+  const sim::FaultPlan b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].when, b.events()[i].when);
+  }
+  // Each event within [frame, frame+3] frames of its nominal time.
+  std::size_t i = 0;
+  for (Cycle f = 10; f < 100; f += 10, ++i) {
+    const SimTime nominal = static_cast<SimTime>(f) * 10'000;
+    EXPECT_GE(a.events()[i].when, nominal);
+    EXPECT_LE(a.events()[i].when, nominal + 3 * 10'000);
+  }
+}
+
+TEST(MissionProfile, RejectsBadPeriodic) {
+  MissionProfile mission(10'000);
+  EXPECT_THROW(mission.periodic(FactorId{1}, 0, 1, 0, 0, 0, 10),
+               ContractViolation);
+  EXPECT_THROW(mission.periodic(FactorId{1}, 0, 1, 5, 5, 0, 10),
+               ContractViolation);
+}
+
+TEST(MissionProfile, DrivesAFullSystemRun) {
+  ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 2;
+  const core::ReconfigSpec spec = make_chain_spec(params);
+  core::System system(spec);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+
+  MissionProfile mission(10'000);
+  mission.at(10, kChainSeverityFactor, 1, "first failure")
+      .at(40, kChainSeverityFactor, 2, "second failure");
+  system.set_fault_plan(mission.build());
+  system.run(70);
+
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_EQ(report.reconfig_count, 2u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(2));
+}
+
+}  // namespace
+}  // namespace arfs::support

@@ -1,0 +1,174 @@
+// Tests of modular applications (internal reconfiguration): delegation
+// order, per-spec module modes, disabled modules, and operation inside a
+// full System reconfiguration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arfs/core/modular_app.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::kChainSeverityFactor;
+using support::synthetic_app;
+using support::synthetic_spec;
+
+/// Records every call into a shared journal for order verification.
+class JournalModule final : public AppModule {
+ public:
+  JournalModule(std::string name, std::vector<std::string>& journal)
+      : AppModule(std::move(name)), journal_(journal) {}
+
+  SimDuration do_work(const ReconfigurableApp::Ctx&, int mode) override {
+    journal_.push_back(name() + ":work@" + std::to_string(mode));
+    return 10;
+  }
+  void do_halt(const ReconfigurableApp::Ctx&) override {
+    journal_.push_back(name() + ":halt");
+  }
+  void do_prepare(const ReconfigurableApp::Ctx&, int target) override {
+    journal_.push_back(name() + ":prepare@" + std::to_string(target));
+  }
+  void do_initialize(const ReconfigurableApp::Ctx&, int target) override {
+    journal_.push_back(name() + ":init@" + std::to_string(target));
+  }
+  void on_volatile_lost() override {
+    journal_.push_back(name() + ":lost");
+  }
+
+ private:
+  std::vector<std::string>& journal_;
+};
+
+/// A modular app with modules "input" -> "control" -> "output"; the full
+/// spec runs all three at mode 1, the degraded spec disables "control" and
+/// drops the others to mode 0.
+std::unique_ptr<ModularApp> make_app(std::vector<std::string>& journal) {
+  auto app = std::make_unique<ModularApp>(synthetic_app(0), "modular");
+  app->add_module(std::make_unique<JournalModule>("input", journal));
+  app->add_module(std::make_unique<JournalModule>("control", journal));
+  app->add_module(std::make_unique<JournalModule>("output", journal));
+  app->map_spec(synthetic_spec(0, 0),
+                {{"input", 1}, {"control", 1}, {"output", 1}});
+  app->map_spec(synthetic_spec(0, 1), {{"input", 0}, {"output", 0}});
+  return app;
+}
+
+TEST(ModularApp, RejectsDuplicateAndUnknownModules) {
+  std::vector<std::string> journal;
+  ModularApp app(synthetic_app(0), "m");
+  app.add_module(std::make_unique<JournalModule>("x", journal));
+  EXPECT_THROW(app.add_module(std::make_unique<JournalModule>("x", journal)),
+               ContractViolation);
+  EXPECT_THROW(app.map_spec(synthetic_spec(0, 0), {{"nope", 1}}),
+               ContractViolation);
+  EXPECT_THROW(app.map_spec(synthetic_spec(0, 0), {{"x", -2}}),
+               ContractViolation);
+}
+
+class ModularInSystem : public ::testing::Test {
+ protected:
+  ModularInSystem()
+      : spec_(make_spec()), system_(spec_) {
+    auto app = make_app(journal_);
+    app_ = app.get();
+    system_.add_app(std::move(app));
+  }
+
+  static ReconfigSpec make_spec() {
+    support::ChainSpecParams params;
+    params.configs = 2;
+    params.apps = 1;
+    params.transition_bound = 8;
+    return support::make_chain_spec(params);
+  }
+
+  std::vector<std::string> journal_;
+  ReconfigSpec spec_;
+  System system_;
+  ModularApp* app_ = nullptr;
+};
+
+TEST_F(ModularInSystem, WorkRunsModulesInDeclarationOrder) {
+  system_.run(1);
+  ASSERT_EQ(journal_.size(), 3u);
+  EXPECT_EQ(journal_[0], "input:work@1");
+  EXPECT_EQ(journal_[1], "control:work@1");
+  EXPECT_EQ(journal_[2], "output:work@1");
+}
+
+TEST_F(ModularInSystem, HaltRunsInReverseOrder) {
+  system_.run(1);
+  journal_.clear();
+  system_.set_factor(kChainSeverityFactor, 1);
+  system_.run(2);  // frame 1: signal; frame 2: halt
+  ASSERT_GE(journal_.size(), 3u);
+  EXPECT_EQ(journal_[0], "output:halt");
+  EXPECT_EQ(journal_[1], "control:halt");
+  EXPECT_EQ(journal_[2], "input:halt");
+}
+
+TEST_F(ModularInSystem, InternalReconfigurationRemodesModules) {
+  system_.run(1);
+  system_.set_factor(kChainSeverityFactor, 1);
+  system_.run(6);  // full SFTA + resumed operation
+
+  // Degraded spec: control disabled, input/output at mode 0.
+  EXPECT_EQ(app_->module_mode("input"), 0);
+  EXPECT_EQ(app_->module_mode("control"), kModuleOff);
+  EXPECT_EQ(app_->module_mode("output"), 0);
+
+  // Prepare/initialize carried the target modes (off = -1 for control).
+  bool saw_control_prepare_off = false;
+  bool saw_input_init0 = false;
+  for (const std::string& entry : journal_) {
+    if (entry == "control:prepare@-1") saw_control_prepare_off = true;
+    if (entry == "input:init@0") saw_input_init0 = true;
+  }
+  EXPECT_TRUE(saw_control_prepare_off);
+  EXPECT_TRUE(saw_input_init0);
+
+  // Work after the reconfiguration skips the disabled module.
+  journal_.clear();
+  system_.run(1);
+  ASSERT_EQ(journal_.size(), 2u);
+  EXPECT_EQ(journal_[0], "input:work@0");
+  EXPECT_EQ(journal_[1], "output:work@0");
+}
+
+TEST_F(ModularInSystem, ConsumedTimeSumsActiveModules) {
+  system_.run(1);
+  // 3 modules * 10us under the full spec, below the 500us budget: no
+  // overrun raised.
+  EXPECT_EQ(system_.health().overrun_count(), 0u);
+}
+
+TEST_F(ModularInSystem, PropertiesHoldWithModularApp) {
+  system_.run(2);
+  system_.set_factor(kChainSeverityFactor, 1);
+  system_.run(10);
+  const props::TraceReport report =
+      props::check_trace(system_.trace(), spec_);
+  EXPECT_EQ(report.reconfig_count, 1u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST_F(ModularInSystem, VolatileLossPropagatesToModules) {
+  sim::FaultPlan plan;
+  plan.fail_processor(2 * 10'000, support::synthetic_processor(0));
+  system_.set_fault_plan(std::move(plan));
+  system_.run(3);
+  bool saw_lost = false;
+  for (const std::string& entry : journal_) {
+    if (entry == "input:lost") saw_lost = true;
+  }
+  EXPECT_TRUE(saw_lost);
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,130 @@
+// Tests of the streaming SP monitor: verdict parity with the offline
+// checkers, bounded buffering, violation detection, and contiguity checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/online.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::props {
+namespace {
+
+using support::kChainSeverityFactor;
+using support::synthetic_app;
+
+core::ReconfigSpec chain(std::size_t configs = 3, Cycle bound = 10) {
+  support::ChainSpecParams params;
+  params.configs = configs;
+  params.apps = 2;
+  params.transition_bound = bound;
+  return support::make_chain_spec(params);
+}
+
+/// Runs a system and feeds its trace through the monitor frame by frame.
+std::vector<ReconfigVerdict> stream(const core::ReconfigSpec& /*spec*/,
+                                    core::System& system, Cycle frames,
+                                    OnlineMonitor& monitor,
+                                    const std::vector<Cycle>& triggers) {
+  std::vector<ReconfigVerdict> verdicts;
+  Cycle fed = 0;
+  for (Cycle f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < triggers.size(); ++i) {
+      if (triggers[i] == f) {
+        system.set_factor(kChainSeverityFactor,
+                          static_cast<std::int64_t>(i + 1));
+      }
+    }
+    system.run(1);
+    for (; fed < system.trace().size(); ++fed) {
+      if (auto v = monitor.observe(system.trace().at(fed))) {
+        verdicts.push_back(*v);
+      }
+    }
+  }
+  return verdicts;
+}
+
+TEST(OnlineMonitor, MatchesOfflineCheckers) {
+  const core::ReconfigSpec spec = chain();
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  OnlineMonitor monitor(spec, 10'000);
+
+  const auto online = stream(spec, system, 40, monitor, {5, 20});
+  const TraceReport offline = check_trace(system.trace(), spec);
+
+  ASSERT_EQ(online.size(), offline.verdicts.size());
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    EXPECT_EQ(online[i].reconfig.start_c, offline.verdicts[i].reconfig.start_c);
+    EXPECT_EQ(online[i].reconfig.end_c, offline.verdicts[i].reconfig.end_c);
+    EXPECT_EQ(online[i].all_hold(), offline.verdicts[i].all_hold());
+    EXPECT_EQ(online[i].sp1.holds, offline.verdicts[i].sp1.holds);
+    EXPECT_EQ(online[i].sp2.holds, offline.verdicts[i].sp2.holds);
+    EXPECT_EQ(online[i].sp3.holds, offline.verdicts[i].sp3.holds);
+    EXPECT_EQ(online[i].sp4.holds, offline.verdicts[i].sp4.holds);
+  }
+  EXPECT_EQ(monitor.stats().reconfigs_checked, 2u);
+  EXPECT_EQ(monitor.stats().violations, 0u);
+}
+
+TEST(OnlineMonitor, BufferBoundedByReconfigLength) {
+  const core::ReconfigSpec spec = chain();
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  OnlineMonitor monitor(spec, 10'000);
+  (void)stream(spec, system, 200, monitor, {5});
+
+  EXPECT_EQ(monitor.stats().frames_observed, 200u);
+  // The 4-frame SFTA ends at its 4th frame; nothing more is ever buffered.
+  EXPECT_LE(monitor.stats().max_buffered_frames, 4u);
+  EXPECT_FALSE(monitor.reconfiguring());
+}
+
+TEST(OnlineMonitor, DetectsSp3ViolationOnline) {
+  // Bound of 3 frames is tighter than the canonical 4-frame SFTA.
+  const core::ReconfigSpec spec = chain(3, 3);
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  OnlineMonitor monitor(spec, 10'000);
+  const auto verdicts = stream(spec, system, 20, monitor, {5});
+
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_FALSE(verdicts[0].sp3.holds);
+  EXPECT_TRUE(verdicts[0].sp1.holds);
+  EXPECT_EQ(monitor.stats().violations, 1u);
+}
+
+TEST(OnlineMonitor, ReconfigStartingAtCycleZeroHandled) {
+  // No all-normal prelude exists when the trigger fires in frame 0.
+  const core::ReconfigSpec spec = chain();
+  core::System system(spec);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  OnlineMonitor monitor(spec, 10'000);
+  const auto verdicts = stream(spec, system, 15, monitor, {0});
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_TRUE(verdicts[0].all_hold());
+  EXPECT_EQ(verdicts[0].reconfig.start_c, 0u);
+}
+
+TEST(OnlineMonitor, RejectsNonContiguousFrames) {
+  const core::ReconfigSpec spec = chain();
+  OnlineMonitor monitor(spec, 10'000);
+  trace::SysState s0;
+  s0.cycle = 0;
+  s0.svclvl = support::synthetic_config(0);
+  (void)monitor.observe(s0);
+  trace::SysState s5 = s0;
+  s5.cycle = 5;
+  EXPECT_THROW((void)monitor.observe(s5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace arfs::props

@@ -1,0 +1,171 @@
+// Failure-during-reconfiguration matrix: a processor fail-stop lands in
+// each phase of an in-progress SFTA (signal frame, halt, prepare,
+// initialize), under both policies. The system must always converge to a
+// configuration that is proper for the final environment, with every
+// completed reconfiguration satisfying SP1-SP4.
+//
+// The spec used: three configurations driven by one severity factor plus a
+// processor-status factor; config 0 runs both apps on separate processors,
+// configs 1 and 2 consolidate onto processor 2 (so losing processor 1 is
+// always survivable).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::synthetic_app;
+using support::synthetic_config;
+using support::synthetic_processor;
+using support::synthetic_spec;
+
+constexpr FactorId kSeverity{90};
+constexpr FactorId kProc1Status{91};
+
+ReconfigSpec matrix_spec() {
+  ReconfigSpec spec;
+  for (std::size_t a = 0; a < 2; ++a) {
+    AppDecl decl;
+    decl.id = synthetic_app(a);
+    decl.name = "m-app-" + std::to_string(a);
+    decl.specs = {
+        FunctionalSpec{synthetic_spec(a, 0), "full", {}, 100, 400},
+        FunctionalSpec{synthetic_spec(a, 1), "lite", {}, 50, 200},
+    };
+    spec.declare_app(std::move(decl));
+  }
+  spec.declare_factor(env::FactorSpec{kSeverity, "severity", 0, 2, 0});
+  spec.declare_factor(env::FactorSpec{kProc1Status, "proc1", 0, 1, 0});
+
+  Configuration split;
+  split.id = synthetic_config(0);
+  split.name = "split";
+  split.assignment = {{synthetic_app(0), synthetic_spec(0, 0)},
+                      {synthetic_app(1), synthetic_spec(1, 0)}};
+  split.placement = {{synthetic_app(0), synthetic_processor(0)},
+                     {synthetic_app(1), synthetic_processor(1)}};
+  split.service_rank = 2;
+  spec.declare_config(std::move(split));
+
+  Configuration mid;
+  mid.id = synthetic_config(1);
+  mid.name = "consolidated";
+  mid.assignment = {{synthetic_app(0), synthetic_spec(0, 1)},
+                    {synthetic_app(1), synthetic_spec(1, 0)}};
+  mid.placement = {{synthetic_app(0), synthetic_processor(1)},
+                   {synthetic_app(1), synthetic_processor(1)}};
+  mid.service_rank = 1;
+  spec.declare_config(std::move(mid));
+
+  Configuration safe;
+  safe.id = synthetic_config(2);
+  safe.name = "safe";
+  safe.assignment = {{synthetic_app(1), synthetic_spec(1, 1)}};
+  safe.placement = {{synthetic_app(1), synthetic_processor(1)}};
+  safe.safe = true;
+  safe.service_rank = 0;
+  spec.declare_config(std::move(safe));
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      spec.set_transition_bound(synthetic_config(i), synthetic_config(j),
+                                16);
+    }
+  }
+
+  spec.set_choose([](ConfigId, const env::EnvState& e) {
+    if (e.at(kProc1Status) != 0) {
+      // Processor 1 lost: only the consolidated configurations are viable;
+      // severity decides between them.
+      return e.at(kSeverity) >= 2 ? synthetic_config(2) : synthetic_config(1);
+    }
+    const std::int64_t severity = e.at(kSeverity);
+    if (severity >= 2) return synthetic_config(2);
+    if (severity == 1) return synthetic_config(1);
+    return synthetic_config(0);
+  });
+  spec.set_initial_config(synthetic_config(0));
+  spec.validate();
+  return spec;
+}
+
+struct MatrixParam {
+  Cycle failure_offset = 0;  ///< Frames after the trigger frame.
+  ReconfigPolicy policy = ReconfigPolicy::kBuffer;
+
+  friend std::ostream& operator<<(std::ostream& os, const MatrixParam& p) {
+    return os << "offset" << p.failure_offset << "_"
+              << (p.policy == ReconfigPolicy::kBuffer ? "buffer"
+                                                      : "immediate");
+  }
+};
+
+class PhaseFailureMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(PhaseFailureMatrix, ConvergesAndKeepsProperties) {
+  const MatrixParam& p = GetParam();
+  const ReconfigSpec spec = matrix_spec();
+
+  SystemOptions options;
+  options.scram.policy = p.policy;
+  System system(spec, options);
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<support::SimpleApp>(synthetic_app(1), "b"));
+  system.bind_processor_factor(synthetic_processor(0), kProc1Status);
+
+  // Trigger at frame 10; processor 1 dies `failure_offset` frames into the
+  // SFTA (offset 0 = the signal frame itself, 1 = halt, 2 = prepare,
+  // 3 = initialize).
+  sim::FaultPlan plan;
+  plan.fail_processor(
+      static_cast<SimTime>(10 + p.failure_offset) * 10'000,
+      synthetic_processor(0));
+  system.set_fault_plan(std::move(plan));
+
+  system.run(10);
+  system.set_factor(kSeverity, 1);
+  system.run(50);
+
+  // Converged to the proper choice for the final environment...
+  const ConfigId current = system.scram().current_config();
+  EXPECT_EQ(spec.choose(current, system.environment().state()), current);
+  EXPECT_EQ(current, synthetic_config(1));  // proc1 down + severity 1
+  EXPECT_FALSE(system.scram().reconfiguring());
+
+  // ...with app 0 relocated onto the survivor...
+  EXPECT_EQ(system.region_host(synthetic_app(0)), synthetic_processor(1));
+
+  // ...and every completed reconfiguration property-clean.
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_GE(report.reconfig_count, 1u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+  EXPECT_FALSE(trace::incomplete_reconfig(system.trace()).has_value());
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> params;
+  for (const Cycle offset : {0u, 1u, 2u, 3u, 4u}) {
+    for (const ReconfigPolicy policy :
+         {ReconfigPolicy::kBuffer, ReconfigPolicy::kImmediate}) {
+      params.push_back(MatrixParam{offset, policy});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, PhaseFailureMatrix,
+                         ::testing::ValuesIn(matrix()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+}  // namespace
+}  // namespace arfs::core

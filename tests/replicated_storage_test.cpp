@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "arfs/common/check.hpp"
+#include "arfs/storage/replicated.hpp"
+
+namespace arfs::storage {
+namespace {
+
+TEST(ReplicatedStorage, WriteCommitReadRoundTrip) {
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{7});
+  EXPECT_FALSE(s.read("k"));  // nothing committed yet
+  s.commit(0);
+  ASSERT_TRUE(s.read("k"));
+  EXPECT_EQ(std::get<std::int64_t>(s.read("k").value()), 7);
+  // Every replica holds the value.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(s.replica(i).contains("k"));
+  }
+}
+
+TEST(ReplicatedStorage, SurvivesMinorityFailures) {
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{1});
+  s.commit(0);
+  s.fail_replica(0);
+  ASSERT_TRUE(s.read("k"));
+  // Writes continue on the survivors.
+  s.write("k", std::int64_t{2});
+  s.commit(1);
+  EXPECT_EQ(std::get<std::int64_t>(s.read("k").value()), 2);
+  EXPECT_EQ(s.available_count(), 2u);
+}
+
+TEST(ReplicatedStorage, MajorityLossMakesKeyUnavailable) {
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{1});
+  s.commit(0);
+  s.fail_replica(0);
+  s.fail_replica(1);
+  // One survivor cannot form a majority of the configured three.
+  EXPECT_FALSE(s.read("k"));
+  EXPECT_GE(s.stats().unavailable_reads, 1u);
+}
+
+TEST(ReplicatedStorage, VotingMasksSingleCorruption) {
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{10});
+  s.commit(0);
+  s.corrupt_replica(1, "k", std::int64_t{999}, 1);
+
+  const Expected<Value> v = s.read("k");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(std::get<std::int64_t>(v.value()), 10);
+  EXPECT_GE(s.stats().masked_corruptions, 1u);
+}
+
+TEST(ReplicatedStorage, MajorityCorruptionWins) {
+  // The construction's documented limit: voting returns whatever the
+  // majority says, including a majority of corrupted replicas.
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{10});
+  s.commit(0);
+  s.corrupt_replica(0, "k", std::int64_t{999}, 1);
+  s.corrupt_replica(1, "k", std::int64_t{999}, 1);
+  ASSERT_TRUE(s.read("k"));
+  EXPECT_EQ(std::get<std::int64_t>(s.read("k").value()), 999);
+}
+
+TEST(ReplicatedStorage, TypeDivergenceCountsAsDifferentValues) {
+  ReplicatedStableStorage s(3);
+  s.write("k", std::int64_t{1});
+  s.commit(0);
+  s.corrupt_replica(2, "k", std::string{"1"}, 1);  // same rendering, other type
+  const Expected<Value> v = s.read("k");
+  ASSERT_TRUE(v);
+  EXPECT_TRUE(std::holds_alternative<std::int64_t>(v.value()));
+}
+
+TEST(ReplicatedStorage, RepairResynchronizesFromMajority) {
+  ReplicatedStableStorage s(3);
+  s.write("a", std::int64_t{1});
+  s.write("b", std::int64_t{2});
+  s.commit(0);
+  s.fail_replica(2);
+  s.write("a", std::int64_t{11});
+  s.commit(1);
+
+  s.repair_replica(2, 2);
+  EXPECT_EQ(s.available_count(), 3u);
+  // The repaired replica holds the current values.
+  EXPECT_EQ(std::get<std::int64_t>(s.replica(2).read("a").value()), 11);
+  EXPECT_EQ(std::get<std::int64_t>(s.replica(2).read("b").value()), 2);
+  // And participates in future majorities: fail the other two.
+  s.fail_replica(0);
+  EXPECT_TRUE(s.read("a"));  // replicas 1+2 still form a majority
+}
+
+TEST(ReplicatedStorage, FailedReplicaMissesWritesUntilRepair) {
+  ReplicatedStableStorage s(3);
+  s.fail_replica(1);
+  s.write("k", std::int64_t{5});
+  s.commit(0);
+  EXPECT_FALSE(s.replica(1).contains("k"));
+  s.repair_replica(1, 1);
+  EXPECT_TRUE(s.replica(1).contains("k"));
+}
+
+TEST(ReplicatedStorage, SingleReplicaDegeneratesToPlainStorage) {
+  ReplicatedStableStorage s(1);
+  s.write("k", std::int64_t{3});
+  s.commit(0);
+  EXPECT_EQ(std::get<std::int64_t>(s.read("k").value()), 3);
+  s.fail_replica(0);
+  EXPECT_FALSE(s.read("k"));
+}
+
+TEST(ReplicatedStorage, ContractChecks) {
+  EXPECT_THROW(ReplicatedStableStorage(0), ContractViolation);
+  ReplicatedStableStorage s(3);
+  EXPECT_THROW(s.fail_replica(9), ContractViolation);
+  EXPECT_THROW(s.repair_replica(0, 0), ContractViolation);  // not failed
+}
+
+}  // namespace
+}  // namespace arfs::storage

@@ -1,0 +1,101 @@
+// Scale smoke: large systems through the full pipeline. These bound the
+// frame cost growth and prove no hidden quadratic blowups in the SCRAM,
+// trace recording, or checkers at sizes far beyond the paper's example.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+TEST(Scale, SixtyFourAppsThousandFrames) {
+  support::ChainSpecParams params;
+  params.configs = 4;
+  params.apps = 64;
+  params.transition_bound = 16;
+  const ReconfigSpec spec = support::make_chain_spec(params);
+
+  System system(spec);
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(a), "s" + std::to_string(a)));
+  }
+  system.run(200);
+  system.set_factor(support::kChainSeverityFactor, 1);
+  system.run(400);
+  system.set_factor(support::kChainSeverityFactor, 3);
+  system.run(400);
+
+  EXPECT_EQ(system.stats().frames_run, 1000u);
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_EQ(report.reconfig_count, 2u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+
+  // Every application accumulated work across the whole run.
+  const auto& app = static_cast<support::SimpleApp&>(
+      system.app(support::synthetic_app(63)));
+  EXPECT_GT(app.work_count(), 900u);
+}
+
+TEST(Scale, DeepDependencyChainWideSystem) {
+  support::ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 32;
+  params.transition_bound = 64;
+  ReconfigSpec spec = support::make_chain_spec(params);
+  // A full 31-edge initialize dependency chain: the SFTA stretches to
+  // 4 + 31 = 35 frames.
+  for (std::size_t a = 0; a + 1 < params.apps; ++a) {
+    spec.add_dependency(Dependency{support::synthetic_app(a + 1),
+                                   support::synthetic_app(a),
+                                   DepPhase::kInitialize, std::nullopt});
+  }
+
+  System system(spec);
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(a), "d" + std::to_string(a)));
+  }
+  system.run(2);
+  system.set_factor(support::kChainSeverityFactor, 1);
+  system.run(60);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  EXPECT_EQ(trace::duration_frames(reconfigs[0]), 35u);
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(Scale, ManyConfigsManyReconfigs) {
+  support::ChainSpecParams params;
+  params.configs = 32;
+  params.apps = 4;
+  params.transition_bound = 8;
+  const ReconfigSpec spec = support::make_chain_spec(params);
+
+  System system(spec);
+  for (std::size_t a = 0; a < params.apps; ++a) {
+    system.add_app(std::make_unique<support::SimpleApp>(
+        support::synthetic_app(a), "c" + std::to_string(a)));
+  }
+  // Degrade through all 31 transitions, one at a time.
+  system.run(2);
+  for (std::int64_t severity = 1; severity < 32; ++severity) {
+    system.set_factor(support::kChainSeverityFactor, severity);
+    system.run(8);
+  }
+
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_EQ(report.reconfig_count, 31u);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+  EXPECT_EQ(system.scram().current_config(), support::synthetic_config(31));
+}
+
+}  // namespace
+}  // namespace arfs::core

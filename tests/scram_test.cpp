@@ -1,0 +1,262 @@
+// Unit tests driving the SCRAM kernel directly through its begin/end frame
+// interface, without a full System: the Table 1 phase protocol, dependency
+// coordination, trigger absorption, buffering vs. immediate retargeting, and
+// the dwell rule.
+#include <gtest/gtest.h>
+
+#include "arfs/core/scram.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::kChainSeverityFactor;
+using support::make_chain_spec;
+using support::synthetic_app;
+using support::synthetic_config;
+
+env::EnvState severity(std::int64_t v) {
+  return env::EnvState{{kChainSeverityFactor, v}};
+}
+
+env::EnvChangeSignal change_signal(Cycle cycle) {
+  env::EnvChangeSignal s;
+  s.cycle = cycle;
+  s.factor = kChainSeverityFactor;
+  return s;
+}
+
+/// Reports every issued directive as completed (one-frame stages).
+std::map<AppId, bool> complete_all(const FramePlan& plan) {
+  std::map<AppId, bool> done;
+  for (const auto& [app, d] : plan.directives) {
+    if (d.kind != DirectiveKind::kNone) done[app] = true;
+  }
+  return done;
+}
+
+class ScramPhases : public ::testing::Test {
+ protected:
+  ScramPhases() : spec_(make_chain_spec({})), scram_(spec_) {}
+
+  ReconfigSpec spec_;
+  Scram scram_;
+};
+
+TEST_F(ScramPhases, IdleWithoutSignals) {
+  const FramePlan plan = scram_.begin_frame(0, 0, {}, {}, severity(0));
+  EXPECT_FALSE(plan.trigger_accepted);
+  EXPECT_TRUE(plan.directives.empty());
+  EXPECT_FALSE(scram_.reconfiguring());
+}
+
+TEST_F(ScramPhases, Table1FourFrameSequence) {
+  // Frame 0: signal receipt, no directives.
+  FramePlan plan =
+      scram_.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  EXPECT_TRUE(plan.trigger_accepted);
+  EXPECT_TRUE(plan.directives.empty());
+  EXPECT_TRUE(scram_.reconfiguring());
+  EXPECT_EQ(scram_.target_config(), synthetic_config(1));
+  EXPECT_EQ(scram_.active_start_cycle(), Cycle{0});
+  (void)scram_.end_frame(0, {});
+
+  // Frame 1: halt to all applications.
+  plan = scram_.begin_frame(1, 100, {}, {}, severity(1));
+  ASSERT_EQ(plan.directives.size(), 2u);
+  for (const auto& [app, d] : plan.directives) {
+    EXPECT_EQ(d.kind, DirectiveKind::kHalt);
+  }
+  (void)scram_.end_frame(1, complete_all(plan));
+
+  // Frame 2: prepare, carrying the target specs.
+  plan = scram_.begin_frame(2, 200, {}, {}, severity(1));
+  for (const auto& [app, d] : plan.directives) {
+    EXPECT_EQ(d.kind, DirectiveKind::kPrepare);
+    EXPECT_TRUE(d.target_spec.has_value());
+    EXPECT_EQ(d.target_config, synthetic_config(1));
+  }
+  (void)scram_.end_frame(2, complete_all(plan));
+
+  // Frame 3: initialize; completion at end of frame.
+  plan = scram_.begin_frame(3, 300, {}, {}, severity(1));
+  for (const auto& [app, d] : plan.directives) {
+    EXPECT_EQ(d.kind, DirectiveKind::kInitialize);
+  }
+  const FrameOutcome outcome = scram_.end_frame(3, complete_all(plan));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.from, synthetic_config(0));
+  EXPECT_EQ(outcome.to, synthetic_config(1));
+  EXPECT_FALSE(scram_.reconfiguring());
+  EXPECT_EQ(scram_.current_config(), synthetic_config(1));
+  EXPECT_EQ(scram_.stats().reconfigs_completed, 1u);
+}
+
+TEST_F(ScramPhases, TriggerAbsorbedWhenChooseReturnsCurrent) {
+  const FramePlan plan =
+      scram_.begin_frame(0, 0, {}, {change_signal(0)}, severity(0));
+  EXPECT_FALSE(plan.trigger_accepted);
+  EXPECT_FALSE(scram_.reconfiguring());
+  EXPECT_EQ(scram_.stats().triggers_absorbed, 1u);
+}
+
+TEST_F(ScramPhases, SlowStageHoldsPhase) {
+  (void)scram_.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram_.end_frame(0, {});
+  FramePlan plan = scram_.begin_frame(1, 100, {}, {}, severity(1));
+
+  // App 0 completes its halt; app 1 does not.
+  std::map<AppId, bool> done;
+  done[synthetic_app(0)] = true;
+  done[synthetic_app(1)] = false;
+  (void)scram_.end_frame(1, done);
+
+  // Next frame: app 0 is left alone (kNone), app 1 is re-issued halt.
+  plan = scram_.begin_frame(2, 200, {}, {}, severity(1));
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).kind, DirectiveKind::kNone);
+  EXPECT_EQ(plan.directives.at(synthetic_app(1)).kind, DirectiveKind::kHalt);
+}
+
+TEST(ScramDependencies, DependentWaitsForIndependent) {
+  ReconfigSpec spec = make_chain_spec({});
+  // App 1's initialize must wait for app 0.
+  spec.add_dependency(Dependency{synthetic_app(1), synthetic_app(0),
+                                 DepPhase::kInitialize, std::nullopt});
+  Scram scram(spec);
+
+  (void)scram.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram.end_frame(0, {});
+  FramePlan plan = scram.begin_frame(1, 100, {}, {}, severity(1));
+  (void)scram.end_frame(1, complete_all(plan));  // halt done
+  plan = scram.begin_frame(2, 200, {}, {}, severity(1));
+  (void)scram.end_frame(2, complete_all(plan));  // prepare done
+
+  // Initialize frame A: only the independent app is signaled.
+  plan = scram.begin_frame(3, 300, {}, {}, severity(1));
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).kind,
+            DirectiveKind::kInitialize);
+  EXPECT_EQ(plan.directives.at(synthetic_app(1)).kind, DirectiveKind::kNone);
+  FrameOutcome outcome = scram.end_frame(3, complete_all(plan));
+  EXPECT_FALSE(outcome.completed);
+
+  // Initialize frame B: the dependent app may now initialize.
+  plan = scram.begin_frame(4, 400, {}, {}, severity(1));
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).kind, DirectiveKind::kNone);
+  EXPECT_EQ(plan.directives.at(synthetic_app(1)).kind,
+            DirectiveKind::kInitialize);
+  outcome = scram.end_frame(4, complete_all(plan));
+  EXPECT_TRUE(outcome.completed);
+}
+
+TEST(ScramPolicy, BufferQueuesMidReconfigTriggers) {
+  ReconfigSpec spec = make_chain_spec({});
+  Scram scram(spec, ScramOptions{ReconfigPolicy::kBuffer});
+
+  (void)scram.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram.end_frame(0, {});
+
+  // Severity worsens mid-reconfiguration; buffered, target unchanged.
+  FramePlan plan =
+      scram.begin_frame(1, 100, {}, {change_signal(1)}, severity(2));
+  EXPECT_EQ(scram.target_config(), synthetic_config(1));
+  EXPECT_EQ(scram.stats().buffered_triggers, 1u);
+  (void)scram.end_frame(1, complete_all(plan));
+  plan = scram.begin_frame(2, 200, {}, {}, severity(2));
+  (void)scram.end_frame(2, complete_all(plan));
+  plan = scram.begin_frame(3, 300, {}, {}, severity(2));
+  FrameOutcome outcome = scram.end_frame(3, complete_all(plan));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.to, synthetic_config(1));
+
+  // The buffered trigger starts the follow-up reconfiguration next frame.
+  plan = scram.begin_frame(4, 400, {}, {}, severity(2));
+  EXPECT_TRUE(plan.trigger_accepted);
+  EXPECT_EQ(scram.target_config(), synthetic_config(2));
+}
+
+TEST(ScramPolicy, ImmediateRetargetsDuringHalt) {
+  ReconfigSpec spec = make_chain_spec({});
+  Scram scram(spec, ScramOptions{ReconfigPolicy::kImmediate});
+
+  (void)scram.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram.end_frame(0, {});
+
+  // During the halt frame the severity worsens: target switches without
+  // restarting the (target-independent) halt stage.
+  FramePlan plan =
+      scram.begin_frame(1, 100, {}, {change_signal(1)}, severity(2));
+  EXPECT_EQ(scram.target_config(), synthetic_config(2));
+  EXPECT_FALSE(plan.retargeted);  // no rewind needed during halt
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).kind, DirectiveKind::kHalt);
+  (void)scram.end_frame(1, complete_all(plan));
+
+  plan = scram.begin_frame(2, 200, {}, {}, severity(2));
+  (void)scram.end_frame(2, complete_all(plan));
+  plan = scram.begin_frame(3, 300, {}, {}, severity(2));
+  const FrameOutcome outcome = scram.end_frame(3, complete_all(plan));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.to, synthetic_config(2));
+  EXPECT_EQ(scram.stats().retargets, 1u);
+}
+
+TEST(ScramPolicy, ImmediateRetargetAfterPrepareRewinds) {
+  ReconfigSpec spec = make_chain_spec({});
+  Scram scram(spec, ScramOptions{ReconfigPolicy::kImmediate});
+
+  (void)scram.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram.end_frame(0, {});
+  FramePlan plan = scram.begin_frame(1, 100, {}, {}, severity(1));
+  (void)scram.end_frame(1, complete_all(plan));  // halted
+  plan = scram.begin_frame(2, 200, {}, {}, severity(1));
+  (void)scram.end_frame(2, complete_all(plan));  // prepared for config 1
+
+  // Severity worsens after prepare: applications must rewind and re-prepare
+  // toward the new target.
+  plan = scram.begin_frame(3, 300, {}, {change_signal(3)}, severity(2));
+  EXPECT_TRUE(plan.retargeted);
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).kind,
+            DirectiveKind::kPrepare);
+  EXPECT_EQ(plan.directives.at(synthetic_app(0)).target_config,
+            synthetic_config(2));
+  (void)scram.end_frame(3, complete_all(plan));
+
+  plan = scram.begin_frame(4, 400, {}, {}, severity(2));
+  const FrameOutcome outcome = scram.end_frame(4, complete_all(plan));
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.to, synthetic_config(2));
+}
+
+TEST(ScramDwell, BlocksBackToBackReconfigs) {
+  support::ChainSpecParams params;
+  params.with_recovery_edges = true;  // severity can move both ways
+  params.dwell_frames = 10;
+  ReconfigSpec spec = make_chain_spec(params);
+  Scram scram(spec);
+
+  // First reconfiguration completes at cycle 3.
+  (void)scram.begin_frame(0, 0, {}, {change_signal(0)}, severity(1));
+  (void)scram.end_frame(0, {});
+  for (Cycle c = 1; c <= 3; ++c) {
+    const FramePlan plan = scram.begin_frame(c, 0, {}, {}, severity(1));
+    (void)scram.end_frame(c, complete_all(plan));
+  }
+  EXPECT_EQ(scram.current_config(), synthetic_config(1));
+
+  // Severity flips back immediately: the dwell rule defers acceptance.
+  FramePlan plan =
+      scram.begin_frame(4, 400, {}, {change_signal(4)}, severity(0));
+  EXPECT_FALSE(plan.trigger_accepted);
+  EXPECT_GT(scram.stats().dwell_blocked_frames, 0u);
+  for (Cycle c = 5; c < 14; ++c) {
+    plan = scram.begin_frame(c, 0, {}, {}, severity(0));
+    EXPECT_FALSE(plan.trigger_accepted) << "cycle " << c;
+    (void)scram.end_frame(c, {});
+  }
+  // Dwell expires (completion at 3 + 1 + 10 = 14): accepted.
+  plan = scram.begin_frame(14, 0, {}, {}, severity(0));
+  EXPECT_TRUE(plan.trigger_accepted);
+  EXPECT_EQ(scram.target_config(), synthetic_config(0));
+}
+
+}  // namespace
+}  // namespace arfs::core

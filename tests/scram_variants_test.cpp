@@ -1,0 +1,265 @@
+// Tests of the two protocol variants the paper discusses beyond the
+// canonical Table 1 sequence: the relaxed phase barrier (section 6.3) and
+// safe-configuration interposition (section 5.3).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/analysis/timing.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "arfs/trace/reconfigs.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::ChainSpecParams;
+using support::kChainSeverityFactor;
+using support::make_chain_spec;
+using support::SimpleApp;
+using support::SimpleAppParams;
+using support::synthetic_app;
+using support::synthetic_config;
+
+Cycle run_one_reconfig(const ReconfigSpec& spec, PhaseBarrier barrier,
+                       const std::vector<SimpleAppParams>& app_params,
+                       trace::SysTrace* out_trace = nullptr,
+                       const ReconfigSpec** out_spec = nullptr) {
+  (void)out_spec;
+  SystemOptions options;
+  options.scram.barrier = barrier;
+  System system(spec, options);
+  std::size_t i = 0;
+  for (const AppDecl& decl : spec.apps()) {
+    system.add_app(std::make_unique<SimpleApp>(
+        decl.id, decl.name,
+        i < app_params.size() ? app_params[i] : SimpleAppParams{}));
+    ++i;
+  }
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(40);
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  EXPECT_EQ(reconfigs.size(), 1u);
+  if (out_trace != nullptr) *out_trace = system.trace();
+  if (reconfigs.empty()) return 0;
+  return trace::duration_frames(reconfigs.front());
+}
+
+TEST(RelaxedBarrier, MatchesGlobalForUniformSingleFrameStages) {
+  ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 3;
+  params.transition_bound = 32;
+  const ReconfigSpec spec = make_chain_spec(params);
+  EXPECT_EQ(run_one_reconfig(spec, PhaseBarrier::kGlobal, {}), 4u);
+  EXPECT_EQ(run_one_reconfig(spec, PhaseBarrier::kRelaxed, {}), 4u);
+}
+
+TEST(RelaxedBarrier, BeatsGlobalForStaggeredStageDurations) {
+  ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  params.transition_bound = 32;
+  const ReconfigSpec spec = make_chain_spec(params);
+
+  // App 0: slow halt; app 1: slow prepare. Under the global barrier the
+  // slow stages serialize (1 + 3 + 3 + 1 = 8 frames); relaxed, each app's
+  // own path is 5 frames (1 + 3+1+1).
+  SimpleAppParams slow_halt;
+  slow_halt.halt_frames = 3;
+  SimpleAppParams slow_prepare;
+  slow_prepare.prepare_frames = 3;
+  const std::vector<SimpleAppParams> apps{slow_halt, slow_prepare};
+
+  const Cycle global = run_one_reconfig(spec, PhaseBarrier::kGlobal, apps);
+  const Cycle relaxed = run_one_reconfig(spec, PhaseBarrier::kRelaxed, apps);
+  EXPECT_EQ(global, 8u);
+  EXPECT_EQ(relaxed, 6u);
+}
+
+TEST(RelaxedBarrier, PropertiesStillHold) {
+  ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 3;
+  params.transition_bound = 32;
+  const ReconfigSpec spec = make_chain_spec(params);
+  SimpleAppParams slow;
+  slow.halt_frames = 2;
+  slow.initialize_frames = 2;
+  trace::SysTrace trace(1);
+  run_one_reconfig(spec, PhaseBarrier::kRelaxed, {slow, {}, slow}, &trace);
+  const props::TraceReport report = props::check_trace(trace, spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(RelaxedBarrier, DependenciesStillEnforced) {
+  ChainSpecParams params;
+  params.configs = 2;
+  params.apps = 2;
+  params.transition_bound = 32;
+  ReconfigSpec spec = make_chain_spec(params);
+  spec.add_dependency(Dependency{synthetic_app(1), synthetic_app(0),
+                                 DepPhase::kInitialize, std::nullopt});
+
+  // App 0 has a 3-frame prepare, so its initialize completes at frame 5;
+  // app 1 (all single-frame) must wait for it before initializing.
+  SimpleAppParams slow_prepare;
+  slow_prepare.prepare_frames = 3;
+  const Cycle relaxed = run_one_reconfig(spec, PhaseBarrier::kRelaxed,
+                                         {slow_prepare, {}});
+  // App 0 path: halt f1, prepare f2-4, init f5. App 1: halt f1, prepare f2,
+  // wait f3-5, init f6. Total = 7 frames (frames 0..6).
+  EXPECT_EQ(relaxed, 7u);
+}
+
+TEST(RelaxedBarrier, ImmediateRetargetRewindsPastHalt) {
+  ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 2;
+  params.transition_bound = 32;
+  const ReconfigSpec spec = make_chain_spec(params);
+
+  SystemOptions options;
+  options.scram.barrier = PhaseBarrier::kRelaxed;
+  options.scram.policy = ReconfigPolicy::kImmediate;
+  System system(spec, options);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(3);  // frame 2 signal, frame 3 halt, frame 4 prepare
+  system.set_factor(kChainSeverityFactor, 2);  // mid-flight worsening
+  system.run(20);
+
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(2));
+  EXPECT_GE(system.scram().stats().retargets, 1u);
+  const props::TraceReport report =
+      props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SafeInterposition, UnsafeToUnsafeDetoursThroughSafe) {
+  // 4-level monotone chain; the safe configuration is the last. A demand
+  // for unsafe config 1 is rewritten by the transform into a transition to
+  // the safe config 3. The monotone chain cannot climb back from 3, so the
+  // deferred demand is absorbed and the system stays safe.
+  ChainSpecParams params;
+  params.configs = 4;
+  params.apps = 2;
+  params.transition_bound = 16;
+  const ReconfigSpec spec =
+      analysis::with_safe_interposition(make_chain_spec(params));
+
+  System system(spec);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);  // demands unsafe config 1
+  system.run(30);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  EXPECT_EQ(reconfigs[0].to, synthetic_config(3));
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(3));
+
+  // SP2 holds against the transformed specification by construction.
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SafeInterposition, ContinuesToFinalTargetWhenReachable) {
+  ChainSpecParams params;
+  params.configs = 4;
+  params.apps = 2;
+  params.transition_bound = 16;
+  params.with_recovery_edges = true;  // severity dictates the level exactly
+  const ReconfigSpec spec =
+      analysis::with_safe_interposition(make_chain_spec(params));
+
+  System system(spec);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(30);
+
+  // Stopover at safe config 3, then on to the demanded config 1 via the
+  // SCRAM's completion re-evaluation.
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 2u);
+  EXPECT_EQ(reconfigs[0].to, synthetic_config(3));
+  EXPECT_EQ(reconfigs[1].to, synthetic_config(1));
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(1));
+
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SafeInterposition, SafeEndpointsGoDirect) {
+  ChainSpecParams params;
+  params.configs = 3;
+  params.apps = 2;
+  params.transition_bound = 16;
+  const ReconfigSpec base = make_chain_spec(params);
+  const ReconfigSpec spec = analysis::with_safe_interposition(base);
+
+  // A demand whose target is already safe is not rewritten.
+  const env::EnvState worst{{kChainSeverityFactor, 2}};
+  EXPECT_EQ(spec.choose(synthetic_config(0), worst),
+            base.choose(synthetic_config(0), worst));
+
+  System system(spec);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 2);  // straight to the safe config
+  system.run(20);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  EXPECT_EQ(reconfigs[0].to, synthetic_config(2));
+}
+
+TEST(SafeInterposition, EachHopWithinInterpositionBound) {
+  ChainSpecParams params;
+  params.configs = 6;
+  params.apps = 2;
+  params.transition_bound = 16;
+  params.with_recovery_edges = true;
+  const ReconfigSpec spec =
+      analysis::with_safe_interposition(make_chain_spec(params));
+
+  System system(spec);
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(0), "a"));
+  system.add_app(std::make_unique<SimpleApp>(synthetic_app(1), "b"));
+  system.run(2);
+  for (const std::int64_t severity : {1, 2, 3}) {
+    system.set_factor(kChainSeverityFactor, severity);
+    system.run(25);
+  }
+
+  // Every individual hop (restriction interval) is bounded by max{T(i,s)} =
+  // 16 frames — the section 5.3 claim for the interposition transform.
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  EXPECT_GE(reconfigs.size(), 2u);
+  for (const trace::Reconfiguration& r : reconfigs) {
+    EXPECT_LE(trace::duration_frames(r), 16u);
+  }
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SafeInterposition, TransformPreservesStructure) {
+  const ReconfigSpec base = make_chain_spec({});
+  const ReconfigSpec spec = analysis::with_safe_interposition(base);
+  EXPECT_EQ(spec.configs().size(), base.configs().size());
+  EXPECT_EQ(spec.apps().size(), base.apps().size());
+  EXPECT_EQ(spec.initial_config(), base.initial_config());
+  EXPECT_NO_THROW(spec.validate());
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "arfs/core/stable_region.hpp"
+
+namespace arfs::core {
+namespace {
+
+TEST(StableRegion, PrefixesKeys) {
+  storage::StableStorage backing;
+  StableRegion region(backing, "a1/");
+  region.write("altitude", 5000.0);
+  backing.commit(0);
+  EXPECT_TRUE(backing.contains("a1/altitude"));
+  EXPECT_FALSE(backing.contains("altitude"));
+  ASSERT_TRUE(region.read("altitude"));
+  EXPECT_DOUBLE_EQ(region.read_as<double>("altitude").value(), 5000.0);
+}
+
+TEST(StableRegion, TwoRegionsShareBackingWithoutCollision) {
+  storage::StableStorage backing;
+  StableRegion a(backing, "a1/");
+  StableRegion b(backing, "a2/");
+  a.write("x", std::int64_t{1});
+  b.write("x", std::int64_t{2});
+  backing.commit(0);
+  EXPECT_EQ(a.read_as<std::int64_t>("x").value(), 1);
+  EXPECT_EQ(b.read_as<std::int64_t>("x").value(), 2);
+}
+
+TEST(StableRegion, ReadOwnSeesStagedWrites) {
+  storage::StableStorage backing;
+  StableRegion region(backing, "a1/");
+  region.write("k", std::int64_t{1});
+  backing.commit(0);
+  region.write("k", std::int64_t{2});
+  EXPECT_EQ(region.read_as<std::int64_t>("k").value(), 1);
+  EXPECT_EQ(region.read_own_as<std::int64_t>("k").value(), 2);
+}
+
+TEST(StableRegion, RelocateCopiesOnlyThePrefix) {
+  storage::StableStorage source;
+  source.write("a1/x", std::int64_t{1});
+  source.write("a1/y", std::int64_t{2});
+  source.write("a2/x", std::int64_t{3});
+  source.commit(0);
+
+  storage::StableStorage target;
+  const std::size_t copied = StableRegion::relocate(source, target, "a1/");
+  EXPECT_EQ(copied, 2u);
+  target.commit(1);
+  EXPECT_TRUE(target.contains("a1/x"));
+  EXPECT_TRUE(target.contains("a1/y"));
+  EXPECT_FALSE(target.contains("a2/x"));
+}
+
+TEST(StableRegion, RelocateCopiesCommittedValuesOnly) {
+  storage::StableStorage source;
+  source.write("a1/x", std::int64_t{1});
+  source.commit(0);
+  source.write("a1/x", std::int64_t{99});  // staged, never committed
+
+  storage::StableStorage target;
+  StableRegion::relocate(source, target, "a1/");
+  target.commit(0);
+  EXPECT_EQ(std::get<std::int64_t>(target.read("a1/x").value()), 1);
+}
+
+TEST(StableRegion, RelocateFromFailedProcessorsView) {
+  // The exact recovery pattern: the source dropped pending writes at its
+  // fail-stop; the relocated region carries the last committed frame.
+  storage::StableStorage source;
+  source.write("a1/state", std::int64_t{7});
+  source.commit(3);
+  source.write("a1/state", std::int64_t{8});
+  source.drop_pending();  // fail-stop
+
+  storage::StableStorage target;
+  StableRegion::relocate(source, target, "a1/");
+  target.commit(4);
+  EXPECT_EQ(std::get<std::int64_t>(target.read("a1/state").value()), 7);
+}
+
+TEST(StableRegion, MissingKeyErrors) {
+  storage::StableStorage backing;
+  const StableRegion region(backing, "a1/");
+  EXPECT_FALSE(region.read("nope"));
+  EXPECT_FALSE(region.read_as<bool>("nope"));
+  EXPECT_FALSE(region.contains("nope"));
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,344 @@
+// Integration tests of the assembled System: full SFTA execution over the
+// frame pipeline, fail-stop semantics end to end, region relocation,
+// processor-status factors, fault injection, and both mid-reconfiguration
+// policies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "arfs/trace/reconfigs.hpp"
+
+namespace arfs::core {
+namespace {
+
+using support::ChainSpecParams;
+using support::kChainSeverityFactor;
+using support::make_chain_spec;
+using support::SimpleApp;
+using support::SimpleAppParams;
+using support::synthetic_app;
+using support::synthetic_config;
+using support::synthetic_processor;
+
+std::unique_ptr<SimpleApp> simple(std::size_t index,
+                                  SimpleAppParams params = {}) {
+  return std::make_unique<SimpleApp>(synthetic_app(index),
+                                     "app-" + std::to_string(index), params);
+}
+
+class SystemBasics : public ::testing::Test {
+ protected:
+  SystemBasics() : spec_(make_chain_spec(chain_params())) {}
+
+  static ChainSpecParams chain_params() {
+    ChainSpecParams p;
+    p.configs = 3;
+    p.apps = 2;
+    p.transition_bound = 10;
+    return p;
+  }
+
+  ReconfigSpec spec_;
+};
+
+TEST_F(SystemBasics, NormalOperationProducesWorkEveryFrame) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.run(10);
+
+  const auto& app = static_cast<SimpleApp&>(system.app(synthetic_app(0)));
+  EXPECT_EQ(app.work_count(), 10u);
+  EXPECT_EQ(system.stats().frames_run, 10u);
+  EXPECT_EQ(system.trace().size(), 10u);
+  EXPECT_TRUE(trace::get_reconfigs(system.trace()).empty());
+}
+
+TEST_F(SystemBasics, WorkCountPersistsToStableStorage) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.run(5);
+
+  const auto& proc = system.processors().processor(
+      system.region_host(synthetic_app(0)));
+  const auto count = proc.poll_stable().read_as<std::int64_t>("a1/work_count");
+  ASSERT_TRUE(count);
+  EXPECT_EQ(count.value(), 5);
+}
+
+TEST_F(SystemBasics, EnvironmentTriggerRunsFourFrameSfta) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+
+  system.run(5);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(10);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  EXPECT_EQ(reconfigs[0].start_c, 5u);
+  EXPECT_EQ(reconfigs[0].end_c, 8u);  // Table 1: four frames inclusive
+  EXPECT_EQ(trace::duration_frames(reconfigs[0]), 4u);
+  EXPECT_EQ(reconfigs[0].from, synthetic_config(0));
+  EXPECT_EQ(reconfigs[0].to, synthetic_config(1));
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(1));
+}
+
+TEST_F(SystemBasics, ServiceIsRestrictedOnlyDuringReconfiguration) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.run(5);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(15);
+
+  // 20 frames total; 4 of them belonged to the SFTA (frames 5..8).
+  const auto& app = static_cast<SimpleApp&>(system.app(synthetic_app(0)));
+  EXPECT_EQ(app.work_count(), 16u);
+}
+
+TEST_F(SystemBasics, MultiFrameHaltStretchesReconfigWithinBound) {
+  System system(spec_);
+  SimpleAppParams slow;
+  slow.halt_frames = 3;
+  system.add_app(simple(0, slow));
+  system.add_app(simple(1));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(12);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 1u);
+  // 1 signal frame + 3 halt + 1 prepare + 1 initialize = 6 frames.
+  EXPECT_EQ(trace::duration_frames(reconfigs[0]), 6u);
+  const props::TraceReport report = props::check_trace(system.trace(), spec_);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST_F(SystemBasics, SoftwareFaultInjectionTriggersReconfig) {
+  // A software fault signal reaches the SCRAM, but choose() is driven by the
+  // environment, which has not changed: the trigger is absorbed.
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  sim::FaultPlan plan;
+  plan.software_fault(3 * 10'000, synthetic_app(0));
+  system.set_fault_plan(std::move(plan));
+  system.run(10);
+
+  EXPECT_EQ(system.scram().stats().triggers_received, 1u);
+  EXPECT_EQ(system.scram().stats().triggers_absorbed, 1u);
+  EXPECT_TRUE(trace::get_reconfigs(system.trace()).empty());
+  EXPECT_EQ(system.health().fault_count(), 1u);
+}
+
+TEST_F(SystemBasics, TimingOverrunRaisesHealthEvent) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  sim::FaultPlan plan;
+  plan.timing_overrun(2 * 10'000, synthetic_app(1));
+  system.set_fault_plan(std::move(plan));
+  system.run(5);
+
+  EXPECT_EQ(system.health().overrun_count(), 1u);
+  EXPECT_EQ(system.scram().stats().triggers_received, 1u);
+}
+
+TEST_F(SystemBasics, ChainedTriggersProduceBackToBackReconfigs) {
+  System system(spec_);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.run(2);
+  system.set_factor(kChainSeverityFactor, 1);
+  system.run(2);  // mid-reconfiguration...
+  system.set_factor(kChainSeverityFactor, 2);  // ...severity worsens
+  system.run(16);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  ASSERT_EQ(reconfigs.size(), 2u);
+  EXPECT_EQ(reconfigs[0].to, synthetic_config(1));
+  EXPECT_EQ(reconfigs[1].to, synthetic_config(2));
+  // Buffered policy: the second starts right after the first ends.
+  EXPECT_EQ(reconfigs[1].start_c, reconfigs[0].end_c + 1);
+  const props::TraceReport report = props::check_trace(system.trace(), spec_);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST_F(SystemBasics, EveryDeclaredAppMustBeAdded) {
+  System system(spec_);
+  system.add_app(simple(0));
+  EXPECT_THROW(system.run(1), ContractViolation);
+}
+
+TEST_F(SystemBasics, UnknownAppRejected) {
+  System system(spec_);
+  EXPECT_THROW(system.add_app(simple(7)), ContractViolation);
+}
+
+// --- fail-stop integration -------------------------------------------------
+
+/// Spec where a processor-status factor drives reconfiguration: config 0
+/// runs both apps on separate processors; config 1 (safe) consolidates them
+/// on processor 2 after processor 1 fails.
+ReconfigSpec make_failover_spec() {
+  ReconfigSpec spec;
+  for (std::size_t a = 0; a < 2; ++a) {
+    AppDecl decl;
+    decl.id = synthetic_app(a);
+    decl.name = "app-" + std::to_string(a);
+    decl.specs = {FunctionalSpec{support::synthetic_spec(a, 0), "only", {},
+                                 100, 400}};
+    spec.declare_app(std::move(decl));
+  }
+  const FactorId proc1_status{50};
+  spec.declare_factor(env::FactorSpec{proc1_status, "proc1-status", 0, 1, 0});
+
+  Configuration split;
+  split.id = synthetic_config(0);
+  split.name = "split";
+  split.assignment = {{synthetic_app(0), support::synthetic_spec(0, 0)},
+                      {synthetic_app(1), support::synthetic_spec(1, 0)}};
+  split.placement = {{synthetic_app(0), synthetic_processor(0)},
+                     {synthetic_app(1), synthetic_processor(1)}};
+  spec.declare_config(std::move(split));
+
+  Configuration consolidated;
+  consolidated.id = synthetic_config(1);
+  consolidated.name = "consolidated";
+  consolidated.assignment = {{synthetic_app(0), support::synthetic_spec(0, 0)},
+                             {synthetic_app(1), support::synthetic_spec(1, 0)}};
+  consolidated.placement = {{synthetic_app(0), synthetic_processor(1)},
+                            {synthetic_app(1), synthetic_processor(1)}};
+  consolidated.safe = true;
+  spec.declare_config(std::move(consolidated));
+
+  spec.set_transition_bound(synthetic_config(0), synthetic_config(1), 10);
+  spec.set_transition_bound(synthetic_config(1), synthetic_config(0), 10);
+  spec.set_choose([proc1_status](ConfigId, const env::EnvState& e) {
+    return e.at(proc1_status) == 0 ? synthetic_config(0)
+                                   : synthetic_config(1);
+  });
+  spec.set_initial_config(synthetic_config(0));
+  spec.validate();
+  return spec;
+}
+
+TEST(SystemFailover, ProcessorFailureMovesAppToSurvivor) {
+  const ReconfigSpec spec = make_failover_spec();
+  System system(spec);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.bind_processor_factor(synthetic_processor(0), FactorId{50});
+
+  sim::FaultPlan plan;
+  plan.fail_processor(5 * 10'000, synthetic_processor(0));
+  system.set_fault_plan(std::move(plan));
+  // Failure at frame 5; the SFTA runs frames 5..8. Stop right at completion,
+  // before any post-reconfiguration AFTA overwrites the relocated state.
+  system.run(9);
+
+  // The reconfiguration moved app 0 onto processor 2.
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(1));
+  EXPECT_EQ(system.region_host(synthetic_app(0)), synthetic_processor(1));
+  EXPECT_GE(system.stats().region_relocations, 1u);
+
+  // Fail-stop semantics propagated: app 0 lost its volatile work counter.
+  const auto& app0 = static_cast<SimpleApp&>(system.app(synthetic_app(0)));
+  EXPECT_EQ(app0.volatile_losses(), 1u);
+  EXPECT_EQ(app0.work_count(), 0u);
+
+  // But its committed stable state survived the move: the pre-failure work
+  // count is readable in the relocated region on processor 2.
+  const auto& survivor =
+      system.processors().processor(synthetic_processor(1));
+  const auto count =
+      survivor.poll_stable().read_as<std::int64_t>("a1/work_count");
+  ASSERT_TRUE(count);
+  EXPECT_EQ(count.value(), 5);  // five frames of work before the failure
+
+  system.run(11);  // resumed service overwrites the counter going forward
+  const auto resumed =
+      survivor.poll_stable().read_as<std::int64_t>("a1/work_count");
+  ASSERT_TRUE(resumed);
+  EXPECT_EQ(resumed.value(), static_cast<std::int64_t>(app0.work_count()));
+
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SystemFailover, AppResumesWorkOnNewHost) {
+  const ReconfigSpec spec = make_failover_spec();
+  System system(spec);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.bind_processor_factor(synthetic_processor(0), FactorId{50});
+
+  sim::FaultPlan plan;
+  plan.fail_processor(5 * 10'000, synthetic_processor(0));
+  system.set_fault_plan(std::move(plan));
+  system.run(30);
+
+  const auto& survivor =
+      system.processors().processor(synthetic_processor(1));
+  const auto count =
+      survivor.poll_stable().read_as<std::int64_t>("a1/work_count");
+  ASSERT_TRUE(count);
+  EXPECT_GT(count.value(), 5);  // fresh AFTAs accumulated on the new host
+}
+
+TEST(SystemFailover, RepairTriggersRecoveryReconfig) {
+  const ReconfigSpec spec = make_failover_spec();
+  System system(spec);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  system.bind_processor_factor(synthetic_processor(0), FactorId{50});
+
+  sim::FaultPlan plan;
+  plan.fail_processor(5 * 10'000, synthetic_processor(0));
+  plan.repair_processor(20 * 10'000, synthetic_processor(0));
+  system.set_fault_plan(std::move(plan));
+  system.run(40);
+
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(0));
+  EXPECT_EQ(system.region_host(synthetic_app(0)), synthetic_processor(0));
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  EXPECT_EQ(reconfigs.size(), 2u);
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+}
+
+TEST(SystemFailover, DetectionLatencyDelaysReconfig) {
+  const ReconfigSpec spec = make_failover_spec();
+  SystemOptions options;
+  options.detection_threshold = 3;
+  System system(spec, options);
+  system.add_app(simple(0));
+  system.add_app(simple(1));
+  // No processor factor binding: only the activity monitor sees the failure,
+  // so detection happens after three silent frames. The SCRAM's choose()
+  // still needs the factor, so bind it too — but the activity signal arrives
+  // first only if the factor is bound. Here we bind it; the point of the
+  // threshold is exercised through the scram trigger count below.
+  system.bind_processor_factor(synthetic_processor(0), FactorId{50});
+
+  sim::FaultPlan plan;
+  plan.fail_processor(5 * 10'000, synthetic_processor(0));
+  system.set_fault_plan(std::move(plan));
+  system.run(20);
+
+  // Factor change triggers at frame 5; activity monitor adds its signal at
+  // frame 7 (threshold 3), which lands mid-reconfiguration and is buffered,
+  // then absorbed.
+  EXPECT_GE(system.scram().stats().triggers_received, 2u);
+  EXPECT_EQ(system.scram().current_config(), synthetic_config(1));
+}
+
+}  // namespace
+}  // namespace arfs::core

@@ -1,0 +1,188 @@
+// arfsctl — command-line front end for the library.
+//
+//   arfsctl describe <spec>                 print the reconfiguration spec
+//   arfsctl certify  <spec>                 run the full static assurance
+//   arfsctl simulate <spec> [frames] [seed] run a random fault campaign,
+//                                           print SFTA phase tables and the
+//                                           SP1-SP4 report
+//   arfsctl economics <full> <safe> <fail>  section 5.1 component counts
+//
+// <spec> selects a built-in specification:
+//   uav          the paper's section 7 avionics example
+//   uav-ext      avionics + computer-status extension (4 configurations)
+//   chain[:N]    an N-level degradation chain (default 4)
+//   random[:S]   a randomized specification from seed S (default 1)
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "arfs/analysis/certify.hpp"
+#include "arfs/analysis/economics.hpp"
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/core/describe.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "arfs/trace/export.hpp"
+
+namespace {
+
+using namespace arfs;
+
+int usage() {
+  std::cerr
+      << "usage: arfsctl <describe|certify|simulate|economics> ...\n"
+         "  describe <uav|uav-ext|chain[:N]|random[:S]>\n"
+         "  certify  <spec> [--json]\n"
+         "  simulate <spec> [frames=400] [seed=1]\n"
+         "  economics <full-units> <safe-units> <expected-failures>\n";
+  return 2;
+}
+
+struct SpecChoice {
+  core::ReconfigSpec spec;
+  SimDuration frame_length = 10'000;
+  bool is_uav = false;
+};
+
+std::optional<SpecChoice> make_spec(const std::string& name) {
+  const auto split = name.find(':');
+  const std::string kind = name.substr(0, split);
+  const std::string arg =
+      split == std::string::npos ? "" : name.substr(split + 1);
+
+  SpecChoice choice;
+  if (kind == "uav" || kind == "uav-ext") {
+    avionics::UavSpecOptions options;
+    options.dwell_frames = 10;
+    options.with_computer_status = (kind == "uav-ext");
+    choice.spec = avionics::make_uav_spec(options);
+    choice.frame_length = 20'000;
+    choice.is_uav = true;
+    return choice;
+  }
+  if (kind == "chain") {
+    support::ChainSpecParams params;
+    if (!arg.empty()) params.configs = std::strtoul(arg.c_str(), nullptr, 10);
+    if (params.configs < 2) params.configs = 4;
+    choice.spec = support::make_chain_spec(params);
+    return choice;
+  }
+  if (kind == "random") {
+    support::RandomSpecParams params;
+    const std::uint64_t seed =
+        arg.empty() ? 1 : std::strtoull(arg.c_str(), nullptr, 10);
+    choice.spec = support::make_random_spec(params, seed);
+    return choice;
+  }
+  return std::nullopt;
+}
+
+int cmd_describe(const SpecChoice& choice) {
+  std::cout << core::describe(choice.spec);
+  return 0;
+}
+
+int cmd_certify(const SpecChoice& choice, bool json) {
+  analysis::CertifyOptions options;
+  options.frame_length = choice.frame_length;
+  if (choice.is_uav) options.platform = avionics::make_uav_platform();
+  const analysis::CertificationReport report =
+      analysis::certify(choice.spec, options);
+  std::cout << (json ? analysis::render_json(report)
+                     : analysis::render(report));
+  return report.certified() ? 0 : 1;
+}
+
+int cmd_simulate(const SpecChoice& choice, Cycle frames, std::uint64_t seed) {
+  const core::ReconfigSpec& spec = choice.spec;
+  core::SystemOptions options;
+  options.frame_length = choice.frame_length;
+  core::System system(spec, options);
+
+  if (choice.is_uav) {
+    // The avionics applications need the shared plant; keep it alive for
+    // the duration of the run.
+    static avionics::UavPlant plant(seed);
+    system.add_app(std::make_unique<avionics::AutopilotApp>(plant));
+    system.add_app(std::make_unique<avionics::FcsApp>(plant));
+  } else {
+    for (const core::AppDecl& decl : spec.apps()) {
+      system.add_app(
+          std::make_unique<support::SimpleApp>(decl.id, decl.name));
+    }
+  }
+
+  Rng rng(seed);
+  sim::CampaignParams campaign;
+  campaign.horizon = static_cast<SimTime>(frames) * choice.frame_length * 3 /
+                     4;  // quiet tail so the last SFTA completes
+  campaign.environment_changes = 8 + frames / 100;
+  for (const env::FactorSpec& f : spec.factors().factors()) {
+    campaign.factors.push_back(f.id);
+    campaign.factor_min = f.min_value;
+    campaign.factor_max = f.max_value;
+  }
+  system.set_fault_plan(sim::generate_campaign(campaign, rng));
+  system.run(frames);
+
+  const auto reconfigs = trace::get_reconfigs(system.trace());
+  std::cout << "frames: " << frames << ", fault events: "
+            << system.stats().fault_events_applied
+            << ", reconfigurations: " << reconfigs.size() << "\n\n";
+  for (const trace::Reconfiguration& r : reconfigs) {
+    std::cout << trace::render_phase_table(system.trace(), r) << "\n";
+  }
+  const props::TraceReport report = props::check_trace(system.trace(), spec);
+  std::cout << props::render(report) << "\n";
+  return report.all_hold() ? 0 : 1;
+}
+
+int cmd_economics(int full, int safe, int failures) {
+  analysis::HwEconomicsInput input;
+  input.units_full_service = full;
+  input.units_safe_service = safe;
+  input.max_expected_failures = failures;
+  std::cout << analysis::render(analysis::compute_hw_economics(input))
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  try {
+    if (cmd == "economics") {
+      if (argc != 5) return usage();
+      return cmd_economics(std::atoi(argv[2]), std::atoi(argv[3]),
+                           std::atoi(argv[4]));
+    }
+
+    if (argc < 3) return usage();
+    const std::optional<SpecChoice> choice = make_spec(argv[2]);
+    if (!choice.has_value()) return usage();
+
+    if (cmd == "describe") return cmd_describe(*choice);
+    if (cmd == "certify") {
+      const bool json = argc > 3 && std::string(argv[3]) == "--json";
+      return cmd_certify(*choice, json);
+    }
+    if (cmd == "simulate") {
+      const Cycle frames = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                    : 400;
+      const std::uint64_t seed =
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      return cmd_simulate(*choice, frames, seed);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "arfsctl: " << e.what() << "\n";
+    return 1;
+  }
+}

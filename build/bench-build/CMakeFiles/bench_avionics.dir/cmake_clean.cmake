@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_avionics"
+  "../bench/bench_avionics.pdb"
+  "CMakeFiles/bench_avionics.dir/bench_avionics.cpp.o"
+  "CMakeFiles/bench_avionics.dir/bench_avionics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_avionics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dependability"
+  "../bench/bench_dependability.pdb"
+  "CMakeFiles/bench_dependability.dir/bench_dependability.cpp.o"
+  "CMakeFiles/bench_dependability.dir/bench_dependability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dependability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dependencies"
+  "../bench/bench_dependencies.pdb"
+  "CMakeFiles/bench_dependencies.dir/bench_dependencies.cpp.o"
+  "CMakeFiles/bench_dependencies.dir/bench_dependencies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hw_economics"
+  "../bench/bench_hw_economics.pdb"
+  "CMakeFiles/bench_hw_economics.dir/bench_hw_economics.cpp.o"
+  "CMakeFiles/bench_hw_economics.dir/bench_hw_economics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_properties"
+  "../bench/bench_properties.pdb"
+  "CMakeFiles/bench_properties.dir/bench_properties.cpp.o"
+  "CMakeFiles/bench_properties.dir/bench_properties.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

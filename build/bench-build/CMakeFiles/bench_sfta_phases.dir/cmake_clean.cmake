@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sfta_phases"
+  "../bench/bench_sfta_phases.pdb"
+  "CMakeFiles/bench_sfta_phases.dir/bench_sfta_phases.cpp.o"
+  "CMakeFiles/bench_sfta_phases.dir/bench_sfta_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfta_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

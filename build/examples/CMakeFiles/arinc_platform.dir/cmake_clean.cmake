@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arinc_platform.dir/arinc_platform.cpp.o"
+  "CMakeFiles/arinc_platform.dir/arinc_platform.cpp.o.d"
+  "arinc_platform"
+  "arinc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arinc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for arinc_platform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_uav.dir/avionics_uav.cpp.o"
+  "CMakeFiles/avionics_uav.dir/avionics_uav.cpp.o.d"
+  "avionics_uav"
+  "avionics_uav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_uav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powergrid_station.dir/powergrid_station.cpp.o"
+  "CMakeFiles/powergrid_station.dir/powergrid_station.cpp.o.d"
+  "powergrid_station"
+  "powergrid_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powergrid_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

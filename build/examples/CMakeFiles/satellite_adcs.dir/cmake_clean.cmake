@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_adcs.dir/satellite_adcs.cpp.o"
+  "CMakeFiles/satellite_adcs.dir/satellite_adcs.cpp.o.d"
+  "satellite_adcs"
+  "satellite_adcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_adcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

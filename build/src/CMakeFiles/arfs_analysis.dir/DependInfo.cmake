@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/analysis/certify.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/certify.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/certify.cpp.o.d"
+  "/root/repo/src/arfs/analysis/coverage.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/coverage.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/coverage.cpp.o.d"
+  "/root/repo/src/arfs/analysis/dependability.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/dependability.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/dependability.cpp.o.d"
+  "/root/repo/src/arfs/analysis/economics.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/economics.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/economics.cpp.o.d"
+  "/root/repo/src/arfs/analysis/feasibility.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/feasibility.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/feasibility.cpp.o.d"
+  "/root/repo/src/arfs/analysis/graph.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/graph.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/graph.cpp.o.d"
+  "/root/repo/src/arfs/analysis/schedulability.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/schedulability.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/schedulability.cpp.o.d"
+  "/root/repo/src/arfs/analysis/timing.cpp" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/timing.cpp.o" "gcc" "src/CMakeFiles/arfs_analysis.dir/arfs/analysis/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_failstop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/certify.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/certify.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/coverage.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/coverage.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/dependability.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/dependability.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/economics.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/economics.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/feasibility.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/feasibility.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/graph.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/graph.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/schedulability.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/schedulability.cpp.o.d"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/timing.cpp.o"
+  "CMakeFiles/arfs_analysis.dir/arfs/analysis/timing.cpp.o.d"
+  "libarfs_analysis.a"
+  "libarfs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/aircraft.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/aircraft.cpp.o.d"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/autopilot.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/autopilot.cpp.o.d"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/electrical_monitor.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/electrical_monitor.cpp.o.d"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/fcs.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/fcs.cpp.o.d"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/sensors.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/sensors.cpp.o.d"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/uav_system.cpp.o"
+  "CMakeFiles/arfs_avionics.dir/arfs/avionics/uav_system.cpp.o.d"
+  "libarfs_avionics.a"
+  "libarfs_avionics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_avionics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

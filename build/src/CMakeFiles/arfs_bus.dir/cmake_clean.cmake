@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_bus.dir/arfs/bus/bus.cpp.o"
+  "CMakeFiles/arfs_bus.dir/arfs/bus/bus.cpp.o.d"
+  "CMakeFiles/arfs_bus.dir/arfs/bus/interface_unit.cpp.o"
+  "CMakeFiles/arfs_bus.dir/arfs/bus/interface_unit.cpp.o.d"
+  "CMakeFiles/arfs_bus.dir/arfs/bus/schedule.cpp.o"
+  "CMakeFiles/arfs_bus.dir/arfs/bus/schedule.cpp.o.d"
+  "libarfs_bus.a"
+  "libarfs_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

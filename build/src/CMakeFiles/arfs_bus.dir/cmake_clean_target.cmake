@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarfs_bus.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_common.dir/arfs/common/log.cpp.o"
+  "CMakeFiles/arfs_common.dir/arfs/common/log.cpp.o.d"
+  "CMakeFiles/arfs_common.dir/arfs/common/rng.cpp.o"
+  "CMakeFiles/arfs_common.dir/arfs/common/rng.cpp.o.d"
+  "libarfs_common.a"
+  "libarfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/core/app.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/app.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/app.cpp.o.d"
+  "/root/repo/src/arfs/core/builder.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/builder.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/builder.cpp.o.d"
+  "/root/repo/src/arfs/core/configuration.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/configuration.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/configuration.cpp.o.d"
+  "/root/repo/src/arfs/core/dependency.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/dependency.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/dependency.cpp.o.d"
+  "/root/repo/src/arfs/core/describe.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/describe.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/describe.cpp.o.d"
+  "/root/repo/src/arfs/core/messaging.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/messaging.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/messaging.cpp.o.d"
+  "/root/repo/src/arfs/core/modular_app.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/modular_app.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/modular_app.cpp.o.d"
+  "/root/repo/src/arfs/core/reconfig_spec.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/reconfig_spec.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/reconfig_spec.cpp.o.d"
+  "/root/repo/src/arfs/core/scram.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/scram.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/scram.cpp.o.d"
+  "/root/repo/src/arfs/core/spec.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/spec.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/spec.cpp.o.d"
+  "/root/repo/src/arfs/core/stable_region.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/stable_region.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/stable_region.cpp.o.d"
+  "/root/repo/src/arfs/core/system.cpp" "src/CMakeFiles/arfs_core.dir/arfs/core/system.cpp.o" "gcc" "src/CMakeFiles/arfs_core.dir/arfs/core/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_failstop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

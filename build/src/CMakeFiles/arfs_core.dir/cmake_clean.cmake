@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_core.dir/arfs/core/app.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/app.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/builder.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/builder.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/configuration.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/configuration.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/dependency.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/dependency.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/describe.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/describe.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/messaging.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/messaging.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/modular_app.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/modular_app.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/reconfig_spec.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/reconfig_spec.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/scram.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/scram.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/spec.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/spec.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/stable_region.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/stable_region.cpp.o.d"
+  "CMakeFiles/arfs_core.dir/arfs/core/system.cpp.o"
+  "CMakeFiles/arfs_core.dir/arfs/core/system.cpp.o.d"
+  "libarfs_core.a"
+  "libarfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

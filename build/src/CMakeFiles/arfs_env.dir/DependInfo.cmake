@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/env/electrical.cpp" "src/CMakeFiles/arfs_env.dir/arfs/env/electrical.cpp.o" "gcc" "src/CMakeFiles/arfs_env.dir/arfs/env/electrical.cpp.o.d"
+  "/root/repo/src/arfs/env/environment.cpp" "src/CMakeFiles/arfs_env.dir/arfs/env/environment.cpp.o" "gcc" "src/CMakeFiles/arfs_env.dir/arfs/env/environment.cpp.o.d"
+  "/root/repo/src/arfs/env/factor.cpp" "src/CMakeFiles/arfs_env.dir/arfs/env/factor.cpp.o" "gcc" "src/CMakeFiles/arfs_env.dir/arfs/env/factor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

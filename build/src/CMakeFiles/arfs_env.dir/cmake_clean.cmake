@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_env.dir/arfs/env/electrical.cpp.o"
+  "CMakeFiles/arfs_env.dir/arfs/env/electrical.cpp.o.d"
+  "CMakeFiles/arfs_env.dir/arfs/env/environment.cpp.o"
+  "CMakeFiles/arfs_env.dir/arfs/env/environment.cpp.o.d"
+  "CMakeFiles/arfs_env.dir/arfs/env/factor.cpp.o"
+  "CMakeFiles/arfs_env.dir/arfs/env/factor.cpp.o.d"
+  "libarfs_env.a"
+  "libarfs_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/failstop/detector.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/detector.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/detector.cpp.o.d"
+  "/root/repo/src/arfs/failstop/fta.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/fta.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/fta.cpp.o.d"
+  "/root/repo/src/arfs/failstop/group.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/group.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/group.cpp.o.d"
+  "/root/repo/src/arfs/failstop/processing_unit.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/processing_unit.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/processing_unit.cpp.o.d"
+  "/root/repo/src/arfs/failstop/processor.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/processor.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/processor.cpp.o.d"
+  "/root/repo/src/arfs/failstop/self_checking_pair.cpp" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/self_checking_pair.cpp.o" "gcc" "src/CMakeFiles/arfs_failstop.dir/arfs/failstop/self_checking_pair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/detector.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/detector.cpp.o.d"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/fta.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/fta.cpp.o.d"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/group.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/group.cpp.o.d"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/processing_unit.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/processing_unit.cpp.o.d"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/processor.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/processor.cpp.o.d"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/self_checking_pair.cpp.o"
+  "CMakeFiles/arfs_failstop.dir/arfs/failstop/self_checking_pair.cpp.o.d"
+  "libarfs_failstop.a"
+  "libarfs_failstop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_failstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

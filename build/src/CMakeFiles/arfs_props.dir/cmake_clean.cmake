@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_props.dir/arfs/props/online.cpp.o"
+  "CMakeFiles/arfs_props.dir/arfs/props/online.cpp.o.d"
+  "CMakeFiles/arfs_props.dir/arfs/props/properties.cpp.o"
+  "CMakeFiles/arfs_props.dir/arfs/props/properties.cpp.o.d"
+  "CMakeFiles/arfs_props.dir/arfs/props/report.cpp.o"
+  "CMakeFiles/arfs_props.dir/arfs/props/report.cpp.o.d"
+  "libarfs_props.a"
+  "libarfs_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

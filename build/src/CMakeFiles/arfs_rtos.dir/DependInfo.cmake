@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/rtos/executive.cpp" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/executive.cpp.o" "gcc" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/executive.cpp.o.d"
+  "/root/repo/src/arfs/rtos/health.cpp" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/health.cpp.o" "gcc" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/health.cpp.o.d"
+  "/root/repo/src/arfs/rtos/partition.cpp" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/partition.cpp.o" "gcc" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/partition.cpp.o.d"
+  "/root/repo/src/arfs/rtos/schedule.cpp" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/schedule.cpp.o" "gcc" "src/CMakeFiles/arfs_rtos.dir/arfs/rtos/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_failstop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

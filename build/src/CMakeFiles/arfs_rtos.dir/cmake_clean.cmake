@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/executive.cpp.o"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/executive.cpp.o.d"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/health.cpp.o"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/health.cpp.o.d"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/partition.cpp.o"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/partition.cpp.o.d"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/schedule.cpp.o"
+  "CMakeFiles/arfs_rtos.dir/arfs/rtos/schedule.cpp.o.d"
+  "libarfs_rtos.a"
+  "libarfs_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/sim/clock.cpp" "src/CMakeFiles/arfs_sim.dir/arfs/sim/clock.cpp.o" "gcc" "src/CMakeFiles/arfs_sim.dir/arfs/sim/clock.cpp.o.d"
+  "/root/repo/src/arfs/sim/event_queue.cpp" "src/CMakeFiles/arfs_sim.dir/arfs/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/arfs_sim.dir/arfs/sim/event_queue.cpp.o.d"
+  "/root/repo/src/arfs/sim/fault_plan.cpp" "src/CMakeFiles/arfs_sim.dir/arfs/sim/fault_plan.cpp.o" "gcc" "src/CMakeFiles/arfs_sim.dir/arfs/sim/fault_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

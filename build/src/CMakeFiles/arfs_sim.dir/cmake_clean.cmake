@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_sim.dir/arfs/sim/clock.cpp.o"
+  "CMakeFiles/arfs_sim.dir/arfs/sim/clock.cpp.o.d"
+  "CMakeFiles/arfs_sim.dir/arfs/sim/event_queue.cpp.o"
+  "CMakeFiles/arfs_sim.dir/arfs/sim/event_queue.cpp.o.d"
+  "CMakeFiles/arfs_sim.dir/arfs/sim/fault_plan.cpp.o"
+  "CMakeFiles/arfs_sim.dir/arfs/sim/fault_plan.cpp.o.d"
+  "libarfs_sim.a"
+  "libarfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/storage/replicated.cpp" "src/CMakeFiles/arfs_storage.dir/arfs/storage/replicated.cpp.o" "gcc" "src/CMakeFiles/arfs_storage.dir/arfs/storage/replicated.cpp.o.d"
+  "/root/repo/src/arfs/storage/stable_storage.cpp" "src/CMakeFiles/arfs_storage.dir/arfs/storage/stable_storage.cpp.o" "gcc" "src/CMakeFiles/arfs_storage.dir/arfs/storage/stable_storage.cpp.o.d"
+  "/root/repo/src/arfs/storage/value.cpp" "src/CMakeFiles/arfs_storage.dir/arfs/storage/value.cpp.o" "gcc" "src/CMakeFiles/arfs_storage.dir/arfs/storage/value.cpp.o.d"
+  "/root/repo/src/arfs/storage/volatile_storage.cpp" "src/CMakeFiles/arfs_storage.dir/arfs/storage/volatile_storage.cpp.o" "gcc" "src/CMakeFiles/arfs_storage.dir/arfs/storage/volatile_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_storage.dir/arfs/storage/replicated.cpp.o"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/replicated.cpp.o.d"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/stable_storage.cpp.o"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/stable_storage.cpp.o.d"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/value.cpp.o"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/value.cpp.o.d"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/volatile_storage.cpp.o"
+  "CMakeFiles/arfs_storage.dir/arfs/storage/volatile_storage.cpp.o.d"
+  "libarfs_storage.a"
+  "libarfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

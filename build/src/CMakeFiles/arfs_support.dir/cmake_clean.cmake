@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_support.dir/arfs/support/conformance.cpp.o"
+  "CMakeFiles/arfs_support.dir/arfs/support/conformance.cpp.o.d"
+  "CMakeFiles/arfs_support.dir/arfs/support/mission.cpp.o"
+  "CMakeFiles/arfs_support.dir/arfs/support/mission.cpp.o.d"
+  "CMakeFiles/arfs_support.dir/arfs/support/simple_app.cpp.o"
+  "CMakeFiles/arfs_support.dir/arfs/support/simple_app.cpp.o.d"
+  "CMakeFiles/arfs_support.dir/arfs/support/synthetic.cpp.o"
+  "CMakeFiles/arfs_support.dir/arfs/support/synthetic.cpp.o.d"
+  "libarfs_support.a"
+  "libarfs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arfs/trace/export.cpp" "src/CMakeFiles/arfs_trace.dir/arfs/trace/export.cpp.o" "gcc" "src/CMakeFiles/arfs_trace.dir/arfs/trace/export.cpp.o.d"
+  "/root/repo/src/arfs/trace/reconfigs.cpp" "src/CMakeFiles/arfs_trace.dir/arfs/trace/reconfigs.cpp.o" "gcc" "src/CMakeFiles/arfs_trace.dir/arfs/trace/reconfigs.cpp.o.d"
+  "/root/repo/src/arfs/trace/recorder.cpp" "src/CMakeFiles/arfs_trace.dir/arfs/trace/recorder.cpp.o" "gcc" "src/CMakeFiles/arfs_trace.dir/arfs/trace/recorder.cpp.o.d"
+  "/root/repo/src/arfs/trace/state.cpp" "src/CMakeFiles/arfs_trace.dir/arfs/trace/state.cpp.o" "gcc" "src/CMakeFiles/arfs_trace.dir/arfs/trace/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfs_trace.dir/arfs/trace/export.cpp.o"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/export.cpp.o.d"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/reconfigs.cpp.o"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/reconfigs.cpp.o.d"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/recorder.cpp.o"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/recorder.cpp.o.d"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/state.cpp.o"
+  "CMakeFiles/arfs_trace.dir/arfs/trace/state.cpp.o.d"
+  "libarfs_trace.a"
+  "libarfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_computer_test.dir/avionics_computer_test.cpp.o"
+  "CMakeFiles/avionics_computer_test.dir/avionics_computer_test.cpp.o.d"
+  "avionics_computer_test"
+  "avionics_computer_test.pdb"
+  "avionics_computer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_computer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_sweep_test.dir/avionics_sweep_test.cpp.o"
+  "CMakeFiles/avionics_sweep_test.dir/avionics_sweep_test.cpp.o.d"
+  "avionics_sweep_test"
+  "avionics_sweep_test.pdb"
+  "avionics_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_spec_test.dir/core_spec_test.cpp.o"
+  "CMakeFiles/core_spec_test.dir/core_spec_test.cpp.o.d"
+  "core_spec_test"
+  "core_spec_test.pdb"
+  "core_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

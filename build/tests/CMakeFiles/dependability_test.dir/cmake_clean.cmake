@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependability_test.dir/dependability_test.cpp.o"
+  "CMakeFiles/dependability_test.dir/dependability_test.cpp.o.d"
+  "dependability_test"
+  "dependability_test.pdb"
+  "dependability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_app_test.dir/modular_app_test.cpp.o"
+  "CMakeFiles/modular_app_test.dir/modular_app_test.cpp.o.d"
+  "modular_app_test"
+  "modular_app_test.pdb"
+  "modular_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

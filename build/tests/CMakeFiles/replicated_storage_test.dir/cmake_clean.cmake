@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_storage_test.dir/replicated_storage_test.cpp.o"
+  "CMakeFiles/replicated_storage_test.dir/replicated_storage_test.cpp.o.d"
+  "replicated_storage_test"
+  "replicated_storage_test.pdb"
+  "replicated_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

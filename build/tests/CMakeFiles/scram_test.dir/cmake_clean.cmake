@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scram_test.dir/scram_test.cpp.o"
+  "CMakeFiles/scram_test.dir/scram_test.cpp.o.d"
+  "scram_test"
+  "scram_test.pdb"
+  "scram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scram_variants_test.dir/scram_variants_test.cpp.o"
+  "CMakeFiles/scram_variants_test.dir/scram_variants_test.cpp.o.d"
+  "scram_variants_test"
+  "scram_variants_test.pdb"
+  "scram_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scram_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stable_region_test.cpp" "tests/CMakeFiles/stable_region_test.dir/stable_region_test.cpp.o" "gcc" "tests/CMakeFiles/stable_region_test.dir/stable_region_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/arfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_failstop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/arfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_edge_test.dir/system_edge_test.cpp.o"
+  "CMakeFiles/system_edge_test.dir/system_edge_test.cpp.o.d"
+  "system_edge_test"
+  "system_edge_test.pdb"
+  "system_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arfsctl.dir/arfsctl.cpp.o"
+  "CMakeFiles/arfsctl.dir/arfsctl.cpp.o.d"
+  "arfsctl"
+  "arfsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arfsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

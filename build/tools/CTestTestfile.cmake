@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(arfsctl_usage "/root/repo/build/tools/arfsctl")
+set_tests_properties(arfsctl_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_describe_uav "/root/repo/build/tools/arfsctl" "describe" "uav")
+set_tests_properties(arfsctl_describe_uav PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_certify_uav "/root/repo/build/tools/arfsctl" "certify" "uav")
+set_tests_properties(arfsctl_certify_uav PROPERTIES  PASS_REGULAR_EXPRESSION "CERTIFIED" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_certify_uav_ext "/root/repo/build/tools/arfsctl" "certify" "uav-ext")
+set_tests_properties(arfsctl_certify_uav_ext PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_simulate_chain "/root/repo/build/tools/arfsctl" "simulate" "chain:4" "200" "3")
+set_tests_properties(arfsctl_simulate_chain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_simulate_random "/root/repo/build/tools/arfsctl" "simulate" "random:5" "300" "9")
+set_tests_properties(arfsctl_simulate_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_economics "/root/repo/build/tools/arfsctl" "economics" "6" "2" "3")
+set_tests_properties(arfsctl_economics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(arfsctl_certify_json "/root/repo/build/tools/arfsctl" "certify" "uav" "--json")
+set_tests_properties(arfsctl_certify_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"certified\": true" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -4,11 +4,14 @@
 // alternator failure to normal operation in the target configuration) for
 // each transition of the example, across detection thresholds, plus the
 // simulation throughput of the full avionics stack.
+#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "arfs/avionics/uav_system.hpp"
 #include "arfs/props/report.hpp"
+#include "arfs/support/sweep.hpp"
 #include "arfs/trace/reconfigs.hpp"
 #include "bench_main.hpp"
 
@@ -63,15 +66,33 @@ void report() {
       {"alternator#0 -> Reduced", 0, -1},
       {"both alternators -> Minimal", 0, 1},
   };
+  // The (scenario x detection-threshold) grid is a set of independent
+  // missions — fan it across the batch engine. Results come back in job
+  // order, so the printed table is identical at any thread count.
+  struct Cell {
+    const Case* scenario;
+    Cycle detection;
+  };
+  std::vector<Cell> grid;
   for (const Case& c : cases) {
-    for (const Cycle detection : {1u, 2u, 4u}) {
-      const Latency lat = measure(c.first, c.second, detection);
-      std::cout << std::left << std::setw(34) << c.label << std::setw(12)
-                << (std::to_string(detection) + " frames") << std::setw(10)
-                << lat.frames << std::setw(12)
-                << (std::to_string(lat.micros / 1000) + " ms")
-                << (lat.props_ok ? "hold" : "FAIL") << "\n";
-    }
+    for (const Cycle detection : {1u, 2u, 4u}) grid.push_back({&c, detection});
+  }
+  const std::function<Latency(const support::MissionJob&)> fly =
+      [&grid](const support::MissionJob& job) {
+        const Cell& cell = grid[job.index];
+        return measure(cell.scenario->first, cell.scenario->second,
+                       cell.detection);
+      };
+  const std::vector<Latency> latencies =
+      support::run_mission_sweep<Latency>(grid.size(), 0, fly);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Latency& lat = latencies[i];
+    std::cout << std::left << std::setw(34) << grid[i].scenario->label
+              << std::setw(12)
+              << (std::to_string(grid[i].detection) + " frames")
+              << std::setw(10) << lat.frames << std::setw(12)
+              << (std::to_string(lat.micros / 1000) + " ms")
+              << (lat.props_ok ? "hold" : "FAIL") << "\n";
   }
 
   // Two-stage degradation: Full -> Reduced -> Minimal.

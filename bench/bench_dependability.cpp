@@ -7,10 +7,13 @@
 //     masking design needs to keep *full* service;
 //   * equal-hardware framing: given the same component count, the ability
 //     to degrade strictly reduces the probability of loss.
+#include <functional>
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "arfs/analysis/dependability.hpp"
+#include "arfs/support/sweep.hpp"
 #include "bench_main.hpp"
 
 namespace {
@@ -45,16 +48,32 @@ void report() {
             << std::setw(10) << "P(loss)" << "mean failures\n";
 
   const DesignPair pair = section51_designs(4, 2, 2);
-  for (const double rate : {0.001, 0.01, 0.05, 0.1}) {
-    Rng rng_a(100);
-    Rng rng_b(100);
-    const DependabilityEstimate mask =
-        estimate_dependability(pair.masking, mission(rate), rng_a);
-    const DependabilityEstimate reconf =
-        estimate_dependability(pair.reconfig, mission(rate), rng_b);
+  // Each rate cell is an independent 2x50k-trial mission — fan the grid
+  // across the batch engine (each estimate also parallelizes its own
+  // trials; the row order and values are thread-count invariant).
+  const std::vector<double> rates{0.001, 0.01, 0.05, 0.1};
+  struct Row {
+    DependabilityEstimate mask;
+    DependabilityEstimate reconf;
+  };
+  const std::function<Row(const support::MissionJob&)> fly =
+      [&](const support::MissionJob& job) {
+        Rng rng_a(100);
+        Rng rng_b(100);
+        sim::BatchRunner inline_runner{sim::BatchOptions{1, 0}};
+        return Row{estimate_dependability(pair.masking, mission(rates[job.index]),
+                                          rng_a, inline_runner),
+                   estimate_dependability(pair.reconfig,
+                                          mission(rates[job.index]), rng_b,
+                                          inline_runner)};
+      };
+  const std::vector<Row> rows =
+      support::run_mission_sweep<Row>(rates.size(), 0, fly);
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    const double rate = rates[r];
     for (const auto& [name, units, e] :
-         {std::tuple{"masking", pair.masking.total, mask},
-          std::tuple{"reconfig", pair.reconfig.total, reconf}}) {
+         {std::tuple{"masking", pair.masking.total, rows[r].mask},
+          std::tuple{"reconfig", pair.reconfig.total, rows[r].reconf}}) {
       std::cout << std::left << std::setw(14) << rate << std::setw(12)
                 << name << std::setw(8) << units << std::setw(14)
                 << std::fixed << std::setprecision(4)

@@ -15,6 +15,54 @@ void add(CoverageReport& report, bool keep, std::string description,
       Obligation{std::move(description), discharged, std::move(detail)});
 }
 
+/// The (configuration x environment-state) obligations for one starting
+/// configuration. Self-contained so the per-configuration sweeps can run as
+/// independent batch jobs.
+CoverageReport check_config_transitions(const core::ReconfigSpec& spec,
+                                        ConfigId from,
+                                        const std::vector<env::EnvState>& states,
+                                        bool keep_discharged) {
+  CoverageReport report;
+  for (const env::EnvState& e : states) {
+    std::ostringstream name;
+    name << "covering_txns(c" << from.value() << ", " << env::to_string(e)
+         << ")";
+
+    ConfigId to{};
+    bool choose_ok = true;
+    std::string detail;
+    try {
+      to = spec.choose(from, e);
+      if (!spec.has_config(to)) {
+        choose_ok = false;
+        detail = "choose returned undeclared configuration " +
+                 std::to_string(to.value());
+      }
+    } catch (const std::exception& ex) {
+      choose_ok = false;
+      detail = std::string("choose threw: ") + ex.what();
+    }
+    add(report, keep_discharged, name.str(), choose_ok, detail);
+    if (!choose_ok || to == from) continue;
+
+    const bool bounded = spec.transition_bound(from, to).has_value();
+    add(report, keep_discharged,
+        "T(c" + std::to_string(from.value()) + ",c" +
+            std::to_string(to.value()) + ") defined",
+        bounded,
+        bounded ? "" : "no transition time bound for a reachable transition");
+  }
+  return report;
+}
+
+void merge(CoverageReport& into, CoverageReport&& part) {
+  into.generated += part.generated;
+  into.discharged += part.discharged;
+  for (Obligation& o : part.obligations) {
+    into.obligations.push_back(std::move(o));
+  }
+}
+
 }  // namespace
 
 std::vector<Obligation> CoverageReport::failures() const {
@@ -26,43 +74,32 @@ std::vector<Obligation> CoverageReport::failures() const {
 }
 
 CoverageReport check_coverage(const core::ReconfigSpec& spec,
-                              bool keep_discharged, std::size_t env_limit) {
+                              bool keep_discharged, std::size_t env_limit,
+                              sim::BatchRunner* runner) {
   CoverageReport report;
 
   const std::vector<env::EnvState> states =
       spec.factors().enumerate_states(env_limit);
 
-  for (const auto& [from, config] : spec.configs()) {
-    for (const env::EnvState& e : states) {
-      std::ostringstream name;
-      name << "covering_txns(c" << from.value() << ", " << env::to_string(e)
-           << ")";
+  std::vector<ConfigId> config_ids;
+  config_ids.reserve(spec.configs().size());
+  for (const auto& [id, config] : spec.configs()) config_ids.push_back(id);
 
-      ConfigId to{};
-      bool choose_ok = true;
-      std::string detail;
-      try {
-        to = spec.choose(from, e);
-        if (!spec.has_config(to)) {
-          choose_ok = false;
-          detail = "choose returned undeclared configuration " +
-                   std::to_string(to.value());
-        }
-      } catch (const std::exception& ex) {
-        choose_ok = false;
-        detail = std::string("choose threw: ") + ex.what();
-      }
-      add(report, keep_discharged, name.str(), choose_ok, detail);
-      if (!choose_ok || to == from) continue;
-
-      const bool bounded = spec.transition_bound(from, to).has_value();
-      add(report, keep_discharged,
-          "T(c" + std::to_string(from.value()) + ",c" +
-              std::to_string(to.value()) + ") defined",
-          bounded,
-          bounded ? "" : "no transition time bound for a reachable transition");
-    }
+  // One job per starting configuration; partial reports are merged back in
+  // configuration order, so the parallel report is identical to the serial
+  // one (choose functions are required to be pure, making the jobs
+  // side-effect free).
+  std::vector<CoverageReport> parts(config_ids.size());
+  const auto sweep_one = [&](std::size_t i) {
+    parts[i] =
+        check_config_transitions(spec, config_ids[i], states, keep_discharged);
+  };
+  if (runner != nullptr) {
+    runner->run(config_ids.size(), sweep_one);
+  } else {
+    for (std::size_t i = 0; i < config_ids.size(); ++i) sweep_one(i);
   }
+  for (CoverageReport& part : parts) merge(report, std::move(part));
 
   add(report, keep_discharged, "at least one safe configuration",
       !spec.safe_configs().empty(),

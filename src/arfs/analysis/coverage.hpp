@@ -23,6 +23,7 @@
 
 #include "arfs/analysis/graph.hpp"
 #include "arfs/core/reconfig_spec.hpp"
+#include "arfs/sim/batch.hpp"
 
 namespace arfs::analysis {
 
@@ -44,9 +45,12 @@ struct CoverageReport {
 
 /// Evaluates all coverage obligations. `keep_discharged` controls whether
 /// discharged obligations are materialized in the report (large sweeps only
-/// need the counts).
+/// need the counts). When `runner` is non-null the per-configuration sweep
+/// fans out across its threads; the report is identical either way (choose
+/// functions must be pure).
 [[nodiscard]] CoverageReport check_coverage(const core::ReconfigSpec& spec,
                                             bool keep_discharged = false,
-                                            std::size_t env_limit = 1u << 20);
+                                            std::size_t env_limit = 1u << 20,
+                                            sim::BatchRunner* runner = nullptr);
 
 }  // namespace arfs::analysis

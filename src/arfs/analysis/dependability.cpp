@@ -8,29 +8,49 @@
 
 namespace arfs::analysis {
 
-DependabilityEstimate estimate_dependability(const DesignUnits& design,
-                                             const MissionParams& mission,
-                                             Rng& rng) {
-  require(design.safe >= 1 && design.safe <= design.full &&
-              design.full <= design.total,
-          "need 1 <= safe <= full <= total");
-  require(mission.mission_hours > 0 && mission.trials > 0,
-          "mission must have positive duration and trials");
-  require(mission.failure_rate_per_hour >= 0, "negative failure rate");
+namespace {
 
-  DependabilityEstimate out;
+/// Trials are accumulated in fixed-size chunks and the chunk partials are
+/// reduced in chunk order. Because the chunk size is a constant (not derived
+/// from the thread count), the floating-point additions happen in exactly
+/// the same order at every thread count — which is what makes the parallel
+/// estimate bit-identical to the serial one.
+constexpr std::uint32_t kTrialChunk = 1024;
+
+/// Raw (un-normalized) accumulator over one chunk of trials.
+struct Partial {
+  double p_full = 0.0;
+  double p_safe = 0.0;
+  double p_loss = 0.0;
+  double full_fraction = 0.0;
+  double safe_fraction = 0.0;
+  double failures = 0.0;
+};
+
+Partial simulate_trials(const DesignUnits& design, const MissionParams& mission,
+                        std::uint64_t base_seed, std::uint32_t first_trial,
+                        std::uint32_t end_trial) {
+  Partial out;
   const double T = mission.mission_hours;
   const double lambda = mission.failure_rate_per_hour;
 
   std::vector<double> failure_times;
-  for (std::uint32_t trial = 0; trial < mission.trials; ++trial) {
+  failure_times.reserve(static_cast<std::size_t>(design.total));
+  for (std::uint32_t trial = first_trial; trial < end_trial; ++trial) {
+    // Each trial owns an independent RNG stream derived from its index, so
+    // a trial's draws never depend on which worker ran it.
+    Rng rng(sim::job_seed(base_seed, trial));
+
     // Draw each component's failure instant; beyond T means it survives.
     failure_times.clear();
     int failures = 0;
     for (int unit = 0; unit < design.total; ++unit) {
       if (lambda <= 0) continue;
-      double u = rng.uniform01();
-      while (u == 0.0) u = rng.uniform01();
+      // Single clamped draw: uniform01() is in [0, 1) and can return exactly
+      // 0 (log of which is -inf); clamping to the smallest positive draw
+      // keeps every trial's RNG consumption fixed at `total` draws, an
+      // invariant the per-trial seeding above relies on.
+      const double u = std::max(rng.uniform01(), 0x1.0p-53);
       const double t = -std::log(u) / lambda;  // Exp(lambda) lifetime
       if (t < T) {
         failure_times.push_back(t);
@@ -38,7 +58,7 @@ DependabilityEstimate estimate_dependability(const DesignUnits& design,
       }
     }
     std::sort(failure_times.begin(), failure_times.end());
-    out.mean_failures += failures;
+    out.failures += failures;
 
     // Walk the failure sequence, accumulating time at each service level.
     const int full_margin = design.total - design.full;  // failures tolerable
@@ -60,11 +80,50 @@ DependabilityEstimate estimate_dependability(const DesignUnits& design,
       }
     }
 
-    if (!below_full) out.p_full_whole_mission += 1.0;
-    if (!lost) out.p_safe_whole_mission += 1.0;
+    if (!below_full) out.p_full += 1.0;
+    if (!lost) out.p_safe += 1.0;
     if (lost) out.p_loss += 1.0;
-    out.full_service_fraction += full_time / T;
-    out.safe_or_better_fraction += safe_time / T;
+    out.full_fraction += full_time / T;
+    out.safe_fraction += safe_time / T;
+  }
+  return out;
+}
+
+}  // namespace
+
+DependabilityEstimate estimate_dependability(const DesignUnits& design,
+                                             const MissionParams& mission,
+                                             Rng& rng,
+                                             sim::BatchRunner& runner) {
+  require(design.safe >= 1 && design.safe <= design.full &&
+              design.full <= design.total,
+          "need 1 <= safe <= full <= total");
+  require(mission.mission_hours > 0 && mission.trials > 0,
+          "mission must have positive duration and trials");
+  require(mission.failure_rate_per_hour >= 0, "negative failure rate");
+
+  // One draw from the caller's stream roots the whole batch; every trial
+  // seed derives from (base_seed, trial index) alone.
+  const std::uint64_t base_seed = rng.next_u64();
+
+  const std::size_t chunks =
+      (mission.trials + kTrialChunk - 1) / kTrialChunk;
+  std::vector<Partial> partials(chunks);
+  runner.run(chunks, [&](std::size_t c) {
+    const std::uint32_t first = static_cast<std::uint32_t>(c) * kTrialChunk;
+    const std::uint32_t end =
+        std::min(first + kTrialChunk, mission.trials);
+    partials[c] = simulate_trials(design, mission, base_seed, first, end);
+  });
+
+  DependabilityEstimate out;
+  for (const Partial& p : partials) {  // chunk order: deterministic reduce
+    out.p_full_whole_mission += p.p_full;
+    out.p_safe_whole_mission += p.p_safe;
+    out.p_loss += p.p_loss;
+    out.full_service_fraction += p.full_fraction;
+    out.safe_or_better_fraction += p.safe_fraction;
+    out.mean_failures += p.failures;
   }
 
   const double n = static_cast<double>(mission.trials);
@@ -75,6 +134,13 @@ DependabilityEstimate estimate_dependability(const DesignUnits& design,
   out.safe_or_better_fraction /= n;
   out.mean_failures /= n;
   return out;
+}
+
+DependabilityEstimate estimate_dependability(const DesignUnits& design,
+                                             const MissionParams& mission,
+                                             Rng& rng) {
+  return estimate_dependability(design, mission, rng,
+                                sim::BatchRunner::shared());
 }
 
 DesignPair section51_designs(int units_full_service, int units_safe_service,

@@ -14,11 +14,18 @@
 // probabilities and the time-weighted fraction of the mission spent at each
 // level, so equal-hardware and equal-dependability comparisons can both be
 // read off.
+//
+// Trials are independent and run in parallel on a sim::BatchRunner. Each
+// trial draws from its own RNG stream seeded by sim::job_seed(base, trial),
+// where `base` is one draw from the caller's Rng, and partial sums are
+// reduced in a fixed chunk order — so the estimate is bit-identical at any
+// thread count (including 1) for a given caller seed.
 #pragma once
 
 #include <cstdint>
 
 #include "arfs/common/rng.hpp"
+#include "arfs/sim/batch.hpp"
 
 namespace arfs::analysis {
 
@@ -45,8 +52,14 @@ struct DependabilityEstimate {
   double mean_failures = 0.0;
 };
 
-/// Runs the Monte-Carlo estimate for one design. Preconditions:
-/// 0 < safe <= full <= total, positive mission and trials.
+/// Runs the Monte-Carlo estimate for one design on an explicit runner.
+/// Preconditions: 0 < safe <= full <= total, positive mission and trials.
+/// Consumes exactly one draw from `rng` (the batch's base seed).
+[[nodiscard]] DependabilityEstimate estimate_dependability(
+    const DesignUnits& design, const MissionParams& mission, Rng& rng,
+    sim::BatchRunner& runner);
+
+/// Same, on the process-wide shared runner (ARFS_THREADS / hardware-sized).
 [[nodiscard]] DependabilityEstimate estimate_dependability(
     const DesignUnits& design, const MissionParams& mission, Rng& rng);
 

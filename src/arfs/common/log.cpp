@@ -25,6 +25,7 @@ const char* level_name(LogLevel level) {
 
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
   std::clog << "[" << level_name(level) << "] " << component << ": "
             << message << '\n';
 }

@@ -6,6 +6,8 @@
 // library is instance-scoped.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -13,20 +15,31 @@ namespace arfs {
 
 enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
+/// Thread-safe: batch simulations run missions on many threads, all of which
+/// share this singleton. The level is an atomic (lock-free fast path for the
+/// overwhelmingly common disabled check) and each write() emits its line
+/// under a mutex so parallel runs never interleave characters.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= this->level();
+  }
 
   void write(LogLevel level, const std::string& component,
              const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex write_mutex_;
 };
 
 namespace logdetail {

@@ -22,25 +22,32 @@ class System::SystemPeerReader final : public PeerReader {
     if (it == system_->region_host_.end()) {
       return unexpected("peer app has no stable region");
     }
-    const std::string full_key =
-        "a" + std::to_string(peer.value()) + "/" + key;
-    return system_->group_.processor(it->second).poll_stable().read(full_key);
+    // Peer reads happen every frame for every dependency edge; assembling
+    // the full key from the cached prefix into a reused buffer keeps the
+    // per-read cost at one amortized-allocation-free append.
+    key_buf_.assign(system_->app_prefix(peer));
+    key_buf_.append(key);
+    return system_->group_.processor(it->second).poll_stable().read(key_buf_);
   }
 
  private:
   const System* system_;
+  mutable std::string key_buf_;
 };
 
 namespace {
 
-/// All processors any configuration places an application on.
+/// All processors any configuration places an application on, deduplicated
+/// by sort + unique (the old linear-scan dedup was quadratic in the fleet
+/// size, which large synthetic specs actually hit).
 std::vector<ProcessorId> placement_processors(const ReconfigSpec& spec) {
   std::vector<ProcessorId> out;
   for (const auto& [id, config] : spec.configs()) {
-    for (const ProcessorId p : config.processors_used()) {
-      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
-    }
+    const auto& used = config.processors_used();
+    out.insert(out.end(), used.begin(), used.end());
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -78,7 +85,19 @@ System::System(const ReconfigSpec& spec, SystemOptions options)
     monitors_.emplace_back(spec.factors(), f.id);
   }
 
+  for (const AppDecl& decl : spec.apps()) {
+    const std::string id = std::to_string(decl.id.value());
+    app_prefix_.emplace(decl.id, "a" + id + "/");
+    scram_status_key_.emplace(decl.id, "scram/a" + id + "/status");
+  }
+
   peer_reader_ = std::make_unique<SystemPeerReader>(*this);
+}
+
+const std::string& System::app_prefix(AppId app) const {
+  const auto it = app_prefix_.find(app);
+  require(it != app_prefix_.end(), "app not declared in the spec");
+  return it->second;
 }
 
 System::~System() = default;
@@ -194,7 +213,7 @@ void System::relocate_region_if_needed(AppId app, ProcessorId to,
                                        Cycle cycle) {
   const ProcessorId from = region_host_.at(app);
   if (from == to) return;
-  const std::string prefix = "a" + std::to_string(app.value()) + "/";
+  const std::string& prefix = app_prefix(app);
   const std::size_t copied = StableRegion::relocate(
       group_.processor(from).poll_stable(), group_.processor(to).stable(),
       prefix);
@@ -342,9 +361,8 @@ void System::run_frame() {
       const auto it = plan.directives.find(decl.id);
       const DirectiveKind kind =
           it == plan.directives.end() ? DirectiveKind::kNone : it->second.kind;
-      scram_stable.write(
-          "scram/a" + std::to_string(decl.id.value()) + "/status",
-          directive_name(kind));
+      scram_stable.write(scram_status_key_.at(decl.id),
+                         directive_name(kind));
     }
   }
 
@@ -363,8 +381,7 @@ void System::run_frame() {
     std::optional<StableRegion> region;
     if (host.has_value()) {
       relocate_region_if_needed(decl.id, *host, cycle);
-      region.emplace(group_.processor(*host).stable(),
-                     "a" + std::to_string(decl.id.value()) + "/");
+      region.emplace(group_.processor(*host).stable(), app_prefix(decl.id));
     }
 
     ReconfigurableApp::Ctx ctx;

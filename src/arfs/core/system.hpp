@@ -148,6 +148,9 @@ class System {
 
   void apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
                          SimTime now);
+  /// Cached "a<id>/" stable-storage prefix for a declared application —
+  /// these strings are rebuilt-per-read hot-path constants otherwise.
+  [[nodiscard]] const std::string& app_prefix(AppId app) const;
   /// Execution host for `app` this frame given its directive; nullopt when
   /// the application cannot execute anywhere.
   [[nodiscard]] std::optional<ProcessorId> execution_host(
@@ -169,6 +172,10 @@ class System {
   Scram scram_;
   std::map<AppId, std::unique_ptr<ReconfigurableApp>> apps_;
   std::map<AppId, ProcessorId> region_host_;
+  /// Per-app key strings, built once at construction (hot path: every peer
+  /// read, region bind, and SCRAM status write each frame).
+  std::map<AppId, std::string> app_prefix_;
+  std::map<AppId, std::string> scram_status_key_;
   std::map<ProcessorId, FactorId> processor_factors_;
   sim::FaultPlan fault_plan_;
   std::vector<EnvHook> env_hooks_;

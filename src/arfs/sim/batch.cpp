@@ -1,0 +1,10 @@
+#include "arfs/sim/batch.hpp"
+
+namespace arfs::sim {
+
+BatchRunner& BatchRunner::shared() {
+  static BatchRunner runner{BatchOptions{}};
+  return runner;
+}
+
+}  // namespace arfs::sim

@@ -1,18 +1,53 @@
 #include "arfs/storage/stable_storage.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace arfs::storage {
 
+namespace {
+
+/// lower_bound over a sorted (key, payload) vector.
+template <typename Vec>
+auto entry_bound(Vec& entries, const std::string& key) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+}
+
+}  // namespace
+
 void StableStorage::write(const std::string& key, Value value) {
-  pending_[key] = std::move(value);
+  const auto it = entry_bound(pending_, key);
+  if (it != pending_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    pending_.insert(it, {key, std::move(value)});
+  }
 }
 
 std::size_t StableStorage::commit(Cycle cycle) {
   const std::size_t n = pending_.size();
+  // Both vectors are sorted, so each staged key lands at or after the
+  // previous one; carrying the search start across iterations makes a
+  // steady-state commit (all keys already present) one linear merge pass.
+  std::size_t from = 0;
   for (auto& [key, value] : pending_) {
     if (history_on_) history_.push_back(CommitRecord{cycle, key, value});
-    committed_[key] = Slot{std::move(value), cycle};
+    const auto it = std::lower_bound(
+        committed_.begin() + static_cast<std::ptrdiff_t>(from),
+        committed_.end(), key,
+        [](const auto& entry, const std::string& k) {
+          return entry.first < k;
+        });
+    if (it != committed_.end() && it->first == key) {
+      it->second = Slot{std::move(value), cycle};
+      from = static_cast<std::size_t>(it - committed_.begin()) + 1;
+    } else {
+      const auto inserted =
+          committed_.insert(it, {key, Slot{std::move(value), cycle}});
+      from = static_cast<std::size_t>(inserted - committed_.begin()) + 1;
+    }
   }
   pending_.clear();
   ++epochs_;
@@ -22,27 +57,28 @@ std::size_t StableStorage::commit(Cycle cycle) {
 void StableStorage::drop_pending() { pending_.clear(); }
 
 Expected<Value> StableStorage::read(const std::string& key) const {
-  const auto it = committed_.find(key);
-  if (it == committed_.end()) {
+  const auto it = entry_bound(committed_, key);
+  if (it == committed_.end() || it->first != key) {
     return unexpected("stable-storage key not committed: " + key);
   }
   return it->second.value;
 }
 
 Expected<Value> StableStorage::read_own(const std::string& key) const {
-  const auto pit = pending_.find(key);
-  if (pit != pending_.end()) return pit->second;
+  const auto pit = entry_bound(pending_, key);
+  if (pit != pending_.end() && pit->first == key) return pit->second;
   return read(key);
 }
 
 bool StableStorage::contains(const std::string& key) const {
-  return committed_.contains(key);
+  const auto it = entry_bound(committed_, key);
+  return it != committed_.end() && it->first == key;
 }
 
 std::optional<Cycle> StableStorage::last_commit_cycle(
     const std::string& key) const {
-  const auto it = committed_.find(key);
-  if (it == committed_.end()) return std::nullopt;
+  const auto it = entry_bound(committed_, key);
+  if (it == committed_.end() || it->first != key) return std::nullopt;
   return it->second.committed_at;
 }
 

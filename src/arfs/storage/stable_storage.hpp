@@ -8,16 +8,21 @@
 //  * other processors can poll a failed processor's stable storage to learn
 //    the state it was in when it failed (section 5.1).
 //
-// The implementation therefore separates a committed map from a pending
+// The implementation therefore separates a committed store from a pending
 // write buffer. `write` stages into the buffer; `commit` applies the whole
 // buffer atomically and stamps the commit cycle; a fail-stop failure calls
 // `drop_pending`, discarding staged writes while preserving every committed
 // value — precisely the "last successfully completed instruction" boundary,
 // lifted to frame granularity.
+//
+// Both stores are sorted flat vectors looked up by binary search rather
+// than node-based maps: reads in the per-frame hot path (every peer read,
+// every region read) touch one contiguous array instead of chasing
+// red-black-tree nodes, and the steady state — where commits update
+// existing keys — allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -75,7 +80,7 @@ class StableStorage {
   }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
 
-  /// All committed keys, sorted (map order).
+  /// All committed keys, sorted.
   [[nodiscard]] std::vector<std::string> keys() const;
 
   /// Enables retention of every commit for post-mortem analysis.
@@ -93,8 +98,9 @@ class StableStorage {
     Cycle committed_at = 0;
   };
 
-  std::map<std::string, Slot> committed_;
-  std::map<std::string, Value> pending_;
+  /// Sorted-by-key flat stores; see the file comment for why not std::map.
+  std::vector<std::pair<std::string, Slot>> committed_;
+  std::vector<std::pair<std::string, Value>> pending_;
   std::vector<CommitRecord> history_;
   bool history_on_ = false;
   std::uint64_t epochs_ = 0;

@@ -1,0 +1,15 @@
+#include "arfs/support/sweep.hpp"
+
+namespace arfs::support {
+
+std::vector<std::uint64_t> mission_seeds(std::size_t missions,
+                                         std::uint64_t base_seed) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(missions);
+  for (std::size_t i = 0; i < missions; ++i) {
+    seeds.push_back(sim::job_seed(base_seed, i));
+  }
+  return seeds;
+}
+
+}  // namespace arfs::support

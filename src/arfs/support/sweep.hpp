@@ -1,0 +1,46 @@
+// Parallel mission sweeps.
+//
+// A sweep runs many independent missions — whole core::System or avionics
+// campaigns — and collects one result per mission. Missions are
+// embarrassingly parallel (each builds its own System from its own spec and
+// draws from its own RNG stream), so the sweep fans them across a
+// sim::BatchRunner. Seeding follows the batch engine's determinism contract:
+// mission i gets sim::job_seed(base_seed, i), making every result a function
+// of (base_seed, i) alone and the full result vector bit-identical at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arfs/sim/batch.hpp"
+
+namespace arfs::support {
+
+/// Identity of one mission within a sweep.
+struct MissionJob {
+  std::size_t index = 0;    ///< 0-based mission index.
+  std::uint64_t seed = 0;   ///< job_seed(base_seed, index).
+};
+
+/// The per-mission seeds a sweep of `missions` jobs rooted at `base_seed`
+/// will use, in mission order. Exposed so serial reference runs (tests,
+/// bisection) can replay any single mission of a sweep without the runner.
+[[nodiscard]] std::vector<std::uint64_t> mission_seeds(std::size_t missions,
+                                                       std::uint64_t base_seed);
+
+/// Runs `missions` independent missions on `runner` and returns their
+/// results in mission order. `fly` must be self-contained: build the whole
+/// system inside the call and derive all randomness from the job's seed.
+template <typename R>
+[[nodiscard]] std::vector<R> run_mission_sweep(
+    std::size_t missions, std::uint64_t base_seed,
+    const std::function<R(const MissionJob&)>& fly,
+    sim::BatchRunner& runner = sim::BatchRunner::shared()) {
+  return runner.map<R>(missions, [&](std::size_t i) {
+    return fly(MissionJob{i, sim::job_seed(base_seed, i)});
+  });
+}
+
+}  // namespace arfs::support

@@ -5,8 +5,15 @@
 // about the final environment.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "arfs/avionics/uav_system.hpp"
 #include "arfs/props/report.hpp"
+#include "arfs/support/sweep.hpp"
+#include "arfs/trace/export.hpp"
 
 namespace arfs::avionics {
 namespace {
@@ -90,6 +97,61 @@ INSTANTIATE_TEST_SUITE_P(Campaigns, AvionicsSweep,
                            os << info.param;
                            return os.str();
                          });
+
+/// One full campaign (the same shape the parameterized test drives),
+/// reduced to a digest: property verdict + final config + trace CSV.
+std::string fly_campaign(const SweepParam& p) {
+  UavOptions options;
+  options.spec.with_computer_status = p.with_computers;
+  options.spec.dwell_frames = p.dwell;
+  options.plant_seed = p.seed;
+  UavSystem uav(options);
+  Rng rng(p.seed * 131 + 7);
+
+  uav.run(10);
+  for (int event = 0; event < 30; ++event) {
+    const int alternator = static_cast<int>(rng.uniform(0, 1));
+    if (rng.chance(0.5)) {
+      uav.electrical().fail_alternator(alternator);
+    } else {
+      uav.electrical().repair_alternator(alternator);
+    }
+    uav.run(5 + rng.uniform(0, 30));
+  }
+  uav.run(40);
+
+  const props::TraceReport report =
+      props::check_trace(uav.system().trace(), uav.spec());
+  std::ostringstream os;
+  os << (report.all_hold() ? "holds" : "FAILS") << '/'
+     << uav.system().scram().current_config().value() << '/';
+  trace::write_csv(uav.system().trace(), os);
+  return os.str();
+}
+
+// The whole campaign matrix through support::run_mission_sweep: every
+// mission keeps SP1-SP4, and the parallel result vector is bit-identical
+// to the serial one (the sweep engine's core promise, on the real
+// section 7 avionics stack rather than a synthetic system).
+TEST(AvionicsSweepParallel, MatrixIdenticalSerialVsParallel) {
+  const std::vector<SweepParam> params = matrix();
+  const std::function<std::string(const support::MissionJob&)> fly =
+      [&params](const support::MissionJob& job) {
+        return fly_campaign(params[job.index]);
+      };
+
+  sim::BatchRunner serial{sim::BatchOptions{1, 0}};
+  const std::vector<std::string> reference =
+      support::run_mission_sweep<std::string>(params.size(), 0, fly, serial);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].substr(0, 5), "holds") << params[i];
+  }
+
+  sim::BatchRunner parallel{sim::BatchOptions{4, 0}};
+  EXPECT_EQ(support::run_mission_sweep<std::string>(params.size(), 0, fly,
+                                                    parallel),
+            reference);
+}
 
 }  // namespace
 }  // namespace arfs::avionics

@@ -8,9 +8,11 @@
 #include <memory>
 #include <sstream>
 
+#include "arfs/analysis/dependability.hpp"
 #include "arfs/avionics/uav_system.hpp"
 #include "arfs/core/system.hpp"
 #include "arfs/support/simple_app.hpp"
+#include "arfs/support/sweep.hpp"
 #include "arfs/support/synthetic.hpp"
 #include "arfs/trace/export.hpp"
 
@@ -80,6 +82,62 @@ TEST(Determinism, AvionicsStackByteIdentical) {
   // Covers the aircraft dynamics, sensor noise, electrical model, SCRAM,
   // and JSON export in one equality.
   EXPECT_EQ(run_avionics(), run_avionics());
+}
+
+// The parallel batch engine's promise: results are bit-identical at any
+// thread count. Verified here at 1, 2, and 8 threads for the Monte-Carlo
+// dependability estimate (20k trials, the paper's section 5.1 workload).
+TEST(Determinism, DependabilityBitIdenticalAt1_2_8Threads) {
+  const analysis::DesignUnits design{6, 4, 2};
+  analysis::MissionParams mission;
+  mission.failure_rate_per_hour = 0.02;
+  mission.trials = 20'000;
+
+  auto estimate = [&](std::size_t threads) {
+    sim::BatchRunner runner{sim::BatchOptions{threads, 0}};
+    Rng rng(271828);
+    return analysis::estimate_dependability(design, mission, rng, runner);
+  };
+
+  const analysis::DependabilityEstimate e1 = estimate(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const analysis::DependabilityEstimate en = estimate(threads);
+    EXPECT_EQ(en.p_full_whole_mission, e1.p_full_whole_mission) << threads;
+    EXPECT_EQ(en.p_safe_whole_mission, e1.p_safe_whole_mission) << threads;
+    EXPECT_EQ(en.p_loss, e1.p_loss) << threads;
+    EXPECT_EQ(en.full_service_fraction, e1.full_service_fraction) << threads;
+    EXPECT_EQ(en.safe_or_better_fraction, e1.safe_or_better_fraction)
+        << threads;
+    EXPECT_EQ(en.mean_failures, e1.mean_failures) << threads;
+  }
+}
+
+// Whole-system missions fanned across threads stay byte-identical too:
+// each job builds its own System and campaign from its job seed, so the
+// trace digests must match a serial sweep of the same seeds exactly.
+TEST(Determinism, MissionSweepBitIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kMissions = 6;
+  constexpr std::uint64_t kBase = 2024;
+  const std::function<std::string(const support::MissionJob&)> fly =
+      [](const support::MissionJob& job) { return run_synthetic(job.seed); };
+
+  sim::BatchRunner serial{sim::BatchOptions{1, 0}};
+  const std::vector<std::string> reference =
+      support::run_mission_sweep<std::string>(kMissions, kBase, fly, serial);
+
+  // The sweep's seeds are exposed for serial replay of any single mission.
+  const std::vector<std::uint64_t> seeds =
+      support::mission_seeds(kMissions, kBase);
+  ASSERT_EQ(seeds.size(), kMissions);
+  EXPECT_EQ(run_synthetic(seeds[3]), reference[3]);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    sim::BatchRunner parallel{sim::BatchOptions{threads, 0}};
+    EXPECT_EQ(support::run_mission_sweep<std::string>(kMissions, kBase, fly,
+                                                      parallel),
+              reference)
+        << "thread count " << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Experiment E13 — durable stable storage, measured.
+//
+// Three questions about the §5.1 stable-storage construction, answered with
+// numbers:
+//   1. What does the write-ahead journal cost per commit — and what does the
+//      sync-each-commit durability guarantee cost over group commit?
+//   2. How does crash-recovery replay latency grow with journal length?
+//   3. How much of that latency do periodic snapshots buy back (recovery
+//      becomes one image plus the commits since it)?
+//
+// Emit machine-readable numbers for the perf trajectory with:
+//   bench_recovery --benchmark_out=BENCH_recovery.json --benchmark_out_format=json
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "arfs/storage/durable/backend.hpp"
+#include "arfs/storage/durable/engine.hpp"
+#include "arfs/storage/stable_storage.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+using storage::StableStorage;
+using storage::durable::DurabilityEngine;
+using storage::durable::DurableOptions;
+using storage::durable::make_memory_engine;
+using storage::durable::RecoveryReport;
+
+/// Appends `commits` frames of `keys_per_commit` writes through the
+/// write-ahead protocol.
+void run_commits(DurabilityEngine& engine, StableStorage& store,
+                 std::size_t commits, std::size_t keys_per_commit) {
+  for (std::size_t c = 0; c < commits; ++c) {
+    for (std::size_t k = 0; k < keys_per_commit; ++k) {
+      store.write("key" + std::to_string(k), static_cast<std::int64_t>(c));
+    }
+    engine.record_commit(store, c);
+    store.commit(c);
+    engine.after_commit(store);
+  }
+}
+
+double wall_ms(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void report_append_throughput() {
+  constexpr std::size_t kCommits = 50'000;
+  std::cout << "\nJournal append throughput (" << kCommits
+            << " commits, in-memory device)\n";
+  std::cout << std::left << std::setw(10) << "keys" << std::setw(14)
+            << "policy" << std::setw(12) << "ms" << std::setw(14)
+            << "commits/s" << "MB appended\n";
+  for (const std::size_t keys : {1, 4, 16}) {
+    for (const bool sync_each : {true, false}) {
+      DurableOptions options;
+      options.sync_each_commit = sync_each;
+      auto engine = make_memory_engine(options);
+      StableStorage store;
+      const auto start = std::chrono::steady_clock::now();
+      run_commits(*engine, store, kCommits, keys);
+      if (!sync_each) (void)engine->journal().sync();
+      const double ms = wall_ms(start);
+      std::cout << std::left << std::setw(10) << keys << std::setw(14)
+                << (sync_each ? "sync-each" : "group") << std::setw(12)
+                << std::fixed << std::setprecision(1) << ms << std::setw(14)
+                << static_cast<std::uint64_t>(kCommits / (ms / 1000.0))
+                << std::setprecision(2)
+                << engine->stats().bytes_appended / (1024.0 * 1024.0) << "\n";
+    }
+  }
+}
+
+void report_recovery_latency() {
+  std::cout << "\nRecovery-replay latency vs journal length "
+               "(4 keys per commit)\n";
+  std::cout << std::left << std::setw(12) << "records" << std::setw(12)
+            << "ms" << "records/s\n";
+  for (const std::size_t records : {1'000, 10'000, 100'000}) {
+    auto engine = make_memory_engine();
+    StableStorage store;
+    run_commits(*engine, store, records, 4);
+    engine->crash();
+    const auto start = std::chrono::steady_clock::now();
+    StableStorage recovered;
+    const RecoveryReport report = engine->recover_into(recovered);
+    const double ms = wall_ms(start);
+    std::cout << std::left << std::setw(12) << report.records_applied
+              << std::setw(12) << std::fixed << std::setprecision(2) << ms
+              << static_cast<std::uint64_t>(records / (ms / 1000.0)) << "\n";
+  }
+}
+
+void report_snapshot_effect() {
+  constexpr std::size_t kCommits = 100'000;
+  std::cout << "\nSnapshot effect on recovery (" << kCommits
+            << " commits, 4 keys per commit)\n";
+  std::cout << std::left << std::setw(16) << "interval" << std::setw(12)
+            << "ms" << std::setw(12) << "replayed" << "from snapshot\n";
+  for (const std::uint64_t interval : {std::uint64_t{0}, std::uint64_t{4096},
+                                       std::uint64_t{512}}) {
+    DurableOptions options;
+    options.snapshot_every_epochs = interval;
+    auto engine = make_memory_engine(options);
+    StableStorage store;
+    run_commits(*engine, store, kCommits, 4);
+    engine->crash();
+    const auto start = std::chrono::steady_clock::now();
+    StableStorage recovered;
+    const RecoveryReport report = engine->recover_into(recovered);
+    const double ms = wall_ms(start);
+    std::cout << std::left << std::setw(16)
+              << (interval == 0 ? std::string{"none"}
+                                : std::to_string(interval))
+              << std::setw(12) << std::fixed << std::setprecision(2) << ms
+              << std::setw(12) << report.records_applied
+              << (report.used_snapshot ? "yes" : "no") << "\n";
+  }
+}
+
+void report() {
+  bench::banner("E13: durable stable storage",
+                "the §5.1 stable-storage assumption, made and measured");
+  report_append_throughput();
+  report_recovery_latency();
+  report_snapshot_effect();
+  std::cout << "\n";
+}
+
+// --- google-benchmark timings ---
+
+void BM_JournalAppend(benchmark::State& state) {
+  const std::size_t keys = static_cast<std::size_t>(state.range(0));
+  const bool sync_each = state.range(1) != 0;
+  constexpr std::size_t kBatch = 256;
+  for (auto _ : state) {
+    DurableOptions options;
+    options.sync_each_commit = sync_each;
+    auto engine = make_memory_engine(options);
+    StableStorage store;
+    run_commits(*engine, store, kBatch, keys);
+    benchmark::DoNotOptimize(engine->stats().bytes_appended);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_JournalAppend)
+    ->ArgNames({"keys", "sync_each"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({4, 0});
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  const std::size_t records = static_cast<std::size_t>(state.range(0));
+  auto engine = make_memory_engine();
+  StableStorage store;
+  run_commits(*engine, store, records, 4);
+  engine->crash();
+  for (auto _ : state) {
+    StableStorage recovered;
+    const RecoveryReport report = engine->recover_into(recovered);
+    benchmark::DoNotOptimize(report.records_applied);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_RecoveryWithSnapshots(benchmark::State& state) {
+  const std::uint64_t interval = static_cast<std::uint64_t>(state.range(0));
+  DurableOptions options;
+  options.snapshot_every_epochs = interval;
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 100'000, 4);
+  engine->crash();
+  for (auto _ : state) {
+    StableStorage recovered;
+    const RecoveryReport report = engine->recover_into(recovered);
+    benchmark::DoNotOptimize(report.last_epoch);
+  }
+}
+BENCHMARK(BM_RecoveryWithSnapshots)->Arg(0)->Arg(4096)->Arg(512);
+
+void BM_FileBackendCommitSync(benchmark::State& state) {
+  // The honest durability number: one record append + fsync per commit on a
+  // real file.
+  const std::string path = "bench_recovery.tmp.wal";
+  constexpr std::size_t kBatch = 64;
+  for (auto _ : state) {
+    auto file = std::make_unique<storage::durable::FileBackend>(path);
+    file->truncate(0);
+    DurabilityEngine engine(
+        std::move(file),
+        std::make_unique<storage::durable::MemoryBackend>());
+    StableStorage store;
+    run_commits(engine, store, kBatch, 4);
+    benchmark::DoNotOptimize(engine.stats().syncs);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FileBackendCommitSync);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

@@ -79,6 +79,12 @@ System::System(const ReconfigSpec& spec, SystemOptions options)
   }
   scram_proc_ = ProcessorId{max_id};
   group_.add_processor(scram_proc_);
+  if (options.durable_storage) {
+    for (const ProcessorId p : group_.processor_ids()) {
+      group_.processor(p).enable_durability(
+          storage::durable::make_memory_engine(options.durability));
+    }
+  }
 
   spec.factors().initialize(environment_);
   for (const env::FactorSpec& f : spec.factors().factors()) {
@@ -157,6 +163,10 @@ void System::apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
       failstop::Processor& proc = group_.processor(event.processor);
       if (!proc.running()) break;
       proc.fail(cycle);
+      if (proc.last_recovery().has_value() &&
+          proc.last_recovery()->journal_truncated) {
+        ++stats_.journal_truncations;
+      }
       for (const auto& [app_id, host] : region_host_) {
         if (host == event.processor) apps_.at(app_id)->on_host_failure();
       }
@@ -177,6 +187,27 @@ void System::apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
     case sim::FaultKind::kSoftwareFault:
       forced_fault_[event.app] = true;
       break;
+    case sim::FaultKind::kJournalSyncFail:
+    case sim::FaultKind::kJournalTornWrite:
+    case sim::FaultKind::kJournalBitFlip: {
+      require(group_.has_processor(event.processor),
+              "fault plan names unknown processor");
+      failstop::Processor& proc = group_.processor(event.processor);
+      storage::durable::DurabilityEngine* engine = proc.durability();
+      if (engine == nullptr) break;  // no device to hurt; modeled as benign
+      auto& device = engine->journal();
+      if (event.kind == sim::FaultKind::kJournalSyncFail) {
+        device.fail_next_sync();
+      } else if (event.kind == sim::FaultKind::kJournalTornWrite) {
+        device.tear_on_crash(event.new_value > 0
+                                 ? static_cast<std::size_t>(event.new_value)
+                                 : 7);
+      } else {
+        device.corrupt_bit(static_cast<std::uint64_t>(event.new_value));
+      }
+      ++stats_.journal_faults_injected;
+      break;
+    }
   }
 }
 

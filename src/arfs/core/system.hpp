@@ -47,6 +47,7 @@
 #include "arfs/rtos/health.hpp"
 #include "arfs/sim/clock.hpp"
 #include "arfs/sim/fault_plan.hpp"
+#include "arfs/storage/durable/engine.hpp"
 #include "arfs/trace/recorder.hpp"
 
 namespace arfs::core {
@@ -66,6 +67,14 @@ struct SystemOptions {
   ScramOptions scram;
   /// Retain full stable-storage commit history (post-mortem debugging).
   bool record_storage_history = false;
+  /// Back every processor's stable storage with a durability engine
+  /// (write-ahead journal + snapshots on deterministic in-memory devices).
+  /// Fail-stop halts then crash the devices and reconcile the pollable
+  /// store with what recovery reads back, and kJournal* fault-plan events
+  /// become meaningful.
+  bool durable_storage = false;
+  /// Engine policy used when durable_storage is on.
+  storage::durable::DurableOptions durability;
   /// Record the per-frame sys_trace (needed for get_reconfigs and the
   /// SP1-SP4 checkers). Disable only for unbounded benchmark runs.
   bool record_trace = true;
@@ -85,6 +94,11 @@ struct SystemStats {
   std::uint64_t false_alarms = 0;
   /// Processor-failure signals for genuinely failed processors.
   std::uint64_t true_detections = 0;
+  /// Journal I/O faults armed on durable devices (sync-fail, torn write,
+  /// bit flip). Events targeting non-durable processors are not counted.
+  std::uint64_t journal_faults_injected = 0;
+  /// Recoveries whose journal had a torn or corrupt tail truncated.
+  std::uint64_t journal_truncations = 0;
 };
 
 class System {

@@ -25,6 +25,19 @@ void Processor::fail(Cycle cycle) {
   // committed stable storage is preserved.
   stable_.drop_pending();
   volatile_.erase_all();
+  if (durability_) {
+    // The halt reaches the devices too: unsynced journal bytes are lost
+    // (possibly tearing the final record), and the in-memory store is
+    // reconciled with what the devices actually preserved — so peers
+    // polling this processor see the recovered state, not a convenient
+    // in-memory copy the disk never had.
+    durability_->crash();
+    last_recovery_ = durability_->recover_into(stable_);
+    if (last_recovery_->journal_truncated) {
+      log_warn("failstop", "processor ", id_.value(),
+               " journal truncated on recovery: ", last_recovery_->note);
+    }
+  }
   log_info("failstop", "processor ", id_.value(), " fail-stopped at cycle ",
            cycle);
 }
@@ -50,7 +63,31 @@ storage::VolatileStorage& Processor::volatile_store() {
 
 void Processor::commit_frame(Cycle cycle) {
   if (!running()) return;
+  if (durability_) {
+    if (!stable_.pending().empty()) {
+      durability_->record_commit(stable_, cycle);  // write-ahead
+      stable_.commit(cycle);
+    } else {
+      stable_.commit(cycle);  // empty commit: nothing worth journaling
+    }
+    durability_->after_commit(stable_);
+    return;
+  }
   stable_.commit(cycle);
+}
+
+void Processor::enable_durability(
+    std::unique_ptr<storage::durable::DurabilityEngine> engine) {
+  require(engine != nullptr, "null durability engine");
+  require(durability_ == nullptr, "durability already enabled");
+  durability_ = std::move(engine);
+  if (durability_->has_state()) {
+    // Cold restart: the devices outlived the process; rebuild from them.
+    last_recovery_ = durability_->recover_into(stable_);
+  } else {
+    require(stable_.committed_count() == 0,
+            "cannot attach empty devices to a store with committed state");
+  }
 }
 
 }  // namespace arfs::failstop

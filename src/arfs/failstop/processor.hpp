@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "arfs/common/ids.hpp"
 #include "arfs/common/types.hpp"
 #include "arfs/failstop/self_checking_pair.hpp"
+#include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/stable_storage.hpp"
 #include "arfs/storage/volatile_storage.hpp"
 
@@ -62,8 +64,31 @@ class Processor {
   }
 
   /// Commits this processor's staged stable writes at the end of `cycle`.
+  /// With durability attached, the batch is journaled (write-ahead) before
+  /// the in-memory commit and snapshots are taken per the engine's policy.
   /// A failed processor commits nothing (its pending writes were dropped).
   void commit_frame(Cycle cycle);
+
+  /// Attaches a persistence layer behind this processor's stable storage.
+  /// From here on, fail() crashes the devices (unsynced bytes are lost)
+  /// and reconciles the in-memory store with what recovery reads back, so
+  /// poll_stable() shows exactly the durably-preserved state. When the
+  /// devices already hold state (cold restart from files), the store is
+  /// recovered immediately. Precondition: no committed in-memory state
+  /// that the devices don't know about.
+  void enable_durability(
+      std::unique_ptr<storage::durable::DurabilityEngine> engine);
+
+  /// The attached engine, or nullptr (fault injection, stats, snapshots).
+  [[nodiscard]] storage::durable::DurabilityEngine* durability() {
+    return durability_.get();
+  }
+
+  /// Report of the most recent device-level recovery, if any happened.
+  [[nodiscard]] const std::optional<storage::durable::RecoveryReport>&
+  last_recovery() const {
+    return last_recovery_;
+  }
 
   [[nodiscard]] std::optional<Cycle> failed_at() const { return failed_at_; }
   [[nodiscard]] std::uint64_t failure_count() const { return failures_; }
@@ -75,6 +100,8 @@ class Processor {
   SelfCheckingPair pair_;
   storage::StableStorage stable_;
   storage::VolatileStorage volatile_;
+  std::unique_ptr<storage::durable::DurabilityEngine> durability_;
+  std::optional<storage::durable::RecoveryReport> last_recovery_;
   std::optional<Cycle> failed_at_;
   std::uint64_t failures_ = 0;
 };

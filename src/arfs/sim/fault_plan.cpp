@@ -65,6 +65,39 @@ void FaultPlan::software_fault(SimTime when, AppId app, std::string note) {
   add(std::move(e));
 }
 
+void FaultPlan::journal_sync_fail(SimTime when, ProcessorId p,
+                                  std::string note) {
+  FaultEvent e;
+  e.when = when;
+  e.kind = FaultKind::kJournalSyncFail;
+  e.processor = p;
+  e.note = std::move(note);
+  add(std::move(e));
+}
+
+void FaultPlan::journal_torn_write(SimTime when, ProcessorId p,
+                                   std::int64_t keep_bytes, std::string note) {
+  require(keep_bytes >= 0, "torn-write keep bytes cannot be negative");
+  FaultEvent e;
+  e.when = when;
+  e.kind = FaultKind::kJournalTornWrite;
+  e.processor = p;
+  e.new_value = keep_bytes;
+  e.note = std::move(note);
+  add(std::move(e));
+}
+
+void FaultPlan::journal_bit_flip(SimTime when, ProcessorId p,
+                                 std::int64_t seed, std::string note) {
+  FaultEvent e;
+  e.when = when;
+  e.kind = FaultKind::kJournalBitFlip;
+  e.processor = p;
+  e.new_value = seed;
+  e.note = std::move(note);
+  add(std::move(e));
+}
+
 std::vector<FaultEvent> FaultPlan::consume_until(SimTime until) {
   std::vector<FaultEvent> out;
   while (next_ < events_.size() && events_[next_].when <= until) {
@@ -121,6 +154,31 @@ FaultPlan generate_campaign(const CampaignParams& params, Rng& rng) {
     plan.software_fault(draw_time(), params.apps[idx], "campaign");
   }
 
+  const std::size_t io_faults = params.journal_sync_fails +
+                                params.journal_torn_writes +
+                                params.journal_bit_flips;
+  if (io_faults > 0) {
+    require(!params.processors.empty(),
+            "journal faults requested but no processors given");
+  }
+  for (std::size_t i = 0; i < params.journal_sync_fails; ++i) {
+    const auto idx = rng.uniform(0, params.processors.size() - 1);
+    plan.journal_sync_fail(draw_time(), params.processors[idx], "campaign");
+  }
+  for (std::size_t i = 0; i < params.journal_torn_writes; ++i) {
+    const auto idx = rng.uniform(0, params.processors.size() - 1);
+    // Keep a small random prefix so tears land at varied record offsets.
+    const auto keep = static_cast<std::int64_t>(rng.uniform(1, 24));
+    plan.journal_torn_write(draw_time(), params.processors[idx], keep,
+                            "campaign");
+  }
+  for (std::size_t i = 0; i < params.journal_bit_flips; ++i) {
+    const auto idx = rng.uniform(0, params.processors.size() - 1);
+    const auto seed = static_cast<std::int64_t>(rng.next_u64() >> 1);
+    plan.journal_bit_flip(draw_time(), params.processors[idx], seed,
+                          "campaign");
+  }
+
   return plan;
 }
 
@@ -131,6 +189,9 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kEnvironmentChange: return "environment-change";
     case FaultKind::kTimingOverrun:     return "timing-overrun";
     case FaultKind::kSoftwareFault:     return "software-fault";
+    case FaultKind::kJournalSyncFail:   return "journal-sync-fail";
+    case FaultKind::kJournalTornWrite:  return "journal-torn-write";
+    case FaultKind::kJournalBitFlip:    return "journal-bit-flip";
   }
   return "?";
 }

@@ -27,11 +27,19 @@ enum class FaultKind {
   kEnvironmentChange,   ///< An environmental factor changes value.
   kTimingOverrun,       ///< An application exceeds its frame budget once.
   kSoftwareFault,       ///< An application signals a functional failure.
+  // I/O faults against a processor's durable stable-storage devices.
+  // They only bite on processors with durability enabled; elsewhere they
+  // are counted and ignored (the in-memory model has no device to hurt).
+  kJournalSyncFail,     ///< The journal's next sync fails once.
+  kJournalTornWrite,    ///< The next crash tears the final unsynced record.
+  kJournalBitFlip,      ///< One durable journal bit flips (media fault).
 };
 
 /// One scheduled injection. Which fields are meaningful depends on `kind`:
-/// processor events use `processor`; environment changes use `factor` and
-/// `new_value`; timing/software faults use `app`.
+/// processor and journal events use `processor`; environment changes use
+/// `factor` and `new_value`; timing/software faults use `app`. Journal
+/// faults reuse `new_value` as a parameter: torn-write keep-bytes for
+/// kJournalTornWrite, corruption seed for kJournalBitFlip.
 struct FaultEvent {
   SimTime when = 0;
   FaultKind kind = FaultKind::kProcessorFailStop;
@@ -58,6 +66,13 @@ class FaultPlan {
                           std::string note = {});
   void timing_overrun(SimTime when, AppId app, std::string note = {});
   void software_fault(SimTime when, AppId app, std::string note = {});
+  void journal_sync_fail(SimTime when, ProcessorId p, std::string note = {});
+  /// `keep_bytes` of the unsynced tail survive the next crash (a torn final
+  /// record); 0 keeps an engine-chosen prefix of a few bytes.
+  void journal_torn_write(SimTime when, ProcessorId p,
+                          std::int64_t keep_bytes = 0, std::string note = {});
+  void journal_bit_flip(SimTime when, ProcessorId p, std::int64_t seed,
+                        std::string note = {});
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;
@@ -84,6 +99,10 @@ struct CampaignParams {
   std::size_t environment_changes = 0;
   std::size_t timing_overruns = 0;
   std::size_t software_faults = 0;
+  /// Durable-storage I/O faults (drawn over `processors`).
+  std::size_t journal_sync_fails = 0;
+  std::size_t journal_torn_writes = 0;
+  std::size_t journal_bit_flips = 0;
   std::vector<ProcessorId> processors;  ///< Candidates for processor events.
   std::vector<FactorId> factors;        ///< Candidates for env changes.
   std::int64_t factor_min = 0;          ///< Env value range (inclusive).

@@ -1,0 +1,138 @@
+#include "arfs/storage/durable/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "arfs/common/check.hpp"
+#include "arfs/storage/durable/journal.hpp"
+#include "arfs/storage/durable/snapshot.hpp"
+
+namespace arfs::storage::durable {
+
+RecoveryReport recover_store(const JournalBackend& snapshots,
+                             const JournalBackend& journal,
+                             StableStorage& out) {
+  require(out.committed_count() == 0,
+          "recover_store target must have no committed state");
+  RecoveryReport report;
+
+  const SnapshotScan snap = scan_snapshots(snapshots);
+  if (snap.any_valid) {
+    report.used_snapshot = true;
+    report.snapshot_epoch = snap.last.epoch;
+    for (const auto& [key, value, committed_at] : snap.last.entries) {
+      out.restore(key, value, committed_at);
+    }
+  }
+
+  const ScanResult scan = scan_journal(journal);
+  std::uint64_t last_epoch = report.snapshot_epoch;
+  for (const JournalRecord& record : scan.records) {
+    if (record.epoch <= report.snapshot_epoch) {
+      ++report.records_skipped;
+      continue;
+    }
+    for (const auto& [key, value] : record.entries) {
+      out.restore(key, value, record.cycle);
+    }
+    last_epoch = record.epoch;
+    ++report.records_applied;
+  }
+  out.set_commit_epochs(last_epoch);
+  report.last_epoch = last_epoch;
+  report.journal_truncated = scan.truncated;
+  report.valid_bytes = scan.valid_bytes;
+  if (scan.truncated) report.note = scan.reason;
+  if (snap.truncated) {
+    report.note += report.note.empty() ? "" : "; ";
+    report.note += "snapshot device: " + snap.reason;
+  }
+  return report;
+}
+
+DurabilityEngine::DurabilityEngine(std::unique_ptr<JournalBackend> journal,
+                                   std::unique_ptr<JournalBackend> snapshots,
+                                   DurableOptions options)
+    : journal_(std::move(journal)), snapshots_(std::move(snapshots)),
+      options_(options) {
+  require(journal_ != nullptr && snapshots_ != nullptr,
+          "durability engine needs both devices");
+}
+
+void DurabilityEngine::record_commit(const StableStorage& store, Cycle cycle) {
+  if (!ensure_header(*journal_)) {
+    // A media fault (or foreign content) destroyed the device header. The
+    // scanner trusts nothing after a bad magic, so appending here could
+    // never make this commit durable — count the fault and suspend
+    // journaling. recover_into() truncates the device, after which the
+    // header is rewritten and journaling resumes.
+    ++stats_.header_faults;
+    return;
+  }
+  scratch_.clear();
+  encode_record(scratch_, store.commit_epochs() + 1, cycle, store.pending());
+  journal_->append(scratch_.data(), scratch_.size());
+  stats_.bytes_appended += scratch_.size();
+  ++stats_.commits_journaled;
+  if (options_.sync_each_commit) {
+    ++stats_.syncs;
+    if (!journal_->sync()) ++stats_.sync_failures;
+  }
+}
+
+void DurabilityEngine::after_commit(const StableStorage& store) {
+  if (options_.snapshot_every_epochs == 0) return;
+  if (store.commit_epochs() == 0 ||
+      store.commit_epochs() % options_.snapshot_every_epochs != 0) {
+    return;
+  }
+  take_snapshot(store);
+}
+
+bool DurabilityEngine::take_snapshot(const StableStorage& store) {
+  if (!append_snapshot(*snapshots_, store.commit_epochs(),
+                       store.committed_entries())) {
+    ++stats_.snapshot_failures;
+    return false;
+  }
+  if (!snapshots_->sync()) {
+    ++stats_.snapshot_failures;
+    return false;
+  }
+  ++stats_.snapshots_taken;
+  // The image covers every epoch the journal holds; compact it. Torn-tail
+  // safety is preserved because the image is already durably synced.
+  journal_->truncate(kHeaderSize);
+  return true;
+}
+
+void DurabilityEngine::crash() {
+  journal_->crash();
+  snapshots_->crash();
+  ++stats_.crashes;
+}
+
+RecoveryReport DurabilityEngine::recover_into(StableStorage& out) {
+  out.reset_committed();
+  RecoveryReport report = recover_store(*snapshots_, *journal_, out);
+  // Discard the untrusted tails so appends resume after the last good
+  // record — the journal analogue of halting at the last completed
+  // instruction.
+  journal_->truncate(report.valid_bytes);
+  const SnapshotScan snap = scan_snapshots(*snapshots_);
+  if (snap.truncated) snapshots_->truncate(snap.valid_bytes);
+  ++stats_.recoveries;
+  return report;
+}
+
+bool DurabilityEngine::has_state() const {
+  return journal_->size() > kHeaderSize || snapshots_->size() > kHeaderSize;
+}
+
+std::unique_ptr<DurabilityEngine> make_memory_engine(DurableOptions options) {
+  return std::make_unique<DurabilityEngine>(std::make_unique<MemoryBackend>(),
+                                            std::make_unique<MemoryBackend>(),
+                                            options);
+}
+
+}  // namespace arfs::storage::durable

@@ -1,0 +1,121 @@
+// Durability engine: the persistence layer behind a StableStorage.
+//
+// Protocol per frame (write-ahead rule):
+//
+//   1. record_commit() encodes the staged batch as one journal record and,
+//      under the default policy, syncs it — the commit exists on the device
+//      before it exists in memory;
+//   2. the caller applies StableStorage::commit();
+//   3. after_commit() takes a snapshot every `snapshot_every_epochs`
+//      commits, and compacts the journal once the image is durably synced.
+//
+// On a fail-stop halt the owner calls crash() (the device loses its
+// unsynced tail, exactly like the processor loses volatile storage) and
+// then recover_into(): scan the snapshot device for the last valid image,
+// replay journal records with later epochs, truncate at the first torn or
+// corrupt record, and physically discard the untrusted tail so journaling
+// can resume. The recovered store is the disk-level "last successfully
+// completed instruction" state of paper §5.1 — what peers polling the
+// failed processor are entitled to see.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arfs/common/types.hpp"
+#include "arfs/storage/durable/backend.hpp"
+#include "arfs/storage/stable_storage.hpp"
+
+namespace arfs::storage::durable {
+
+struct DurableOptions {
+  /// Take a full snapshot every N commit epochs; 0 disables automatic
+  /// snapshots (recovery then replays the whole journal).
+  std::uint64_t snapshot_every_epochs = 0;
+  /// Sync the journal inside every record_commit(). When false the journal
+  /// is group-committed: records accumulate in the device buffer and only
+  /// snapshots sync, trading durability lag for append throughput.
+  bool sync_each_commit = true;
+};
+
+struct DurabilityStats {
+  std::uint64_t commits_journaled = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t sync_failures = 0;
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t snapshot_failures = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  /// Commits not journaled because the device header was found destroyed
+  /// (journaling suspends until recovery re-initializes the device).
+  std::uint64_t header_faults = 0;
+};
+
+/// What recovery found and did.
+struct RecoveryReport {
+  bool used_snapshot = false;
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t records_applied = 0;   ///< Journal records replayed.
+  std::uint64_t records_skipped = 0;   ///< Already covered by the snapshot.
+  std::uint64_t last_epoch = 0;        ///< Epoch of the recovered store.
+  bool journal_truncated = false;      ///< A torn/corrupt tail was found.
+  std::uint64_t valid_bytes = 0;       ///< Journal prefix that was trusted.
+  std::string note;                    ///< Scanner's reason, when truncated.
+};
+
+/// Pure recovery: rebuilds `out` from the devices without mutating them.
+/// `out` must be empty of committed state (reset_committed() first).
+[[nodiscard]] RecoveryReport recover_store(const JournalBackend& snapshots,
+                                           const JournalBackend& journal,
+                                           StableStorage& out);
+
+class DurabilityEngine {
+ public:
+  DurabilityEngine(std::unique_ptr<JournalBackend> journal,
+                   std::unique_ptr<JournalBackend> snapshots,
+                   DurableOptions options = {});
+
+  /// Journals the staged batch `store` is about to commit at `cycle`.
+  /// Call immediately before store.commit(cycle).
+  void record_commit(const StableStorage& store, Cycle cycle);
+
+  /// Snapshot policy hook; call right after store.commit().
+  void after_commit(const StableStorage& store);
+
+  /// Forces a full image now. Returns false when the image could not be
+  /// made durable (sync failure) — the journal is then left uncompacted.
+  bool take_snapshot(const StableStorage& store);
+
+  /// Device side of a fail-stop halt: unsynced bytes are lost.
+  void crash();
+
+  /// Rebuilds `out` from snapshot + journal replay, then truncates any
+  /// untrusted journal tail so appends can resume after the last good
+  /// record. `out` is cleared of committed state first; its pending buffer
+  /// and history configuration are left alone.
+  RecoveryReport recover_into(StableStorage& out);
+
+  /// True when the devices hold any durable state worth recovering.
+  [[nodiscard]] bool has_state() const;
+
+  [[nodiscard]] const DurabilityStats& stats() const { return stats_; }
+  [[nodiscard]] const DurableOptions& options() const { return options_; }
+  [[nodiscard]] JournalBackend& journal() { return *journal_; }
+  [[nodiscard]] JournalBackend& snapshots() { return *snapshots_; }
+
+ private:
+  std::unique_ptr<JournalBackend> journal_;
+  std::unique_ptr<JournalBackend> snapshots_;
+  DurableOptions options_;
+  DurabilityStats stats_;
+  std::vector<std::uint8_t> scratch_;  ///< Reused record encode buffer.
+};
+
+/// Convenience: an engine on fresh in-memory devices (sim processors).
+[[nodiscard]] std::unique_ptr<DurabilityEngine> make_memory_engine(
+    DurableOptions options = {});
+
+}  // namespace arfs::storage::durable

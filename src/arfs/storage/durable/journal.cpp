@@ -1,0 +1,134 @@
+#include "arfs/storage/durable/journal.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "arfs/storage/durable/wire.hpp"
+
+namespace arfs::storage::durable {
+
+bool ensure_header(JournalBackend& backend) {
+  if (backend.size() == 0) {
+    backend.append(kJournalMagic, sizeof kJournalMagic);
+    return true;
+  }
+  std::uint8_t magic[8] = {};
+  if (backend.read(0, magic, sizeof magic) != sizeof magic) return false;
+  return std::memcmp(magic, kJournalMagic, sizeof magic) == 0;
+}
+
+void encode_record(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                   Cycle cycle,
+                   const std::vector<std::pair<std::string, Value>>& entries) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, epoch);
+  put_u64(payload, cycle);
+  put_u32(payload, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    put_string(payload, key);
+    put_value(payload, value);
+  }
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+namespace {
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ScanResult scan_journal(const JournalBackend& backend) {
+  ScanResult result;
+  const std::uint64_t total = backend.size();
+  if (total == 0) {
+    // A never-written device is a valid empty journal.
+    result.header_ok = true;
+    result.valid_bytes = 0;
+    return result;
+  }
+  std::uint8_t magic[8] = {};
+  if (backend.read(0, magic, sizeof magic) != sizeof magic ||
+      std::memcmp(magic, kJournalMagic, sizeof magic) != 0) {
+    result.reason = "bad or short journal header";
+    result.truncated = true;
+    return result;
+  }
+  result.header_ok = true;
+  result.valid_bytes = kHeaderSize;
+
+  std::uint64_t offset = kHeaderSize;
+  std::uint64_t last_epoch = 0;
+  std::vector<std::uint8_t> payload;
+  while (offset < total) {
+    std::uint8_t envelope[8] = {};
+    if (backend.read(offset, envelope, sizeof envelope) != sizeof envelope) {
+      result.truncated = true;
+      result.reason = "torn record envelope";
+      break;
+    }
+    const std::uint32_t len = get_u32(envelope);
+    const std::uint32_t crc = get_u32(envelope + 4);
+    if (len > kMaxPayload) {
+      result.truncated = true;
+      result.reason = "implausible record length (corrupt length prefix)";
+      break;
+    }
+    payload.resize(len);
+    if (backend.read(offset + 8, payload.data(), len) != len) {
+      result.truncated = true;
+      result.reason = "torn record payload";
+      break;
+    }
+    if (crc32(payload.data(), len) != crc) {
+      result.truncated = true;
+      result.reason = "record CRC mismatch";
+      break;
+    }
+    ByteReader reader(payload.data(), len);
+    JournalRecord record;
+    record.offset = offset;
+    record.epoch = reader.u64();
+    record.cycle = reader.u64();
+    const std::uint32_t n = reader.u32();
+    record.entries.reserve(n);
+    for (std::uint32_t i = 0; i < n && reader.ok(); ++i) {
+      std::string key = reader.string();
+      Value value = reader.value();
+      record.entries.emplace_back(std::move(key), std::move(value));
+    }
+    if (!reader.exhausted()) {
+      result.truncated = true;
+      result.reason = "malformed record payload";
+      break;
+    }
+    if (record.epoch <= last_epoch) {
+      result.truncated = true;
+      result.reason = "non-monotone commit epoch";
+      break;
+    }
+    last_epoch = record.epoch;
+    offset += 8 + len;
+    result.valid_bytes = offset;
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+std::string to_string(const JournalRecord& record) {
+  std::ostringstream os;
+  os << "@" << record.offset << " epoch " << record.epoch << " cycle "
+     << record.cycle << " (" << record.entries.size() << " keys)";
+  for (const auto& [key, value] : record.entries) {
+    os << "\n    " << key << " = " << storage::to_string(value) << " ["
+       << type_name(value) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace arfs::storage::durable

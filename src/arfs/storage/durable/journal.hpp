@@ -1,0 +1,70 @@
+// Write-ahead journal of stable-storage commits.
+//
+// Layout on the backend:
+//
+//   [8-byte magic "ARFSWAL1"]
+//   repeated records:  [u32 payload_len][u32 crc32(payload)][payload]
+//   payload:           u64 epoch, u64 cycle, u32 n,
+//                      n × { string key, tagged value }
+//
+// One record per StableStorage::commit — the journal is the disk image of
+// the paper's "sequence of completed instructions". Scanning stops at the
+// first record that is short (torn write), fails its CRC (corruption), or
+// breaks epoch monotonicity; everything after that offset is untrusted,
+// which is the device-level analogue of the fail-stop rule that a halted
+// processor's state is the last *successfully completed* step, never a
+// partial one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arfs/common/types.hpp"
+#include "arfs/storage/durable/backend.hpp"
+#include "arfs/storage/value.hpp"
+
+namespace arfs::storage::durable {
+
+inline constexpr std::uint8_t kJournalMagic[8] = {'A', 'R', 'F', 'S',
+                                                  'W', 'A', 'L', '1'};
+inline constexpr std::uint64_t kHeaderSize = 8;
+/// Sanity cap on one record's payload, so a corrupted length prefix cannot
+/// demand a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+/// One decoded commit record.
+struct JournalRecord {
+  std::uint64_t epoch = 0;  ///< StableStorage commit epoch (1-based).
+  Cycle cycle = 0;          ///< Frame the commit was stamped with.
+  std::vector<std::pair<std::string, Value>> entries;
+  std::uint64_t offset = 0;  ///< Byte offset of the record envelope.
+};
+
+/// Result of scanning a journal device end to end.
+struct ScanResult {
+  bool header_ok = false;
+  std::vector<JournalRecord> records;   ///< The valid prefix, in order.
+  std::uint64_t valid_bytes = 0;        ///< End of the last valid record.
+  bool truncated = false;               ///< A torn/corrupt tail was found.
+  std::string reason;                   ///< Why scanning stopped early.
+};
+
+/// Appends the journal magic when the device is empty. Returns false when an
+/// existing header does not match (foreign or damaged file).
+bool ensure_header(JournalBackend& backend);
+
+/// Encodes one commit record envelope into `out`.
+void encode_record(std::vector<std::uint8_t>& out, std::uint64_t epoch,
+                   Cycle cycle,
+                   const std::vector<std::pair<std::string, Value>>& entries);
+
+/// Scans the whole device, collecting the valid record prefix. Never throws
+/// on malformed content — damage is reported, not fatal.
+[[nodiscard]] ScanResult scan_journal(const JournalBackend& backend);
+
+/// Renders a record for arfsctl's `journal dump`.
+[[nodiscard]] std::string to_string(const JournalRecord& record);
+
+}  // namespace arfs::storage::durable

@@ -1,0 +1,119 @@
+#include "arfs/storage/durable/wire.hpp"
+
+#include <array>
+#include <bit>
+
+namespace arfs::storage::durable {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+enum : std::uint8_t { kTagBool = 0, kTagInt64 = 1, kTagDouble = 2,
+                      kTagString = 3 };
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::vector<std::uint8_t>& buf, std::uint8_t v) {
+  buf.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::vector<std::uint8_t>& buf, const std::string& s) {
+  put_u32(buf, static_cast<std::uint32_t>(s.size()));
+  buf.insert(buf.end(), s.begin(), s.end());
+}
+
+void put_value(std::vector<std::uint8_t>& buf, const Value& v) {
+  if (const bool* b = std::get_if<bool>(&v)) {
+    put_u8(buf, kTagBool);
+    put_u8(buf, *b ? 1 : 0);
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    put_u8(buf, kTagInt64);
+    put_u64(buf, static_cast<std::uint64_t>(*i));
+  } else if (const double* d = std::get_if<double>(&v)) {
+    put_u8(buf, kTagDouble);
+    put_u64(buf, std::bit_cast<std::uint64_t>(*d));
+  } else {
+    put_u8(buf, kTagString);
+    put_string(buf, std::get<std::string>(v));
+  }
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || end_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string ByteReader::string() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Value ByteReader::value() {
+  switch (u8()) {
+    case kTagBool:   return Value{u8() != 0};
+    case kTagInt64:  return Value{static_cast<std::int64_t>(u64())};
+    case kTagDouble: return Value{std::bit_cast<double>(u64())};
+    case kTagString: return Value{string()};
+    default:
+      ok_ = false;
+      return Value{false};
+  }
+}
+
+}  // namespace arfs::storage::durable

@@ -1,0 +1,56 @@
+// Byte-level encoding shared by the journal and snapshot formats.
+//
+// Everything the durable layer puts on a device goes through these helpers so
+// the two record kinds stay byte-compatible: explicit little-endian integers
+// (independent of host endianness), length-prefixed strings, a tagged
+// encoding of storage::Value that round-trips doubles bit-exactly, and the
+// IEEE CRC32 that guards every record payload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arfs/storage/value.hpp"
+
+namespace arfs::storage::durable {
+
+/// IEEE 802.3 CRC32 (the zlib polynomial), over `n` bytes.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+void put_u8(std::vector<std::uint8_t>& buf, std::uint8_t v);
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v);
+void put_string(std::vector<std::uint8_t>& buf, const std::string& s);
+/// Tagged Value encoding: u8 tag (0 bool, 1 int64, 2 double, 3 string) then
+/// the payload; doubles are stored as their raw IEEE-754 bit pattern.
+void put_value(std::vector<std::uint8_t>& buf, const Value& v);
+
+/// Sequential decoder over a byte range. Every read checks bounds; the first
+/// short or malformed read latches ok() to false and subsequent reads return
+/// zero values, so callers can decode a whole record and check ok() once.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n) : data_(data), end_(n) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::string string();
+  [[nodiscard]] Value value();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when every byte was consumed and no read failed.
+  [[nodiscard]] bool exhausted() const { return ok_ && pos_ == end_; }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t end_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace arfs::storage::durable

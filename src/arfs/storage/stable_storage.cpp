@@ -1,6 +1,7 @@
 #include "arfs/storage/stable_storage.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace arfs::storage {
@@ -87,6 +88,63 @@ std::vector<std::string> StableStorage::keys() const {
   out.reserve(committed_.size());
   for (const auto& [key, slot] : committed_) out.push_back(key);
   return out;
+}
+
+std::vector<std::tuple<std::string, Value, Cycle>>
+StableStorage::committed_entries() const {
+  std::vector<std::tuple<std::string, Value, Cycle>> out;
+  out.reserve(committed_.size());
+  for (const auto& [key, slot] : committed_) {
+    out.emplace_back(key, slot.value, slot.committed_at);
+  }
+  return out;
+}
+
+void StableStorage::restore(const std::string& key, Value value,
+                            Cycle committed_at) {
+  const auto it = entry_bound(committed_, key);
+  if (it != committed_.end() && it->first == key) {
+    it->second = Slot{std::move(value), committed_at};
+  } else {
+    committed_.insert(it, {key, Slot{std::move(value), committed_at}});
+  }
+}
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+inline void fnv_mix_bytes(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t StableStorage::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const auto& [key, slot] : committed_) {
+    fnv_mix_bytes(h, key);
+    fnv_mix(h, slot.value.index());
+    if (const bool* b = std::get_if<bool>(&slot.value)) {
+      fnv_mix(h, *b ? 1 : 0);
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&slot.value)) {
+      fnv_mix(h, static_cast<std::uint64_t>(*i));
+    } else if (const double* d = std::get_if<double>(&slot.value)) {
+      fnv_mix(h, std::bit_cast<std::uint64_t>(*d));
+    } else {
+      fnv_mix_bytes(h, std::get<std::string>(slot.value));
+    }
+    fnv_mix(h, slot.committed_at);
+  }
+  return h;
 }
 
 }  // namespace arfs::storage

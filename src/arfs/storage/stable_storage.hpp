@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "arfs/common/expected.hpp"
@@ -82,6 +84,39 @@ class StableStorage {
 
   /// All committed keys, sorted.
   [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// The staged batch, sorted by key — what the next commit() will apply.
+  /// The durability layer journals exactly this view before the commit.
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& pending()
+      const {
+    return pending_;
+  }
+
+  /// Committed entries as (key, value, committed_at), sorted by key — the
+  /// durability layer's snapshot view.
+  [[nodiscard]] std::vector<std::tuple<std::string, Value, Cycle>>
+  committed_entries() const;
+
+  /// Installs a committed entry directly, bypassing the staging buffer.
+  /// Recovery-replay only: ordinary writers must go through write()/commit()
+  /// so the frame-atomicity contract holds.
+  void restore(const std::string& key, Value value, Cycle committed_at);
+
+  /// Clears all committed state (recovery rebuilds from the devices).
+  /// Pending writes, history contents, and configuration are untouched.
+  void reset_committed() {
+    committed_.clear();
+    epochs_ = 0;
+  }
+
+  /// Sets the commit-epoch counter (recovery stamps the replayed epoch so
+  /// post-recovery commits continue the journal's epoch sequence).
+  void set_commit_epochs(std::uint64_t epochs) { epochs_ = epochs; }
+
+  /// Order-sensitive digest of the committed store: keys, value types and
+  /// bit patterns, and commit cycles. Two stores with equal fingerprints
+  /// hold bit-identical committed state (FNV-1a, collision odds ~2^-64).
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Enables retention of every commit for post-mortem analysis.
   void enable_history(bool on) { history_on_ = on; }

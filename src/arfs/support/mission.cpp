@@ -51,6 +51,44 @@ MissionProfile& MissionProfile::repair(Cycle frame, ProcessorId processor,
   return *this;
 }
 
+MissionProfile& MissionProfile::journal_sync_fail(Cycle frame,
+                                                  ProcessorId processor,
+                                                  std::string note) {
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kJournalSyncFail;
+  e.processor = processor;
+  e.note = std::move(note);
+  add(frame, std::move(e));
+  return *this;
+}
+
+MissionProfile& MissionProfile::journal_torn_write(Cycle frame,
+                                                   ProcessorId processor,
+                                                   std::int64_t keep_bytes,
+                                                   std::string note) {
+  require(keep_bytes >= 0, "torn-write keep bytes cannot be negative");
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kJournalTornWrite;
+  e.processor = processor;
+  e.new_value = keep_bytes;
+  e.note = std::move(note);
+  add(frame, std::move(e));
+  return *this;
+}
+
+MissionProfile& MissionProfile::journal_bit_flip(Cycle frame,
+                                                 ProcessorId processor,
+                                                 std::int64_t seed,
+                                                 std::string note) {
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kJournalBitFlip;
+  e.processor = processor;
+  e.new_value = seed;
+  e.note = std::move(note);
+  add(frame, std::move(e));
+  return *this;
+}
+
 MissionProfile& MissionProfile::periodic(FactorId factor, std::int64_t low,
                                          std::int64_t high, Cycle period,
                                          Cycle duty, Cycle phase,

@@ -31,6 +31,16 @@ class MissionProfile {
   MissionProfile& repair(Cycle frame, ProcessorId processor,
                          std::string note = {});
 
+  /// Durable-storage I/O faults at mission frame `frame` (meaningful on
+  /// systems running with durable storage; benign otherwise).
+  MissionProfile& journal_sync_fail(Cycle frame, ProcessorId processor,
+                                    std::string note = {});
+  MissionProfile& journal_torn_write(Cycle frame, ProcessorId processor,
+                                     std::int64_t keep_bytes = 0,
+                                     std::string note = {});
+  MissionProfile& journal_bit_flip(Cycle frame, ProcessorId processor,
+                                   std::int64_t seed, std::string note = {});
+
   /// Periodic pattern: sets `factor` to `high` every `period` frames for
   /// `duty` frames starting at `phase`, until `until` (e.g. eclipses).
   /// Preconditions: duty < period, period > 0.

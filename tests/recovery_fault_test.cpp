@@ -1,0 +1,244 @@
+// System-level crash-recovery: a durable processor is fail-stopped mid
+// mission, restarts, and recovers its committed stable storage from
+// snapshot + journal replay.
+//
+// The acceptance scenario from the paper's fail-stop contract (§5.1): the
+// halted processor's pollable state must be *exactly* the committed state at
+// the end of the last fully completed frame — bit-identical, never a torn
+// half-frame — and that must stay true when the halt tears the final journal
+// record on the device.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arfs/core/system.hpp"
+#include "arfs/props/report.hpp"
+#include "arfs/sim/batch.hpp"
+#include "arfs/sim/fault_plan.hpp"
+#include "arfs/support/mission.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::core {
+namespace {
+
+constexpr Cycle kFrames = 30;
+
+/// Durable chain-spec system with one SimpleApp per declared app. The spec
+/// must outlive the system.
+std::unique_ptr<System> make_durable_system(const ReconfigSpec& spec,
+                                            SystemOptions options) {
+  options.durable_storage = true;
+  auto system = std::make_unique<System>(spec, options);
+  for (const AppDecl& decl : spec.apps()) {
+    system->add_app(std::make_unique<support::SimpleApp>(decl.id, decl.name));
+  }
+  return system;
+}
+
+/// Runs `frames` frames, returning the victim's committed fingerprint after
+/// each frame.
+std::vector<std::uint64_t> run_capturing(System& system, ProcessorId victim,
+                                         Cycle frames) {
+  std::vector<std::uint64_t> after;
+  after.reserve(frames);
+  for (Cycle f = 0; f < frames; ++f) {
+    system.run_frame();
+    after.push_back(
+        system.processors().processor(victim).poll_stable().fingerprint());
+  }
+  return after;
+}
+
+TEST(RecoveryFault, HaltMidMissionRecoversPreHaltCommittedStateBitIdentical) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  options.durability.snapshot_every_epochs = 5;
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  constexpr Cycle kFail = 12;
+  constexpr Cycle kRepair = 18;
+  support::MissionProfile mission(options.frame_length);
+  mission.fail(kFail, victim).repair(kRepair, victim);
+  system->set_fault_plan(mission.build());
+
+  const std::vector<std::uint64_t> after =
+      run_capturing(*system, victim, kFrames);
+
+  // The app had been committing state on the victim before the halt.
+  ASSERT_NE(after[kFail - 2], after[kFail - 1]);
+
+  // The halt hits at the start of frame kFail, so the last completed frame
+  // is kFail-1. From the halt until the repair, peers polling the victim
+  // must see exactly that frame's committed store.
+  for (Cycle f = kFail; f < kRepair; ++f) {
+    EXPECT_EQ(after[f], after[kFail - 1]) << "frame " << f;
+  }
+
+  // The device-level recovery ran, replayed cleanly, and found no damage
+  // (every record was synced before the halt).
+  const auto& recovery =
+      system->processors().processor(victim).last_recovery();
+  ASSERT_TRUE(recovery.has_value());
+  EXPECT_FALSE(recovery->journal_truncated);
+  EXPECT_TRUE(recovery->used_snapshot);
+  EXPECT_EQ(system->stats().journal_truncations, 0u);
+
+  // After the repair the processor journals onward from the recovered
+  // state: commits resume and change the store again.
+  EXPECT_NE(after[kFrames - 1], after[kFail - 1]);
+}
+
+TEST(RecoveryFault, TornFinalRecordRollsBackExactlyTheUnsyncedFrame) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  // Frame 9: the journal sync fails, so frame 9's record stays buffered,
+  // and the armed tear deposits 7 bytes of it on the device at the halt.
+  // Frame 10: fail-stop. Recovery must truncate the torn record and land on
+  // frame 8's commit — the torn frame is never partially applied.
+  constexpr Cycle kFaulty = 9;
+  support::MissionProfile mission(options.frame_length);
+  mission.journal_sync_fail(kFaulty, victim)
+      .journal_torn_write(kFaulty, victim, 7)
+      .fail(kFaulty + 1, victim);
+  system->set_fault_plan(mission.build());
+
+  const std::vector<std::uint64_t> after =
+      run_capturing(*system, victim, kFrames);
+
+  EXPECT_EQ(after[kFaulty + 1], after[kFaulty - 1]);
+  EXPECT_NE(after[kFaulty], after[kFaulty - 1]);  // frame 9 did commit...
+  // ...but its record never became durable, so recovery rolled it back.
+
+  const auto& recovery =
+      system->processors().processor(victim).last_recovery();
+  ASSERT_TRUE(recovery.has_value());
+  EXPECT_TRUE(recovery->journal_truncated);
+  EXPECT_EQ(system->stats().journal_truncations, 1u);
+  EXPECT_EQ(system->stats().journal_faults_injected, 2u);
+}
+
+TEST(RecoveryFault, SyncFailureAloneLosesTheCommitWithoutTruncation) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  constexpr Cycle kFaulty = 9;
+  support::MissionProfile mission(options.frame_length);
+  mission.journal_sync_fail(kFaulty, victim).fail(kFaulty + 1, victim);
+  system->set_fault_plan(mission.build());
+
+  const std::vector<std::uint64_t> after =
+      run_capturing(*system, victim, kFrames);
+
+  // Same rollback boundary, but the record vanished cleanly with the device
+  // buffer — nothing torn, nothing truncated.
+  EXPECT_EQ(after[kFaulty + 1], after[kFaulty - 1]);
+  const auto& recovery =
+      system->processors().processor(victim).last_recovery();
+  ASSERT_TRUE(recovery.has_value());
+  EXPECT_FALSE(recovery->journal_truncated);
+  EXPECT_EQ(system->stats().journal_truncations, 0u);
+}
+
+TEST(RecoveryFault, JournalFaultsOnNonDurableSystemAreBenign) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;  // durable_storage stays off
+  System system(spec, options);
+  for (const AppDecl& decl : spec.apps()) {
+    system.add_app(std::make_unique<support::SimpleApp>(decl.id, decl.name));
+  }
+  support::MissionProfile mission(options.frame_length);
+  mission.journal_sync_fail(5, support::synthetic_processor(0))
+      .journal_torn_write(6, support::synthetic_processor(0), 3)
+      .journal_bit_flip(7, support::synthetic_processor(0), 42);
+  system.set_fault_plan(mission.build());
+  system.run(kFrames);
+  EXPECT_EQ(system.stats().journal_faults_injected, 0u);
+}
+
+TEST(RecoveryFault, PropertiesHoldThroughReconfigsWithJournalFaults) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  options.durability.snapshot_every_epochs = 4;
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  // Reconfigurations and storage faults interleaved: severity drives the
+  // chain down and back while the victim absorbs I/O faults and a halt.
+  support::MissionProfile mission(options.frame_length);
+  mission.at(8, support::kChainSeverityFactor, 1)
+      .journal_sync_fail(14, victim)
+      .journal_torn_write(14, victim, 5)
+      .fail(15, victim)
+      .repair(19, victim)
+      .at(26, support::kChainSeverityFactor, 0)
+      .journal_bit_flip(34, victim, 99);
+  system->set_fault_plan(mission.build());
+  system->run(44);
+
+  const props::TraceReport report = props::check_trace(system->trace(), spec);
+  EXPECT_TRUE(report.all_hold()) << props::render(report);
+  EXPECT_EQ(system->stats().journal_faults_injected, 3u);
+  EXPECT_EQ(system->stats().journal_truncations, 1u);
+}
+
+/// One full durable mission under a generated campaign of mixed failures
+/// and journal I/O faults; digests every processor's final committed store
+/// plus the storage-fault accounting.
+std::uint64_t mission_digest(std::uint64_t seed) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  options.durability.snapshot_every_epochs = 6;
+  auto system = make_durable_system(spec, options);
+
+  Rng rng(seed);
+  sim::CampaignParams campaign;
+  campaign.horizon = 60 * options.frame_length;
+  campaign.environment_changes = 6;
+  campaign.processor_failures = 2;
+  campaign.journal_sync_fails = 3;
+  campaign.journal_torn_writes = 2;
+  campaign.journal_bit_flips = 2;
+  for (const ProcessorId id : system->processors().processor_ids()) {
+    if (id != system->scram_processor()) campaign.processors.push_back(id);
+  }
+  campaign.factors = {support::kChainSeverityFactor};
+  campaign.factor_min = 0;
+  campaign.factor_max = 3;
+  system->set_fault_plan(sim::generate_campaign(campaign, rng));
+  system->run(60);
+
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (const ProcessorId id : system->processors().processor_ids()) {
+    digest ^= system->processors().processor(id).poll_stable().fingerprint();
+    digest *= 0x100000001b3ULL;
+  }
+  digest ^= system->stats().journal_faults_injected * 1000003ULL;
+  digest ^= system->stats().journal_truncations * 0x9E3779B97F4A7C15ULL;
+  digest ^= system->stats().fault_events_applied;
+  return digest;
+}
+
+TEST(RecoveryFault, CampaignRecoveryIsDeterministicAcrossThreadCounts) {
+  constexpr std::size_t kJobs = 12;
+  const auto digests_with = [&](std::size_t threads) {
+    sim::BatchOptions options;
+    options.threads = threads;
+    sim::BatchRunner runner(options);
+    return runner.map<std::uint64_t>(kJobs, [](std::size_t i) {
+      return mission_digest(sim::job_seed(777, i));
+    });
+  };
+  EXPECT_EQ(digests_with(1), digests_with(4));
+}
+
+}  // namespace
+}  // namespace arfs::core

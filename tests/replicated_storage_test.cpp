@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "arfs/common/check.hpp"
+#include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/replicated.hpp"
 
 namespace arfs::storage {
@@ -113,6 +114,79 @@ TEST(ReplicatedStorage, SingleReplicaDegeneratesToPlainStorage) {
   EXPECT_EQ(std::get<std::int64_t>(s.read("k").value()), 3);
   s.fail_replica(0);
   EXPECT_FALSE(s.read("k"));
+}
+
+/// Publishes a recovered store into a fresh replica set — what a restarted
+/// processor does when its devices come back before peers resume reading.
+ReplicatedStableStorage publish_recovered(const StableStorage& recovered,
+                                          std::size_t replicas, Cycle cycle) {
+  ReplicatedStableStorage out(replicas);
+  for (const auto& [key, value, committed_at] : recovered.committed_entries()) {
+    (void)committed_at;
+    out.write(key, value);
+  }
+  out.commit(cycle);
+  return out;
+}
+
+TEST(ReplicatedStorage, ServesRecoveredStateAfterCrashBetweenCommitAndSync) {
+  auto engine = durable::make_memory_engine();
+  StableStorage store;
+  store.write("alt", std::int64_t{1000});
+  engine->record_commit(store, 0);
+  store.commit(0);
+
+  // The next commit applies in memory but its record never syncs; the crash
+  // loses it, so the *recoverable* value is still 1000.
+  engine->journal().fail_next_sync();
+  store.write("alt", std::int64_t{2000});
+  engine->record_commit(store, 1);
+  store.commit(1);
+  engine->crash();
+  StableStorage recovered;
+  (void)engine->recover_into(recovered);
+
+  ReplicatedStableStorage replicated = publish_recovered(recovered, 3, 2);
+  ASSERT_TRUE(replicated.read("alt"));
+  EXPECT_EQ(std::get<std::int64_t>(replicated.read("alt").value()), 1000);
+  // The lost commit is gone from every replica, not just a minority.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::get<std::int64_t>(replicated.replica(i).read("alt").value()),
+              1000);
+  }
+}
+
+TEST(ReplicatedStorage, ServesRecoveredStateAfterCrashMidSnapshot) {
+  durable::DurableOptions options;
+  options.snapshot_every_epochs = 100;  // manual snapshots only
+  auto engine = durable::make_memory_engine(options);
+  StableStorage store;
+  store.write("mode", std::string{"cruise"});
+  engine->record_commit(store, 0);
+  store.commit(0);
+  ASSERT_TRUE(engine->take_snapshot(store));
+
+  store.write("mode", std::string{"descend"});
+  engine->record_commit(store, 1);
+  store.commit(1);
+
+  // A snapshot attempt dies on the device mid-image; the journal was not
+  // compacted, so recovery still reaches the "descend" commit.
+  engine->snapshots().fail_next_sync();
+  engine->snapshots().tear_on_crash(10);
+  ASSERT_FALSE(engine->take_snapshot(store));
+  engine->crash();
+  StableStorage recovered;
+  const durable::RecoveryReport report = engine->recover_into(recovered);
+  EXPECT_TRUE(report.used_snapshot);
+  EXPECT_EQ(report.snapshot_epoch, 1u);
+
+  ReplicatedStableStorage replicated = publish_recovered(recovered, 3, 2);
+  ASSERT_TRUE(replicated.read("mode"));
+  EXPECT_EQ(std::get<std::string>(replicated.read("mode").value()), "descend");
+  // Majority reads survive a replica loss of the republished state.
+  replicated.fail_replica(0);
+  EXPECT_EQ(std::get<std::string>(replicated.read("mode").value()), "descend");
 }
 
 TEST(ReplicatedStorage, ContractChecks) {

@@ -118,6 +118,72 @@ TEST(StableStorage, CommitEpochsCount) {
   EXPECT_EQ(s.commit_epochs(), 2u);
 }
 
+TEST(StableStorage, DropPendingRecordsNothingInHistory) {
+  // drop_pending models the fail-stop halt; the dropped writes were never
+  // committed, so the post-mortem history must not show them either.
+  StableStorage s;
+  s.enable_history(true);
+  s.write("k", std::int64_t{1});
+  s.commit(0);
+  s.write("k", std::int64_t{2});
+  s.write("ghost", std::int64_t{3});
+  s.drop_pending();
+  s.commit(1);  // empty commit: bumps the epoch, records nothing
+  ASSERT_EQ(s.history().size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(s.history()[0].value), 1);
+  EXPECT_EQ(s.commit_epochs(), 2u);
+  // And history resumes cleanly after the failure.
+  s.write("k", std::int64_t{4});
+  s.commit(2);
+  ASSERT_EQ(s.history().size(), 2u);
+  EXPECT_EQ(s.history()[1].cycle, 2u);
+}
+
+TEST(StableStorage, PendingExposesTheSortedStagedBatch) {
+  StableStorage s;
+  s.write("b", std::int64_t{2});
+  s.write("a", std::int64_t{1});
+  s.write("b", std::int64_t{22});  // overwrite stays one entry
+  ASSERT_EQ(s.pending().size(), 2u);
+  EXPECT_EQ(s.pending()[0].first, "a");
+  EXPECT_EQ(std::get<std::int64_t>(s.pending()[1].second), 22);
+  s.drop_pending();
+  EXPECT_TRUE(s.pending().empty());
+}
+
+TEST(StableStorage, RestoreRebuildsCommittedEntriesExactly) {
+  StableStorage original;
+  original.write("x", std::int64_t{5});
+  original.commit(3);
+  original.write("y", 2.5);
+  original.commit(8);
+
+  StableStorage rebuilt;
+  for (const auto& [key, value, committed_at] : original.committed_entries()) {
+    rebuilt.restore(key, value, committed_at);
+  }
+  rebuilt.set_commit_epochs(original.commit_epochs());
+  EXPECT_EQ(rebuilt.fingerprint(), original.fingerprint());
+  EXPECT_EQ(rebuilt.last_commit_cycle("x"), Cycle{3});
+  EXPECT_EQ(rebuilt.last_commit_cycle("y"), Cycle{8});
+}
+
+TEST(StableStorage, FingerprintSeesValuesTypesAndCommitCycles) {
+  const auto make = [](std::int64_t v, Cycle cycle) {
+    StableStorage s;
+    s.write("k", v);
+    s.commit(cycle);
+    return s.fingerprint();
+  };
+  EXPECT_EQ(make(1, 0), make(1, 0));
+  EXPECT_NE(make(1, 0), make(2, 0));  // value
+  EXPECT_NE(make(1, 0), make(1, 9));  // commit cycle
+  StableStorage as_double;
+  as_double.write("k", 1.0);
+  as_double.commit(0);
+  EXPECT_NE(make(1, 0), as_double.fingerprint());  // type
+}
+
 TEST(StableStorage, MissingKeyIsError) {
   const StableStorage s;
   const auto v = s.read("missing");

@@ -6,6 +6,12 @@
 //                                           print SFTA phase tables and the
 //                                           SP1-SP4 report
 //   arfsctl economics <full> <safe> <fail>  section 5.1 component counts
+//   arfsctl journal dump <file>             pretty-print a write-ahead
+//                                           journal's records
+//   arfsctl journal verify <file>           scan a journal, reporting the
+//                                           first corrupt offset (exit 1)
+//   arfsctl journal demo <file> [commits] [seed]
+//                                           write a sample journal file
 //
 // <spec> selects a built-in specification:
 //   uav          the paper's section 7 avionics example
@@ -24,6 +30,10 @@
 #include "arfs/core/describe.hpp"
 #include "arfs/core/system.hpp"
 #include "arfs/props/report.hpp"
+#include "arfs/storage/durable/backend.hpp"
+#include "arfs/storage/durable/engine.hpp"
+#include "arfs/storage/durable/journal.hpp"
+#include "arfs/storage/stable_storage.hpp"
 #include "arfs/support/simple_app.hpp"
 #include "arfs/support/synthetic.hpp"
 #include "arfs/trace/export.hpp"
@@ -38,7 +48,9 @@ int usage() {
          "  describe <uav|uav-ext|chain[:N]|random[:S]>\n"
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
-         "  economics <full-units> <safe-units> <expected-failures>\n";
+         "  economics <full-units> <safe-units> <expected-failures>\n"
+         "  journal <dump|verify> <file>\n"
+         "  journal demo <file> [commits=16] [seed=1]\n";
   return 2;
 }
 
@@ -141,6 +153,48 @@ int cmd_simulate(const SpecChoice& choice, Cycle frames, std::uint64_t seed) {
   return report.all_hold() ? 0 : 1;
 }
 
+int cmd_journal_dump(const std::string& path, bool verify_only) {
+  const storage::durable::FileBackend backend(path, /*create=*/false);
+  const storage::durable::ScanResult scan =
+      storage::durable::scan_journal(backend);
+  if (!verify_only) {
+    for (const storage::durable::JournalRecord& record : scan.records) {
+      std::cout << storage::durable::to_string(record) << "\n";
+    }
+  }
+  std::cout << path << ": " << scan.records.size() << " records, "
+            << scan.valid_bytes << " valid bytes of " << backend.size()
+            << "\n";
+  if (!scan.truncated) {
+    std::cout << "journal is clean\n";
+    return 0;
+  }
+  std::cout << "CORRUPT at offset " << scan.valid_bytes << ": " << scan.reason
+            << " (recovery would truncate here)\n";
+  return 1;
+}
+
+int cmd_journal_demo(const std::string& path, Cycle commits,
+                     std::uint64_t seed) {
+  auto file = std::make_unique<storage::durable::FileBackend>(path);
+  file->truncate(0);  // a demo always starts a fresh journal
+  storage::durable::DurabilityEngine engine(
+      std::move(file), std::make_unique<storage::durable::MemoryBackend>());
+  storage::StableStorage store;
+  Rng rng(seed);
+  for (Cycle c = 0; c < commits; ++c) {
+    store.write("altitude_m", static_cast<std::int64_t>(rng.uniform(0, 12000)));
+    store.write("mode", std::string(c % 3 == 0 ? "cruise" : "climb"));
+    store.write("fuel_frac", rng.uniform01());
+    store.write("gear_down", c % 5 == 0);
+    engine.record_commit(store, c);
+    store.commit(c);
+  }
+  std::cout << "wrote " << commits << " commits ("
+            << engine.stats().bytes_appended << " bytes) to " << path << "\n";
+  return 0;
+}
+
 int cmd_economics(int full, int safe, int failures) {
   analysis::HwEconomicsInput input;
   input.units_full_service = full;
@@ -162,6 +216,22 @@ int main(int argc, char** argv) {
       if (argc != 5) return usage();
       return cmd_economics(std::atoi(argv[2]), std::atoi(argv[3]),
                            std::atoi(argv[4]));
+    }
+
+    if (cmd == "journal") {
+      if (argc < 4) return usage();
+      const std::string sub = argv[2];
+      const std::string path = argv[3];
+      if (sub == "dump") return cmd_journal_dump(path, /*verify_only=*/false);
+      if (sub == "verify") return cmd_journal_dump(path, /*verify_only=*/true);
+      if (sub == "demo") {
+        const Cycle commits =
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16;
+        const std::uint64_t seed =
+            argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+        return cmd_journal_demo(path, commits, seed);
+      }
+      return usage();
     }
 
     if (argc < 3) return usage();

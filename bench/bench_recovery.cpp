@@ -1,12 +1,16 @@
-// Experiment E13 — durable stable storage, measured.
+// Experiments E13 + E14 — durable stable storage, measured.
 //
-// Three questions about the §5.1 stable-storage construction, answered with
-// numbers:
-//   1. What does the write-ahead journal cost per commit — and what does the
-//      sync-each-commit durability guarantee cost over group commit?
+// E13 (the §5.1 stable-storage construction):
+//   1. What does the write-ahead journal cost per commit?
 //   2. How does crash-recovery replay latency grow with journal length?
-//   3. How much of that latency do periodic snapshots buy back (recovery
-//      becomes one image plus the commits since it)?
+//   3. How much of that latency do periodic snapshots buy back?
+//
+// E14 (fast durable commits):
+//   4. The sync-policy frontier: commit throughput vs durability lag for
+//      every-commit, bytes-watermark, frames-watermark, and hybrid group
+//      commit, on the simulated device and on a real file (fsync bound).
+//   5. The crash-point sweep as a workload: wall time to fail-stop a
+//      durable mission at every frame in parallel and verify recovery.
 //
 // Emit machine-readable numbers for the perf trajectory with:
 //   bench_recovery --benchmark_out=BENCH_recovery.json --benchmark_out_format=json
@@ -16,10 +20,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "arfs/core/system.hpp"
 #include "arfs/storage/durable/backend.hpp"
 #include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/stable_storage.hpp"
+#include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
 #include "bench_main.hpp"
 
 namespace {
@@ -30,6 +40,22 @@ using storage::durable::DurabilityEngine;
 using storage::durable::DurableOptions;
 using storage::durable::make_memory_engine;
 using storage::durable::RecoveryReport;
+using storage::durable::SyncPolicy;
+
+/// The policy frontier every E14 table walks.
+const std::vector<std::pair<std::string, SyncPolicy>>& policies() {
+  static const std::vector<std::pair<std::string, SyncPolicy>> kPolicies = {
+      {"every-commit", SyncPolicy::every_commit()},
+      {"frames(32)", SyncPolicy::frames(32)},
+      {"bytes(64K)", SyncPolicy::bytes(64 * 1024)},
+      {"hybrid", SyncPolicy::hybrid(64 * 1024, 32)},
+  };
+  return kPolicies;
+}
+
+SyncPolicy policy_by_index(std::int64_t index) {
+  return policies()[static_cast<std::size_t>(index)].second;
+}
 
 /// Appends `commits` frames of `keys_per_commit` writes through the
 /// write-ahead protocol.
@@ -59,23 +85,75 @@ void report_append_throughput() {
             << "policy" << std::setw(12) << "ms" << std::setw(14)
             << "commits/s" << "MB appended\n";
   for (const std::size_t keys : {1, 4, 16}) {
-    for (const bool sync_each : {true, false}) {
+    for (const auto& [name, policy] : policies()) {
       DurableOptions options;
-      options.sync_each_commit = sync_each;
+      options.sync = policy;
       auto engine = make_memory_engine(options);
       StableStorage store;
       const auto start = std::chrono::steady_clock::now();
       run_commits(*engine, store, kCommits, keys);
-      if (!sync_each) (void)engine->journal().sync();
+      (void)engine->sync_now();  // settle the tail: honest totals
       const double ms = wall_ms(start);
       std::cout << std::left << std::setw(10) << keys << std::setw(14)
-                << (sync_each ? "sync-each" : "group") << std::setw(12)
-                << std::fixed << std::setprecision(1) << ms << std::setw(14)
+                << name << std::setw(12) << std::fixed << std::setprecision(1)
+                << ms << std::setw(14)
                 << static_cast<std::uint64_t>(kCommits / (ms / 1000.0))
                 << std::setprecision(2)
                 << engine->stats().bytes_appended / (1024.0 * 1024.0) << "\n";
     }
   }
+}
+
+/// One frontier row: run `commits` through `engine`, return commits/s.
+template <typename MakeEngine>
+void frontier_table(const std::string& device, std::size_t commits,
+                    const MakeEngine& make_engine) {
+  std::cout << "\nSync-policy frontier (" << device << ", " << commits
+            << " commits, 4 keys per commit)\n";
+  std::cout << std::left << std::setw(14) << "policy" << std::setw(12)
+            << "commits/s" << std::setw(8) << "syncs" << std::setw(14)
+            << "max-lag-frm" << std::setw(14) << "max-lag-KB"
+            << "speedup\n";
+  double baseline = 0.0;
+  for (const auto& [name, policy] : policies()) {
+    std::unique_ptr<DurabilityEngine> engine = make_engine(policy);
+    StableStorage store;
+    const auto start = std::chrono::steady_clock::now();
+    run_commits(*engine, store, commits, 4);
+    (void)engine->sync_now();
+    const double ms = wall_ms(start);
+    const double rate = commits / (ms / 1000.0);
+    if (baseline == 0.0) baseline = rate;
+    std::cout << std::left << std::setw(14) << name << std::setw(12)
+              << static_cast<std::uint64_t>(rate) << std::setw(8)
+              << engine->stats().syncs << std::setw(14)
+              << engine->stats().max_lag_frames << std::setw(14)
+              << std::fixed << std::setprecision(1)
+              << engine->stats().max_lag_bytes / 1024.0 << std::setprecision(2)
+              << rate / baseline << "x\n";
+  }
+}
+
+void report_policy_frontier() {
+  frontier_table("in-memory device", 50'000, [](SyncPolicy policy) {
+    DurableOptions options;
+    options.sync = policy;
+    return make_memory_engine(options);
+  });
+  const std::string path = "bench_recovery.frontier.tmp.wal";
+  frontier_table("file device, fsync bound", 2'000,
+                 [&path](SyncPolicy policy) {
+                   auto file =
+                       std::make_unique<storage::durable::FileBackend>(path);
+                   file->truncate(0);
+                   DurableOptions options;
+                   options.sync = policy;
+                   return std::make_unique<DurabilityEngine>(
+                       std::move(file),
+                       std::make_unique<storage::durable::MemoryBackend>(),
+                       options);
+                 });
+  std::remove(path.c_str());
 }
 
 void report_recovery_latency() {
@@ -125,12 +203,55 @@ void report_snapshot_effect() {
   }
 }
 
+/// Chain-spec durable mission for the crash-sweep workload.
+support::MissionFactory sweep_factory(SyncPolicy policy) {
+  return [policy] {
+    auto spec = std::make_shared<core::ReconfigSpec>(
+        support::make_chain_spec({}));
+    core::SystemOptions options;
+    options.durable_storage = true;
+    options.durability.snapshot_every_epochs = 7;
+    options.durability.sync = policy;
+    auto system = std::make_unique<core::System>(*spec, options);
+    for (const core::AppDecl& decl : spec->apps()) {
+      system->add_app(
+          std::make_unique<support::SimpleApp>(decl.id, decl.name));
+    }
+    support::CrashMission mission;
+    mission.keepalive = spec;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+void report_crash_sweep() {
+  constexpr Cycle kFrames = 24;
+  std::cout << "\nCrash-point sweep (chain mission, " << kFrames
+            << " crash points, all frames verified)\n";
+  std::cout << std::left << std::setw(14) << "policy" << std::setw(10)
+            << "ms" << std::setw(12) << "mismatches" << "max lost frames\n";
+  for (const auto& [name, policy] : policies()) {
+    support::CrashSweepOptions options;
+    options.frames = kFrames;
+    options.victim = support::synthetic_processor(0);
+    const auto start = std::chrono::steady_clock::now();
+    const support::CrashSweepReport report =
+        support::run_crash_sweep(sweep_factory(policy), options);
+    const double ms = wall_ms(start);
+    std::cout << std::left << std::setw(14) << name << std::setw(10)
+              << std::fixed << std::setprecision(1) << ms << std::setw(12)
+              << report.mismatches << report.max_lost_frames << "\n";
+  }
+}
+
 void report() {
-  bench::banner("E13: durable stable storage",
+  bench::banner("E13+E14: durable stable storage",
                 "the §5.1 stable-storage assumption, made and measured");
   report_append_throughput();
+  report_policy_frontier();
   report_recovery_latency();
   report_snapshot_effect();
+  report_crash_sweep();
   std::cout << "\n";
 }
 
@@ -138,24 +259,26 @@ void report() {
 
 void BM_JournalAppend(benchmark::State& state) {
   const std::size_t keys = static_cast<std::size_t>(state.range(0));
-  const bool sync_each = state.range(1) != 0;
   constexpr std::size_t kBatch = 256;
   for (auto _ : state) {
     DurableOptions options;
-    options.sync_each_commit = sync_each;
+    options.sync = policy_by_index(state.range(1));
     auto engine = make_memory_engine(options);
     StableStorage store;
     run_commits(*engine, store, kBatch, keys);
+    (void)engine->sync_now();
     benchmark::DoNotOptimize(engine->stats().bytes_appended);
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_JournalAppend)
-    ->ArgNames({"keys", "sync_each"})
-    ->Args({1, 1})
+    ->ArgNames({"keys", "policy"})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({16, 0})
     ->Args({4, 1})
-    ->Args({16, 1})
-    ->Args({4, 0});
+    ->Args({4, 2})
+    ->Args({4, 3});
 
 void BM_RecoveryReplay(benchmark::State& state) {
   const std::size_t records = static_cast<std::size_t>(state.range(0));
@@ -189,24 +312,49 @@ void BM_RecoveryWithSnapshots(benchmark::State& state) {
 BENCHMARK(BM_RecoveryWithSnapshots)->Arg(0)->Arg(4096)->Arg(512);
 
 void BM_FileBackendCommitSync(benchmark::State& state) {
-  // The honest durability number: one record append + fsync per commit on a
-  // real file.
+  // The honest durability number: record appends + fsync on a real file,
+  // under the selected sync policy. Policy 0 (every-commit) fsyncs each
+  // record; the watermark policies amortize it — the E14 acceptance ratio
+  // is this benchmark's items/s at policy 2 (bytes) over policy 0.
   const std::string path = "bench_recovery.tmp.wal";
   constexpr std::size_t kBatch = 64;
   for (auto _ : state) {
     auto file = std::make_unique<storage::durable::FileBackend>(path);
     file->truncate(0);
+    DurableOptions options;
+    options.sync = policy_by_index(state.range(0));
     DurabilityEngine engine(
         std::move(file),
-        std::make_unique<storage::durable::MemoryBackend>());
+        std::make_unique<storage::durable::MemoryBackend>(), options);
     StableStorage store;
     run_commits(engine, store, kBatch, 4);
+    (void)engine.sync_now();
     benchmark::DoNotOptimize(engine.stats().syncs);
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
   std::remove(path.c_str());
 }
-BENCHMARK(BM_FileBackendCommitSync);
+BENCHMARK(BM_FileBackendCommitSync)
+    ->ArgName("policy")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3);
+
+void BM_CrashSweep(benchmark::State& state) {
+  support::CrashSweepOptions options;
+  options.frames = static_cast<Cycle>(state.range(0));
+  options.victim = support::synthetic_processor(0);
+  const support::MissionFactory factory =
+      sweep_factory(SyncPolicy::frames(4));
+  for (auto _ : state) {
+    const support::CrashSweepReport report =
+        support::run_crash_sweep(factory, options);
+    benchmark::DoNotOptimize(report.mismatches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CrashSweep)->ArgName("frames")->Arg(12)->Arg(24);
 
 }  // namespace
 

@@ -397,8 +397,12 @@ void System::run_frame() {
     }
   }
 
-  // 6. Applications perform their unit of work for the frame.
+  // 6. Applications perform their unit of work for the frame. Processors
+  // where a reconfiguration directive takes effect this frame are halt
+  // boundaries: their frame commit must be durable before the new
+  // configuration runs, whatever the group-commit sync policy buffers.
   std::map<AppId, bool> phase_done;
+  std::vector<ProcessorId> halt_boundary_hosts;
   for (const AppDecl& decl : spec_.apps()) {
     ReconfigurableApp& application = *apps_.at(decl.id);
     Directive directive;
@@ -409,6 +413,9 @@ void System::run_frame() {
 
     const std::optional<ProcessorId> host =
         execution_host(decl.id, directive);
+    if (directive.kind != DirectiveKind::kNone && host.has_value()) {
+      halt_boundary_hosts.push_back(*host);
+    }
     std::optional<StableRegion> region;
     if (host.has_value()) {
       relocate_region_if_needed(decl.id, *host, cycle);
@@ -465,8 +472,19 @@ void System::run_frame() {
     deadline_alarm_raised_ = false;
   }
 
-  // 8. Frame-boundary commit and trace snapshot.
-  group_.commit_all(cycle);
+  // 8. Frame-boundary commit and trace snapshot. The SCRAM's own processor
+  // is a boundary too whenever it issued directives this frame — its
+  // configuration_status records drive recovery decisions.
+  if (!plan.directives.empty()) halt_boundary_hosts.push_back(scram_proc_);
+  std::sort(halt_boundary_hosts.begin(), halt_boundary_hosts.end());
+  halt_boundary_hosts.erase(
+      std::unique(halt_boundary_hosts.begin(), halt_boundary_hosts.end()),
+      halt_boundary_hosts.end());
+  for (const ProcessorId p : group_.processor_ids()) {
+    const bool force = std::binary_search(halt_boundary_hosts.begin(),
+                                          halt_boundary_hosts.end(), p);
+    group_.processor(p).commit_frame(cycle, force);
+  }
   if (options_.record_trace) {
     record_snapshot(cycle, t0 + options_.frame_length);
   }

@@ -61,7 +61,7 @@ storage::VolatileStorage& Processor::volatile_store() {
   return volatile_;
 }
 
-void Processor::commit_frame(Cycle cycle) {
+void Processor::commit_frame(Cycle cycle, bool force_durable_sync) {
   if (!running()) return;
   if (durability_) {
     if (!stable_.pending().empty()) {
@@ -71,6 +71,7 @@ void Processor::commit_frame(Cycle cycle) {
       stable_.commit(cycle);  // empty commit: nothing worth journaling
     }
     durability_->after_commit(stable_);
+    if (force_durable_sync) (void)durability_->sync_now();
     return;
   }
   stable_.commit(cycle);

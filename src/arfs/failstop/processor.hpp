@@ -66,8 +66,11 @@ class Processor {
   /// Commits this processor's staged stable writes at the end of `cycle`.
   /// With durability attached, the batch is journaled (write-ahead) before
   /// the in-memory commit and snapshots are taken per the engine's policy.
+  /// `force_durable_sync` marks a halt boundary (a reconfiguration directive
+  /// took effect this frame): any group-commit lag is flushed so the frame
+  /// is durable before the new configuration runs.
   /// A failed processor commits nothing (its pending writes were dropped).
-  void commit_frame(Cycle cycle);
+  void commit_frame(Cycle cycle, bool force_durable_sync = false);
 
   /// Attaches a persistence layer behind this processor's stable storage.
   /// From here on, fail() crashes the devices (unsynced bytes are lost)

@@ -29,9 +29,14 @@ bool MemoryBackend::sync() {
     --sync_failures_armed_;
     return false;
   }
+  if (delayed_failure_armed_ && delayed_failure_after_ == 0) {
+    delayed_failure_armed_ = false;
+    return false;
+  }
   durable_.insert(durable_.end(), buffered_.begin(), buffered_.end());
   buffered_.clear();
   ++syncs_;
+  if (delayed_failure_armed_) --delayed_failure_after_;
   return true;
 }
 
@@ -70,6 +75,7 @@ void MemoryBackend::crash() {
   }
   buffered_.clear();
   sync_failures_armed_ = 0;
+  delayed_failure_armed_ = false;
 }
 
 void MemoryBackend::tear_on_crash(std::size_t keep_bytes) {

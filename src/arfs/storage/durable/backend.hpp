@@ -61,6 +61,10 @@ class JournalBackend {
 
   /// Arms the next sync() to fail once.
   virtual void fail_next_sync() {}
+  /// Arms one sync failure `successes` successful syncs from now (0 is
+  /// equivalent to fail_next_sync) — targets a specific sync in a
+  /// multi-sync operation, e.g. the GC rewrite after an image sync.
+  virtual void fail_sync_after(std::uint32_t successes) { (void)successes; }
   /// Arms the next crash() to keep `keep_bytes` of the buffered tail on the
   /// durable image — a torn write of the final record.
   virtual void tear_on_crash(std::size_t keep_bytes) { (void)keep_bytes; }
@@ -81,6 +85,10 @@ class MemoryBackend final : public JournalBackend {
   void crash() override;
 
   void fail_next_sync() override { sync_failures_armed_ += 1; }
+  void fail_sync_after(std::uint32_t successes) override {
+    delayed_failure_armed_ = true;
+    delayed_failure_after_ = successes;
+  }
   void tear_on_crash(std::size_t keep_bytes) override;
   void corrupt_bit(std::uint64_t seed) override;
 
@@ -91,6 +99,8 @@ class MemoryBackend final : public JournalBackend {
   std::vector<std::uint8_t> buffered_;
   std::uint64_t syncs_ = 0;
   std::uint32_t sync_failures_armed_ = 0;
+  bool delayed_failure_armed_ = false;
+  std::uint32_t delayed_failure_after_ = 0;
   bool tear_armed_ = false;
   std::size_t tear_keep_ = 0;
 };

@@ -4,37 +4,48 @@
 #include <utility>
 
 #include "arfs/common/check.hpp"
-#include "arfs/storage/durable/journal.hpp"
-#include "arfs/storage/durable/snapshot.hpp"
 
 namespace arfs::storage::durable {
 
-RecoveryReport recover_store(const JournalBackend& snapshots,
-                             const JournalBackend& journal,
-                             StableStorage& out) {
+namespace {
+
+/// GC keeps this many newest images: the current one, plus its predecessor
+/// so recovery can fall back when the current image's sync failed and a
+/// crash tore it (the journal is uncompacted in exactly that case).
+constexpr std::size_t kGcKeepImages = 2;
+
+}  // namespace
+
+std::string to_string(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kEveryCommit:     return "every-commit";
+    case SyncMode::kBytesWatermark:  return "bytes-watermark";
+    case SyncMode::kFramesWatermark: return "frames-watermark";
+    case SyncMode::kHybrid:          return "hybrid";
+  }
+  return "unknown";
+}
+
+RecoveryReport recover_from_scans(const SnapshotScan& snap,
+                                  const ScanResult& scan,
+                                  StableStorage& out) {
   require(out.committed_count() == 0,
-          "recover_store target must have no committed state");
+          "recovery target must have no committed state");
   RecoveryReport report;
 
-  const SnapshotScan snap = scan_snapshots(snapshots);
   if (snap.any_valid) {
     report.used_snapshot = true;
     report.snapshot_epoch = snap.last.epoch;
-    for (const auto& [key, value, committed_at] : snap.last.entries) {
-      out.restore(key, value, committed_at);
-    }
+    out.restore_batch(snap.last.entries);
   }
 
-  const ScanResult scan = scan_journal(journal);
   std::uint64_t last_epoch = report.snapshot_epoch;
   for (const JournalRecord& record : scan.records) {
     if (record.epoch <= report.snapshot_epoch) {
       ++report.records_skipped;
       continue;
     }
-    for (const auto& [key, value] : record.entries) {
-      out.restore(key, value, record.cycle);
-    }
+    out.restore_batch(record.entries, record.cycle);
     last_epoch = record.epoch;
     ++report.records_applied;
   }
@@ -50,6 +61,13 @@ RecoveryReport recover_store(const JournalBackend& snapshots,
   return report;
 }
 
+RecoveryReport recover_store(const JournalBackend& snapshots,
+                             const JournalBackend& journal,
+                             StableStorage& out) {
+  return recover_from_scans(scan_snapshots(snapshots), scan_journal(journal),
+                            out);
+}
+
 DurabilityEngine::DurabilityEngine(std::unique_ptr<JournalBackend> journal,
                                    std::unique_ptr<JournalBackend> snapshots,
                                    DurableOptions options)
@@ -57,6 +75,43 @@ DurabilityEngine::DurabilityEngine(std::unique_ptr<JournalBackend> journal,
       options_(options) {
   require(journal_ != nullptr && snapshots_ != nullptr,
           "durability engine needs both devices");
+}
+
+bool DurabilityEngine::watermark_reached() const {
+  const SyncPolicy& policy = options_.sync;
+  switch (policy.mode) {
+    case SyncMode::kEveryCommit:
+      return true;
+    case SyncMode::kBytesWatermark:
+      return stats_.lag_bytes >= policy.bytes_watermark;
+    case SyncMode::kFramesWatermark:
+      return stats_.lag_frames >= policy.frames_watermark;
+    case SyncMode::kHybrid:
+      return stats_.lag_bytes >= policy.bytes_watermark ||
+             stats_.lag_frames >= policy.frames_watermark;
+  }
+  return true;
+}
+
+bool DurabilityEngine::do_sync() {
+  ++stats_.syncs;
+  if (!journal_->sync()) {
+    // The tail stays buffered, so the lag persists; a later sync (or the
+    // next watermark) retries it.
+    ++stats_.sync_failures;
+    return false;
+  }
+  stats_.lag_frames = 0;
+  stats_.lag_bytes = 0;
+  stats_.last_durable_epoch =
+      std::max(stats_.last_durable_epoch, appended_epoch_);
+  return true;
+}
+
+bool DurabilityEngine::sync_now() {
+  if (stats_.lag_frames == 0 && stats_.lag_bytes == 0) return true;
+  ++stats_.forced_syncs;
+  return do_sync();
 }
 
 void DurabilityEngine::record_commit(const StableStorage& store, Cycle cycle) {
@@ -70,14 +125,17 @@ void DurabilityEngine::record_commit(const StableStorage& store, Cycle cycle) {
     return;
   }
   scratch_.clear();
-  encode_record(scratch_, store.commit_epochs() + 1, cycle, store.pending());
+  encode_commit(scratch_, interner_, store.commit_epochs() + 1, cycle,
+                store.pending());
   journal_->append(scratch_.data(), scratch_.size());
   stats_.bytes_appended += scratch_.size();
   ++stats_.commits_journaled;
-  if (options_.sync_each_commit) {
-    ++stats_.syncs;
-    if (!journal_->sync()) ++stats_.sync_failures;
-  }
+  appended_epoch_ = store.commit_epochs() + 1;
+  ++stats_.lag_frames;
+  stats_.lag_bytes += scratch_.size();
+  stats_.max_lag_frames = std::max(stats_.max_lag_frames, stats_.lag_frames);
+  stats_.max_lag_bytes = std::max(stats_.max_lag_bytes, stats_.lag_bytes);
+  if (watermark_reached()) (void)do_sync();
 }
 
 void DurabilityEngine::after_commit(const StableStorage& store) {
@@ -90,6 +148,9 @@ void DurabilityEngine::after_commit(const StableStorage& store) {
 }
 
 bool DurabilityEngine::take_snapshot(const StableStorage& store) {
+  // Snapshot boundary: flush the journal lag first, so durability at the
+  // boundary never depends on whether the image itself succeeds.
+  (void)sync_now();
   if (!append_snapshot(*snapshots_, store.commit_epochs(),
                        store.committed_entries())) {
     ++stats_.snapshot_failures;
@@ -100,10 +161,49 @@ bool DurabilityEngine::take_snapshot(const StableStorage& store) {
     return false;
   }
   ++stats_.snapshots_taken;
+  stats_.last_durable_epoch =
+      std::max(stats_.last_durable_epoch, store.commit_epochs());
+  // Reclaim superseded images while the journal still covers everything
+  // since the previous image — a failed rewrite then loses nothing.
+  gc_snapshots();
   // The image covers every epoch the journal holds; compact it. Torn-tail
-  // safety is preserved because the image is already durably synced.
+  // safety is preserved because the image is already durably synced. The
+  // buffered tail (if a pre-image sync failed) is covered by the image too,
+  // so the lag is settled along with the key dictionary, which restarts
+  // empty in the fresh journal generation.
   journal_->truncate(kHeaderSize);
+  interner_.reset();
+  stats_.lag_frames = 0;
+  stats_.lag_bytes = 0;
+  appended_epoch_ = store.commit_epochs();
   return true;
+}
+
+void DurabilityEngine::gc_snapshots() {
+  const SnapshotScan snap = scan_snapshots(*snapshots_);
+  if (snap.truncated || snap.images <= kGcKeepImages) return;
+  const std::uint64_t keep_from =
+      snap.image_offsets[snap.images - kGcKeepImages];
+  // Copy the whole image tail out so a failed rewrite can be rolled back.
+  std::vector<std::uint8_t> tail(
+      static_cast<std::size_t>(snap.valid_bytes - kHeaderSize));
+  if (snapshots_->read(kHeaderSize, tail.data(), tail.size()) != tail.size()) {
+    return;  // device refused the read; leave it alone
+  }
+  const auto keep_offset = static_cast<std::size_t>(keep_from - kHeaderSize);
+  snapshots_->truncate(kHeaderSize);
+  snapshots_->append(tail.data() + keep_offset, tail.size() - keep_offset);
+  if (snapshots_->sync()) {
+    ++stats_.snapshot_gc_runs;
+    stats_.snapshot_bytes_reclaimed += keep_offset;
+    return;
+  }
+  // Rewrite could not be made durable: restore the original device content
+  // so the durable image set is no worse than before the GC attempt.
+  ++stats_.snapshot_failures;
+  snapshots_->truncate(kHeaderSize);
+  snapshots_->append(tail.data(), tail.size());
+  (void)snapshots_->sync();
 }
 
 void DurabilityEngine::crash() {
@@ -114,13 +214,21 @@ void DurabilityEngine::crash() {
 
 RecoveryReport DurabilityEngine::recover_into(StableStorage& out) {
   out.reset_committed();
-  RecoveryReport report = recover_store(*snapshots_, *journal_, out);
+  const SnapshotScan snap = scan_snapshots(*snapshots_);
+  const ScanResult scan = scan_journal(*journal_);
+  RecoveryReport report = recover_from_scans(snap, scan, out);
   // Discard the untrusted tails so appends resume after the last good
   // record — the journal analogue of halting at the last completed
   // instruction.
   journal_->truncate(report.valid_bytes);
-  const SnapshotScan snap = scan_snapshots(*snapshots_);
   if (snap.truncated) snapshots_->truncate(snap.valid_bytes);
+  // The journal now ends exactly where the scan stopped trusting it, so the
+  // scan's dictionary is the writer's dictionary.
+  interner_.adopt(scan.dict);
+  stats_.lag_frames = 0;
+  stats_.lag_bytes = 0;
+  stats_.last_durable_epoch = report.last_epoch;
+  appended_epoch_ = report.last_epoch;
   ++stats_.recoveries;
   return report;
 }

@@ -3,11 +3,21 @@
 // Protocol per frame (write-ahead rule):
 //
 //   1. record_commit() encodes the staged batch as one journal record and,
-//      under the default policy, syncs it — the commit exists on the device
-//      before it exists in memory;
+//      under the sync policy, decides whether to sync now — under the
+//      default every-commit policy the commit exists on the device before it
+//      exists in memory;
 //   2. the caller applies StableStorage::commit();
 //   3. after_commit() takes a snapshot every `snapshot_every_epochs`
 //      commits, and compacts the journal once the image is durably synced.
+//
+// Group commit: the watermark policies let journal records accumulate in
+// the device's buffered tail and sync only when the accumulated lag crosses
+// a bytes or frames watermark, trading a bounded durability lag for append
+// throughput (one fsync amortized over many commits). The lag is tracked in
+// DurabilityStats and is forced to zero at every snapshot and halt boundary
+// (sync_now()), so fail-stop semantics are unchanged: what a crash can lose
+// is only the un-synced suffix of whole frame commits, never a torn record,
+// and never anything past a boundary the protocol declared durable.
 //
 // On a fail-stop halt the owner calls crash() (the device loses its
 // unsynced tail, exactly like the processor loses volatile storage) and
@@ -26,18 +36,46 @@
 
 #include "arfs/common/types.hpp"
 #include "arfs/storage/durable/backend.hpp"
+#include "arfs/storage/durable/journal.hpp"
+#include "arfs/storage/durable/snapshot.hpp"
 #include "arfs/storage/stable_storage.hpp"
 
 namespace arfs::storage::durable {
+
+/// When record_commit() syncs the journal.
+enum class SyncMode : std::uint8_t {
+  kEveryCommit,      ///< Sync inside every record_commit (write-ahead).
+  kBytesWatermark,   ///< Sync when un-synced bytes reach the watermark.
+  kFramesWatermark,  ///< Sync when un-synced frames reach the watermark.
+  kHybrid,           ///< Sync when either watermark is reached.
+};
+
+struct SyncPolicy {
+  SyncMode mode = SyncMode::kEveryCommit;
+  std::uint64_t bytes_watermark = 64 * 1024;
+  std::uint64_t frames_watermark = 32;
+
+  static SyncPolicy every_commit() { return {}; }
+  static SyncPolicy bytes(std::uint64_t watermark) {
+    return {SyncMode::kBytesWatermark, watermark, 0};
+  }
+  static SyncPolicy frames(std::uint64_t watermark) {
+    return {SyncMode::kFramesWatermark, 0, watermark};
+  }
+  static SyncPolicy hybrid(std::uint64_t bytes_watermark,
+                           std::uint64_t frames_watermark) {
+    return {SyncMode::kHybrid, bytes_watermark, frames_watermark};
+  }
+};
+
+[[nodiscard]] std::string to_string(SyncMode mode);
 
 struct DurableOptions {
   /// Take a full snapshot every N commit epochs; 0 disables automatic
   /// snapshots (recovery then replays the whole journal).
   std::uint64_t snapshot_every_epochs = 0;
-  /// Sync the journal inside every record_commit(). When false the journal
-  /// is group-committed: records accumulate in the device buffer and only
-  /// snapshots sync, trading durability lag for append throughput.
-  bool sync_each_commit = true;
+  /// Group-commit sync policy. The default syncs every commit.
+  SyncPolicy sync;
 };
 
 struct DurabilityStats {
@@ -52,6 +90,25 @@ struct DurabilityStats {
   /// Commits not journaled because the device header was found destroyed
   /// (journaling suspends until recovery re-initializes the device).
   std::uint64_t header_faults = 0;
+
+  // --- group-commit durability lag ---
+  /// Journaled commits / bytes sitting in the buffered tail, not yet synced
+  /// (what a crash right now would lose). Reset by every successful sync.
+  std::uint64_t lag_frames = 0;
+  std::uint64_t lag_bytes = 0;
+  /// High-water marks of the above, over the engine's lifetime.
+  std::uint64_t max_lag_frames = 0;
+  std::uint64_t max_lag_bytes = 0;
+  /// Boundary syncs requested via sync_now() that found lag to flush
+  /// (snapshot boundaries and halt directives).
+  std::uint64_t forced_syncs = 0;
+  /// Highest commit epoch known durable (synced journal record or snapshot
+  /// image). A crash recovers exactly this epoch's state.
+  std::uint64_t last_durable_epoch = 0;
+
+  // --- snapshot-device GC ---
+  std::uint64_t snapshot_gc_runs = 0;
+  std::uint64_t snapshot_bytes_reclaimed = 0;
 };
 
 /// What recovery found and did.
@@ -66,8 +123,14 @@ struct RecoveryReport {
   std::string note;                    ///< Scanner's reason, when truncated.
 };
 
-/// Pure recovery: rebuilds `out` from the devices without mutating them.
+/// Pure recovery from already-performed device scans: rebuilds `out` from
+/// the snapshot's last valid image plus the journal's valid commit prefix.
 /// `out` must be empty of committed state (reset_committed() first).
+[[nodiscard]] RecoveryReport recover_from_scans(const SnapshotScan& snap,
+                                                const ScanResult& scan,
+                                                StableStorage& out);
+
+/// Convenience wrapper that scans both devices itself.
 [[nodiscard]] RecoveryReport recover_store(const JournalBackend& snapshots,
                                            const JournalBackend& journal,
                                            StableStorage& out);
@@ -78,12 +141,20 @@ class DurabilityEngine {
                    std::unique_ptr<JournalBackend> snapshots,
                    DurableOptions options = {});
 
-  /// Journals the staged batch `store` is about to commit at `cycle`.
+  /// Journals the staged batch `store` is about to commit at `cycle`, and
+  /// syncs if the policy's watermark is reached.
   /// Call immediately before store.commit(cycle).
   void record_commit(const StableStorage& store, Cycle cycle);
 
   /// Snapshot policy hook; call right after store.commit().
   void after_commit(const StableStorage& store);
+
+  /// Boundary sync: flushes any un-synced journal tail now. Used at halt
+  /// boundaries (a reconfiguration directive is about to take effect) so
+  /// group commit never weakens the fail-stop contract. No-op when the lag
+  /// is already zero. Returns false on a device sync failure (the lag then
+  /// persists and the next sync retries).
+  bool sync_now();
 
   /// Forces a full image now. Returns false when the image could not be
   /// made durable (sync failure) — the journal is then left uncompacted.
@@ -107,11 +178,24 @@ class DurabilityEngine {
   [[nodiscard]] JournalBackend& snapshots() { return *snapshots_; }
 
  private:
+  [[nodiscard]] bool watermark_reached() const;
+  /// Syncs the journal and settles the lag counters. Shared by the policy
+  /// path, sync_now(), and the snapshot boundary.
+  bool do_sync();
+  /// Keeps the last two images on the snapshot device, truncating older
+  /// ones. Runs after a new image is durably synced, before journal
+  /// compaction, so a failed rewrite never orphans journal state.
+  void gc_snapshots();
+
   std::unique_ptr<JournalBackend> journal_;
   std::unique_ptr<JournalBackend> snapshots_;
   DurableOptions options_;
   DurabilityStats stats_;
   std::vector<std::uint8_t> scratch_;  ///< Reused record encode buffer.
+  KeyInterner interner_;               ///< Journal key dictionary (writer).
+  /// Epoch of the newest record appended to the journal; becomes
+  /// last_durable_epoch when the tail syncs.
+  std::uint64_t appended_epoch_ = 0;
 };
 
 /// Convenience: an engine on fresh in-memory devices (sim processors).

@@ -1,11 +1,40 @@
 #include "arfs/storage/durable/journal.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
 #include "arfs/storage/durable/wire.hpp"
 
 namespace arfs::storage::durable {
+
+std::uint32_t KeyInterner::intern(const std::string& key) {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != index_.end() && it->first == key) return it->second;
+  const auto id = static_cast<std::uint32_t>(keys_.size());
+  keys_.push_back(key);
+  fresh_.push_back(key);
+  index_.insert(it, {key, id});
+  return id;
+}
+
+void KeyInterner::adopt(const std::vector<std::string>& keys) {
+  reset();
+  keys_ = keys;
+  index_.reserve(keys_.size());
+  for (std::uint32_t id = 0; id < keys_.size(); ++id) {
+    index_.emplace_back(keys_[id], id);
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+void KeyInterner::reset() {
+  keys_.clear();
+  index_.clear();
+  fresh_.clear();
+}
 
 bool ensure_header(JournalBackend& backend) {
   if (backend.size() == 0) {
@@ -17,20 +46,53 @@ bool ensure_header(JournalBackend& backend) {
   return std::memcmp(magic, kJournalMagic, sizeof magic) == 0;
 }
 
-void encode_record(std::vector<std::uint8_t>& out, std::uint64_t epoch,
-                   Cycle cycle,
+namespace {
+
+/// Reserves an 8-byte [len][crc] envelope at the end of `out` and returns
+/// its position; close_envelope() back-patches it once the payload follows.
+std::size_t open_envelope(std::vector<std::uint8_t>& out) {
+  const std::size_t env = out.size();
+  out.resize(env + 8);
+  return env;
+}
+
+void close_envelope(std::vector<std::uint8_t>& out, std::size_t env) {
+  const std::size_t payload = env + 8;
+  const auto len = static_cast<std::uint32_t>(out.size() - payload);
+  patch_u32(out, env, len);
+  patch_u32(out, env + 4, crc32(out.data() + payload, len));
+}
+
+}  // namespace
+
+void encode_commit(std::vector<std::uint8_t>& out, KeyInterner& dict,
+                   std::uint64_t epoch, Cycle cycle,
                    const std::vector<std::pair<std::string, Value>>& entries) {
-  std::vector<std::uint8_t> payload;
-  put_u64(payload, epoch);
-  put_u64(payload, cycle);
-  put_u32(payload, static_cast<std::uint32_t>(entries.size()));
+  // Intern every key first so one dictionary record covers the whole commit.
+  const std::uint32_t first_fresh =
+      static_cast<std::uint32_t>(dict.size() - dict.fresh().size());
   for (const auto& [key, value] : entries) {
-    put_string(payload, key);
-    put_value(payload, value);
+    (void)dict.intern(key);
   }
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  put_u32(out, crc32(payload.data(), payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
+  if (!dict.fresh().empty()) {
+    const std::size_t env = open_envelope(out);
+    put_u8(out, kRecordDict);
+    put_varint(out, first_fresh);
+    put_varint(out, dict.fresh().size());
+    for (const auto& key : dict.fresh()) put_string(out, key);
+    close_envelope(out, env);
+    dict.take_fresh();
+  }
+  const std::size_t env = open_envelope(out);
+  put_u8(out, kRecordCommit);
+  put_u64(out, epoch);
+  put_u64(out, cycle);
+  put_u32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    put_varint(out, dict.intern(key));
+    put_value(out, value);
+  }
+  close_envelope(out, env);
 }
 
 namespace {
@@ -91,31 +153,63 @@ ScanResult scan_journal(const JournalBackend& backend) {
       break;
     }
     ByteReader reader(payload.data(), len);
-    JournalRecord record;
-    record.offset = offset;
-    record.epoch = reader.u64();
-    record.cycle = reader.u64();
-    const std::uint32_t n = reader.u32();
-    record.entries.reserve(n);
-    for (std::uint32_t i = 0; i < n && reader.ok(); ++i) {
-      std::string key = reader.string();
-      Value value = reader.value();
-      record.entries.emplace_back(std::move(key), std::move(value));
-    }
-    if (!reader.exhausted()) {
+    const std::uint8_t kind = reader.u8();
+    if (kind == kRecordDict) {
+      const std::uint64_t first_id = reader.varint();
+      const std::uint64_t count = reader.varint();
+      // Ids must extend the dictionary contiguously; anything else means the
+      // record belongs to a different journal generation.
+      if (!reader.ok() || first_id != result.dict.size() ||
+          count > kMaxPayload) {
+        result.truncated = true;
+        result.reason = "malformed dictionary record";
+        break;
+      }
+      for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
+        result.dict.push_back(reader.string());
+      }
+      if (!reader.exhausted()) {
+        result.truncated = true;
+        result.reason = "malformed dictionary record";
+        break;
+      }
+    } else if (kind == kRecordCommit) {
+      JournalRecord record;
+      record.offset = offset;
+      record.epoch = reader.u64();
+      record.cycle = reader.u64();
+      const std::uint32_t n = reader.u32();
+      record.entries.reserve(n);
+      bool bad_id = false;
+      for (std::uint32_t i = 0; i < n && reader.ok(); ++i) {
+        const std::uint64_t id = reader.varint();
+        if (id >= result.dict.size()) {
+          bad_id = true;
+          break;
+        }
+        Value value = reader.value();
+        record.entries.emplace_back(result.dict[id], std::move(value));
+      }
+      if (bad_id || !reader.exhausted()) {
+        result.truncated = true;
+        result.reason = bad_id ? "commit references unknown key id"
+                               : "malformed record payload";
+        break;
+      }
+      if (record.epoch <= last_epoch) {
+        result.truncated = true;
+        result.reason = "non-monotone commit epoch";
+        break;
+      }
+      last_epoch = record.epoch;
+      result.records.push_back(std::move(record));
+    } else {
       result.truncated = true;
-      result.reason = "malformed record payload";
+      result.reason = "unknown record kind";
       break;
     }
-    if (record.epoch <= last_epoch) {
-      result.truncated = true;
-      result.reason = "non-monotone commit epoch";
-      break;
-    }
-    last_epoch = record.epoch;
     offset += 8 + len;
     result.valid_bytes = offset;
-    result.records.push_back(std::move(record));
   }
   return result;
 }

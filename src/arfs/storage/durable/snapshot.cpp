@@ -107,6 +107,7 @@ SnapshotScan scan_snapshots(const JournalBackend& backend) {
       result.reason = "malformed snapshot payload";
       break;
     }
+    result.image_offsets.push_back(offset);
     offset += 8 + len;
     result.valid_bytes = offset;
     result.last = std::move(image);

@@ -41,6 +41,9 @@ struct SnapshotScan {
   bool any_valid = false;
   SnapshotImage last;            ///< Meaningful only when any_valid.
   std::size_t images = 0;        ///< Count of valid images found.
+  /// Envelope byte offset of each valid image, in device order. The GC uses
+  /// these to find where the keep-set starts without re-parsing payloads.
+  std::vector<std::uint64_t> image_offsets;
   std::uint64_t valid_bytes = 0; ///< End of the last valid image.
   bool truncated = false;        ///< Torn/corrupt tail after the images.
   std::string reason;

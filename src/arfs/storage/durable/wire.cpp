@@ -7,29 +7,67 @@ namespace arfs::storage::durable {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+// Eight CRC tables for slicing-by-8. Table 0 is the classic bytewise table
+// for polynomial 0xEDB88320; table t maps a byte that is t positions deeper
+// in the input, so eight lookups advance the CRC over eight bytes at once.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t t = 1; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[t - 1][i];
+      tables[t][i] = (prev >> 8) ^ tables[0][prev & 0xFFu];
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrcTables =
+    make_crc_tables();
 
 enum : std::uint8_t { kTagBool = 0, kTagInt64 = 1, kTagDouble = 2,
                       kTagString = 3 };
 
 }  // namespace
 
-std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+std::uint32_t crc32_bytewise(const std::uint8_t* data, std::size_t n) {
   std::uint32_t c = 0xFFFFFFFFu;
   for (std::size_t i = 0; i < n; ++i) {
-    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    c = kCrcTables[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  // Main loop: fold the running CRC into the first four bytes of each 8-byte
+  // block, then look all eight bytes up in their per-position tables. Bytes
+  // are composed into words explicitly, so the result does not depend on the
+  // host's endianness or on data alignment.
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ (std::uint32_t{data[0]} |
+                                  std::uint32_t{data[1]} << 8 |
+                                  std::uint32_t{data[2]} << 16 |
+                                  std::uint32_t{data[3]} << 24);
+    const std::uint32_t hi = std::uint32_t{data[4]} |
+                             std::uint32_t{data[5]} << 8 |
+                             std::uint32_t{data[6]} << 16 |
+                             std::uint32_t{data[7]} << 24;
+    c = kCrcTables[7][lo & 0xFFu] ^ kCrcTables[6][(lo >> 8) & 0xFFu] ^
+        kCrcTables[5][(lo >> 16) & 0xFFu] ^ kCrcTables[4][lo >> 24] ^
+        kCrcTables[3][hi & 0xFFu] ^ kCrcTables[2][(hi >> 8) & 0xFFu] ^
+        kCrcTables[1][(hi >> 16) & 0xFFu] ^ kCrcTables[0][hi >> 24];
+    data += 8;
+    n -= 8;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kCrcTables[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
@@ -44,6 +82,22 @@ void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
 
 void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void patch_u32(std::vector<std::uint8_t>& buf, std::size_t pos,
+               std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf[pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  while (v >= 0x80u) {
+    buf.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  buf.push_back(static_cast<std::uint8_t>(v));
 }
 
 void put_string(std::vector<std::uint8_t>& buf, const std::string& s) {
@@ -94,6 +148,18 @@ std::uint64_t ByteReader::u64() {
   for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
   pos_ += 8;
   return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (!take(1)) return 0;
+    const std::uint8_t byte = data_[pos_++];
+    v |= std::uint64_t{byte & 0x7Fu} << shift;
+    if (!(byte & 0x80u)) return v;
+  }
+  ok_ = false;  // more than 10 continuation bytes: not a valid u64
+  return 0;
 }
 
 std::string ByteReader::string() {

@@ -2,9 +2,16 @@
 //
 // Everything the durable layer puts on a device goes through these helpers so
 // the two record kinds stay byte-compatible: explicit little-endian integers
-// (independent of host endianness), length-prefixed strings, a tagged
-// encoding of storage::Value that round-trips doubles bit-exactly, and the
-// IEEE CRC32 that guards every record payload.
+// (independent of host endianness), length-prefixed strings, LEB128 varints
+// for the journal's interned key ids, a tagged encoding of storage::Value
+// that round-trips doubles bit-exactly, and the IEEE CRC32 that guards every
+// record payload.
+//
+// The CRC sits on the per-commit hot path (every journaled byte is hashed),
+// so the default implementation is slicing-by-8: eight compile-time tables
+// consume the input eight bytes per step instead of one. The classic bytewise
+// loop is kept as crc32_bytewise — it is the reference the tests cross-check
+// the sliced version against, and the tail/fallback path for short inputs.
 #pragma once
 
 #include <cstddef>
@@ -16,12 +23,25 @@
 
 namespace arfs::storage::durable {
 
-/// IEEE 802.3 CRC32 (the zlib polynomial), over `n` bytes.
+/// IEEE 802.3 CRC32 (the zlib polynomial), over `n` bytes. Slicing-by-8.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Reference bytewise implementation of the same CRC. Bit-identical to
+/// crc32() on every input; kept for cross-checking and short tails.
+[[nodiscard]] std::uint32_t crc32_bytewise(const std::uint8_t* data,
+                                           std::size_t n);
 
 void put_u8(std::vector<std::uint8_t>& buf, std::uint8_t v);
 void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v);
 void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v);
+/// Overwrites 4 already-appended bytes at `pos` (envelope back-patching:
+/// reserve the envelope, encode the payload in place, then patch len + crc —
+/// no temporary payload buffer, no second copy).
+void patch_u32(std::vector<std::uint8_t>& buf, std::size_t pos,
+               std::uint32_t v);
+/// Unsigned LEB128 (7 bits per byte, high bit = continue). Interned key ids
+/// are small, so they ship as one byte in the steady state.
+void put_varint(std::vector<std::uint8_t>& buf, std::uint64_t v);
 void put_string(std::vector<std::uint8_t>& buf, const std::string& s);
 /// Tagged Value encoding: u8 tag (0 bool, 1 int64, 2 double, 3 string) then
 /// the payload; doubles are stored as their raw IEEE-754 bit pattern.
@@ -37,6 +57,8 @@ class ByteReader {
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
+  /// LEB128; more than 10 bytes (or a short buffer) latches not-ok.
+  [[nodiscard]] std::uint64_t varint();
   [[nodiscard]] std::string string();
   [[nodiscard]] Value value();
 

@@ -110,6 +110,51 @@ void StableStorage::restore(const std::string& key, Value value,
   }
 }
 
+void StableStorage::restore_batch(
+    const std::vector<std::pair<std::string, Value>>& entries,
+    Cycle committed_at) {
+  // Same carried-start linear merge as commit(): batch keys arrive sorted,
+  // so each lands at or after the previous insertion point.
+  std::size_t from = 0;
+  for (const auto& [key, value] : entries) {
+    const auto it = std::lower_bound(
+        committed_.begin() + static_cast<std::ptrdiff_t>(from),
+        committed_.end(), key,
+        [](const auto& entry, const std::string& k) {
+          return entry.first < k;
+        });
+    if (it != committed_.end() && it->first == key) {
+      it->second = Slot{value, committed_at};
+      from = static_cast<std::size_t>(it - committed_.begin()) + 1;
+    } else {
+      const auto inserted =
+          committed_.insert(it, {key, Slot{value, committed_at}});
+      from = static_cast<std::size_t>(inserted - committed_.begin()) + 1;
+    }
+  }
+}
+
+void StableStorage::restore_batch(
+    const std::vector<std::tuple<std::string, Value, Cycle>>& entries) {
+  std::size_t from = 0;
+  for (const auto& [key, value, committed_at] : entries) {
+    const auto it = std::lower_bound(
+        committed_.begin() + static_cast<std::ptrdiff_t>(from),
+        committed_.end(), key,
+        [](const auto& entry, const std::string& k) {
+          return entry.first < k;
+        });
+    if (it != committed_.end() && it->first == key) {
+      it->second = Slot{value, committed_at};
+      from = static_cast<std::size_t>(it - committed_.begin()) + 1;
+    } else {
+      const auto inserted =
+          committed_.insert(it, {key, Slot{value, committed_at}});
+      from = static_cast<std::size_t>(inserted - committed_.begin()) + 1;
+    }
+  }
+}
+
 namespace {
 
 inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {

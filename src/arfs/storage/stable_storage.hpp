@@ -102,6 +102,18 @@ class StableStorage {
   /// so the frame-atomicity contract holds.
   void restore(const std::string& key, Value value, Cycle committed_at);
 
+  /// Bulk restore of a sorted-by-key batch (one journal record's entries),
+  /// all stamped `committed_at`. One linear merge pass instead of a binary
+  /// search per entry, so replaying a journal is O(records · store) rather
+  /// than O(records · store · log store).
+  void restore_batch(const std::vector<std::pair<std::string, Value>>& entries,
+                     Cycle committed_at);
+
+  /// Bulk restore of a sorted-by-key snapshot image, each entry carrying its
+  /// own commit cycle.
+  void restore_batch(
+      const std::vector<std::tuple<std::string, Value, Cycle>>& entries);
+
   /// Clears all committed state (recovery rebuilds from the devices).
   /// Pending writes, history contents, and configuration are untouched.
   void reset_committed() {

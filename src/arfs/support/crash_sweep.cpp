@@ -1,0 +1,110 @@
+#include "arfs/support/crash_sweep.hpp"
+
+#include <algorithm>
+
+#include "arfs/common/check.hpp"
+#include "arfs/failstop/processor.hpp"
+
+namespace arfs::support {
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t CrashSweepReport::digest() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const CrashPoint& p : points) {
+    fnv_mix(h, p.crash_frame);
+    fnv_mix(h, p.expected_fingerprint);
+    fnv_mix(h, p.recovered_fingerprint);
+    fnv_mix(h, p.durable_epoch);
+    fnv_mix(h, p.recovered_epoch);
+    fnv_mix(h, p.lost_frames);
+    fnv_mix(h, (p.journal_truncated ? 2u : 0u) | (p.match ? 1u : 0u));
+  }
+  return h;
+}
+
+CrashSweepReport run_crash_sweep(const MissionFactory& factory,
+                                 const CrashSweepOptions& options,
+                                 sim::BatchRunner& runner) {
+  require(options.frames > 0, "crash sweep needs at least one frame");
+  require(static_cast<bool>(factory), "crash sweep needs a mission factory");
+
+  CrashSweepReport report;
+  report.points = runner.map<CrashPoint>(
+      static_cast<std::size_t>(options.frames), [&](std::size_t i) {
+        const Cycle crash_frame = static_cast<Cycle>(i) + 1;
+        CrashMission mission = factory();
+        require(mission.system != nullptr, "mission factory built no system");
+        core::System& system = *mission.system;
+        require(system.processors().has_processor(options.victim),
+                "crash sweep victim is not in the system");
+
+        // Fingerprint of the victim's committed store after each commit
+        // epoch; index 0 is the empty pre-mission store. Every frame the
+        // victim survives commits exactly once, so epoch == frames run.
+        const failstop::Processor& victim =
+            system.processors().processor(options.victim);
+        std::vector<std::uint64_t> fingerprints;
+        fingerprints.reserve(static_cast<std::size_t>(crash_frame) + 1);
+        fingerprints.push_back(victim.poll_stable().fingerprint());
+        for (Cycle f = 0; f < crash_frame; ++f) {
+          system.run(1);
+          fingerprints.push_back(victim.poll_stable().fingerprint());
+        }
+        require(victim.running(),
+                "crash sweep victim was failed by the mission itself");
+
+        failstop::Processor& target =
+            system.processors().processor(options.victim);
+        const storage::durable::DurabilityEngine* engine = target.durability();
+        require(engine != nullptr, "crash sweep victim is not durable");
+        const std::uint64_t durable_epoch = engine->stats().last_durable_epoch;
+
+        // The fail-stop halt: devices lose their unsynced tail, recovery
+        // runs inside fail(), and poll_stable() shows the recovered store.
+        target.fail(crash_frame);
+
+        CrashPoint point;
+        point.crash_frame = crash_frame;
+        point.durable_epoch = durable_epoch;
+        point.expected_fingerprint =
+            fingerprints[static_cast<std::size_t>(durable_epoch)];
+        point.recovered_fingerprint = target.poll_stable().fingerprint();
+        const auto& recovery = target.last_recovery();
+        point.recovered_epoch = recovery.has_value() ? recovery->last_epoch : 0;
+        point.journal_truncated =
+            recovery.has_value() && recovery->journal_truncated;
+        // The floor must hold, the recovered epoch must be a real frame of
+        // this mission, and the recovered bytes must be exactly that
+        // frame's committed state.
+        point.match = recovery.has_value() &&
+                      point.recovered_epoch >= durable_epoch &&
+                      point.recovered_epoch <= crash_frame &&
+                      point.recovered_fingerprint ==
+                          fingerprints[static_cast<std::size_t>(
+                              point.recovered_epoch)];
+        point.lost_frames =
+            point.recovered_epoch <= crash_frame
+                ? crash_frame - point.recovered_epoch
+                : 0;
+        return point;
+      });
+
+  for (const CrashPoint& point : report.points) {
+    if (!point.match) ++report.mismatches;
+    report.max_lost_frames =
+        std::max(report.max_lost_frames, point.lost_frames);
+  }
+  return report;
+}
+
+}  // namespace arfs::support

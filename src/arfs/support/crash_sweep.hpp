@@ -1,0 +1,88 @@
+// Mission-wide crash-point sweep.
+//
+// The correctness gate for durable storage under any sync policy: fail-stop
+// one processor at *every* frame of a mission and check that the state its
+// devices recover is exactly the state of the last durable commit epoch —
+// never a torn record, never anything newer than what was synced, never
+// anything older. Crash points are independent missions (each job builds a
+// fresh system and runs it up to its own crash frame), so the sweep fans
+// them across a sim::BatchRunner and inherits the batch engine's
+// determinism contract: the report is bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arfs/common/ids.hpp"
+#include "arfs/common/types.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/sim/batch.hpp"
+
+namespace arfs::support {
+
+/// One freshly built mission: a system plus whatever owns the objects the
+/// system borrows (spec, plant models, apps' external state). The keepalive
+/// is destroyed after the system, never touched otherwise.
+struct CrashMission {
+  std::shared_ptr<void> keepalive;  // declared first: destroyed last
+  std::unique_ptr<core::System> system;
+};
+
+/// Builds one mission from scratch. Must be deterministic (same mission
+/// every call) and thread-safe to call concurrently — each invocation must
+/// share no mutable state with the others.
+using MissionFactory = std::function<CrashMission()>;
+
+struct CrashSweepOptions {
+  /// Mission length; the sweep crashes the victim after frame 1, 2, …,
+  /// frames — one job per crash point.
+  Cycle frames = 0;
+  /// The processor to fail-stop. Must carry a durability engine and must
+  /// not be failed by the mission's own fault plan.
+  ProcessorId victim;
+};
+
+/// One crash point's verdict. `match` asserts the fail-stop contract:
+///  * no durable commit is lost — the recovered epoch is at least the
+///    engine's last_durable_epoch at crash time (the guarantee floor);
+///  * the recovered state is an *exact* frame-commit boundary — its
+///    fingerprint equals the victim's in-memory fingerprint as of the
+///    recovered epoch, so a crash can shorten history but never tear it.
+/// Under every sync policy without torn-write faults the recovered epoch
+/// equals the floor exactly; a torn write may durably salvage extra whole
+/// records, which recovery is allowed (and checked) to use.
+struct CrashPoint {
+  Cycle crash_frame = 0;  ///< The victim failed after this many frames.
+  /// The guarantee floor: the victim's in-memory fingerprint as of the
+  /// last durable commit epoch before the crash.
+  std::uint64_t expected_fingerprint = 0;
+  std::uint64_t recovered_fingerprint = 0;
+  std::uint64_t durable_epoch = 0;   ///< last_durable_epoch at crash time.
+  std::uint64_t recovered_epoch = 0; ///< RecoveryReport::last_epoch.
+  /// Frame commits the crash actually lost: frames run minus the recovered
+  /// epoch. Bounded by the policy's watermark; zero under every-commit.
+  std::uint64_t lost_frames = 0;
+  bool journal_truncated = false;  ///< Recovery found a torn/corrupt tail.
+  bool match = false;
+};
+
+struct CrashSweepReport {
+  std::vector<CrashPoint> points;  ///< One per crash frame, in order.
+  std::size_t mismatches = 0;
+  std::uint64_t max_lost_frames = 0;
+
+  [[nodiscard]] bool all_match() const { return mismatches == 0; }
+  /// Order-sensitive FNV-1a digest of every point — one number to compare
+  /// a serial reference sweep against a parallel one.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Fail-stops `options.victim` after every frame in [1, options.frames] of
+/// the factory's mission, in parallel, and verifies each recovery.
+[[nodiscard]] CrashSweepReport run_crash_sweep(
+    const MissionFactory& factory, const CrashSweepOptions& options,
+    sim::BatchRunner& runner = sim::BatchRunner::shared());
+
+}  // namespace arfs::support

@@ -31,6 +31,67 @@ TEST(Wire, Crc32MatchesReferenceVector) {
   EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
                   check.size()),
             0xCBF43926u);
+  EXPECT_EQ(crc32_bytewise(reinterpret_cast<const std::uint8_t*>(check.data()),
+                           check.size()),
+            0xCBF43926u);
+}
+
+TEST(Wire, Crc32SlicingEqualsBytewiseOnRandomInputs) {
+  Rng rng(77);
+  for (int round = 0; round < 200; ++round) {
+    // Lengths straddle the 8-byte slicing block size, including 0..7 tails.
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(0, 100));
+    std::vector<std::uint8_t> data(n);
+    for (std::uint8_t& b : data) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    EXPECT_EQ(crc32(data.data(), n), crc32_bytewise(data.data(), n));
+  }
+}
+
+TEST(Wire, Crc32SlicingEqualsBytewiseOnAdversarialInputs) {
+  // Patterns that catch table-composition mistakes: all-zero (exercises pure
+  // shift behaviour), all-ones, single bit in every position of one block,
+  // and a run long enough that a wrong per-position table compounds.
+  std::vector<std::vector<std::uint8_t>> cases;
+  cases.emplace_back(64, 0x00);
+  cases.emplace_back(64, 0xFF);
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    std::vector<std::uint8_t> one(8, 0);
+    one[bit / 8] = static_cast<std::uint8_t>(1u << (bit % 8));
+    cases.push_back(std::move(one));
+  }
+  std::vector<std::uint8_t> ramp(4096);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  cases.push_back(std::move(ramp));
+  for (const auto& data : cases) {
+    EXPECT_EQ(crc32(data.data(), data.size()),
+              crc32_bytewise(data.data(), data.size()));
+  }
+}
+
+TEST(Wire, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,       1,          127,        128,
+                                  16383,   16384,      0xFFFFFFFF, 1ULL << 56,
+                                  ~0ULL};
+  std::vector<std::uint8_t> buf;
+  for (const std::uint64_t v : values) put_varint(buf, v);
+  ByteReader reader(buf.data(), buf.size());
+  for (const std::uint64_t v : values) EXPECT_EQ(reader.varint(), v);
+  EXPECT_TRUE(reader.exhausted());
+  // Small ids — the steady-state interned-key case — are one byte.
+  std::vector<std::uint8_t> small;
+  put_varint(small, 42);
+  EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(Wire, OverlongVarintLatchesNotOk) {
+  std::vector<std::uint8_t> buf(11, 0x80);  // 11 continuation bytes
+  ByteReader reader(buf.data(), buf.size());
+  (void)reader.varint();
+  EXPECT_FALSE(reader.ok());
 }
 
 TEST(Wire, ValueRoundTripsAllTypesBitExactly) {
@@ -111,23 +172,24 @@ TEST(MemoryBackend, BitFlipIsDeterministicInSeed) {
 
 // --- journal scan ---
 
-JournalRecord one_record(MemoryBackend& device, std::uint64_t epoch,
-                         Cycle cycle) {
+JournalRecord one_record(MemoryBackend& device, KeyInterner& dict,
+                         std::uint64_t epoch, Cycle cycle) {
   JournalRecord r;
   r.epoch = epoch;
   r.cycle = cycle;
   r.entries = {{"k" + std::to_string(epoch), Value{std::int64_t(epoch)}}};
   std::vector<std::uint8_t> buf;
-  encode_record(buf, r.epoch, r.cycle, r.entries);
+  encode_commit(buf, dict, r.epoch, r.cycle, r.entries);
   device.append(buf.data(), buf.size());
   return r;
 }
 
 TEST(JournalScan, RoundTripsRecords) {
   MemoryBackend device;
+  KeyInterner dict;
   ASSERT_TRUE(ensure_header(device));
-  one_record(device, 1, 10);
-  one_record(device, 2, 11);
+  one_record(device, dict, 1, 10);
+  one_record(device, dict, 2, 11);
   const ScanResult scan = scan_journal(device);
   EXPECT_TRUE(scan.header_ok);
   EXPECT_FALSE(scan.truncated);
@@ -136,14 +198,51 @@ TEST(JournalScan, RoundTripsRecords) {
   EXPECT_EQ(scan.records[1].cycle, Cycle{11});
   EXPECT_EQ(scan.records[1].entries[0].first, "k2");
   EXPECT_EQ(scan.valid_bytes, device.size());
+  // The scan reconstructed the writer's dictionary.
+  ASSERT_EQ(scan.dict.size(), 2u);
+  EXPECT_EQ(scan.dict[0], "k1");
+  EXPECT_EQ(scan.dict[1], "k2");
+}
+
+TEST(JournalScan, RepeatedKeysShipAsIdsNotStrings) {
+  // Two journals of 20 commits over the same keys: one with long key names,
+  // one with short. After the first commit, interning makes record size
+  // independent of key length — the dictionary is paid once.
+  const auto journal_bytes = [](const std::string& prefix) {
+    MemoryBackend device;
+    KeyInterner dict;
+    ensure_header(device);
+    const std::uint64_t header_and_dict_free = device.size();
+    std::vector<std::uint8_t> buf;
+    std::uint64_t steady_bytes = 0;
+    for (std::uint64_t epoch = 1; epoch <= 20; ++epoch) {
+      buf.clear();
+      encode_commit(buf, dict, epoch, epoch,
+                    {{prefix + "a", Value{std::int64_t(epoch)}},
+                     {prefix + "b", Value{true}}});
+      device.append(buf.data(), buf.size());
+      if (epoch > 1) steady_bytes += buf.size();
+    }
+    // Sanity: the journal round-trips.
+    const ScanResult scan = scan_journal(device);
+    EXPECT_FALSE(scan.truncated);
+    EXPECT_EQ(scan.records.size(), 20u);
+    EXPECT_EQ(scan.records[19].entries[0].first, prefix + "a");
+    (void)header_and_dict_free;
+    return steady_bytes;
+  };
+  const std::uint64_t long_keys = journal_bytes(std::string(64, 'x') + "/");
+  const std::uint64_t short_keys = journal_bytes("s/");
+  EXPECT_EQ(long_keys, short_keys);
 }
 
 TEST(JournalScan, TornFinalRecordIsReportedAtItsOffset) {
   MemoryBackend device;
+  KeyInterner dict;
   ASSERT_TRUE(ensure_header(device));
-  one_record(device, 1, 10);
+  one_record(device, dict, 1, 10);
   const std::uint64_t good_end = device.size();
-  one_record(device, 2, 11);
+  one_record(device, dict, 2, 11);
   device.truncate(good_end + 5);  // record 2 torn mid-envelope/payload
   const ScanResult scan = scan_journal(device);
   EXPECT_TRUE(scan.truncated);
@@ -151,13 +250,54 @@ TEST(JournalScan, TornFinalRecordIsReportedAtItsOffset) {
   EXPECT_EQ(scan.valid_bytes, good_end);
 }
 
-TEST(JournalScan, CrcMismatchStopsScan) {
+TEST(JournalScan, TornDictionaryRecordTruncatesTheTail) {
+  MemoryBackend device;
+  KeyInterner dict;
+  ASSERT_TRUE(ensure_header(device));
+  one_record(device, dict, 1, 10);
+  const std::uint64_t good_end = device.size();
+  // Epoch 2 introduces a fresh key, so a dictionary record precedes the
+  // commit record; tear inside the dictionary record.
+  one_record(device, dict, 2, 11);
+  device.truncate(good_end + 3);
+  const ScanResult scan = scan_journal(device);
+  EXPECT_TRUE(scan.truncated);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, good_end);
+  EXPECT_EQ(scan.dict.size(), 1u);  // only epoch 1's key survived
+}
+
+TEST(JournalScan, CommitReferencingUnknownKeyIdIsCorruption) {
   MemoryBackend device;
   ASSERT_TRUE(ensure_header(device));
-  one_record(device, 1, 10);
+  // Hand-build a commit record whose key id was never defined.
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, kRecordCommit);
+  put_u64(payload, 1);   // epoch
+  put_u64(payload, 10);  // cycle
+  put_u32(payload, 1);   // one entry
+  put_varint(payload, 7);  // undefined id
+  put_value(payload, Value{true});
+  std::vector<std::uint8_t> env;
+  put_u32(env, static_cast<std::uint32_t>(payload.size()));
+  put_u32(env, crc32(payload.data(), payload.size()));
+  env.insert(env.end(), payload.begin(), payload.end());
+  device.append(env.data(), env.size());
+  const ScanResult scan = scan_journal(device);
+  EXPECT_TRUE(scan.truncated);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, kHeaderSize);
+  EXPECT_NE(scan.reason.find("key id"), std::string::npos);
+}
+
+TEST(JournalScan, CrcMismatchStopsScan) {
+  MemoryBackend device;
+  KeyInterner dict;
+  ASSERT_TRUE(ensure_header(device));
+  one_record(device, dict, 1, 10);
   const std::uint64_t r2_offset = device.size();
-  one_record(device, 2, 11);
-  one_record(device, 3, 12);
+  one_record(device, dict, 2, 11);
+  one_record(device, dict, 3, 12);
   (void)device.sync();
   // Flip a payload byte of record 2 directly.
   std::uint8_t byte = 0;
@@ -183,9 +323,10 @@ TEST(JournalScan, CrcMismatchStopsScan) {
 
 TEST(JournalScan, NonMonotoneEpochIsCorruption) {
   MemoryBackend device;
+  KeyInterner dict;
   ASSERT_TRUE(ensure_header(device));
-  one_record(device, 2, 10);
-  one_record(device, 2, 11);  // replayed/duplicated epoch
+  one_record(device, dict, 2, 10);
+  one_record(device, dict, 2, 11);  // replayed/duplicated epoch
   const ScanResult scan = scan_journal(device);
   EXPECT_TRUE(scan.truncated);
   EXPECT_EQ(scan.records.size(), 1u);
@@ -376,17 +517,291 @@ TEST(Engine, BitFlipTruncatesFromTheCorruptRecordOn) {
 
 TEST(Engine, GroupCommitModeLosesTailButKeepsPrefix) {
   DurableOptions options;
-  options.sync_each_commit = false;
+  options.sync = SyncPolicy::frames(1000);  // watermark never reached
   auto engine = make_memory_engine(options);
   StableStorage store;
   run_commits(*engine, store, 0, 4);
-  ASSERT_TRUE(engine->journal().sync());  // durability point
+  ASSERT_TRUE(engine->sync_now());  // durability point
   const std::uint64_t at_4 = store.fingerprint();
   run_commits(*engine, store, 4, 3);  // buffered only
   engine->crash();
   StableStorage recovered;
   (void)engine->recover_into(recovered);
   EXPECT_EQ(recovered.fingerprint(), at_4);
+}
+
+// --- group commit: sync policies, lag accounting, boundary syncs ---
+
+TEST(Engine, FramesWatermarkSyncsEveryNthCommitAndTracksLag) {
+  DurableOptions options;
+  options.sync = SyncPolicy::frames(4);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 3);
+  EXPECT_EQ(engine->stats().syncs, 0u);
+  EXPECT_EQ(engine->stats().lag_frames, 3u);
+  EXPECT_GT(engine->stats().lag_bytes, 0u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 0u);
+
+  run_commits(*engine, store, 3, 1);  // 4th commit reaches the watermark
+  EXPECT_EQ(engine->stats().syncs, 1u);
+  EXPECT_EQ(engine->stats().lag_frames, 0u);
+  EXPECT_EQ(engine->stats().lag_bytes, 0u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 4u);
+  EXPECT_EQ(engine->stats().max_lag_frames, 4u);
+}
+
+TEST(Engine, BytesWatermarkSyncsOnAccumulatedBytes) {
+  DurableOptions options;
+  options.sync = SyncPolicy::bytes(1);  // any appended record crosses it
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 3);
+  EXPECT_EQ(engine->stats().syncs, 3u);  // degenerates to every-commit
+
+  DurableOptions lazy;
+  lazy.sync = SyncPolicy::bytes(1u << 20);  // 1 MiB: never in this test
+  auto lazy_engine = make_memory_engine(lazy);
+  StableStorage lazy_store;
+  run_commits(*lazy_engine, lazy_store, 0, 10);
+  EXPECT_EQ(lazy_engine->stats().syncs, 0u);
+  EXPECT_EQ(lazy_engine->stats().lag_frames, 10u);
+}
+
+TEST(Engine, HybridPolicySyncsOnWhicheverWatermarkHitsFirst) {
+  DurableOptions options;
+  options.sync = SyncPolicy::hybrid(1u << 20, 2);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 4);
+  // Frames watermark (2) fires twice; the bytes one never does.
+  EXPECT_EQ(engine->stats().syncs, 2u);
+}
+
+TEST(Engine, CrashUnderWatermarkLosesOnlyUnsyncedSuffixFrames) {
+  DurableOptions options;
+  options.sync = SyncPolicy::frames(4);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  std::vector<std::uint64_t> fingerprint_at{store.fingerprint()};
+  for (Cycle c = 0; c < 10; ++c) {
+    run_commits(*engine, store, c, 1);
+    fingerprint_at.push_back(store.fingerprint());
+  }
+  // 10 commits, watermark 4: synced at epochs 4 and 8; epochs 9-10 buffered.
+  EXPECT_EQ(engine->stats().last_durable_epoch, 8u);
+  engine->crash();
+  StableStorage recovered;
+  const RecoveryReport report = engine->recover_into(recovered);
+  // The recovered store is the exact frame-8 commit boundary: a whole-frame
+  // suffix was lost, nothing was torn, nothing partially applied.
+  EXPECT_EQ(recovered.fingerprint(), fingerprint_at[8]);
+  EXPECT_EQ(report.last_epoch, 8u);
+  EXPECT_FALSE(report.journal_truncated);
+  EXPECT_EQ(recovered.commit_epochs(), 8u);
+}
+
+TEST(Engine, CrashUnderWatermarkWithTearNeverYieldsTornRecord) {
+  for (std::size_t keep = 1; keep < 40; keep += 3) {
+    DurableOptions options;
+    options.sync = SyncPolicy::frames(100);
+    auto engine = make_memory_engine(options);
+    StableStorage store;
+    run_commits(*engine, store, 0, 2);
+    ASSERT_TRUE(engine->sync_now());
+    const std::uint64_t at_2 = store.fingerprint();
+    // Three more buffered commits; the crash tears `keep` bytes of them
+    // onto the device.
+    std::vector<std::uint64_t> after;
+    after.push_back(at_2);
+    for (Cycle c = 2; c < 5; ++c) {
+      run_commits(*engine, store, c, 1);
+      after.push_back(store.fingerprint());
+    }
+    engine->journal().tear_on_crash(keep);
+    engine->crash();
+    StableStorage recovered;
+    const RecoveryReport report = engine->recover_into(recovered);
+    // Whatever prefix the tear preserved, the recovered state must be an
+    // exact commit boundary between epoch 2 (synced floor) and epoch 5.
+    ASSERT_GE(report.last_epoch, 2u);
+    ASSERT_LE(report.last_epoch, 5u);
+    EXPECT_EQ(recovered.fingerprint(), after[report.last_epoch - 2])
+        << "keep=" << keep;
+  }
+}
+
+TEST(Engine, SyncNowIsANoOpWithoutLagAndCountsForcedSyncs) {
+  DurableOptions options;
+  options.sync = SyncPolicy::frames(100);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  EXPECT_TRUE(engine->sync_now());  // nothing buffered: no device sync
+  EXPECT_EQ(engine->stats().syncs, 0u);
+  EXPECT_EQ(engine->stats().forced_syncs, 0u);
+  run_commits(*engine, store, 0, 2);
+  EXPECT_TRUE(engine->sync_now());
+  EXPECT_EQ(engine->stats().forced_syncs, 1u);
+  EXPECT_EQ(engine->stats().syncs, 1u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 2u);
+}
+
+TEST(Engine, FailedSyncKeepsLagUntilALaterSyncLands) {
+  DurableOptions options;
+  options.sync = SyncPolicy::frames(2);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  engine->journal().fail_next_sync();
+  run_commits(*engine, store, 0, 2);  // watermark sync fails
+  EXPECT_EQ(engine->stats().sync_failures, 1u);
+  EXPECT_EQ(engine->stats().lag_frames, 2u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 0u);
+  // The very next commit crosses the watermark again (lag is now 3) and the
+  // retry sync saves the whole backlog.
+  run_commits(*engine, store, 2, 1);
+  EXPECT_EQ(engine->stats().lag_frames, 0u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 3u);
+}
+
+TEST(Engine, SnapshotBoundaryForcesJournalSync) {
+  DurableOptions options;
+  options.snapshot_every_epochs = 100;  // manual snapshot below
+  options.sync = SyncPolicy::frames(1000);
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 3);
+  EXPECT_EQ(engine->stats().lag_frames, 3u);
+  ASSERT_TRUE(engine->take_snapshot(store));
+  EXPECT_EQ(engine->stats().forced_syncs, 1u);
+  EXPECT_EQ(engine->stats().lag_frames, 0u);
+  EXPECT_EQ(engine->stats().last_durable_epoch, 3u);
+  // Crash immediately after: the snapshot boundary preserved everything.
+  const std::uint64_t at_3 = store.fingerprint();
+  engine->crash();
+  StableStorage recovered;
+  (void)engine->recover_into(recovered);
+  EXPECT_EQ(recovered.fingerprint(), at_3);
+}
+
+// --- key dictionary lifecycle ---
+
+TEST(Engine, DictionaryReplaysOnRecoveryAndNewCommitsKeepInterning) {
+  DurableOptions options;
+  options.sync = SyncPolicy::every_commit();
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 4);
+  engine->crash();
+  StableStorage recovered;
+  (void)engine->recover_into(recovered);
+  // Post-recovery commits must encode against the journal's existing
+  // dictionary — same keys, no duplicate dictionary records, and the whole
+  // journal must still scan cleanly.
+  run_commits(*engine, recovered, 4, 3);
+  const ScanResult scan = scan_journal(engine->journal());
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.records.size(), 7u);
+  engine->crash();
+  StableStorage again;
+  const RecoveryReport report = engine->recover_into(again);
+  EXPECT_EQ(again.fingerprint(), recovered.fingerprint());
+  EXPECT_EQ(report.records_applied, 7u);
+}
+
+TEST(Engine, DictionaryResetsWhenSnapshotCompactsJournal) {
+  DurableOptions options;
+  options.snapshot_every_epochs = 100;
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 3);
+  ASSERT_TRUE(engine->take_snapshot(store));  // journal truncated to header
+  // The same keys recur after compaction: the fresh journal generation must
+  // re-emit its dictionary, or scanning would see undefined ids.
+  run_commits(*engine, store, 3, 2);
+  const ScanResult scan = scan_journal(engine->journal());
+  EXPECT_FALSE(scan.truncated);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_FALSE(scan.dict.empty());
+  engine->crash();
+  StableStorage recovered;
+  (void)engine->recover_into(recovered);
+  EXPECT_EQ(recovered.fingerprint(), store.fingerprint());
+}
+
+// --- snapshot-device GC ---
+
+TEST(Engine, SnapshotGcKeepsLastTwoImagesAndCountsReclaimedBytes) {
+  DurableOptions options;
+  options.snapshot_every_epochs = 2;
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 12);  // snapshots at 2,4,6,8,10,12
+  EXPECT_EQ(engine->stats().snapshots_taken, 6u);
+  const SnapshotScan scan = scan_snapshots(engine->snapshots());
+  EXPECT_EQ(scan.images, 2u);  // older images were truncated away
+  EXPECT_EQ(scan.last.epoch, 12u);
+  EXPECT_GT(engine->stats().snapshot_gc_runs, 0u);
+  EXPECT_GT(engine->stats().snapshot_bytes_reclaimed, 0u);
+  // Recovery from the GC'd device is still bit-identical.
+  engine->crash();
+  StableStorage recovered;
+  const RecoveryReport report = engine->recover_into(recovered);
+  EXPECT_EQ(recovered.fingerprint(), store.fingerprint());
+  EXPECT_EQ(report.snapshot_epoch, 12u);
+}
+
+TEST(Engine, SnapshotGcKeepsFallbackImageForTornNextSnapshot) {
+  DurableOptions options;
+  options.snapshot_every_epochs = 100;
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 2);
+  ASSERT_TRUE(engine->take_snapshot(store));  // image @2
+  run_commits(*engine, store, 2, 2);
+  ASSERT_TRUE(engine->take_snapshot(store));  // image @4
+  run_commits(*engine, store, 4, 2);
+  ASSERT_TRUE(engine->take_snapshot(store));  // image @6; GC leaves @4,@6
+  ASSERT_EQ(scan_snapshots(engine->snapshots()).images, 2u);
+
+  run_commits(*engine, store, 6, 2);
+  // The next snapshot dies: sync fails and the crash tears the image. The
+  // fallback image @6 plus the uncompacted journal must still recover the
+  // full state.
+  engine->snapshots().fail_next_sync();
+  engine->snapshots().tear_on_crash(9);
+  EXPECT_FALSE(engine->take_snapshot(store));
+  engine->crash();
+  StableStorage recovered;
+  const RecoveryReport report = engine->recover_into(recovered);
+  EXPECT_EQ(report.snapshot_epoch, 6u);
+  EXPECT_EQ(recovered.fingerprint(), store.fingerprint());
+}
+
+TEST(Engine, SnapshotGcSyncFailureRollsBackAndKeepsAllImages) {
+  DurableOptions options;
+  options.snapshot_every_epochs = 100;
+  auto engine = make_memory_engine(options);
+  StableStorage store;
+  run_commits(*engine, store, 0, 2);
+  ASSERT_TRUE(engine->take_snapshot(store));
+  run_commits(*engine, store, 2, 2);
+  ASSERT_TRUE(engine->take_snapshot(store));
+  run_commits(*engine, store, 4, 2);
+  // The third snapshot triggers a GC whose rewrite sync fails; the image
+  // sync right before it succeeds (fail one sync *after* one success). The
+  // snapshot itself still lands, the rollback restores every image, and
+  // recovery is unaffected.
+  engine->snapshots().fail_sync_after(1);
+  ASSERT_TRUE(engine->take_snapshot(store));
+  EXPECT_EQ(engine->stats().snapshot_gc_runs, 0u);
+  EXPECT_EQ(engine->stats().snapshot_bytes_reclaimed, 0u);
+  EXPECT_EQ(engine->stats().snapshot_failures, 1u);
+  EXPECT_EQ(scan_snapshots(engine->snapshots()).images, 3u);
+  engine->crash();
+  StableStorage recovered;
+  const RecoveryReport report = engine->recover_into(recovered);
+  EXPECT_EQ(report.snapshot_epoch, 6u);
+  EXPECT_EQ(recovered.fingerprint(), store.fingerprint());
 }
 
 // --- file backend ---

@@ -148,6 +148,73 @@ TEST(RecoveryFault, SyncFailureAloneLosesTheCommitWithoutTruncation) {
   EXPECT_EQ(system->stats().journal_truncations, 0u);
 }
 
+TEST(RecoveryFault, GroupCommitHaltRollsBackToLastWatermarkSync) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  options.durability.sync = storage::durable::SyncPolicy::frames(4);
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  // Halt at frame 11: epochs 1..11 committed in memory, but the frames(4)
+  // watermark synced the journal only through epoch 8. Recovery must land
+  // on frame 8's commit — whole frames lost, nothing torn.
+  constexpr Cycle kFail = 11;
+  support::MissionProfile mission(options.frame_length);
+  mission.fail(kFail, victim).repair(kFail + 5, victim);
+  system->set_fault_plan(mission.build());
+
+  const std::vector<std::uint64_t> after =
+      run_capturing(*system, victim, kFrames);
+
+  EXPECT_EQ(after[kFail], after[8 - 1]);
+  EXPECT_NE(after[kFail - 1], after[8 - 1]);  // epochs 9..11 did commit...
+  // ...in memory only; the halt rolled them back as whole frames.
+  const auto& recovery =
+      system->processors().processor(victim).last_recovery();
+  ASSERT_TRUE(recovery.has_value());
+  EXPECT_EQ(recovery->last_epoch, 8u);
+  EXPECT_FALSE(recovery->journal_truncated);
+  EXPECT_EQ(system->stats().journal_truncations, 0u);
+}
+
+TEST(RecoveryFault, DirectiveFrameIsAHaltBoundaryThatForcesSync) {
+  const ReconfigSpec spec = support::make_chain_spec({});
+  SystemOptions options;
+  // A watermark so large it would never sync on its own: every durable
+  // byte this mission gets comes from a forced boundary sync.
+  options.durability.sync = storage::durable::SyncPolicy::frames(1000);
+  auto system = make_durable_system(spec, options);
+  const ProcessorId victim = support::synthetic_processor(0);
+
+  // A severity change at frame 8 drives a reconfiguration; the directive
+  // frames it produces are halt boundaries, so the victim's journal is
+  // forcibly synced there even though the watermark never fires. The halt
+  // at frame 20 must then recover at least the last directive frame's
+  // commit instead of losing the whole mission.
+  constexpr Cycle kFail = 20;
+  support::MissionProfile mission(options.frame_length);
+  mission.at(8, support::kChainSeverityFactor, 1).fail(kFail, victim);
+  system->set_fault_plan(mission.build());
+
+  const std::vector<std::uint64_t> after =
+      run_capturing(*system, victim, kFrames);
+
+  const auto& recovery =
+      system->processors().processor(victim).last_recovery();
+  ASSERT_TRUE(recovery.has_value());
+  const std::uint64_t recovered = recovery->last_epoch;
+  // Without boundary syncs the journal would be all-buffered and recovery
+  // would land on epoch 0; with them it lands on a post-reconfiguration
+  // frame.
+  EXPECT_GE(recovered, 9u);
+  EXPECT_LT(recovered, static_cast<std::uint64_t>(kFail));
+  EXPECT_EQ(after[kFail], after[recovered - 1]);
+  const auto* engine =
+      system->processors().processor(victim).durability();
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GT(engine->stats().forced_syncs, 0u);
+}
+
 TEST(RecoveryFault, JournalFaultsOnNonDurableSystemAreBenign) {
   const ReconfigSpec spec = support::make_chain_spec({});
   SystemOptions options;  // durable_storage stays off

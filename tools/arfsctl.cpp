@@ -10,6 +10,10 @@
 //                                           journal's records
 //   arfsctl journal verify <file>           scan a journal, reporting the
 //                                           first corrupt offset (exit 1)
+//   arfsctl journal repair <file> [--dry-run]
+//                                           truncate a journal at the first
+//                                           corrupt offset so appending can
+//                                           resume (--dry-run only reports)
 //   arfsctl journal demo <file> [commits] [seed]
 //                                           write a sample journal file
 //
@@ -50,6 +54,7 @@ int usage() {
          "  simulate <spec> [frames=400] [seed=1]\n"
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
+         "  journal repair <file> [--dry-run]\n"
          "  journal demo <file> [commits=16] [seed=1]\n";
   return 2;
 }
@@ -174,6 +179,35 @@ int cmd_journal_dump(const std::string& path, bool verify_only) {
   return 1;
 }
 
+int cmd_journal_repair(const std::string& path, bool dry_run) {
+  storage::durable::FileBackend backend(path, /*create=*/false);
+  const storage::durable::ScanResult scan =
+      storage::durable::scan_journal(backend);
+  std::cout << path << ": " << scan.records.size() << " records, "
+            << scan.valid_bytes << " valid bytes of " << backend.size()
+            << "\n";
+  if (!scan.truncated) {
+    std::cout << "journal is clean; nothing to repair\n";
+    return 0;
+  }
+  std::cout << "CORRUPT at offset " << scan.valid_bytes << ": " << scan.reason
+            << "\n";
+  const std::uint64_t discard = backend.size() - scan.valid_bytes;
+  if (dry_run) {
+    std::cout << "dry run: would truncate " << discard << " bytes at offset "
+              << scan.valid_bytes << "\n";
+    return 1;
+  }
+  backend.truncate(scan.valid_bytes);
+  if (!backend.sync()) {
+    std::cerr << "repair: sync after truncate failed\n";
+    return 1;
+  }
+  std::cout << "truncated " << discard << " bytes; journal ends at offset "
+            << scan.valid_bytes << "\n";
+  return 0;
+}
+
 int cmd_journal_demo(const std::string& path, Cycle commits,
                      std::uint64_t seed) {
   auto file = std::make_unique<storage::durable::FileBackend>(path);
@@ -224,6 +258,10 @@ int main(int argc, char** argv) {
       const std::string path = argv[3];
       if (sub == "dump") return cmd_journal_dump(path, /*verify_only=*/false);
       if (sub == "verify") return cmd_journal_dump(path, /*verify_only=*/true);
+      if (sub == "repair") {
+        const bool dry_run = argc > 4 && std::string(argv[4]) == "--dry-run";
+        return cmd_journal_repair(path, dry_run);
+      }
       if (sub == "demo") {
         const Cycle commits =
             argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16;

@@ -1,4 +1,4 @@
-// Experiments E13 + E14 — durable stable storage, measured.
+// Experiments E13 + E14 + E15 — durable stable storage, measured.
 //
 // E13 (the §5.1 stable-storage construction):
 //   1. What does the write-ahead journal cost per commit?
@@ -12,6 +12,15 @@
 //   5. The crash-point sweep as a workload: wall time to fail-stop a
 //      durable mission at every frame in parallel and verify recovery.
 //
+// E15 (replicated journal shipping):
+//   6. Relocation cost, warm vs cold: journal tail bytes a continuously
+//      shipped standby still needs at a relocation point, against the
+//      encoded full-state copy the peer-reader path would put on the bus —
+//      across state sizes and sync policies.
+//   7. The avionics mission end to end: every region relocation of the UAV
+//      power-degradation mission served warm, with the bytes a full copy
+//      would have cost and the mission wall time both ways.
+//
 // Emit machine-readable numbers for the perf trajectory with:
 //   bench_recovery --benchmark_out=BENCH_recovery.json --benchmark_out_format=json
 #include <chrono>
@@ -23,11 +32,16 @@
 #include <utility>
 #include <vector>
 
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/bus/interface_unit.hpp"
+#include "arfs/bus/schedule.hpp"
 #include "arfs/core/system.hpp"
 #include "arfs/storage/durable/backend.hpp"
 #include "arfs/storage/durable/engine.hpp"
+#include "arfs/storage/durable/shipping.hpp"
 #include "arfs/storage/stable_storage.hpp"
 #include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/mission.hpp"
 #include "arfs/support/simple_app.hpp"
 #include "arfs/support/synthetic.hpp"
 #include "bench_main.hpp"
@@ -244,14 +258,140 @@ void report_crash_sweep() {
   }
 }
 
+// --- E15: replicated journal shipping ---
+
+void report_ship_vs_full_copy() {
+  // A standby replica is fed one shipping slot per commit (4 KB budget,
+  // the System default); at the relocation point the source syncs its
+  // boundary and the standby catches up. "warm" is what that catch-up
+  // still moved; "full" is what polling the whole encoded state — the only
+  // alternative — would have moved.
+  // The workload shape that matters: a state much larger than any one
+  // frame's delta (4 keys of a rotating working set change per commit).
+  // Relocating such a region cold moves the whole state; warm moves only
+  // the journal tail accumulated since the standby's last slot.
+  constexpr std::size_t kCommits = 2'000;
+  constexpr std::size_t kKeysPerCommit = 4;
+  std::cout << "\nWarm-start relocation bytes vs full-state copy ("
+            << kCommits << " commits, " << kKeysPerCommit
+            << " of N keys touched per commit, snapshots every 256)\n";
+  std::cout << std::left << std::setw(8) << "keys" << std::setw(14)
+            << "policy" << std::setw(12) << "full-KB" << std::setw(12)
+            << "warm-KB" << std::setw(10) << "avoided" << "rebases\n";
+  for (const std::size_t keys : {256, 1024, 4096}) {
+    for (const auto& [name, policy] : policies()) {
+      DurableOptions options;
+      options.snapshot_every_epochs = 256;
+      options.sync = policy;
+      auto engine = make_memory_engine(options);
+      StableStorage store;
+      storage::durable::ShippedReplica replica;
+      bus::ShippingUnit unit(EndpointId{1}, *engine, replica);
+      bus::TdmaSchedule schedule;
+      schedule.add_ship_slot(EndpointId{1}, 100, 4096);
+      for (std::size_t c = 0; c < kCommits; ++c) {
+        // Commit 0 populates the whole state; later commits touch a small
+        // rotating window.
+        const std::size_t touched = c == 0 ? keys : kKeysPerCommit;
+        for (std::size_t k = 0; k < touched; ++k) {
+          const std::size_t key =
+              c == 0 ? k : (c * kKeysPerCommit + k) % keys;
+          store.write("key" + std::to_string(key),
+                      static_cast<std::int64_t>(c));
+        }
+        engine->record_commit(store, c);
+        store.commit(c);
+        engine->after_commit(store);
+        (void)unit.poll(schedule);
+      }
+      (void)engine->sync_now();  // the relocation's halt-boundary flush
+      const std::size_t warm = unit.catch_up();
+      const std::uint64_t full =
+          storage::durable::encoded_state_bytes(store);
+      std::cout << std::left << std::setw(8) << keys << std::setw(14) << name
+                << std::setw(12) << std::fixed << std::setprecision(1)
+                << full / 1024.0 << std::setw(12) << warm / 1024.0
+                << std::setw(10) << std::setprecision(1)
+                << 100.0 * (1.0 - static_cast<double>(warm) /
+                                      static_cast<double>(full))
+                << unit.stats().rebases << "\n";
+    }
+  }
+}
+
+/// One UAV power-degradation mission (the E6 scenario) with durable
+/// storage; `shipping` turns the warm-standby channels on.
+std::unique_ptr<core::System> make_uav_mission(
+    const std::shared_ptr<core::ReconfigSpec>& spec,
+    avionics::UavPlant& plant, bool shipping) {
+  core::SystemOptions options;
+  options.frame_length = 20'000;
+  options.durable_storage = true;
+  options.journal_shipping = shipping;
+  options.durability.snapshot_every_epochs = 16;
+  auto system = std::make_unique<core::System>(*spec, options);
+  system->add_app(std::make_unique<avionics::AutopilotApp>(plant));
+  system->add_app(std::make_unique<avionics::FcsApp>(plant));
+  support::MissionProfile mission(options.frame_length);
+  mission.at(10, avionics::kPowerFactor, 1)
+      .at(25, avionics::kPowerFactor, 2)
+      .at(40, avionics::kPowerFactor, 0);
+  system->set_fault_plan(mission.build());
+  return system;
+}
+
+void report_warm_relocation_mission() {
+  constexpr Cycle kFrames = 60;
+  std::cout << "\nAvionics mission relocations, warm vs full copy ("
+            << kFrames << " frames, three reconfigurations)\n";
+  std::cout << std::left << std::setw(12) << "mode" << std::setw(10)
+            << "ms" << std::setw(8) << "relocs" << std::setw(8) << "warm"
+            << std::setw(12) << "moved-KB" << "note\n";
+
+  avionics::UavSpecOptions spec_options;
+  spec_options.dwell_frames = 10;
+  for (const bool shipping : {false, true}) {
+    auto spec = std::make_shared<core::ReconfigSpec>(
+        avionics::make_uav_spec(spec_options));
+    avionics::UavPlant plant(42);
+    auto system = make_uav_mission(spec, plant, shipping);
+    const auto start = std::chrono::steady_clock::now();
+    system->run(kFrames);
+    const double ms = wall_ms(start);
+    const core::SystemStats& stats = system->stats();
+    // Without shipping every relocation moves the full encoded region; with
+    // it the bus carries only the un-shipped journal tail.
+    const double moved_kb = shipping
+                                ? stats.relocation_catchup_bytes / 1024.0
+                                : stats.full_copy_bytes / 1024.0;
+    std::cout << std::left << std::setw(12)
+              << (shipping ? "warm-ship" : "full-copy") << std::setw(10)
+              << std::fixed << std::setprecision(1) << ms << std::setw(8)
+              << stats.region_relocations << std::setw(8)
+              << stats.warm_relocations << std::setw(12) << std::setprecision(2)
+              << moved_kb;
+    if (shipping) {
+      std::cout << "tail only; full copy would have moved "
+                << std::setprecision(2)
+                << stats.full_copy_bytes_avoided / 1024.0 << " KB ("
+                << stats.ship_bytes_total / 1024.0 << " KB shipped total)";
+    } else {
+      std::cout << "relocations move the full encoded region";
+    }
+    std::cout << "\n";
+  }
+}
+
 void report() {
-  bench::banner("E13+E14: durable stable storage",
+  bench::banner("E13+E14+E15: durable stable storage",
                 "the §5.1 stable-storage assumption, made and measured");
   report_append_throughput();
   report_policy_frontier();
   report_recovery_latency();
   report_snapshot_effect();
   report_crash_sweep();
+  report_ship_vs_full_copy();
+  report_warm_relocation_mission();
   std::cout << "\n";
 }
 
@@ -355,6 +495,36 @@ void BM_CrashSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CrashSweep)->ArgName("frames")->Arg(12)->Arg(24);
+
+void BM_JournalShip(benchmark::State& state) {
+  // Ship-and-apply throughput: a fresh replica consumes a pre-built synced
+  // journal in batches of the given byte budget. items/s is journal records
+  // replayed into the standby store per second.
+  const std::size_t budget = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRecords = 4'096;
+  auto engine = make_memory_engine();
+  StableStorage store;
+  run_commits(*engine, store, kRecords, 4);
+  for (auto _ : state) {
+    storage::durable::ShippedReplica replica;
+    storage::durable::JournalShipper shipper(*engine);
+    storage::durable::ShipBatch batch;
+    while (shipper.next_batch(replica.cursor(), budget, batch) ==
+           storage::durable::ShipStatus::kBatch) {
+      if (replica.apply(batch) != storage::durable::ApplyStatus::kApplied) {
+        state.SkipWithError("shipped batch failed to apply");
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(replica.store().fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+}
+BENCHMARK(BM_JournalShip)
+    ->ArgName("budget")
+    ->Arg(512)
+    ->Arg(4'096)
+    ->Arg(64 * 1024);
 
 }  // namespace
 

@@ -6,8 +6,25 @@ namespace arfs::bus {
 
 void TdmaSchedule::add_slot(EndpointId owner, SimDuration length) {
   require(length > 0, "TDMA slot length must be positive");
-  slots_.push_back(Slot{owner, length});
+  slots_.push_back(Slot{owner, length, SlotKind::kData, 0});
   round_length_ += length;
+}
+
+void TdmaSchedule::add_ship_slot(EndpointId owner, SimDuration length,
+                                 std::uint32_t byte_budget) {
+  require(length > 0, "TDMA slot length must be positive");
+  require(byte_budget > 0, "shipping slot needs a positive byte budget");
+  slots_.push_back(Slot{owner, length, SlotKind::kShipping, byte_budget});
+  round_length_ += length;
+}
+
+std::uint32_t TdmaSchedule::ship_budget(EndpointId owner) const {
+  for (const Slot& slot : slots_) {
+    if (slot.kind == SlotKind::kShipping && slot.owner == owner) {
+      return slot.byte_budget;
+    }
+  }
+  return 0;
 }
 
 bool TdmaSchedule::has_endpoint(EndpointId owner) const {
@@ -19,7 +36,7 @@ std::optional<Slot> TdmaSchedule::find_slot(EndpointId owner,
                                             SimDuration* offset_out) const {
   SimDuration offset = 0;
   for (const Slot& slot : slots_) {
-    if (slot.owner == owner) {
+    if (slot.kind == SlotKind::kData && slot.owner == owner) {
       *offset_out = offset;
       return slot;
     }

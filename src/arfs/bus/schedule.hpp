@@ -15,17 +15,36 @@
 
 namespace arfs::bus {
 
+/// What a slot carries. Data slots are the classic TTA message slots;
+/// shipping slots carry journal-record batches (storage::durable shipping)
+/// under an explicit per-slot byte budget, so replication traffic is
+/// schedulable bandwidth like everything else on the bus and can never
+/// crowd out control messages.
+enum class SlotKind : std::uint8_t { kData, kShipping };
+
 struct Slot {
   EndpointId owner;
   SimDuration length;  ///< Slot duration in simulated microseconds.
+  SlotKind kind = SlotKind::kData;
+  /// Shipping slots: bytes one round may carry (partial batches resume
+  /// next round). 0 for data slots.
+  std::uint32_t byte_budget = 0;
 };
 
 class TdmaSchedule {
  public:
   TdmaSchedule() = default;
 
-  /// Appends a slot to the round. Precondition: length > 0.
+  /// Appends a data slot to the round. Precondition: length > 0.
   void add_slot(EndpointId owner, SimDuration length);
+
+  /// Appends a journal-shipping slot with a per-round byte budget.
+  /// Preconditions: length > 0, byte_budget > 0.
+  void add_ship_slot(EndpointId owner, SimDuration length,
+                     std::uint32_t byte_budget);
+
+  /// Byte budget of `owner`'s shipping slot; 0 when it holds none.
+  [[nodiscard]] std::uint32_t ship_budget(EndpointId owner) const;
 
   [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
   [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }
@@ -33,7 +52,8 @@ class TdmaSchedule {
   /// Total duration of one TDMA round. 0 when the schedule is empty.
   [[nodiscard]] SimDuration round_length() const { return round_length_; }
 
-  /// True if `owner` holds at least one slot.
+  /// True if `owner` holds at least one *data* slot (message transmission;
+  /// shipping slots carry no messages).
   [[nodiscard]] bool has_endpoint(EndpointId owner) const;
 
   /// Earliest instant >= `now` at which `owner` may begin transmitting.
@@ -53,8 +73,9 @@ class TdmaSchedule {
   [[nodiscard]] SimDuration worst_case_latency(EndpointId owner) const;
 
  private:
-  /// Offset of the first slot owned by `owner` within the round, plus its
-  /// length; nullopt if the endpoint owns no slot.
+  /// Offset of the first *data* slot owned by `owner` within the round,
+  /// plus its length; nullopt if the endpoint owns no data slot. Message
+  /// timing never resolves to a shipping slot.
   [[nodiscard]] std::optional<Slot> find_slot(EndpointId owner,
                                               SimDuration* offset_out) const;
 

@@ -50,16 +50,27 @@ bool Scram::try_start(Cycle cycle, const env::EnvState& env_now,
     ++stats_.dwell_blocked_frames;
     return false;  // pending_trigger_ stays set; retried next frame
   }
-  const ConfigId chosen = spec_.choose(current_, env_now);
+  ConfigId chosen = spec_.choose(current_, env_now);
   if (chosen == current_) {
-    pending_trigger_ = false;
-    ++stats_.triggers_absorbed;
-    return false;
+    if (!(lossy_pending_ && options_.reinit_on_lossy_recovery)) {
+      pending_trigger_ = false;
+      lossy_pending_ = false;
+      ++stats_.triggers_absorbed;
+      return false;
+    }
+    // A lossy recovery rolled some processor's stable state back to an
+    // older commit boundary; resuming the current configuration without an
+    // SFTA would run applications whose precondition no longer holds.
+    // Reconfigure onto the current configuration itself: the halt /
+    // prepare / initialize sequence re-establishes every precondition from
+    // the recovered state.
+    ++stats_.lossy_reinits;
   }
   require(spec_.has_config(chosen),
           "choose() returned an undeclared configuration");
 
   pending_trigger_ = false;
+  lossy_pending_ = false;
   target_ = chosen;
   phase_ = Phase::kSignaled;
   active_start_ = cycle;
@@ -136,6 +147,11 @@ FramePlan Scram::begin_frame(
 
   const std::size_t signal_count = hw_signals.size() + env_signals.size();
   stats_.triggers_received += signal_count;
+  for (const failstop::FailureSignal& s : hw_signals) {
+    if (s.kind == failstop::SignalKind::kLossyRecovery) {
+      lossy_pending_ = true;  // sticky until an SFTA (re)initializes apps
+    }
+  }
 
   if (signal_count > 0) {
     if (phase_ == Phase::kIdle) {

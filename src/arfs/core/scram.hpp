@@ -56,6 +56,14 @@ enum class PhaseBarrier {
 struct ScramOptions {
   ReconfigPolicy policy = ReconfigPolicy::kBuffer;
   PhaseBarrier barrier = PhaseBarrier::kGlobal;
+  /// Journal-aware recovery handling: when a kLossyRecovery signal arrives
+  /// and choose() keeps the current configuration (the failure itself needs
+  /// no transition), run a full SFTA *onto the current configuration*
+  /// anyway, so every application re-establishes its precondition from the
+  /// rolled-back stable state instead of silently resuming on top of it.
+  /// Off by default: lossy recoveries are then absorbed like any other
+  /// trigger that choose() declines.
+  bool reinit_on_lossy_recovery = false;
 };
 
 /// The SCRAM's plan for one frame.
@@ -85,6 +93,9 @@ struct ScramStats {
   std::uint64_t retargets = 0;          ///< Immediate-policy target changes.
   std::uint64_t buffered_triggers = 0;  ///< Signals queued mid-reconfig.
   std::uint64_t dwell_blocked_frames = 0;
+  /// Re-initialization SFTAs forced by lossy-recovery signals (the target
+  /// equals the current configuration).
+  std::uint64_t lossy_reinits = 0;
 };
 
 class Scram {
@@ -157,6 +168,11 @@ class Scram {
   std::map<AppId, bool> prepare_done_;
   std::map<AppId, bool> init_done_;
   bool pending_trigger_ = false;   ///< Buffered/deferred evaluation request.
+  /// A lossy-recovery signal awaits evaluation; consumed by try_start (it
+  /// upgrades an absorbed trigger into a re-initialization when the option
+  /// asks for that, and clears whenever any reconfiguration starts — the
+  /// SFTA re-initializes every application either way).
+  bool lossy_pending_ = false;
   std::optional<Cycle> active_start_;
   Cycle dwell_until_ = 0;          ///< No new reconfiguration before this.
   ScramStats stats_;

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "arfs/bus/interface_unit.hpp"
 #include "arfs/common/check.hpp"
 #include "arfs/common/log.hpp"
 
 namespace arfs::core {
+
+/// One warm-standby replication channel: a ShippedReplica shadowing a
+/// source processor's durable store, fed by a ShippingUnit from the source's
+/// journal over the system's shipping schedule. The replica runs its own
+/// standby durability engine, so the standby state survives with the same
+/// guarantees as the source's.
+struct System::ShipChannel {
+  storage::durable::ShippedReplica replica;
+  bus::ShippingUnit unit;
+
+  ShipChannel(EndpointId endpoint, storage::durable::DurabilityEngine& source,
+              const storage::durable::DurableOptions& standby_options)
+      : unit(endpoint, source, replica) {
+    replica.attach_engine(storage::durable::make_memory_engine(standby_options));
+  }
+};
 
 /// Reads peer applications' committed stable variables by polling the
 /// processor currently holding the peer's region (which may itself have
@@ -83,6 +100,20 @@ System::System(const ReconfigSpec& spec, SystemOptions options)
     for (const ProcessorId p : group_.processor_ids()) {
       group_.processor(p).enable_durability(
           storage::durable::make_memory_engine(options.durability));
+    }
+  }
+  require(!options.journal_shipping || options.durable_storage,
+          "journal_shipping requires durable_storage");
+  if (options.journal_shipping) {
+    for (const ProcessorId p : group_.processor_ids()) {
+      storage::durable::DurabilityEngine* engine =
+          group_.processor(p).durability();
+      ensure(engine != nullptr, "durable processor without engine");
+      const EndpointId endpoint{p.value()};
+      ship_schedule_.add_ship_slot(endpoint, /*length=*/100,
+                                   options.ship_slot_bytes);
+      ship_channels_.emplace(p, std::make_unique<ShipChannel>(
+                                    endpoint, *engine, options.durability));
     }
   }
 
@@ -163,9 +194,29 @@ void System::apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
       failstop::Processor& proc = group_.processor(event.processor);
       if (!proc.running()) break;
       proc.fail(cycle);
-      if (proc.last_recovery().has_value() &&
-          proc.last_recovery()->journal_truncated) {
-        ++stats_.journal_truncations;
+      if (proc.last_recovery().has_value()) {
+        const storage::durable::RecoveryReport& report =
+            *proc.last_recovery();
+        if (report.journal_truncated) ++stats_.journal_truncations;
+        if (report.journal_truncated || proc.lost_epochs() > 0) {
+          // The recovered store is older than the state the applications
+          // last observed: a torn/corrupt tail was discarded, or group-
+          // commit lag lost whole frame commits. Silent resume would run
+          // applications whose precondition no longer holds — tell the
+          // SCRAM so it can force a re-initialization (journal-aware
+          // recovery, ScramOptions::reinit_on_lossy_recovery).
+          ++stats_.lossy_recoveries;
+          failstop::FailureSignal signal;
+          signal.at = now;
+          signal.cycle = cycle;
+          signal.kind = failstop::SignalKind::kLossyRecovery;
+          signal.processor = event.processor;
+          signal.detail =
+              "recovery rolled back " + std::to_string(proc.lost_epochs()) +
+              " commit epoch(s)" +
+              (report.journal_truncated ? "; journal tail truncated" : "");
+          bank_.raise(std::move(signal));
+        }
       }
       for (const auto& [app_id, host] : region_host_) {
         if (host == event.processor) apps_.at(app_id)->on_host_failure();
@@ -245,6 +296,53 @@ void System::relocate_region_if_needed(AppId app, ProcessorId to,
   const ProcessorId from = region_host_.at(app);
   if (from == to) return;
   const std::string& prefix = app_prefix(app);
+
+  const auto ship_it = ship_channels_.find(from);
+  if (ship_it != ship_channels_.end()) {
+    // Warm start: drain the un-shipped journal tail into the standby and,
+    // if the replica then mirrors the source's commit boundary exactly,
+    // relocate from the replica — the bus carried only the tail, not the
+    // full encoded region.
+    ShipChannel& channel = *ship_it->second;
+    failstop::Processor& source = group_.processor(from);
+    if (source.running()) {
+      // Halt-boundary flush: only synced bytes ever ship, so make the
+      // source's current commit boundary shippable before draining.
+      if (auto* engine = source.durability()) (void)engine->sync_now();
+    }
+    const std::size_t moved = channel.unit.catch_up();
+    stats_.ship_bytes_total += moved;
+    stats_.relocation_catchup_bytes += moved;
+    if (!channel.unit.needs_full_copy() &&
+        channel.replica.store().fingerprint() ==
+            source.poll_stable().fingerprint()) {
+      const std::size_t copied = StableRegion::relocate(
+          channel.replica.store(), group_.processor(to).stable(), prefix);
+      region_host_[app] = to;
+      ++stats_.region_relocations;
+      ++stats_.warm_relocations;
+      stats_.full_copy_bytes_avoided +=
+          storage::durable::encoded_state_bytes(source.poll_stable(), prefix);
+      log_debug("system", "cycle ", cycle, ": warm-relocated region of app ",
+                app.value(), " from processor ", from.value(), " to ",
+                to.value(), " (", copied, " keys, ", moved,
+                " tail bytes shipped)");
+      return;
+    }
+    // The replica did not converge (lost cursor, or a sync failure left the
+    // boundary un-shippable): fall back to polling the source's full state.
+    // A lost cursor also reseeds the standby so shipping resumes cleanly.
+    ++stats_.full_copy_relocations;
+    stats_.full_copy_bytes +=
+        storage::durable::encoded_state_bytes(source.poll_stable(), prefix);
+    if (channel.unit.needs_full_copy()) reseed_ship_channel(from, channel);
+  } else {
+    // No shipping channel: every relocation moves the full encoded region.
+    ++stats_.full_copy_relocations;
+    stats_.full_copy_bytes += storage::durable::encoded_state_bytes(
+        group_.processor(from).poll_stable(), prefix);
+  }
+
   const std::size_t copied = StableRegion::relocate(
       group_.processor(from).poll_stable(), group_.processor(to).stable(),
       prefix);
@@ -253,6 +351,61 @@ void System::relocate_region_if_needed(AppId app, ProcessorId to,
   log_debug("system", "cycle ", cycle, ": relocated region of app ",
             app.value(), " from processor ", from.value(), " to ",
             to.value(), " (", copied, " keys)");
+}
+
+void System::reseed_ship_channel(ProcessorId source, ShipChannel& channel) {
+  failstop::Processor& proc = group_.processor(source);
+  storage::durable::DurabilityEngine* engine = proc.durability();
+  ensure(engine != nullptr, "ship channel without a durability engine");
+  // The copy resumes shipping at the journal's synced end: everything before
+  // it is part of the copied state, everything after it ships normally. The
+  // current dictionary travels with the copy (later records reference ids
+  // announced before it).
+  channel.replica.reset_from_full_copy(
+      proc.poll_stable(), engine->dictionary(), engine->journal_generation(),
+      engine->journal().synced_size());
+  channel.unit.acknowledge_full_copy();
+  ++stats_.ship_reseeds;
+  stats_.full_copy_bytes +=
+      storage::durable::encoded_state_bytes(proc.poll_stable());
+}
+
+void System::pump_ship_channels() {
+  for (auto& [pid, channel] : ship_channels_) {
+    ++stats_.ship_slots_polled;
+    stats_.ship_bytes_total += channel->unit.poll(ship_schedule_);
+    if (channel->unit.needs_full_copy()) reseed_ship_channel(pid, *channel);
+  }
+}
+
+bool System::has_ship_channel(ProcessorId p) const {
+  return ship_channels_.find(p) != ship_channels_.end();
+}
+
+const storage::durable::ShippedReplica& System::ship_replica(
+    ProcessorId p) const {
+  const auto it = ship_channels_.find(p);
+  require(it != ship_channels_.end(), "processor has no shipping channel");
+  return it->second->replica;
+}
+
+System::ShipCatchUp System::ship_catch_up(ProcessorId p) {
+  const auto it = ship_channels_.find(p);
+  require(it != ship_channels_.end(), "processor has no shipping channel");
+  ShipChannel& channel = *it->second;
+  failstop::Processor& source = group_.processor(p);
+  if (source.running()) {
+    if (auto* engine = source.durability()) (void)engine->sync_now();
+  }
+  ShipCatchUp result;
+  result.bytes = channel.unit.catch_up();
+  stats_.ship_bytes_total += result.bytes;
+  stats_.relocation_catchup_bytes += result.bytes;
+  if (channel.unit.needs_full_copy()) {
+    reseed_ship_channel(p, channel);
+    result.reseeded = true;
+  }
+  return result;
 }
 
 void System::publish_processor_factors(SimTime now) {
@@ -485,6 +638,10 @@ void System::run_frame() {
                                           halt_boundary_hosts.end(), p);
     group_.processor(p).commit_frame(cycle, force);
   }
+  // 8b. Journal shipping: each channel gets its one TDMA shipping slot per
+  // round, moving at most the slot's byte budget of freshly-synced journal
+  // toward its warm standby.
+  if (!ship_channels_.empty()) pump_ship_channels();
   if (options_.record_trace) {
     record_snapshot(cycle, t0 + options_.frame_length);
   }

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "arfs/bus/schedule.hpp"
 #include "arfs/common/ids.hpp"
 #include "arfs/common/rng.hpp"
 #include "arfs/common/types.hpp"
@@ -48,6 +49,7 @@
 #include "arfs/sim/clock.hpp"
 #include "arfs/sim/fault_plan.hpp"
 #include "arfs/storage/durable/engine.hpp"
+#include "arfs/storage/durable/shipping.hpp"
 #include "arfs/trace/recorder.hpp"
 
 namespace arfs::core {
@@ -75,6 +77,14 @@ struct SystemOptions {
   bool durable_storage = false;
   /// Engine policy used when durable_storage is on.
   storage::durable::DurableOptions durability;
+  /// Ship every durable processor's journal to a warm-standby replica over
+  /// dedicated TDMA shipping slots, so region relocations move only the
+  /// un-shipped journal tail instead of the full encoded state. Requires
+  /// durable_storage.
+  bool journal_shipping = false;
+  /// Per-frame byte budget of each processor's shipping slot (the
+  /// schedulable replication bandwidth; partial batches resume next frame).
+  std::uint32_t ship_slot_bytes = 4096;
   /// Record the per-frame sys_trace (needed for get_reconfigs and the
   /// SP1-SP4 checkers). Disable only for unbounded benchmark runs.
   bool record_trace = true;
@@ -99,6 +109,33 @@ struct SystemStats {
   std::uint64_t journal_faults_injected = 0;
   /// Recoveries whose journal had a torn or corrupt tail truncated.
   std::uint64_t journal_truncations = 0;
+  /// Fail-stop recoveries that rolled committed state back (truncated tail
+  /// or discarded group-commit lag); each raises a kLossyRecovery signal.
+  std::uint64_t lossy_recoveries = 0;
+
+  // --- journal shipping (journal_shipping option) ---
+  /// Shipping-slot polls across all channels and frames.
+  std::uint64_t ship_slots_polled = 0;
+  /// Journal bytes put on the bus by shipping: per-frame slots plus
+  /// relocation catch-ups.
+  std::uint64_t ship_bytes_total = 0;
+  /// Bytes of that total moved during relocation catch-ups (the un-shipped
+  /// tail a warm start still had to transfer).
+  std::uint64_t relocation_catchup_bytes = 0;
+  /// Region relocations served from a warm standby replica.
+  std::uint64_t warm_relocations = 0;
+  /// Region relocations that moved the source's full encoded state (no
+  /// shipping channel, the channel did not converge, or the replica
+  /// fingerprint disagreed).
+  std::uint64_t full_copy_relocations = 0;
+  /// Encoded bytes those full copies moved.
+  std::uint64_t full_copy_bytes = 0;
+  /// Encoded region bytes warm relocations did NOT move (the savings
+  /// headline: what a full copy of the relocated region would have cost).
+  std::uint64_t full_copy_bytes_avoided = 0;
+  /// Standby replicas reseeded from a full-state copy (lost cursors:
+  /// lagged past the retained generation, lossy recovery, media fault).
+  std::uint64_t ship_reseeds = 0;
 };
 
 class System {
@@ -157,8 +194,27 @@ class System {
     return router_.stats();
   }
 
+  // --- journal shipping (journal_shipping option) ---
+
+  /// True when `p` has a shipping channel (every durable processor does
+  /// when the option is on).
+  [[nodiscard]] bool has_ship_channel(ProcessorId p) const;
+  /// The warm-standby replica shadowing `p`'s durable store.
+  /// Precondition: has_ship_channel(p).
+  [[nodiscard]] const storage::durable::ShippedReplica& ship_replica(
+      ProcessorId p) const;
+  struct ShipCatchUp {
+    std::size_t bytes = 0;  ///< Journal bytes moved by the catch-up.
+    bool reseeded = false;  ///< Cursor was lost; replica was full-copied.
+  };
+  /// Drains `p`'s remaining shippable tail into its replica now (the same
+  /// catch-up a relocation performs), reseeding from a full copy if the
+  /// cursor was lost. Precondition: has_ship_channel(p).
+  ShipCatchUp ship_catch_up(ProcessorId p);
+
  private:
   class SystemPeerReader;
+  struct ShipChannel;
 
   void apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
                          SimTime now);
@@ -172,6 +228,10 @@ class System {
   void relocate_region_if_needed(AppId app, ProcessorId to, Cycle cycle);
   void record_snapshot(Cycle cycle, SimTime frame_end);
   void publish_processor_factors(SimTime now);
+  /// One shipping slot per channel, in schedule order (end of every frame).
+  void pump_ship_channels();
+  /// Full-copy reseed of a channel whose replica cursor was lost.
+  void reseed_ship_channel(ProcessorId source, ShipChannel& channel);
 
   const ReconfigSpec& spec_;
   SystemOptions options_;
@@ -200,6 +260,10 @@ class System {
   Rng noise_rng_{9001};
   trace::SysTrace trace_;
   std::unique_ptr<SystemPeerReader> peer_reader_;
+  /// Warm-standby replication, keyed by source processor. The schedule
+  /// grants every channel one shipping slot per round (= per frame).
+  std::map<ProcessorId, std::unique_ptr<ShipChannel>> ship_channels_;
+  bus::TdmaSchedule ship_schedule_;
   SystemStats stats_;
   bool started_ = false;
 };

@@ -85,6 +85,7 @@ std::string to_string(SignalKind kind) {
     case SignalKind::kProcessorFailure: return "processor-failure";
     case SignalKind::kTimingViolation:  return "timing-violation";
     case SignalKind::kSoftwareFailure:  return "software-failure";
+    case SignalKind::kLossyRecovery:    return "lossy-recovery";
   }
   return "?";
 }

@@ -30,6 +30,12 @@ enum class SignalKind {
   kProcessorFailure,
   kTimingViolation,
   kSoftwareFailure,
+  /// A fail-stop recovery lost state the processor had committed: the
+  /// journal tail was torn/corrupt or group-commit lag discarded whole
+  /// frame commits. The store is consistent but *older* than what the
+  /// applications last observed, so silent resume would violate their
+  /// precondition; the SCRAM may force a re-initialization instead.
+  kLossyRecovery,
 };
 
 struct FailureSignal {

@@ -31,8 +31,12 @@ void Processor::fail(Cycle cycle) {
     // reconciled with what the devices actually preserved — so peers
     // polling this processor see the recovered state, not a convenient
     // in-memory copy the disk never had.
+    const std::uint64_t pre_crash_epochs = stable_.commit_epochs();
     durability_->crash();
     last_recovery_ = durability_->recover_into(stable_);
+    lost_epochs_ = pre_crash_epochs > stable_.commit_epochs()
+                       ? pre_crash_epochs - stable_.commit_epochs()
+                       : 0;
     if (last_recovery_->journal_truncated) {
       log_warn("failstop", "processor ", id_.value(),
                " journal truncated on recovery: ", last_recovery_->note);

@@ -93,6 +93,12 @@ class Processor {
     return last_recovery_;
   }
 
+  /// Commit epochs the most recent fail()-time recovery rolled back (the
+  /// group-commit lag a crash legitimately discards). Non-zero means the
+  /// recovered store is *older* than the state applications last observed —
+  /// a lossy recovery, even though the journal itself was intact.
+  [[nodiscard]] std::uint64_t lost_epochs() const { return lost_epochs_; }
+
   [[nodiscard]] std::optional<Cycle> failed_at() const { return failed_at_; }
   [[nodiscard]] std::uint64_t failure_count() const { return failures_; }
   [[nodiscard]] SelfCheckingPair& pair() { return pair_; }
@@ -105,6 +111,7 @@ class Processor {
   storage::VolatileStorage volatile_;
   std::unique_ptr<storage::durable::DurabilityEngine> durability_;
   std::optional<storage::durable::RecoveryReport> last_recovery_;
+  std::uint64_t lost_epochs_ = 0;
   std::optional<Cycle> failed_at_;
   std::uint64_t failures_ = 0;
 };

@@ -77,6 +77,17 @@ DurabilityEngine::DurabilityEngine(std::unique_ptr<JournalBackend> journal,
           "durability engine needs both devices");
 }
 
+void DurabilityEngine::note_ship(std::uint64_t bytes, std::uint64_t lag,
+                                 std::uint64_t horizon) {
+  if (bytes > 0) {
+    ++stats_.ship_batches;
+    stats_.shipped_bytes += bytes;
+  }
+  stats_.ship_lag_bytes = lag;
+  stats_.max_ship_lag_bytes = std::max(stats_.max_ship_lag_bytes, lag);
+  ship_horizon_ = std::max(ship_horizon_, horizon);
+}
+
 bool DurabilityEngine::watermark_reached() const {
   const SyncPolicy& policy = options_.sync;
   switch (policy.mode) {
@@ -166,6 +177,29 @@ bool DurabilityEngine::take_snapshot(const StableStorage& store) {
   // Reclaim superseded images while the journal still covers everything
   // since the previous image — a failed rewrite then loses nothing.
   gc_snapshots();
+  // Compaction starts a new journal generation for shippers. Retain the
+  // outgoing generation's synced bytes so replicas that lag this compaction
+  // can finish it and rebase; if the boundary sync above failed, un-shipped
+  // records went into the image without ever becoming shippable, so a
+  // rebase would silently lose them — disable it and force a full copy.
+  rebase_ok_ = stats_.lag_bytes == 0;
+  retained_tail_.clear();
+  if (rebase_ok_) {
+    const std::uint64_t synced = journal_->synced_size();
+    if (synced > kHeaderSize) {
+      retained_tail_.resize(static_cast<std::size_t>(synced - kHeaderSize));
+      const std::size_t got = journal_->read(kHeaderSize,
+                                             retained_tail_.data(),
+                                             retained_tail_.size());
+      if (got != retained_tail_.size()) {
+        retained_tail_.clear();
+        rebase_ok_ = false;
+      }
+    }
+  }
+  rebase_epoch_ = store.commit_epochs();
+  ++journal_generation_;
+  ship_horizon_ = kHeaderSize;
   // The image covers every epoch the journal holds; compact it. Torn-tail
   // safety is preserved because the image is already durably synced. The
   // buffered tail (if a pre-image sync failed) is covered by the image too,
@@ -221,6 +255,19 @@ RecoveryReport DurabilityEngine::recover_into(StableStorage& out) {
   // record — the journal analogue of halting at the last completed
   // instruction.
   journal_->truncate(report.valid_bytes);
+  if (report.valid_bytes < ship_horizon_) {
+    // The truncation destroyed bytes a shipper may already have served
+    // (bit flip or torn salvage inside the shipped range): replica cursors
+    // into this generation no longer describe the journal. Start a new
+    // generation with no retained window — stale cursors must full-copy.
+    ++journal_generation_;
+    rebase_ok_ = false;
+    retained_tail_.clear();
+    ship_horizon_ = kHeaderSize;
+  } else {
+    ship_horizon_ = std::max<std::uint64_t>(
+        kHeaderSize, std::min(ship_horizon_, report.valid_bytes));
+  }
   if (snap.truncated) snapshots_->truncate(snap.valid_bytes);
   // The journal now ends exactly where the scan stopped trusting it, so the
   // scan's dictionary is the writer's dictionary.

@@ -109,6 +109,20 @@ struct DurabilityStats {
   // --- snapshot-device GC ---
   std::uint64_t snapshot_gc_runs = 0;
   std::uint64_t snapshot_bytes_reclaimed = 0;
+
+  // --- journal shipping (JournalShipper over this engine) ---
+  std::uint64_t ship_batches = 0;
+  std::uint64_t shipped_bytes = 0;
+  /// Synced journal bytes a shipped replica has not yet received, as of the
+  /// last batch produced (the warm-start catch-up debt), and its high-water
+  /// mark.
+  std::uint64_t ship_lag_bytes = 0;
+  std::uint64_t max_ship_lag_bytes = 0;
+  /// Replica cursors invalidated (lagged past the retained generation, or
+  /// a lossy recovery destroyed shipped bytes): each costs a full copy.
+  std::uint64_t ship_fallbacks = 0;
+  /// Replicas rebased across a compaction without a full copy.
+  std::uint64_t ship_rebases = 0;
 };
 
 /// What recovery found and did.
@@ -177,6 +191,43 @@ class DurabilityEngine {
   [[nodiscard]] JournalBackend& journal() { return *journal_; }
   [[nodiscard]] JournalBackend& snapshots() { return *snapshots_; }
 
+  // --- journal-shipping support ---
+
+  /// Monotone generation counter of the journal's byte space. Bumped when
+  /// compaction discards the journal (take_snapshot) and when a lossy
+  /// recovery truncates bytes a shipper may already have served — a ship
+  /// cursor is only meaningful within one generation.
+  [[nodiscard]] std::uint64_t journal_generation() const {
+    return journal_generation_;
+  }
+  /// Synced bytes of the previous generation, retained at compaction so
+  /// replicas that lag one compaction can still catch up instead of
+  /// falling back to a full copy.
+  [[nodiscard]] const std::vector<std::uint8_t>& retained_tail() const {
+    return retained_tail_;
+  }
+  /// True when a replica that consumed the whole previous generation may
+  /// rebase onto the current one (the retained bytes cover everything the
+  /// compacting snapshot image covered; false when the pre-image sync
+  /// failed and un-shipped records went straight into the image).
+  [[nodiscard]] bool rebase_ok() const { return rebase_ok_; }
+  /// Epoch a rebasing replica adopts: the compacting image's epoch.
+  [[nodiscard]] std::uint64_t rebase_epoch() const { return rebase_epoch_; }
+  /// The journal's current key dictionary — part of the state a full-copy
+  /// reseed transfers (later records reference ids announced before it).
+  [[nodiscard]] const std::vector<std::string>& dictionary() const {
+    return interner_.entries();
+  }
+
+  /// Shipping accounting, called by JournalShipper per batch: bytes put on
+  /// the wire, synced bytes still owed, and (for current-generation
+  /// batches; 0 otherwise) the end offset shipped up to — the horizon a
+  /// lossy recovery checks cursors against.
+  void note_ship(std::uint64_t bytes, std::uint64_t lag,
+                 std::uint64_t horizon);
+  void note_ship_fallback() { ++stats_.ship_fallbacks; }
+  void note_ship_rebase() { ++stats_.ship_rebases; }
+
  private:
   [[nodiscard]] bool watermark_reached() const;
   /// Syncs the journal and settles the lag counters. Shared by the policy
@@ -196,6 +247,16 @@ class DurabilityEngine {
   /// Epoch of the newest record appended to the journal; becomes
   /// last_durable_epoch when the tail syncs.
   std::uint64_t appended_epoch_ = 0;
+
+  // --- journal-shipping state (see the accessors above) ---
+  std::uint64_t journal_generation_ = 0;
+  std::vector<std::uint8_t> retained_tail_;
+  bool rebase_ok_ = true;
+  std::uint64_t rebase_epoch_ = 0;
+  /// Highest current-generation end offset ever handed to a shipper; a
+  /// recovery that truncates below it must start a new generation, because
+  /// replicas may hold bytes the journal no longer agrees with.
+  std::uint64_t ship_horizon_ = kHeaderSize;
 };
 
 /// Convenience: an engine on fresh in-memory devices (sim processors).

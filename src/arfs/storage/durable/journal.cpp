@@ -173,6 +173,9 @@ ScanResult scan_journal(const JournalBackend& backend) {
         result.reason = "malformed dictionary record";
         break;
       }
+      result.dict_records.push_back(
+          DictRecordInfo{offset, static_cast<std::uint32_t>(first_id),
+                         static_cast<std::uint32_t>(count)});
     } else if (kind == kRecordCommit) {
       JournalRecord record;
       record.offset = offset;
@@ -180,6 +183,7 @@ ScanResult scan_journal(const JournalBackend& backend) {
       record.cycle = reader.u64();
       const std::uint32_t n = reader.u32();
       record.entries.reserve(n);
+      record.entry_ids.reserve(n);
       bool bad_id = false;
       for (std::uint32_t i = 0; i < n && reader.ok(); ++i) {
         const std::uint64_t id = reader.varint();
@@ -189,6 +193,7 @@ ScanResult scan_journal(const JournalBackend& backend) {
         }
         Value value = reader.value();
         record.entries.emplace_back(result.dict[id], std::move(value));
+        record.entry_ids.push_back(static_cast<std::uint32_t>(id));
       }
       if (bad_id || !reader.exhausted()) {
         result.truncated = true;

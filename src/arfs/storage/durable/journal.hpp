@@ -52,7 +52,17 @@ struct JournalRecord {
   std::uint64_t epoch = 0;  ///< StableStorage commit epoch (1-based).
   Cycle cycle = 0;          ///< Frame the commit was stamped with.
   std::vector<std::pair<std::string, Value>> entries;
+  /// Interned key id of each entry, parallel to `entries` (what actually
+  /// sits on the device; surfaced for arfsctl's journal dump).
+  std::vector<std::uint32_t> entry_ids;
   std::uint64_t offset = 0;  ///< Byte offset of the record envelope.
+};
+
+/// One dictionary record seen while scanning (arfsctl's journal dump).
+struct DictRecordInfo {
+  std::uint64_t offset = 0;    ///< Byte offset of the record envelope.
+  std::uint32_t first_id = 0;  ///< First id the record assigns.
+  std::uint32_t count = 0;     ///< Keys announced.
 };
 
 /// Result of scanning a journal device end to end.
@@ -60,6 +70,7 @@ struct ScanResult {
   bool header_ok = false;
   std::vector<JournalRecord> records;   ///< Valid commit prefix, in order.
   std::vector<std::string> dict;        ///< Interned keys, indexed by id.
+  std::vector<DictRecordInfo> dict_records;  ///< Dictionary records seen.
   std::uint64_t valid_bytes = 0;        ///< End of the last valid record.
   bool truncated = false;               ///< A torn/corrupt tail was found.
   std::string reason;                   ///< Why scanning stopped early.
@@ -86,6 +97,11 @@ class KeyInterner {
   void reset();
 
   [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  /// The whole dictionary in id order (full-copy reseeds ship it as part of
+  /// the transferred state).
+  [[nodiscard]] const std::vector<std::string>& entries() const {
+    return keys_;
+  }
 
  private:
   std::vector<std::string> keys_;  ///< id -> key.

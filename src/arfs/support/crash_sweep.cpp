@@ -28,6 +28,10 @@ std::uint64_t CrashSweepReport::digest() const {
     fnv_mix(h, p.recovered_epoch);
     fnv_mix(h, p.lost_frames);
     fnv_mix(h, (p.journal_truncated ? 2u : 0u) | (p.match ? 1u : 0u));
+    fnv_mix(h, p.replica_epoch);
+    fnv_mix(h, p.replica_fingerprint);
+    fnv_mix(h, p.replica_catchup_bytes);
+    fnv_mix(h, (p.replica_reseeded ? 2u : 0u) | (p.replica_match ? 1u : 0u));
   }
   return h;
 }
@@ -65,9 +69,24 @@ CrashSweepReport run_crash_sweep(const MissionFactory& factory,
 
         failstop::Processor& target =
             system.processors().processor(options.victim);
-        const storage::durable::DurabilityEngine* engine = target.durability();
+        storage::durable::DurabilityEngine* engine = target.durability();
         require(engine != nullptr, "crash sweep victim is not durable");
         const std::uint64_t durable_epoch = engine->stats().last_durable_epoch;
+
+        // Arm the crash-time device fault, if any. The bit flip lands at a
+        // position derived from the crash frame, so the sweep exercises a
+        // different (deterministic) corruption site at every point.
+        switch (options.io_fault) {
+          case CrashSweepOptions::IoFault::kNone:
+            break;
+          case CrashSweepOptions::IoFault::kTornWrite:
+            engine->journal().tear_on_crash(options.tear_keep);
+            break;
+          case CrashSweepOptions::IoFault::kBitFlip:
+            engine->journal().corrupt_bit(0x9E3779B97F4A7C15ULL *
+                                          (std::uint64_t{crash_frame} + 1));
+            break;
+        }
 
         // The fail-stop halt: devices lose their unsynced tail, recovery
         // runs inside fail(), and poll_stable() shows the recovered store.
@@ -85,9 +104,13 @@ CrashSweepReport run_crash_sweep(const MissionFactory& factory,
             recovery.has_value() && recovery->journal_truncated;
         // The floor must hold, the recovered epoch must be a real frame of
         // this mission, and the recovered bytes must be exactly that
-        // frame's committed state.
-        point.match = recovery.has_value() &&
-                      point.recovered_epoch >= durable_epoch &&
+        // frame's committed state. A bit flip may corrupt *synced* records,
+        // so it alone is excused from the durable-epoch floor — recovery
+        // must still land on an exact commit boundary.
+        const bool floor_ok =
+            options.io_fault == CrashSweepOptions::IoFault::kBitFlip ||
+            point.recovered_epoch >= durable_epoch;
+        point.match = recovery.has_value() && floor_ok &&
                       point.recovered_epoch <= crash_frame &&
                       point.recovered_fingerprint ==
                           fingerprints[static_cast<std::size_t>(
@@ -96,13 +119,42 @@ CrashSweepReport run_crash_sweep(const MissionFactory& factory,
             point.recovered_epoch <= crash_frame
                 ? crash_frame - point.recovered_epoch
                 : 0;
+
+        if (options.warm_start) {
+          // Warm-start relocation check: drain the victim's shipping
+          // channel and require the standby replica to be bit-identical to
+          // the recovered commit boundary — the state a relocated app
+          // would warm-start from.
+          require(system.has_ship_channel(options.victim),
+                  "warm-start sweep needs SystemOptions::journal_shipping");
+          const core::System::ShipCatchUp catch_up =
+              system.ship_catch_up(options.victim);
+          const storage::durable::ShippedReplica& replica =
+              system.ship_replica(options.victim);
+          point.replica_epoch = replica.store().commit_epochs();
+          point.replica_fingerprint = replica.store().fingerprint();
+          point.replica_catchup_bytes = catch_up.bytes;
+          point.replica_reseeded = catch_up.reseeded;
+          point.replica_match =
+              point.replica_epoch <= crash_frame &&
+              point.replica_fingerprint == point.recovered_fingerprint &&
+              point.replica_fingerprint ==
+                  fingerprints[static_cast<std::size_t>(point.replica_epoch)];
+        }
         return point;
       });
 
   for (const CrashPoint& point : report.points) {
     if (!point.match) ++report.mismatches;
+    if (options.warm_start && !point.replica_match) {
+      ++report.replica_mismatches;
+    }
     report.max_lost_frames =
         std::max(report.max_lost_frames, point.lost_frames);
+    report.max_replica_catchup_bytes =
+        std::max(report.max_replica_catchup_bytes,
+                 point.replica_catchup_bytes);
+    if (point.replica_reseeded) ++report.replica_reseeds;
   }
   return report;
 }

@@ -42,6 +42,32 @@ struct CrashSweepOptions {
   /// The processor to fail-stop. Must carry a durability engine and must
   /// not be failed by the mission's own fault plan.
   ProcessorId victim;
+
+  /// Device fault armed at the crash point, on top of the ordinary loss of
+  /// the unsynced tail.
+  enum class IoFault : std::uint8_t {
+    kNone,
+    /// The final in-flight write tears: `tear_keep` bytes of the buffered
+    /// tail survive onto the durable image. Recovery may salvage extra
+    /// whole records but must truncate the torn one — the durable-epoch
+    /// floor still holds (synced bytes are intact).
+    kTornWrite,
+    /// One bit of the durable journal image flips (latent media fault).
+    /// This can land in *synced* records, so recovery may legitimately
+    /// truncate below the durable-epoch floor; the sweep then only
+    /// requires the recovered state to be an exact commit boundary.
+    kBitFlip,
+  };
+  IoFault io_fault = IoFault::kNone;
+  /// Buffered-tail bytes a torn write leaves on the image (kTornWrite).
+  std::size_t tear_keep = 7;
+
+  /// Also verify warm-start relocation at every crash point: after the
+  /// fail-stop, catch the victim's shipping channel up and assert the
+  /// standby replica's fingerprint is bit-identical to the recovered
+  /// commit-boundary fingerprint. The factory's mission must enable
+  /// SystemOptions::journal_shipping.
+  bool warm_start = false;
 };
 
 /// One crash point's verdict. `match` asserts the fail-stop contract:
@@ -66,14 +92,35 @@ struct CrashPoint {
   std::uint64_t lost_frames = 0;
   bool journal_truncated = false;  ///< Recovery found a torn/corrupt tail.
   bool match = false;
+
+  // --- warm-start fields (CrashSweepOptions::warm_start; zero otherwise) ---
+  std::uint64_t replica_epoch = 0;        ///< Standby store's commit epoch.
+  std::uint64_t replica_fingerprint = 0;  ///< Standby store's fingerprint.
+  /// Journal bytes the post-crash catch-up still had to ship.
+  std::uint64_t replica_catchup_bytes = 0;
+  /// The catch-up lost its cursor and fell back to a full-copy reseed.
+  bool replica_reseeded = false;
+  /// The warm-start contract: after catch-up the standby is bit-identical
+  /// to the recovered commit boundary (same fingerprint as the recovered
+  /// store, and an exact frame commit of this mission).
+  bool replica_match = false;
 };
 
 struct CrashSweepReport {
   std::vector<CrashPoint> points;  ///< One per crash frame, in order.
   std::size_t mismatches = 0;
+  /// Warm-start points whose replica missed the contract (0 unless the
+  /// sweep ran with warm_start).
+  std::size_t replica_mismatches = 0;
   std::uint64_t max_lost_frames = 0;
+  /// Largest post-crash catch-up any warm-start point needed.
+  std::uint64_t max_replica_catchup_bytes = 0;
+  /// Warm-start points that fell back to a full-copy reseed.
+  std::size_t replica_reseeds = 0;
 
-  [[nodiscard]] bool all_match() const { return mismatches == 0; }
+  [[nodiscard]] bool all_match() const {
+    return mismatches == 0 && replica_mismatches == 0;
+  }
   /// Order-sensitive FNV-1a digest of every point — one number to compare
   /// a serial reference sweep against a parallel one.
   [[nodiscard]] std::uint64_t digest() const;

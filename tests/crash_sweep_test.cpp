@@ -30,13 +30,16 @@ std::vector<std::pair<std::string, SyncPolicy>> all_policies() {
 }
 
 /// Chain-spec mission: durable processors, one SimpleApp per declared app,
-/// no faults of its own — every frame is a plain commit.
-MissionFactory chain_factory(SyncPolicy policy) {
-  return [policy] {
+/// no faults of its own — every frame is a plain commit. With `shipping`
+/// every durable processor also feeds a warm-standby replica over the
+/// TDMA shipping slots (the warm-start sweeps).
+MissionFactory chain_factory(SyncPolicy policy, bool shipping = false) {
+  return [policy, shipping] {
     auto spec =
         std::make_shared<core::ReconfigSpec>(make_chain_spec({}));
     core::SystemOptions options;
     options.durable_storage = true;
+    options.journal_shipping = shipping;
     options.durability.snapshot_every_epochs = 7;
     options.durability.sync = policy;
     auto system = std::make_unique<core::System>(*spec, options);
@@ -55,8 +58,8 @@ MissionFactory chain_factory(SyncPolicy policy) {
 /// configurations, with the electrical factor driving two reconfigurations
 /// down and one back up. The victim (computer 1) hosts applications in
 /// every configuration and is never failed by the mission itself.
-MissionFactory uav_factory(SyncPolicy policy) {
-  return [policy] {
+MissionFactory uav_factory(SyncPolicy policy, bool shipping = false) {
+  return [policy, shipping] {
     struct Bundle {
       core::ReconfigSpec spec;
       avionics::UavPlant plant;
@@ -71,6 +74,7 @@ MissionFactory uav_factory(SyncPolicy policy) {
     core::SystemOptions options;
     options.frame_length = 20'000;
     options.durable_storage = true;
+    options.journal_shipping = shipping;
     options.durability.snapshot_every_epochs = 16;
     options.durability.sync = policy;
     auto system = std::make_unique<core::System>(bundle->spec, options);
@@ -133,6 +137,82 @@ TEST(CrashSweep, AvionicsMissionRecoversAtEveryFrameUnderEveryPolicy) {
   }
 }
 
+TEST(CrashSweep, TornWriteStillRecoversOnACommitBoundary) {
+  // The final in-flight write tears: a few buffered-tail bytes land on the
+  // durable image. Recovery must truncate the torn record, and the
+  // durable-epoch floor still holds — synced bytes are untouched.
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 20;
+    options.victim = synthetic_processor(0);
+    options.io_fault = CrashSweepOptions::IoFault::kTornWrite;
+    const CrashSweepReport report =
+        run_crash_sweep(chain_factory(policy), options);
+    EXPECT_TRUE(report.all_match())
+        << name << ": " << report.mismatches << " mismatching crash points";
+    // Group-commit policies carry a buffered tail most frames, so the tear
+    // really deposits torn bytes recovery has to truncate. (Under
+    // every-commit the tail is empty at the boundary — nothing to tear.)
+    if (policy.mode != storage::durable::SyncMode::kEveryCommit) {
+      bool truncated = false;
+      for (const CrashPoint& p : report.points) {
+        truncated = truncated || p.journal_truncated;
+      }
+      EXPECT_TRUE(truncated) << name;
+    }
+  }
+}
+
+TEST(CrashSweep, BitFlipStillRecoversOnACommitBoundary) {
+  // A latent media fault flips one durable bit at every crash point. It may
+  // land in *synced* records, so the durable-epoch floor is waived — but
+  // recovery must still land on an exact frame-commit boundary, never on
+  // torn state.
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 20;
+    options.victim = synthetic_processor(0);
+    options.io_fault = CrashSweepOptions::IoFault::kBitFlip;
+    const CrashSweepReport report =
+        run_crash_sweep(chain_factory(policy), options);
+    EXPECT_TRUE(report.all_match())
+        << name << ": " << report.mismatches << " mismatching crash points";
+  }
+}
+
+TEST(CrashSweep, WarmStartReplicaMatchesRecoveryAtEveryFrame) {
+  // The warm-start contract at every crash point of the chain mission,
+  // under every sync policy: after the post-crash catch-up the standby
+  // replica's fingerprint is bit-identical to the recovered
+  // commit-boundary fingerprint.
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 20;
+    options.victim = synthetic_processor(0);
+    options.warm_start = true;
+    const CrashSweepReport report =
+        run_crash_sweep(chain_factory(policy, /*shipping=*/true), options);
+    EXPECT_TRUE(report.all_match()) << name << ": " << report.mismatches
+                                    << " recovery / "
+                                    << report.replica_mismatches
+                                    << " replica mismatches";
+    EXPECT_EQ(report.replica_mismatches, 0u) << name;
+  }
+}
+
+TEST(CrashSweep, WarmStartAvionicsReplicaMatchesUnderEveryPolicy) {
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 30;
+    options.victim = avionics::kComputer1;
+    options.warm_start = true;
+    const CrashSweepReport report =
+        run_crash_sweep(uav_factory(policy, /*shipping=*/true), options);
+    EXPECT_TRUE(report.all_match()) << name;
+    EXPECT_EQ(report.replica_mismatches, 0u) << name;
+  }
+}
+
 TEST(CrashSweep, ReportIsBitIdenticalAcrossThreadCounts) {
   const auto digest_with = [](std::size_t threads) {
     sim::BatchOptions batch;
@@ -143,6 +223,23 @@ TEST(CrashSweep, ReportIsBitIdenticalAcrossThreadCounts) {
     options.victim = synthetic_processor(0);
     return run_crash_sweep(chain_factory(SyncPolicy::frames(3)), options,
                            runner)
+        .digest();
+  };
+  EXPECT_EQ(digest_with(1), digest_with(4));
+}
+
+TEST(CrashSweep, WarmStartReportIsBitIdenticalAcrossThreadCounts) {
+  const auto digest_with = [](std::size_t threads) {
+    sim::BatchOptions batch;
+    batch.threads = threads;
+    sim::BatchRunner runner(batch);
+    CrashSweepOptions options;
+    options.frames = 10;
+    options.victim = synthetic_processor(0);
+    options.warm_start = true;
+    return run_crash_sweep(
+               chain_factory(SyncPolicy::frames(3), /*shipping=*/true),
+               options, runner)
         .digest();
   };
   EXPECT_EQ(digest_with(1), digest_with(4));

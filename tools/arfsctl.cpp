@@ -16,6 +16,11 @@
 //                                           resume (--dry-run only reports)
 //   arfsctl journal demo <file> [commits] [seed]
 //                                           write a sample journal file
+//   arfsctl journal ship <src> <dst> [--cursor N]
+//                                           replicate a source journal's
+//                                           valid prefix into <dst> in
+//                                           CRC-framed batches (resumes at
+//                                           <dst>'s end, or at offset N)
 //
 // <spec> selects a built-in specification:
 //   uav          the paper's section 7 avionics example
@@ -37,6 +42,8 @@
 #include "arfs/storage/durable/backend.hpp"
 #include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/durable/journal.hpp"
+#include "arfs/storage/durable/shipping.hpp"
+#include "arfs/storage/durable/wire.hpp"
 #include "arfs/storage/stable_storage.hpp"
 #include "arfs/support/simple_app.hpp"
 #include "arfs/support/synthetic.hpp"
@@ -55,7 +62,8 @@ int usage() {
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
-         "  journal demo <file> [commits=16] [seed=1]\n";
+         "  journal demo <file> [commits=16] [seed=1]\n"
+         "  journal ship <src> <dst> [--cursor N]\n";
   return 2;
 }
 
@@ -163,9 +171,34 @@ int cmd_journal_dump(const std::string& path, bool verify_only) {
   const storage::durable::ScanResult scan =
       storage::durable::scan_journal(backend);
   if (!verify_only) {
+    // Interleave dictionary records with the commits they precede, in
+    // device order, so the dump mirrors the actual byte layout.
+    std::size_t d = 0;
+    const auto print_dicts_before = [&](std::uint64_t offset) {
+      for (; d < scan.dict_records.size() &&
+             scan.dict_records[d].offset < offset;
+           ++d) {
+        const storage::durable::DictRecordInfo& info = scan.dict_records[d];
+        std::cout << "@" << info.offset << " dict ids [" << info.first_id
+                  << ".." << info.first_id + info.count << "):";
+        for (std::uint32_t i = 0; i < info.count; ++i) {
+          std::cout << " " << scan.dict[info.first_id + i];
+        }
+        std::cout << "\n";
+      }
+    };
     for (const storage::durable::JournalRecord& record : scan.records) {
-      std::cout << storage::durable::to_string(record) << "\n";
+      print_dicts_before(record.offset);
+      std::cout << storage::durable::to_string(record);
+      if (!record.entry_ids.empty()) {
+        std::cout << "  ids:";
+        for (const std::uint32_t id : record.entry_ids) {
+          std::cout << " " << id;
+        }
+      }
+      std::cout << "\n";
     }
+    print_dicts_before(scan.valid_bytes);
   }
   std::cout << path << ": " << scan.records.size() << " records, "
             << scan.valid_bytes << " valid bytes of " << backend.size()
@@ -229,6 +262,131 @@ int cmd_journal_demo(const std::string& path, Cycle commits,
   return 0;
 }
 
+int cmd_journal_ship(const std::string& src_path, const std::string& dst_path,
+                     std::optional<std::uint64_t> cursor_arg) {
+  using storage::durable::kHeaderSize;
+
+  const storage::durable::FileBackend src(src_path, /*create=*/false);
+  const storage::durable::ScanResult src_scan =
+      storage::durable::scan_journal(src);
+  if (!src_scan.header_ok) {
+    std::cerr << "ship: " << src_path << " is not a journal\n";
+    return 1;
+  }
+  if (src_scan.truncated) {
+    std::cout << "note: source is corrupt at offset " << src_scan.valid_bytes
+              << " (" << src_scan.reason << "); shipping the valid prefix\n";
+  }
+
+  storage::durable::FileBackend dst(dst_path, /*create=*/true);
+  if (!storage::durable::ensure_header(dst)) {
+    std::cerr << "ship: " << dst_path << " is not a journal\n";
+    return 1;
+  }
+  const storage::durable::ScanResult dst_scan =
+      storage::durable::scan_journal(dst);
+  if (dst_scan.truncated) {
+    std::cerr << "ship: destination is corrupt at offset "
+              << dst_scan.valid_bytes << " (" << dst_scan.reason
+              << "); repair it first\n";
+    return 1;
+  }
+
+  // The replica replays the destination's existing prefix first, so its
+  // dictionary and epoch horizon resume exactly where the last ship ended.
+  storage::durable::ShippedReplica replica;
+  if (dst_scan.valid_bytes > kHeaderSize) {
+    storage::durable::ShipBatch preload;
+    preload.offset = kHeaderSize;
+    preload.bytes.resize(
+        static_cast<std::size_t>(dst_scan.valid_bytes - kHeaderSize));
+    dst.read(kHeaderSize, preload.bytes.data(), preload.bytes.size());
+    preload.crc = storage::durable::crc32(preload.bytes.data(),
+                                          preload.bytes.size());
+    if (replica.apply(preload) != storage::durable::ApplyStatus::kApplied) {
+      std::cerr << "ship: destination prefix did not replay cleanly\n";
+      return 1;
+    }
+  }
+
+  const std::uint64_t resume =
+      std::max<std::uint64_t>(cursor_arg.value_or(dst_scan.valid_bytes),
+                              kHeaderSize);
+  if (resume > dst_scan.valid_bytes) {
+    std::cerr << "ship: cursor " << resume
+              << " is past the destination's valid end ("
+              << dst_scan.valid_bytes << "); that would leave a hole\n";
+    return 1;
+  }
+  if (resume >= src_scan.valid_bytes) {
+    std::cout << "up to date: destination already holds the source's "
+              << src_scan.valid_bytes << " valid bytes\n";
+    return 0;
+  }
+
+  // Ship in framed batches through the wire encoding — the same round-trip
+  // a transmitted batch takes — applying each to the replica and appending
+  // the verified new suffix to the destination.
+  constexpr std::size_t kBatchBytes = 4096;
+  std::uint64_t offset = resume;
+  std::uint64_t appended_from = dst_scan.valid_bytes;
+  std::uint64_t batches = 0;
+  std::vector<std::uint8_t> frame;
+  while (offset < src_scan.valid_bytes) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBatchBytes, src_scan.valid_bytes - offset));
+    storage::durable::ShipBatch batch;
+    batch.offset = offset;
+    batch.bytes.resize(n);
+    src.read(offset, batch.bytes.data(), n);
+    batch.crc = storage::durable::crc32(batch.bytes.data(), n);
+
+    frame.clear();
+    storage::durable::encode_batch(frame, batch);
+    const std::optional<storage::durable::ShipBatch> received =
+        storage::durable::decode_batch(frame.data(), frame.size());
+    if (!received.has_value()) {
+      std::cerr << "ship: batch at offset " << offset
+                << " failed the wire round-trip\n";
+      return 1;
+    }
+    const storage::durable::ApplyStatus status = replica.apply(*received);
+    if (status != storage::durable::ApplyStatus::kApplied &&
+        status != storage::durable::ApplyStatus::kDuplicate) {
+      std::cerr << "ship: batch at offset " << offset
+                << " was rejected by the replica\n";
+      return 1;
+    }
+    const std::uint64_t end = offset + n;
+    if (end > appended_from) {
+      const std::size_t skip =
+          static_cast<std::size_t>(appended_from - offset);
+      dst.append(batch.bytes.data() + skip, n - skip);
+      appended_from = end;
+    }
+    offset = end;
+    ++batches;
+  }
+  if (!dst.sync()) {
+    std::cerr << "ship: destination sync failed\n";
+    return 1;
+  }
+
+  const storage::durable::ScanResult verify =
+      storage::durable::scan_journal(dst);
+  const storage::durable::ShippedReplica::Stats& stats = replica.stats();
+  std::cout << "shipped " << (src_scan.valid_bytes - resume) << " bytes in "
+            << batches << " batches from offset " << resume << "\n"
+            << "replica: " << stats.records_applied << " commits applied, "
+            << stats.dict_records << " dict records, epoch "
+            << replica.cursor().epoch << ", fingerprint 0x" << std::hex
+            << replica.store().fingerprint() << std::dec << "\n"
+            << dst_path << ": " << verify.records.size() << " records, "
+            << verify.valid_bytes << " valid bytes"
+            << (verify.truncated ? " (CORRUPT)" : ", clean") << "\n";
+  return verify.truncated ? 1 : 0;
+}
+
 int cmd_economics(int full, int safe, int failures) {
   analysis::HwEconomicsInput input;
   input.units_full_service = full;
@@ -268,6 +426,15 @@ int main(int argc, char** argv) {
         const std::uint64_t seed =
             argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
         return cmd_journal_demo(path, commits, seed);
+      }
+      if (sub == "ship") {
+        if (argc < 5) return usage();
+        std::optional<std::uint64_t> cursor;
+        if (argc > 5) {
+          if (argc != 7 || std::string(argv[5]) != "--cursor") return usage();
+          cursor = std::strtoull(argv[6], nullptr, 10);
+        }
+        return cmd_journal_ship(path, argv[4], cursor);
       }
       return usage();
     }

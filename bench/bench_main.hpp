@@ -1,12 +1,20 @@
 // Shared main() for experiment benchmarks: each binary first prints its
 // experiment's report table (the reproduction of the corresponding paper
 // artifact), then runs its registered google-benchmark timings.
+//
+// `--json <path>` (or `--json=<path>`) writes the measurements the report
+// recorded into trajectory() as a flat JSON object — benchmark name →
+// {"value": v, "unit": "u"} — e.g. `bench_recovery --json BENCH_recovery.json`.
+// The flag is stripped before google-benchmark sees argv.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <iostream>
 #include <string>
+
+#include "arfs/support/bench_json.hpp"
 
 namespace arfs::bench {
 
@@ -19,11 +27,42 @@ inline void banner(const std::string& experiment,
             << "=====================================================\n";
 }
 
+/// The binary-wide measurement log report functions record() into.
+inline support::BenchTrajectory& trajectory() {
+  static support::BenchTrajectory t;
+  return t;
+}
+
+/// Removes `--json <path>` / `--json=<path>` from argv (so google-benchmark
+/// does not reject it) and returns the path, or "" when absent.
+inline std::string strip_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
 }  // namespace arfs::bench
 
 #define ARFS_BENCH_MAIN(REPORT_FN)                                   \
   int main(int argc, char** argv) {                                  \
+    const std::string json_path =                                    \
+        ::arfs::bench::strip_json_flag(argc, argv);                  \
     REPORT_FN();                                                     \
+    if (!json_path.empty() &&                                        \
+        !::arfs::bench::trajectory().write_json(json_path)) {        \
+      std::cerr << "failed to write " << json_path << "\n";          \
+      return 1;                                                      \
+    }                                                                \
     ::benchmark::Initialize(&argc, argv);                            \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
       return 1;                                                      \

@@ -22,7 +22,7 @@
 //      would have cost and the mission wall time both ways.
 //
 // Emit machine-readable numbers for the perf trajectory with:
-//   bench_recovery --benchmark_out=BENCH_recovery.json --benchmark_out_format=json
+//   bench_recovery --json BENCH_recovery.json
 #include <chrono>
 #include <cstdio>
 #include <iomanip>
@@ -114,6 +114,9 @@ void report_append_throughput() {
                 << static_cast<std::uint64_t>(kCommits / (ms / 1000.0))
                 << std::setprecision(2)
                 << engine->stats().bytes_appended / (1024.0 * 1024.0) << "\n";
+      bench::trajectory().record(
+          "append/" + std::to_string(keys) + "keys/" + name,
+          kCommits / (ms / 1000.0), "commits/s");
     }
   }
 }
@@ -138,6 +141,8 @@ void frontier_table(const std::string& device, std::size_t commits,
     const double ms = wall_ms(start);
     const double rate = commits / (ms / 1000.0);
     if (baseline == 0.0) baseline = rate;
+    bench::trajectory().record("frontier/" + device + "/" + name, rate,
+                               "commits/s");
     std::cout << std::left << std::setw(14) << name << std::setw(12)
               << static_cast<std::uint64_t>(rate) << std::setw(8)
               << engine->stats().syncs << std::setw(14)
@@ -187,6 +192,8 @@ void report_recovery_latency() {
     std::cout << std::left << std::setw(12) << report.records_applied
               << std::setw(12) << std::fixed << std::setprecision(2) << ms
               << static_cast<std::uint64_t>(records / (ms / 1000.0)) << "\n";
+    bench::trajectory().record(
+        "recovery_replay/" + std::to_string(records) + "records", ms, "ms");
   }
 }
 
@@ -214,6 +221,10 @@ void report_snapshot_effect() {
               << std::setw(12) << std::fixed << std::setprecision(2) << ms
               << std::setw(12) << report.records_applied
               << (report.used_snapshot ? "yes" : "no") << "\n";
+    bench::trajectory().record(
+        "snapshot_recovery/" + (interval == 0 ? std::string{"none"}
+                                              : std::to_string(interval)),
+        ms, "ms");
   }
 }
 
@@ -255,6 +266,7 @@ void report_crash_sweep() {
     std::cout << std::left << std::setw(14) << name << std::setw(10)
               << std::fixed << std::setprecision(1) << ms << std::setw(12)
               << report.mismatches << report.max_lost_frames << "\n";
+    bench::trajectory().record("crash_sweep/" + name, ms, "ms");
   }
 }
 
@@ -315,6 +327,11 @@ void report_ship_vs_full_copy() {
                 << 100.0 * (1.0 - static_cast<double>(warm) /
                                       static_cast<double>(full))
                 << unit.stats().rebases << "\n";
+      bench::trajectory().record(
+          "ship_avoided/" + std::to_string(keys) + "keys/" + name,
+          100.0 * (1.0 - static_cast<double>(warm) /
+                             static_cast<double>(full)),
+          "percent");
     }
   }
 }
@@ -370,6 +387,11 @@ void report_warm_relocation_mission() {
               << stats.region_relocations << std::setw(8)
               << stats.warm_relocations << std::setw(12) << std::setprecision(2)
               << moved_kb;
+    const std::string mode = shipping ? "warm-ship" : "full-copy";
+    bench::trajectory().record("mission_relocation/" + mode + "/wall", ms,
+                               "ms");
+    bench::trajectory().record("mission_relocation/" + mode + "/moved",
+                               moved_kb, "KB");
     if (shipping) {
       std::cout << "tail only; full copy would have moved "
                 << std::setprecision(2)

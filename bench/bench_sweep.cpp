@@ -1,0 +1,194 @@
+// Experiment E16 — the checkpointed crash-point sweep, measured.
+//
+// The from-scratch sweep replays the mission once per crash point: F crash
+// points cost F·(F+1)/2 simulated frames. The checkpointed strategy (one
+// baseline pass dropping a deterministic core::SystemCheckpoint every K
+// frames, each crash point forking from the nearest checkpoint) costs
+// F + ~F·K/2. This experiment measures both against F:
+//   1. Simulated frames and wall time, checkpointed vs from-scratch, with
+//      the reduction ratio and measured speedup (acceptance: ≥5× fewer
+//      simulated frames at F=256).
+//   2. The stride auto-tune curve at fixed F: simulated frames and wall
+//      time across strides bracketing the √F default.
+// Both tables check the checkpointed report's digest against the
+// from-scratch oracle where the oracle is run.
+//
+// Emit machine-readable numbers for the perf trajectory with:
+//   bench_sweep --json BENCH_sweep.json
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "arfs/core/system.hpp"
+#include "arfs/storage/durable/engine.hpp"
+#include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+using storage::durable::SyncPolicy;
+
+/// Chain-spec durable mission, the same workload bench_recovery sweeps.
+support::MissionFactory sweep_factory(SyncPolicy policy) {
+  return [policy] {
+    auto spec = std::make_shared<core::ReconfigSpec>(
+        support::make_chain_spec({}));
+    core::SystemOptions options;
+    options.durable_storage = true;
+    options.durability.snapshot_every_epochs = 7;
+    options.durability.sync = policy;
+    auto system = std::make_unique<core::System>(*spec, options);
+    for (const core::AppDecl& decl : spec->apps()) {
+      system->add_app(
+          std::make_unique<support::SimpleApp>(decl.id, decl.name));
+    }
+    support::CrashMission mission;
+    mission.keepalive = spec;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+double wall_ms(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+support::CrashSweepOptions sweep_options(Cycle frames, bool checkpointing,
+                                         Cycle stride = 0) {
+  support::CrashSweepOptions options;
+  options.frames = frames;
+  options.victim = support::synthetic_processor(0);
+  options.checkpointing = checkpointing;
+  options.checkpoint_stride = stride;
+  return options;
+}
+
+void report_scaling() {
+  const support::MissionFactory factory =
+      sweep_factory(SyncPolicy::frames(4));
+  std::cout << "\nCheckpointed vs from-scratch sweep (chain mission, "
+               "frames(4) policy, stride auto-tuned)\n";
+  std::cout << std::left << std::setw(8) << "F" << std::setw(8) << "K"
+            << std::setw(12) << "frames-ckpt" << std::setw(14)
+            << "frames-scratch" << std::setw(8) << "ratio" << std::setw(12)
+            << "ms-ckpt" << std::setw(12) << "ms-scratch" << std::setw(10)
+            << "speedup" << "digest\n";
+  for (const Cycle frames : {Cycle{32}, Cycle{64}, Cycle{128}, Cycle{256}}) {
+    auto start = std::chrono::steady_clock::now();
+    const support::CrashSweepReport ckpt =
+        support::run_crash_sweep(factory, sweep_options(frames, true));
+    const double ckpt_ms = wall_ms(start);
+
+    start = std::chrono::steady_clock::now();
+    const support::CrashSweepReport scratch =
+        support::run_crash_sweep(factory, sweep_options(frames, false));
+    const double scratch_ms = wall_ms(start);
+
+    const double ratio = static_cast<double>(scratch.simulated_frames) /
+                         static_cast<double>(ckpt.simulated_frames);
+    const double speedup = scratch_ms / ckpt_ms;
+    const bool digests_equal = ckpt.digest() == scratch.digest();
+    std::cout << std::left << std::setw(8) << frames << std::setw(8)
+              << ckpt.stride_used << std::setw(12) << ckpt.simulated_frames
+              << std::setw(14) << scratch.simulated_frames << std::fixed
+              << std::setprecision(1) << std::setw(8) << ratio
+              << std::setw(12) << ckpt_ms << std::setw(12) << scratch_ms
+              << std::setw(10) << speedup
+              << (digests_equal ? "equal" : "MISMATCH") << "\n";
+    const std::string f = std::to_string(frames);
+    bench::trajectory().record("sweep/F" + f + "/frames_ratio", ratio, "x");
+    bench::trajectory().record("sweep/F" + f + "/speedup", speedup, "x");
+    bench::trajectory().record("sweep/F" + f + "/wall_checkpointed", ckpt_ms,
+                               "ms");
+    bench::trajectory().record("sweep/F" + f + "/wall_from_scratch",
+                               scratch_ms, "ms");
+    bench::trajectory().record("sweep/F" + f + "/digest_equal",
+                               digests_equal ? 1.0 : 0.0, "bool");
+  }
+}
+
+void report_stride_curve() {
+  constexpr Cycle kFrames = 256;
+  const support::MissionFactory factory =
+      sweep_factory(SyncPolicy::frames(4));
+  const std::uint64_t oracle_digest =
+      support::run_crash_sweep(factory, sweep_options(kFrames, false))
+          .digest();
+  std::cout << "\nStride auto-tune curve (F = " << kFrames
+            << "; 0 = auto ≈ √F)\n";
+  std::cout << std::left << std::setw(10) << "stride" << std::setw(12)
+            << "frames" << std::setw(8) << "ckpts" << std::setw(10) << "ms"
+            << "digest vs oracle\n";
+  for (const Cycle stride :
+       {Cycle{0}, Cycle{1}, Cycle{4}, Cycle{8}, Cycle{32}, Cycle{64},
+        Cycle{256}}) {
+    const auto start = std::chrono::steady_clock::now();
+    const support::CrashSweepReport report = support::run_crash_sweep(
+        factory, sweep_options(kFrames, true, stride));
+    const double ms = wall_ms(start);
+    const bool digests_equal = report.digest() == oracle_digest;
+    std::cout << std::left << std::setw(10)
+              << (stride == 0
+                      ? "auto(" + std::to_string(report.stride_used) + ")"
+                      : std::to_string(stride))
+              << std::setw(12) << report.simulated_frames << std::setw(8)
+              << report.checkpoints_taken << std::fixed
+              << std::setprecision(1) << std::setw(10) << ms
+              << (digests_equal ? "equal" : "MISMATCH") << "\n";
+    const std::string k =
+        stride == 0 ? "auto" : std::to_string(stride);
+    bench::trajectory().record("stride/" + k + "/simulated_frames",
+                               static_cast<double>(report.simulated_frames),
+                               "frames");
+    bench::trajectory().record("stride/" + k + "/wall", ms, "ms");
+  }
+}
+
+void report() {
+  bench::banner("E16: checkpointed crash-point sweep",
+                "the O(F²) → O(F·K) sweep reduction");
+  report_scaling();
+  report_stride_curve();
+  std::cout << "\n";
+}
+
+// --- google-benchmark timings ---
+
+void BM_SweepCheckpointed(benchmark::State& state) {
+  const support::MissionFactory factory =
+      sweep_factory(SyncPolicy::frames(4));
+  const support::CrashSweepOptions options =
+      sweep_options(static_cast<Cycle>(state.range(0)), true);
+  for (auto _ : state) {
+    const support::CrashSweepReport report =
+        support::run_crash_sweep(factory, options);
+    benchmark::DoNotOptimize(report.mismatches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepCheckpointed)->ArgName("frames")->Arg(64)->Arg(256);
+
+void BM_SweepFromScratch(benchmark::State& state) {
+  const support::MissionFactory factory =
+      sweep_factory(SyncPolicy::frames(4));
+  const support::CrashSweepOptions options =
+      sweep_options(static_cast<Cycle>(state.range(0)), false);
+  for (auto _ : state) {
+    const support::CrashSweepReport report =
+        support::run_crash_sweep(factory, options);
+    benchmark::DoNotOptimize(report.mismatches);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepFromScratch)->ArgName("frames")->Arg(64);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

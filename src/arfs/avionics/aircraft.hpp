@@ -68,6 +68,11 @@ class AircraftDynamics {
   [[nodiscard]] AircraftState& mutable_state() { return state_; }
   [[nodiscard]] const DynamicsParams& params() const { return params_; }
 
+  /// Model time driving the wind sinusoids; exposed so checkpoints can
+  /// restore the gust phase along with the state.
+  [[nodiscard]] double elapsed_s() const { return elapsed_s_; }
+  void set_elapsed_s(double elapsed_s) { elapsed_s_ = elapsed_s; }
+
  private:
   DynamicsParams params_;
   AircraftState state_;

@@ -1,7 +1,9 @@
 #include "arfs/avionics/autopilot.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstddef>
 
 namespace arfs::avionics {
 
@@ -119,6 +121,25 @@ void AutopilotApp::on_volatile_lost() {
   // Targets and engagement lived in volatile storage; fail-stop erased them.
   engaged_ = false;
   capture_complete_ = false;
+}
+
+void AutopilotApp::save_domain(std::vector<std::uint64_t>& out) const {
+  out.push_back(engaged_ ? 1 : 0);
+  out.push_back(static_cast<std::uint64_t>(mode_));
+  out.push_back(std::bit_cast<std::uint64_t>(target_));
+  out.push_back(capture_complete_ ? 1 : 0);
+  // The shared plant is saved by every application touching it; restoring
+  // the same checkpoint instant repeatedly is idempotent.
+  plant_.save_state(out);
+}
+
+void AutopilotApp::load_domain(const std::vector<std::uint64_t>& in) {
+  std::size_t pos = 0;
+  engaged_ = in.at(pos++) != 0;
+  mode_ = static_cast<ApMode>(in.at(pos++));
+  target_ = std::bit_cast<double>(in.at(pos++));
+  capture_complete_ = in.at(pos++) != 0;
+  plant_.load_state(in, pos);
 }
 
 std::string to_string(ApMode mode) {

@@ -49,6 +49,8 @@ class AutopilotApp final : public core::ReconfigurableApp {
   bool do_initialize(const Ctx& ctx,
                      std::optional<SpecId> target_spec) override;
   void on_volatile_lost() override;
+  void save_domain(std::vector<std::uint64_t>& out) const override;
+  void load_domain(const std::vector<std::uint64_t>& in) override;
 
  private:
   [[nodiscard]] bool full_spec() const { return current_spec() == kApFull; }

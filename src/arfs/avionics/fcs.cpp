@@ -1,6 +1,8 @@
 #include "arfs/avionics/fcs.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstddef>
 
 namespace arfs::avionics {
 
@@ -102,6 +104,21 @@ bool FcsApp::do_initialize(const Ctx& ctx,
 void FcsApp::on_volatile_lost() {
   smooth_elev_ = 0.0;
   smooth_ail_ = 0.0;
+}
+
+void FcsApp::save_domain(std::vector<std::uint64_t>& out) const {
+  out.push_back(std::bit_cast<std::uint64_t>(smooth_elev_));
+  out.push_back(std::bit_cast<std::uint64_t>(smooth_ail_));
+  // The shared plant is saved here too; both apps' checkpoints describe the
+  // same instant, so the double restore is idempotent.
+  plant_.save_state(out);
+}
+
+void FcsApp::load_domain(const std::vector<std::uint64_t>& in) {
+  std::size_t pos = 0;
+  smooth_elev_ = std::bit_cast<double>(in.at(pos++));
+  smooth_ail_ = std::bit_cast<double>(in.at(pos++));
+  plant_.load_state(in, pos);
 }
 
 }  // namespace arfs::avionics

@@ -1,6 +1,28 @@
 #include "arfs/avionics/sensors.hpp"
 
+#include <bit>
+
+#include "arfs/common/check.hpp"
+
 namespace arfs::avionics {
+
+namespace {
+
+inline std::uint64_t word(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+inline double take_f64(const std::vector<std::uint64_t>& in,
+                       std::size_t& pos) {
+  require(pos < in.size(), "plant checkpoint word stream exhausted");
+  return std::bit_cast<double>(in[pos++]);
+}
+
+inline std::uint64_t take_u64(const std::vector<std::uint64_t>& in,
+                              std::size_t& pos) {
+  require(pos < in.size(), "plant checkpoint word stream exhausted");
+  return in[pos++];
+}
+
+}  // namespace
 
 SensorReadings SensorSuite::sample(const AircraftState& truth) {
   SensorReadings r;
@@ -25,6 +47,65 @@ UavPlant::UavPlant(std::uint64_t seed, DynamicsParams params,
 void UavPlant::step(double dt_s) {
   dyn_.step(surfaces_, dt_s);
   readings_ = sensors_.sample(dyn_.state());
+}
+
+void SensorSuite::save_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(rng_.state());
+  out.push_back(altimeter_failed_ ? 1 : 0);
+  out.push_back(word(last_altitude_));
+}
+
+void SensorSuite::load_state(const std::vector<std::uint64_t>& in,
+                             std::size_t& pos) {
+  rng_.set_state(take_u64(in, pos));
+  altimeter_failed_ = take_u64(in, pos) != 0;
+  last_altitude_ = take_f64(in, pos);
+}
+
+void UavPlant::save_state(std::vector<std::uint64_t>& out) const {
+  const AircraftState& s = dyn_.state();
+  out.push_back(word(s.altitude_ft));
+  out.push_back(word(s.heading_deg));
+  out.push_back(word(s.airspeed_kt));
+  out.push_back(word(s.vs_fpm));
+  out.push_back(word(s.bank_deg));
+  const WindModel& w = dyn_.wind();
+  out.push_back(word(w.gust_vs_fpm));
+  out.push_back(word(w.gust_bank_deg));
+  out.push_back(word(w.gust_period_s));
+  out.push_back(word(dyn_.elapsed_s()));
+  out.push_back(word(surfaces_.elevator));
+  out.push_back(word(surfaces_.aileron));
+  sensors_.save_state(out);
+  out.push_back(word(readings_.altitude_ft));
+  out.push_back(word(readings_.heading_deg));
+  out.push_back(word(readings_.airspeed_kt));
+  out.push_back(word(pilot_pitch));
+  out.push_back(word(pilot_roll));
+}
+
+void UavPlant::load_state(const std::vector<std::uint64_t>& in,
+                          std::size_t& pos) {
+  AircraftState& s = dyn_.mutable_state();
+  s.altitude_ft = take_f64(in, pos);
+  s.heading_deg = take_f64(in, pos);
+  s.airspeed_kt = take_f64(in, pos);
+  s.vs_fpm = take_f64(in, pos);
+  s.bank_deg = take_f64(in, pos);
+  WindModel w;
+  w.gust_vs_fpm = take_f64(in, pos);
+  w.gust_bank_deg = take_f64(in, pos);
+  w.gust_period_s = take_f64(in, pos);
+  dyn_.set_wind(w);
+  dyn_.set_elapsed_s(take_f64(in, pos));
+  surfaces_.elevator = take_f64(in, pos);
+  surfaces_.aileron = take_f64(in, pos);
+  sensors_.load_state(in, pos);
+  readings_.altitude_ft = take_f64(in, pos);
+  readings_.heading_deg = take_f64(in, pos);
+  readings_.airspeed_kt = take_f64(in, pos);
+  pilot_pitch = take_f64(in, pos);
+  pilot_roll = take_f64(in, pos);
 }
 
 }  // namespace arfs::avionics

@@ -1,6 +1,10 @@
 // Aircraft state sensors with deterministic noise.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "arfs/avionics/aircraft.hpp"
 #include "arfs/common/rng.hpp"
 
@@ -28,6 +32,11 @@ class SensorSuite {
 
   void fail_altimeter() { altimeter_failed_ = true; }
   [[nodiscard]] bool altimeter_failed() const { return altimeter_failed_; }
+
+  /// Checkpoint support: the suite's mutable state (noise RNG stream,
+  /// failure latch, altimeter hold value) as 64-bit words.
+  void save_state(std::vector<std::uint64_t>& out) const;
+  void load_state(const std::vector<std::uint64_t>& in, std::size_t& pos);
 
  private:
   SensorNoise noise_;
@@ -62,6 +71,13 @@ class UavPlant {
 
   /// Installs turbulence on the underlying dynamics.
   void set_wind(WindModel wind) { dyn_.set_wind(wind); }
+
+  /// Checkpoint support: appends / reads back the plant's full mutable
+  /// state (dynamics, wind phase, surfaces, sensors, last sample, stick) as
+  /// 64-bit words. Applications sharing one plant each save it; restoring
+  /// the same instant twice is idempotent.
+  void save_state(std::vector<std::uint64_t>& out) const;
+  void load_state(const std::vector<std::uint64_t>& in, std::size_t& pos);
 
  private:
   AircraftDynamics dyn_;

@@ -124,6 +124,22 @@ class ShippingUnit {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// The unit's own mutable state (the endpoint, shipper, and replica
+  /// wiring are construction-time constants).
+  struct Checkpoint {
+    bool needs_full_copy = false;
+    std::uint32_t consecutive_corrupt = 0;
+    Stats stats;
+  };
+  [[nodiscard]] Checkpoint checkpoint_state() const {
+    return {needs_full_copy_, consecutive_corrupt_, stats_};
+  }
+  void restore_state(const Checkpoint& cp) {
+    needs_full_copy_ = cp.needs_full_copy;
+    consecutive_corrupt_ = cp.consecutive_corrupt;
+    stats_ = cp.stats;
+  }
+
  private:
   /// Ships at most one batch of up to `budget` bytes; handles rebase.
   std::size_t step(std::size_t budget);

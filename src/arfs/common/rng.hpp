@@ -37,6 +37,11 @@ class Rng {
   /// own stream so adding draws in one does not perturb another.
   [[nodiscard]] Rng fork();
 
+  /// The full generator state (SplitMix64 is its counter); together with
+  /// set_state() this lets checkpoints capture and replay a stream exactly.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

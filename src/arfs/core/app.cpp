@@ -110,4 +110,24 @@ ReconfigurableApp::StepResult ReconfigurableApp::frame_step(
   return result;
 }
 
+ReconfigurableApp::Checkpoint ReconfigurableApp::checkpoint_state() const {
+  Checkpoint cp;
+  cp.state = state_;
+  cp.spec = spec_;
+  cp.post_ok = post_ok_;
+  cp.trans_ok = trans_ok_;
+  cp.pre_ok = pre_ok_;
+  save_domain(cp.domain);
+  return cp;
+}
+
+void ReconfigurableApp::restore_state(const Checkpoint& cp) {
+  state_ = cp.state;
+  spec_ = cp.spec;
+  post_ok_ = cp.post_ok;
+  trans_ok_ = cp.trans_ok;
+  pre_ok_ = cp.pre_ok;
+  load_domain(cp.domain);
+}
+
 }  // namespace arfs::core

@@ -19,8 +19,10 @@
 // completion back to the SCRAM.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "arfs/common/ids.hpp"
 #include "arfs/common/types.hpp"
@@ -121,6 +123,21 @@ class ReconfigurableApp {
   [[nodiscard]] StepResult frame_step(const Ctx& ctx,
                                       const Directive& directive);
 
+  /// Frozen image of the phase state machine plus whatever the domain
+  /// subclass packed through save_domain() — opaque 64-bit words, so every
+  /// subclass (counters, doubles via bit_cast, a whole physics plant)
+  /// checkpoints through one shape.
+  struct Checkpoint {
+    trace::ReconfState state = trace::ReconfState::kNormal;
+    std::optional<SpecId> spec;
+    bool post_ok = false;
+    bool trans_ok = false;
+    bool pre_ok = false;
+    std::vector<std::uint64_t> domain;
+  };
+  [[nodiscard]] Checkpoint checkpoint_state() const;
+  void restore_state(const Checkpoint& cp);
+
  protected:
   // --- domain hooks -------------------------------------------------------
   /// One AFTA under the current specification. Only called with a live host.
@@ -143,6 +160,16 @@ class ReconfigurableApp {
 
   /// Volatile-state reset on host failure; default does nothing.
   virtual void on_volatile_lost() {}
+
+  /// Domain-state checkpoint hooks. save_domain appends the subclass's
+  /// mutable state to `out` as 64-bit words (floats via std::bit_cast);
+  /// load_domain reads the same words back in the same order. Defaults are
+  /// empty for stateless applications. A subclass whose load does not
+  /// consume exactly what its save produced fails the round-trip tests.
+  virtual void save_domain(std::vector<std::uint64_t>& out) const {
+    (void)out;
+  }
+  virtual void load_domain(const std::vector<std::uint64_t>& in) { (void)in; }
 
  private:
   AppId id_;

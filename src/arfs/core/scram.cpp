@@ -322,4 +322,38 @@ FrameOutcome Scram::end_frame(Cycle cycle,
   return end_frame_relaxed(cycle, phase_done);
 }
 
+Scram::Checkpoint Scram::checkpoint_state() const {
+  Checkpoint cp;
+  cp.current = current_;
+  cp.target = target_;
+  cp.phase = phase_;
+  cp.done = done_;
+  cp.stage = stage_;
+  cp.halt_done = halt_done_;
+  cp.prepare_done = prepare_done_;
+  cp.init_done = init_done_;
+  cp.pending_trigger = pending_trigger_;
+  cp.lossy_pending = lossy_pending_;
+  cp.active_start = active_start_;
+  cp.dwell_until = dwell_until_;
+  cp.stats = stats_;
+  return cp;
+}
+
+void Scram::restore_state(const Checkpoint& cp) {
+  current_ = cp.current;
+  target_ = cp.target;
+  phase_ = cp.phase;
+  done_ = cp.done;
+  stage_ = cp.stage;
+  halt_done_ = cp.halt_done;
+  prepare_done_ = cp.prepare_done;
+  init_done_ = cp.init_done;
+  pending_trigger_ = cp.pending_trigger;
+  lossy_pending_ = cp.lossy_pending;
+  active_start_ = cp.active_start;
+  dwell_until_ = cp.dwell_until;
+  stats_ = cp.stats;
+}
+
 }  // namespace arfs::core

@@ -131,6 +131,29 @@ class Scram {
   /// Per-application stage progression for the relaxed barrier.
   enum class AppStage { kHalt, kPrepare, kInitialize, kDone };
 
+ public:
+  /// Frozen image of the kernel's mutable state (the spec and options are
+  /// construction-time constants). Nested so it may name the private enums.
+  struct Checkpoint {
+    ConfigId current{};
+    ConfigId target{};
+    Phase phase = Phase::kIdle;
+    std::map<AppId, bool> done;
+    std::map<AppId, AppStage> stage;
+    std::map<AppId, bool> halt_done;
+    std::map<AppId, bool> prepare_done;
+    std::map<AppId, bool> init_done;
+    bool pending_trigger = false;
+    bool lossy_pending = false;
+    std::optional<Cycle> active_start;
+    Cycle dwell_until = 0;
+    ScramStats stats;
+  };
+  [[nodiscard]] Checkpoint checkpoint_state() const;
+  void restore_state(const Checkpoint& cp);
+
+ private:
+
   /// Evaluates choose() and either starts a reconfiguration or absorbs the
   /// trigger. Returns true if a reconfiguration started.
   bool try_start(Cycle cycle, const env::EnvState& env_now, FramePlan& plan);

@@ -408,6 +408,291 @@ System::ShipCatchUp System::ship_catch_up(ProcessorId p) {
   return result;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_device(std::uint64_t h,
+                             const storage::durable::JournalBackend& device) {
+  h = fnv_mix(h, device.size());
+  h = fnv_mix(h, device.synced_size());
+  std::uint8_t buf[4096];
+  std::uint64_t offset = 0;
+  for (;;) {
+    const std::size_t n = device.read(offset, buf, sizeof buf);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= buf[i];
+      h *= kFnvPrime;
+    }
+    offset += n;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_engine(std::uint64_t h,
+                             const storage::durable::EngineCheckpoint& cp) {
+  h = fnv_mix_device(h, *cp.journal);
+  h = fnv_mix_device(h, *cp.snapshots);
+  h = fnv_mix(h, cp.appended_epoch);
+  h = fnv_mix(h, cp.journal_generation);
+  h = fnv_mix(h, cp.retained_tail.size());
+  for (const std::uint8_t b : cp.retained_tail) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  h = fnv_mix(h, cp.rebase_ok ? 1 : 0);
+  h = fnv_mix(h, cp.rebase_epoch);
+  h = fnv_mix(h, cp.ship_horizon);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t SystemCheckpoint::digest() const {
+  std::uint64_t h = kFnvBasis;
+  h = fnv_mix(h, frame);
+  h = fnv_mix(h, static_cast<std::uint64_t>(now));
+
+  for (const auto& [pid, p] : processors) {
+    h = fnv_mix(h, pid.value());
+    h = fnv_mix(h, static_cast<std::uint64_t>(p.state));
+    h = fnv_mix(h, p.stable.fingerprint());
+    h = fnv_mix(h, p.stable.commit_epochs());
+    h = fnv_mix(h, p.volatile_store.fingerprint());
+    h = fnv_mix(h, p.lost_epochs);
+    h = fnv_mix(h, p.failed_at.has_value() ? *p.failed_at + 1 : 0);
+    h = fnv_mix(h, p.failures);
+    h = fnv_mix(h, p.durability.has_value() ? 1 : 0);
+    if (p.durability.has_value()) h = fnv_mix_engine(h, *p.durability);
+  }
+
+  for (const auto& [factor, value] : environment.state()) {
+    h = fnv_mix(h, factor.value());
+    h = fnv_mix(h, static_cast<std::uint64_t>(value));
+  }
+  h = fnv_mix(h, environment.change_count());
+
+  h = fnv_mix(h, bank.pending());
+  h = fnv_mix(h, bank.total_raised());
+  h = fnv_mix(h, health.overrun_count());
+  h = fnv_mix(h, health.fault_count());
+  h = fnv_mix(h, health.events().size());
+
+  h = fnv_mix(h, scram.current.value());
+  h = fnv_mix(h, scram.target.value());
+  h = fnv_mix(h, static_cast<std::uint64_t>(scram.phase));
+  for (const auto& [app, done] : scram.done) {
+    h = fnv_mix(h, app.value());
+    h = fnv_mix(h, done ? 1 : 0);
+  }
+  for (const auto& [app, stage] : scram.stage) {
+    h = fnv_mix(h, app.value());
+    h = fnv_mix(h, static_cast<std::uint64_t>(stage));
+  }
+  for (const auto* phase_map :
+       {&scram.halt_done, &scram.prepare_done, &scram.init_done}) {
+    for (const auto& [app, done] : *phase_map) {
+      h = fnv_mix(h, app.value());
+      h = fnv_mix(h, done ? 1 : 0);
+    }
+  }
+  h = fnv_mix(h, scram.pending_trigger ? 1 : 0);
+  h = fnv_mix(h, scram.lossy_pending ? 1 : 0);
+  h = fnv_mix(h, scram.active_start.has_value() ? *scram.active_start + 1 : 0);
+  h = fnv_mix(h, scram.dwell_until);
+  h = fnv_mix(h, scram.stats.triggers_received);
+  h = fnv_mix(h, scram.stats.reconfigs_started);
+  h = fnv_mix(h, scram.stats.reconfigs_completed);
+  h = fnv_mix(h, scram.stats.triggers_absorbed);
+  h = fnv_mix(h, scram.stats.retargets);
+  h = fnv_mix(h, scram.stats.buffered_triggers);
+  h = fnv_mix(h, scram.stats.dwell_blocked_frames);
+  h = fnv_mix(h, scram.stats.lossy_reinits);
+
+  for (const auto& [id, a] : apps) {
+    h = fnv_mix(h, id.value());
+    h = fnv_mix(h, static_cast<std::uint64_t>(a.state));
+    h = fnv_mix(h, a.spec.has_value() ? a.spec->value() + 1 : 0);
+    h = fnv_mix(h, (a.post_ok ? 4u : 0u) | (a.trans_ok ? 2u : 0u) |
+                       (a.pre_ok ? 1u : 0u));
+    h = fnv_mix(h, a.domain.size());
+    for (const std::uint64_t word : a.domain) h = fnv_mix(h, word);
+  }
+
+  for (const auto& [app, host] : region_host) {
+    h = fnv_mix(h, app.value());
+    h = fnv_mix(h, host.value());
+  }
+
+  h = fnv_mix(h, fault_plan.size());
+  h = fnv_mix(h, fault_plan.consumed());
+  for (const auto* flag_map : {&forced_overrun, &forced_fault}) {
+    for (const auto& [app, flag] : *flag_map) {
+      h = fnv_mix(h, app.value());
+      h = fnv_mix(h, flag ? 1 : 0);
+    }
+  }
+
+  h = fnv_mix(h, router.stats().sent);
+  h = fnv_mix(h, router.stats().delivered);
+  h = fnv_mix(h, router.stats().dropped_dead_host);
+  h = fnv_mix(h, router.stats().dropped_unknown);
+
+  h = fnv_mix(h, deadline_alarm_raised ? 1 : 0);
+  h = fnv_mix(h, noise_rng_state);
+  h = fnv_mix(h, trace.has_value() ? trace->size() + 1 : 0);
+
+  for (const auto& [pid, channel] : ship_channels) {
+    h = fnv_mix(h, pid.value());
+    h = fnv_mix(h, channel.replica.store.fingerprint());
+    h = fnv_mix(h, channel.replica.store.commit_epochs());
+    h = fnv_mix(h, channel.replica.cursor.generation);
+    h = fnv_mix(h, channel.replica.cursor.offset);
+    h = fnv_mix(h, channel.replica.cursor.epoch);
+    h = fnv_mix(h, channel.replica.dict.size());
+    for (const std::string& key : channel.replica.dict) {
+      for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+      }
+      h = fnv_mix(h, key.size());
+    }
+    h = fnv_mix(h, channel.replica.pending.size());
+    for (const std::uint8_t b : channel.replica.pending) {
+      h ^= b;
+      h *= kFnvPrime;
+    }
+    h = fnv_mix(h, channel.replica.engine.has_value() ? 1 : 0);
+    if (channel.replica.engine.has_value()) {
+      h = fnv_mix_engine(h, *channel.replica.engine);
+    }
+    h = fnv_mix(h, channel.unit.needs_full_copy ? 1 : 0);
+    h = fnv_mix(h, channel.unit.consecutive_corrupt);
+    h = fnv_mix(h, channel.unit.stats.slots_polled);
+    h = fnv_mix(h, channel.unit.stats.batches_shipped);
+    h = fnv_mix(h, channel.unit.stats.bytes_shipped);
+    h = fnv_mix(h, channel.unit.stats.rebases);
+    h = fnv_mix(h, channel.unit.stats.corrupt_batches);
+    h = fnv_mix(h, channel.unit.stats.fallbacks);
+  }
+
+  h = fnv_mix(h, stats.frames_run);
+  h = fnv_mix(h, stats.fault_events_applied);
+  h = fnv_mix(h, stats.region_relocations);
+  h = fnv_mix(h, stats.deadline_violations);
+  h = fnv_mix(h, stats.heartbeats_lost);
+  h = fnv_mix(h, stats.false_alarms);
+  h = fnv_mix(h, stats.true_detections);
+  h = fnv_mix(h, stats.journal_faults_injected);
+  h = fnv_mix(h, stats.journal_truncations);
+  h = fnv_mix(h, stats.lossy_recoveries);
+  h = fnv_mix(h, stats.ship_slots_polled);
+  h = fnv_mix(h, stats.ship_bytes_total);
+  h = fnv_mix(h, stats.relocation_catchup_bytes);
+  h = fnv_mix(h, stats.warm_relocations);
+  h = fnv_mix(h, stats.full_copy_relocations);
+  h = fnv_mix(h, stats.full_copy_bytes);
+  h = fnv_mix(h, stats.full_copy_bytes_avoided);
+  h = fnv_mix(h, stats.ship_reseeds);
+
+  h = fnv_mix(h, started ? 1 : 0);
+  return h;
+}
+
+SystemCheckpoint System::checkpoint() const {
+  SystemCheckpoint cp;
+  cp.frame = clock_.current_frame();
+  cp.now = clock_.now();
+  for (const ProcessorId p : group_.processor_ids()) {
+    cp.processors.emplace(p, group_.processor(p).checkpoint_state());
+  }
+  cp.environment = environment_;
+  cp.monitors = monitors_;
+  cp.activity = activity_;
+  cp.bank = bank_;
+  cp.health = health_;
+  cp.scram = scram_.checkpoint_state();
+  for (const auto& [id, app] : apps_) {
+    cp.apps.emplace(id, app->checkpoint_state());
+  }
+  cp.region_host = region_host_;
+  cp.fault_plan = fault_plan_;
+  cp.forced_overrun = forced_overrun_;
+  cp.forced_fault = forced_fault_;
+  cp.router = router_;
+  cp.deadline_alarm_raised = deadline_alarm_raised_;
+  cp.noise_rng_state = noise_rng_.state();
+  cp.trace = trace_;
+  for (const auto& [pid, channel] : ship_channels_) {
+    SystemCheckpoint::ShipChannelCheckpoint scp;
+    scp.replica = channel->replica.checkpoint_state();
+    scp.unit = channel->unit.checkpoint_state();
+    cp.ship_channels.emplace(pid, std::move(scp));
+  }
+  cp.stats = stats_;
+  cp.started = started_;
+  return cp;
+}
+
+void System::restore(const SystemCheckpoint& cp) {
+  require(cp.processors.size() == group_.size(),
+          "checkpoint processor set does not match this system");
+  require(cp.apps.size() == apps_.size(),
+          "checkpoint application set does not match this system");
+  require(cp.ship_channels.size() == ship_channels_.size(),
+          "checkpoint shipping-channel set does not match this system");
+  require(cp.monitors.size() == monitors_.size(),
+          "checkpoint monitor set does not match this system");
+  require(cp.activity.has_value() && cp.trace.has_value(),
+          "checkpoint is missing its platform monitors");
+
+  clock_.restore(cp.frame, cp.now);
+  for (const auto& [pid, pcp] : cp.processors) {
+    require(group_.has_processor(pid), "checkpoint names unknown processor");
+    group_.processor(pid).restore_state(pcp);
+  }
+  environment_ = cp.environment;
+  monitors_ = cp.monitors;
+  activity_ = *cp.activity;
+  bank_ = cp.bank;
+  health_ = cp.health;
+  scram_.restore_state(cp.scram);
+  for (const auto& [id, acp] : cp.apps) {
+    const auto it = apps_.find(id);
+    require(it != apps_.end(), "checkpoint names unknown application");
+    it->second->restore_state(acp);
+  }
+  region_host_ = cp.region_host;
+  fault_plan_ = cp.fault_plan;
+  forced_overrun_ = cp.forced_overrun;
+  forced_fault_ = cp.forced_fault;
+  router_ = cp.router;
+  deadline_alarm_raised_ = cp.deadline_alarm_raised;
+  noise_rng_.set_state(cp.noise_rng_state);
+  trace_ = *cp.trace;
+  for (const auto& [pid, scp] : cp.ship_channels) {
+    const auto it = ship_channels_.find(pid);
+    require(it != ship_channels_.end(),
+            "checkpoint names unknown shipping channel");
+    it->second->replica.restore_state(scp.replica);
+    it->second->unit.restore_state(scp.unit);
+  }
+  stats_ = cp.stats;
+  started_ = cp.started;
+}
+
+std::uint64_t System::digest() const { return checkpoint().digest(); }
+
 void System::publish_processor_factors(SimTime now) {
   for (const auto& [processor, factor] : processor_factors_) {
     const std::int64_t value = group_.processor(processor).running() ? 0 : 1;

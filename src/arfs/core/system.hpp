@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "arfs/bus/interface_unit.hpp"
 #include "arfs/bus/schedule.hpp"
 #include "arfs/common/ids.hpp"
 #include "arfs/common/rng.hpp"
@@ -138,6 +139,48 @@ struct SystemStats {
   std::uint64_t ship_reseeds = 0;
 };
 
+/// Frozen image of every piece of mutable state a mission touches: clock,
+/// processors (volatile + committed stores, forked durability devices),
+/// environment and monitors, detection, SCRAM, applications (including
+/// their opaque domain words), region placement, fault-plan cursor,
+/// messaging, shipping replicas and units, trace, and statistics. The
+/// configuration-time constants (spec, options, schedules, hooks, cached
+/// key strings) are deliberately absent: a checkpoint is restored into a
+/// System built by the same factory. Move-only — device forks are owned —
+/// but restorable any number of times (restore re-forks, never consumes).
+struct SystemCheckpoint {
+  Cycle frame = 0;
+  SimTime now = 0;
+  std::map<ProcessorId, failstop::Processor::Checkpoint> processors;
+  env::Environment environment;
+  std::vector<env::FactorMonitor> monitors;
+  std::optional<failstop::ActivityMonitor> activity;
+  failstop::DetectorBank bank;
+  rtos::HealthMonitor health;
+  Scram::Checkpoint scram;
+  std::map<AppId, ReconfigurableApp::Checkpoint> apps;
+  std::map<AppId, ProcessorId> region_host;
+  sim::FaultPlan fault_plan;  ///< Copy carries the consumption cursor.
+  std::map<AppId, bool> forced_overrun;
+  std::map<AppId, bool> forced_fault;
+  MessageRouter router;
+  bool deadline_alarm_raised = false;
+  std::uint64_t noise_rng_state = 0;
+  std::optional<trace::SysTrace> trace;
+  struct ShipChannelCheckpoint {
+    storage::durable::ShippedReplica::Checkpoint replica;
+    bus::ShippingUnit::Checkpoint unit;
+  };
+  std::map<ProcessorId, ShipChannelCheckpoint> ship_channels;
+  SystemStats stats;
+  bool started = false;
+
+  /// Order-sensitive FNV-1a digest over the checkpointed state, durable
+  /// device byte streams included. Two checkpoints of the same factory's
+  /// system with equal digests describe bit-identical mission state.
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
 class System {
  public:
   /// `spec` must outlive the System and must validate(). Processors are
@@ -211,6 +254,18 @@ class System {
   /// catch-up a relocation performs), reseeding from a full copy if the
   /// cursor was lost. Precondition: has_ship_channel(p).
   ShipCatchUp ship_catch_up(ProcessorId p);
+
+  // --- whole-system checkpoint/restore ---
+
+  /// Freezes the system's complete mutable state. Precondition: when
+  /// durable storage is on, every device is forkable (in-memory engines).
+  [[nodiscard]] SystemCheckpoint checkpoint() const;
+  /// Rewinds this system to `cp` in place. Precondition: this System was
+  /// built by the same factory as the one checkpointed (same spec, options,
+  /// applications, and shipping channels) — key sets must match exactly.
+  void restore(const SystemCheckpoint& cp);
+  /// Digest of the live mutable state; equals checkpoint().digest().
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   class SystemPeerReader;

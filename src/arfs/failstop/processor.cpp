@@ -81,6 +81,34 @@ void Processor::commit_frame(Cycle cycle, bool force_durable_sync) {
   stable_.commit(cycle);
 }
 
+Processor::Checkpoint Processor::checkpoint_state() const {
+  Checkpoint cp;
+  cp.state = state_;
+  cp.pair = pair_;
+  cp.stable = stable_;
+  cp.volatile_store = volatile_;
+  if (durability_ != nullptr) cp.durability = durability_->checkpoint_state();
+  cp.last_recovery = last_recovery_;
+  cp.lost_epochs = lost_epochs_;
+  cp.failed_at = failed_at_;
+  cp.failures = failures_;
+  return cp;
+}
+
+void Processor::restore_state(const Checkpoint& cp) {
+  require((durability_ != nullptr) == cp.durability.has_value(),
+          "processor restore must match its durability attachment");
+  state_ = cp.state;
+  pair_ = cp.pair;
+  stable_ = cp.stable;
+  volatile_ = cp.volatile_store;
+  if (durability_ != nullptr) durability_->restore_state(*cp.durability);
+  last_recovery_ = cp.last_recovery;
+  lost_epochs_ = cp.lost_epochs;
+  failed_at_ = cp.failed_at;
+  failures_ = cp.failures;
+}
+
 void Processor::enable_durability(
     std::unique_ptr<storage::durable::DurabilityEngine> engine) {
   require(engine != nullptr, "null durability engine");

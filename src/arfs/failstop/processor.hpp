@@ -103,6 +103,25 @@ class Processor {
   [[nodiscard]] std::uint64_t failure_count() const { return failures_; }
   [[nodiscard]] SelfCheckingPair& pair() { return pair_; }
 
+  /// Frozen image of everything a mission mutates on this processor. The
+  /// durability slot mirrors the attachment: engaged iff an engine is
+  /// attached (its devices forked). Move-only, restorable many times.
+  struct Checkpoint {
+    ProcessorState state = ProcessorState::kRunning;
+    SelfCheckingPair pair;
+    storage::StableStorage stable;
+    storage::VolatileStorage volatile_store;
+    std::optional<storage::durable::EngineCheckpoint> durability;
+    std::optional<storage::durable::RecoveryReport> last_recovery;
+    std::uint64_t lost_epochs = 0;
+    std::optional<Cycle> failed_at;
+    std::uint64_t failures = 0;
+  };
+  [[nodiscard]] Checkpoint checkpoint_state() const;
+  /// Precondition: durability attachment matches the checkpoint's. The
+  /// engine object is rewound in place — references to it stay valid.
+  void restore_state(const Checkpoint& cp);
+
  private:
   ProcessorId id_;
   ProcessorState state_ = ProcessorState::kRunning;

@@ -33,6 +33,16 @@ class VirtualClock {
   /// inside the current frame.
   void advance_within_frame(SimDuration delta);
 
+  /// Rewinds (or jumps) to an exact checkpointed instant. Precondition:
+  /// `now` lies inside `frame`.
+  void restore(Cycle frame, SimTime now) {
+    require(now >= frame_start(frame) &&
+                now < frame_start(frame) + frame_length_,
+            "clock restore instant outside its frame");
+    frame_ = frame;
+    now_ = now;
+  }
+
  private:
   SimDuration frame_length_;
   Cycle frame_ = 0;

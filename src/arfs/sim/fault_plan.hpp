@@ -87,6 +87,10 @@ class FaultPlan {
   /// Resets consumption so the same plan can be replayed.
   void rewind() { next_ = 0; }
 
+  /// Events already handed out by consume_until (the consumption cursor a
+  /// copied plan carries — whole-system checkpoints hash and compare it).
+  [[nodiscard]] std::size_t consumed() const { return next_; }
+
  private:
   std::vector<FaultEvent> events_;
   std::size_t next_ = 0;

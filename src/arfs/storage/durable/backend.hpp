@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,14 @@ class JournalBackend {
   /// Flips one bit of the durable image at a position derived
   /// deterministically from `seed` (a latent media fault).
   virtual void corrupt_bit(std::uint64_t seed) { (void)seed; }
+
+  /// Deep copy of the device — durable image, buffered tail, and armed
+  /// fault hooks — for whole-system checkpoints. Devices that cannot be
+  /// duplicated (real files) return nullptr, which makes the owning engine
+  /// un-checkpointable.
+  [[nodiscard]] virtual std::unique_ptr<JournalBackend> fork() const {
+    return nullptr;
+  }
 };
 
 class MemoryBackend final : public JournalBackend {
@@ -93,6 +102,10 @@ class MemoryBackend final : public JournalBackend {
   void corrupt_bit(std::uint64_t seed) override;
 
   [[nodiscard]] std::uint64_t sync_count() const { return syncs_; }
+
+  [[nodiscard]] std::unique_ptr<JournalBackend> fork() const override {
+    return std::make_unique<MemoryBackend>(*this);
+  }
 
  private:
   std::vector<std::uint8_t> durable_;

@@ -284,6 +284,39 @@ bool DurabilityEngine::has_state() const {
   return journal_->size() > kHeaderSize || snapshots_->size() > kHeaderSize;
 }
 
+EngineCheckpoint DurabilityEngine::checkpoint_state() const {
+  EngineCheckpoint cp;
+  cp.journal = journal_->fork();
+  cp.snapshots = snapshots_->fork();
+  require(cp.journal != nullptr && cp.snapshots != nullptr,
+          "checkpoint requires forkable journal devices");
+  cp.stats = stats_;
+  cp.interner = interner_;
+  cp.appended_epoch = appended_epoch_;
+  cp.journal_generation = journal_generation_;
+  cp.retained_tail = retained_tail_;
+  cp.rebase_ok = rebase_ok_;
+  cp.rebase_epoch = rebase_epoch_;
+  cp.ship_horizon = ship_horizon_;
+  return cp;
+}
+
+void DurabilityEngine::restore_state(const EngineCheckpoint& cp) {
+  journal_ = cp.journal->fork();
+  snapshots_ = cp.snapshots->fork();
+  ensure(journal_ != nullptr && snapshots_ != nullptr,
+         "checkpointed journal devices must stay forkable");
+  stats_ = cp.stats;
+  interner_ = cp.interner;
+  appended_epoch_ = cp.appended_epoch;
+  journal_generation_ = cp.journal_generation;
+  retained_tail_ = cp.retained_tail;
+  rebase_ok_ = cp.rebase_ok;
+  rebase_epoch_ = cp.rebase_epoch;
+  ship_horizon_ = cp.ship_horizon;
+  scratch_.clear();
+}
+
 std::unique_ptr<DurabilityEngine> make_memory_engine(DurableOptions options) {
   return std::make_unique<DurabilityEngine>(std::make_unique<MemoryBackend>(),
                                             std::make_unique<MemoryBackend>(),

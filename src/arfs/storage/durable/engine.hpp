@@ -149,6 +149,23 @@ struct RecoveryReport {
                                            const JournalBackend& journal,
                                            StableStorage& out);
 
+/// Frozen image of a DurabilityEngine: forked devices (durable image,
+/// buffered tail, and armed fault hooks included) plus every piece of
+/// engine bookkeeping. Move-only; a checkpoint can be restored any number
+/// of times because restore re-forks the devices instead of consuming them.
+struct EngineCheckpoint {
+  std::unique_ptr<JournalBackend> journal;
+  std::unique_ptr<JournalBackend> snapshots;
+  DurabilityStats stats;
+  KeyInterner interner;
+  std::uint64_t appended_epoch = 0;
+  std::uint64_t journal_generation = 0;
+  std::vector<std::uint8_t> retained_tail;
+  bool rebase_ok = true;
+  std::uint64_t rebase_epoch = 0;
+  std::uint64_t ship_horizon = 0;
+};
+
 class DurabilityEngine {
  public:
   DurabilityEngine(std::unique_ptr<JournalBackend> journal,
@@ -185,6 +202,14 @@ class DurabilityEngine {
 
   /// True when the devices hold any durable state worth recovering.
   [[nodiscard]] bool has_state() const;
+
+  /// Freezes the engine — forked devices plus all bookkeeping — into a
+  /// checkpoint restorable many times over. Precondition: both devices are
+  /// forkable (MemoryBackend; FileBackend is not).
+  [[nodiscard]] EngineCheckpoint checkpoint_state() const;
+  /// Rewinds this engine to `cp` in place. The engine object's identity is
+  /// preserved deliberately: shippers and units hold references to it.
+  void restore_state(const EngineCheckpoint& cp);
 
   [[nodiscard]] const DurabilityStats& stats() const { return stats_; }
   [[nodiscard]] const DurableOptions& options() const { return options_; }

@@ -267,6 +267,28 @@ void ShippedReplica::reset_from_full_copy(const StableStorage& source,
   }
 }
 
+ShippedReplica::Checkpoint ShippedReplica::checkpoint_state() const {
+  Checkpoint cp;
+  cp.store = store_;
+  if (engine_ != nullptr) cp.engine = engine_->checkpoint_state();
+  cp.dict = dict_;
+  cp.pending = pending_;
+  cp.cursor = cursor_;
+  cp.stats = stats_;
+  return cp;
+}
+
+void ShippedReplica::restore_state(const Checkpoint& cp) {
+  require((engine_ != nullptr) == cp.engine.has_value(),
+          "replica restore must match its attached-engine shape");
+  store_ = cp.store;
+  if (engine_ != nullptr) engine_->restore_state(*cp.engine);
+  dict_ = cp.dict;
+  pending_ = cp.pending;
+  cursor_ = cp.cursor;
+  stats_ = cp.stats;
+}
+
 std::uint64_t encoded_state_bytes(const StableStorage& store,
                                   const std::string& prefix) {
   std::vector<std::uint8_t> scratch;

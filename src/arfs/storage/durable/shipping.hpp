@@ -158,6 +158,22 @@ class ShippedReplica {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Frozen image of the standby: store, optional standby engine, stream
+  /// dictionary, partial-record tail, cursor, and stats. Move-only (the
+  /// engine checkpoint owns forked devices) but restorable many times.
+  struct Checkpoint {
+    StableStorage store;
+    std::optional<EngineCheckpoint> engine;
+    std::vector<std::string> dict;
+    std::vector<std::uint8_t> pending;
+    ShipCursor cursor;
+    Stats stats;
+  };
+  [[nodiscard]] Checkpoint checkpoint_state() const;
+  /// Precondition: an engine is attached iff the checkpoint holds one (a
+  /// replica never gains or loses its standby engine mid-mission).
+  void restore_state(const Checkpoint& cp);
+
  private:
   /// Applies every complete record in pending_; returns false on a corrupt
   /// or malformed record (the un-applied suffix is then discarded and the

@@ -36,6 +36,11 @@ class VolatileStorage {
   /// Number of erase_all() calls observed (instrumentation for tests).
   [[nodiscard]] std::uint64_t erase_count() const { return erases_; }
 
+  /// FNV-1a digest of the full contents (the map iterates sorted, so equal
+  /// stores always hash equal); lets checkpoint round-trip tests prove
+  /// volatile state restores bit-identically.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   std::map<std::string, Value> data_;
   std::uint64_t erases_ = 0;

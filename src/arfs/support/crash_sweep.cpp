@@ -16,6 +16,133 @@ inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
   }
 }
 
+/// Rounded integer √frames, the stride minimizing F + F·K/2 residual work
+/// against K-sized checkpoint memory. Integer arithmetic: the auto-tune must
+/// be bit-stable across platforms.
+Cycle auto_stride(Cycle frames) {
+  Cycle s = 0;
+  while ((s + 1) * (s + 1) <= frames) ++s;
+  if (frames - s * s > (s + 1) * (s + 1) - frames) ++s;
+  return std::max<Cycle>(1, s);
+}
+
+/// One crash point's verdict: arms the device fault, fail-stops the victim
+/// (recovery runs inside fail()), and checks the recovered — and, under
+/// warm_start, the replicated — state against the shared fingerprint table.
+/// `system` must stand exactly at `crash_frame` frames run. The victim is
+/// fetched once, mutably; every check reads through that same reference.
+CrashPoint judge_crash_point(core::System& system,
+                             const CrashSweepOptions& options,
+                             Cycle crash_frame,
+                             const std::vector<std::uint64_t>& fingerprints) {
+  failstop::Processor& victim =
+      system.processors().processor(options.victim);
+  require(victim.running(),
+          "crash sweep victim was failed by the mission itself");
+  storage::durable::DurabilityEngine* engine = victim.durability();
+  require(engine != nullptr, "crash sweep victim is not durable");
+  const std::uint64_t durable_epoch = engine->stats().last_durable_epoch;
+
+  // Arm the crash-time device fault, if any. The bit flip lands at a
+  // position derived from the crash frame, so the sweep exercises a
+  // different (deterministic) corruption site at every point.
+  switch (options.io_fault) {
+    case CrashSweepOptions::IoFault::kNone:
+      break;
+    case CrashSweepOptions::IoFault::kTornWrite:
+      engine->journal().tear_on_crash(options.tear_keep);
+      break;
+    case CrashSweepOptions::IoFault::kBitFlip:
+      engine->journal().corrupt_bit(0x9E3779B97F4A7C15ULL *
+                                    (std::uint64_t{crash_frame} + 1));
+      break;
+  }
+
+  // The fail-stop halt: devices lose their unsynced tail, recovery runs
+  // inside fail(), and poll_stable() shows the recovered store.
+  victim.fail(crash_frame);
+
+  CrashPoint point;
+  point.crash_frame = crash_frame;
+  point.durable_epoch = durable_epoch;
+  point.expected_fingerprint =
+      fingerprints[static_cast<std::size_t>(durable_epoch)];
+  point.recovered_fingerprint = victim.poll_stable().fingerprint();
+  const auto& recovery = victim.last_recovery();
+  point.recovered_epoch = recovery.has_value() ? recovery->last_epoch : 0;
+  point.journal_truncated =
+      recovery.has_value() && recovery->journal_truncated;
+  // The floor must hold, the recovered epoch must be a real frame of this
+  // mission, and the recovered bytes must be exactly that frame's committed
+  // state. A bit flip may corrupt *synced* records, so it alone is excused
+  // from the durable-epoch floor — recovery must still land on an exact
+  // commit boundary.
+  const bool floor_ok =
+      options.io_fault == CrashSweepOptions::IoFault::kBitFlip ||
+      point.recovered_epoch >= durable_epoch;
+  point.match = recovery.has_value() && floor_ok &&
+                point.recovered_epoch <= crash_frame &&
+                point.recovered_fingerprint ==
+                    fingerprints[static_cast<std::size_t>(
+                        point.recovered_epoch)];
+  point.lost_frames = point.recovered_epoch <= crash_frame
+                          ? crash_frame - point.recovered_epoch
+                          : 0;
+
+  if (options.warm_start) {
+    // Warm-start relocation check: drain the victim's shipping channel and
+    // require the standby replica to be bit-identical to the recovered
+    // commit boundary — the state a relocated app would warm-start from.
+    require(system.has_ship_channel(options.victim),
+            "warm-start sweep needs SystemOptions::journal_shipping");
+    const core::System::ShipCatchUp catch_up =
+        system.ship_catch_up(options.victim);
+    const storage::durable::ShippedReplica& replica =
+        system.ship_replica(options.victim);
+    point.replica_epoch = replica.store().commit_epochs();
+    point.replica_fingerprint = replica.store().fingerprint();
+    point.replica_catchup_bytes = catch_up.bytes;
+    point.replica_reseeded = catch_up.reseeded;
+    point.replica_match =
+        point.replica_epoch <= crash_frame &&
+        point.replica_fingerprint == point.recovered_fingerprint &&
+        point.replica_fingerprint ==
+            fingerprints[static_cast<std::size_t>(point.replica_epoch)];
+  }
+  return point;
+}
+
+/// From-scratch strategy: every job replays its own mission from frame 0.
+std::vector<CrashPoint> sweep_from_scratch(const MissionFactory& factory,
+                                           const CrashSweepOptions& options,
+                                           sim::BatchRunner& runner) {
+  return runner.map<CrashPoint>(
+      static_cast<std::size_t>(options.frames), [&](std::size_t i) {
+        const Cycle crash_frame = static_cast<Cycle>(i) + 1;
+        CrashMission mission = factory();
+        require(mission.system != nullptr, "mission factory built no system");
+        core::System& system = *mission.system;
+        require(system.processors().has_processor(options.victim),
+                "crash sweep victim is not in the system");
+
+        // Fingerprint of the victim's committed store after each commit
+        // epoch; index 0 is the empty pre-mission store. Every frame the
+        // victim survives commits exactly once, so epoch == frames run.
+        const failstop::Processor& victim =
+            system.processors().processor(options.victim);
+        std::vector<std::uint64_t> fingerprints;
+        fingerprints.reserve(static_cast<std::size_t>(crash_frame) + 1);
+        fingerprints.push_back(victim.poll_stable().fingerprint());
+        for (Cycle f = 0; f < crash_frame; ++f) {
+          system.run(1);
+          fingerprints.push_back(victim.poll_stable().fingerprint());
+          require(victim.running(),
+                  "crash sweep victim was failed by the mission itself");
+        }
+        return judge_crash_point(system, options, crash_frame, fingerprints);
+      });
+}
+
 }  // namespace
 
 std::uint64_t CrashSweepReport::digest() const {
@@ -43,106 +170,71 @@ CrashSweepReport run_crash_sweep(const MissionFactory& factory,
   require(static_cast<bool>(factory), "crash sweep needs a mission factory");
 
   CrashSweepReport report;
-  report.points = runner.map<CrashPoint>(
-      static_cast<std::size_t>(options.frames), [&](std::size_t i) {
-        const Cycle crash_frame = static_cast<Cycle>(i) + 1;
-        CrashMission mission = factory();
-        require(mission.system != nullptr, "mission factory built no system");
-        core::System& system = *mission.system;
-        require(system.processors().has_processor(options.victim),
-                "crash sweep victim is not in the system");
+  if (!options.checkpointing) {
+    report.points = sweep_from_scratch(factory, options, runner);
+    report.simulated_frames =
+        options.frames * (options.frames + 1) / 2;
+  } else {
+    const Cycle stride = options.checkpoint_stride > 0
+                             ? options.checkpoint_stride
+                             : auto_stride(options.frames);
 
-        // Fingerprint of the victim's committed store after each commit
-        // epoch; index 0 is the empty pre-mission store. Every frame the
-        // victim survives commits exactly once, so epoch == frames run.
-        const failstop::Processor& victim =
-            system.processors().processor(options.victim);
-        std::vector<std::uint64_t> fingerprints;
-        fingerprints.reserve(static_cast<std::size_t>(crash_frame) + 1);
-        fingerprints.push_back(victim.poll_stable().fingerprint());
-        for (Cycle f = 0; f < crash_frame; ++f) {
-          system.run(1);
-          fingerprints.push_back(victim.poll_stable().fingerprint());
-        }
-        require(victim.running(),
-                "crash sweep victim was failed by the mission itself");
+    // Serial baseline pass: run the mission once end to end, recording the
+    // shared commit-boundary fingerprint table (index = commit epoch,
+    // index 0 = empty pre-mission store) and freezing a whole-system
+    // checkpoint every `stride` frames. Checkpoints fork the durable
+    // devices, so later restores are copy-on-restore — no mission replay.
+    CrashMission baseline = factory();
+    require(baseline.system != nullptr, "mission factory built no system");
+    core::System& base_system = *baseline.system;
+    require(base_system.processors().has_processor(options.victim),
+            "crash sweep victim is not in the system");
+    const failstop::Processor& victim =
+        base_system.processors().processor(options.victim);
 
-        failstop::Processor& target =
-            system.processors().processor(options.victim);
-        storage::durable::DurabilityEngine* engine = target.durability();
-        require(engine != nullptr, "crash sweep victim is not durable");
-        const std::uint64_t durable_epoch = engine->stats().last_durable_epoch;
+    std::vector<std::uint64_t> fingerprints;
+    fingerprints.reserve(static_cast<std::size_t>(options.frames) + 1);
+    fingerprints.push_back(victim.poll_stable().fingerprint());
+    std::vector<core::SystemCheckpoint> checkpoints;
+    checkpoints.reserve(
+        static_cast<std::size_t>(options.frames / stride) + 1);
+    checkpoints.push_back(base_system.checkpoint());
+    for (Cycle f = 0; f < options.frames; ++f) {
+      base_system.run(1);
+      fingerprints.push_back(victim.poll_stable().fingerprint());
+      require(victim.running(),
+              "crash sweep victim was failed by the mission itself");
+      if ((f + 1) % stride == 0) {
+        checkpoints.push_back(base_system.checkpoint());
+      }
+    }
 
-        // Arm the crash-time device fault, if any. The bit flip lands at a
-        // position derived from the crash frame, so the sweep exercises a
-        // different (deterministic) corruption site at every point.
-        switch (options.io_fault) {
-          case CrashSweepOptions::IoFault::kNone:
-            break;
-          case CrashSweepOptions::IoFault::kTornWrite:
-            engine->journal().tear_on_crash(options.tear_keep);
-            break;
-          case CrashSweepOptions::IoFault::kBitFlip:
-            engine->journal().corrupt_bit(0x9E3779B97F4A7C15ULL *
-                                          (std::uint64_t{crash_frame} + 1));
-            break;
-        }
+    // Batch-parallel crash points: each forks a fresh mission, restores the
+    // nearest checkpoint at or below its crash frame, and simulates only
+    // the residual < stride frames before the fail-stop. The checkpoint
+    // table and fingerprint table are shared read-only across jobs.
+    report.points = runner.map<CrashPoint>(
+        static_cast<std::size_t>(options.frames), [&](std::size_t i) {
+          const Cycle crash_frame = static_cast<Cycle>(i) + 1;
+          const Cycle base_frame = crash_frame - crash_frame % stride;
+          CrashMission mission = factory();
+          require(mission.system != nullptr,
+                  "mission factory built no system");
+          core::System& system = *mission.system;
+          system.restore(
+              checkpoints[static_cast<std::size_t>(base_frame / stride)]);
+          system.run(crash_frame - base_frame);
+          return judge_crash_point(system, options, crash_frame,
+                                   fingerprints);
+        });
 
-        // The fail-stop halt: devices lose their unsynced tail, recovery
-        // runs inside fail(), and poll_stable() shows the recovered store.
-        target.fail(crash_frame);
-
-        CrashPoint point;
-        point.crash_frame = crash_frame;
-        point.durable_epoch = durable_epoch;
-        point.expected_fingerprint =
-            fingerprints[static_cast<std::size_t>(durable_epoch)];
-        point.recovered_fingerprint = target.poll_stable().fingerprint();
-        const auto& recovery = target.last_recovery();
-        point.recovered_epoch = recovery.has_value() ? recovery->last_epoch : 0;
-        point.journal_truncated =
-            recovery.has_value() && recovery->journal_truncated;
-        // The floor must hold, the recovered epoch must be a real frame of
-        // this mission, and the recovered bytes must be exactly that
-        // frame's committed state. A bit flip may corrupt *synced* records,
-        // so it alone is excused from the durable-epoch floor — recovery
-        // must still land on an exact commit boundary.
-        const bool floor_ok =
-            options.io_fault == CrashSweepOptions::IoFault::kBitFlip ||
-            point.recovered_epoch >= durable_epoch;
-        point.match = recovery.has_value() && floor_ok &&
-                      point.recovered_epoch <= crash_frame &&
-                      point.recovered_fingerprint ==
-                          fingerprints[static_cast<std::size_t>(
-                              point.recovered_epoch)];
-        point.lost_frames =
-            point.recovered_epoch <= crash_frame
-                ? crash_frame - point.recovered_epoch
-                : 0;
-
-        if (options.warm_start) {
-          // Warm-start relocation check: drain the victim's shipping
-          // channel and require the standby replica to be bit-identical to
-          // the recovered commit boundary — the state a relocated app
-          // would warm-start from.
-          require(system.has_ship_channel(options.victim),
-                  "warm-start sweep needs SystemOptions::journal_shipping");
-          const core::System::ShipCatchUp catch_up =
-              system.ship_catch_up(options.victim);
-          const storage::durable::ShippedReplica& replica =
-              system.ship_replica(options.victim);
-          point.replica_epoch = replica.store().commit_epochs();
-          point.replica_fingerprint = replica.store().fingerprint();
-          point.replica_catchup_bytes = catch_up.bytes;
-          point.replica_reseeded = catch_up.reseeded;
-          point.replica_match =
-              point.replica_epoch <= crash_frame &&
-              point.replica_fingerprint == point.recovered_fingerprint &&
-              point.replica_fingerprint ==
-                  fingerprints[static_cast<std::size_t>(point.replica_epoch)];
-        }
-        return point;
-      });
+    report.simulated_frames = options.frames;  // the baseline pass
+    for (Cycle j = 1; j <= options.frames; ++j) {
+      report.simulated_frames += j % stride;  // each job's residual
+    }
+    report.checkpoints_taken = checkpoints.size();
+    report.stride_used = stride;
+  }
 
   for (const CrashPoint& point : report.points) {
     if (!point.match) ++report.mismatches;

@@ -4,10 +4,21 @@
 // one processor at *every* frame of a mission and check that the state its
 // devices recover is exactly the state of the last durable commit epoch —
 // never a torn record, never anything newer than what was synced, never
-// anything older. Crash points are independent missions (each job builds a
-// fresh system and runs it up to its own crash frame), so the sweep fans
+// anything older. Crash points are independent missions, so the sweep fans
 // them across a sim::BatchRunner and inherits the batch engine's
 // determinism contract: the report is bit-identical at any thread count.
+//
+// Two execution strategies produce bit-identical reports:
+//  * from-scratch (checkpointing off): each job builds a fresh mission and
+//    replays it up to its own crash frame — F crash points simulate
+//    F·(F+1)/2 frames;
+//  * checkpointed (the default): one serial baseline pass runs the mission
+//    once, records the shared commit-boundary fingerprint table, and drops
+//    a deterministic core::SystemCheckpoint every K frames; each job then
+//    forks a fresh mission, restores the nearest checkpoint at or below its
+//    crash frame, and simulates only the residual < K frames. Total
+//    simulated frames fall to F + ~F·K/2, minimized at K ≈ √F (the
+//    auto-tune default).
 #pragma once
 
 #include <cstdint>
@@ -68,6 +79,14 @@ struct CrashSweepOptions {
   /// commit-boundary fingerprint. The factory's mission must enable
   /// SystemOptions::journal_shipping.
   bool warm_start = false;
+
+  /// O(F·K) strategy: fork each crash point from a stride-K baseline
+  /// checkpoint instead of replaying the mission from frame 0. Off runs the
+  /// from-scratch O(F²) sweep — the oracle the checkpointed path is tested
+  /// bit-identical against.
+  bool checkpointing = true;
+  /// Baseline checkpoint stride K; 0 auto-tunes to max(1, round(√frames)).
+  Cycle checkpoint_stride = 0;
 };
 
 /// One crash point's verdict. `match` asserts the fail-stop contract:
@@ -118,11 +137,22 @@ struct CrashSweepReport {
   /// Warm-start points that fell back to a full-copy reseed.
   std::size_t replica_reseeds = 0;
 
+  // --- execution-cost metrics; deliberately OUTSIDE digest() so the
+  // checkpointed and from-scratch strategies stay digest-comparable ---
+  /// Mission frames simulated across the baseline pass and every job:
+  /// frames·(frames+1)/2 from scratch, frames + Σ residuals checkpointed.
+  std::uint64_t simulated_frames = 0;
+  /// Baseline checkpoints held (frame-0 included); 0 from scratch.
+  std::uint64_t checkpoints_taken = 0;
+  /// The stride actually used after auto-tuning; 0 from scratch.
+  Cycle stride_used = 0;
+
   [[nodiscard]] bool all_match() const {
     return mismatches == 0 && replica_mismatches == 0;
   }
   /// Order-sensitive FNV-1a digest of every point — one number to compare
-  /// a serial reference sweep against a parallel one.
+  /// a serial reference sweep against a parallel one, and the checkpointed
+  /// strategy against the from-scratch oracle.
   [[nodiscard]] std::uint64_t digest() const;
 };
 

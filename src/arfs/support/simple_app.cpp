@@ -65,4 +65,25 @@ void SimpleApp::on_volatile_lost() {
   ++volatile_losses_;
 }
 
+void SimpleApp::save_domain(std::vector<std::uint64_t>& out) const {
+  out.push_back(work_count_);
+  out.push_back(halts_);
+  out.push_back(prepares_);
+  out.push_back(initializes_);
+  out.push_back(volatile_losses_);
+  out.push_back(fault_budget_);
+  out.push_back(stage_progress_);
+}
+
+void SimpleApp::load_domain(const std::vector<std::uint64_t>& in) {
+  require(in.size() == 7, "simple-app domain checkpoint has 7 words");
+  work_count_ = in[0];
+  halts_ = in[1];
+  prepares_ = in[2];
+  initializes_ = in[3];
+  volatile_losses_ = in[4];
+  fault_budget_ = in[5];
+  stage_progress_ = in[6];
+}
+
 }  // namespace arfs::support

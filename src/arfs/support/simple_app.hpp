@@ -47,6 +47,8 @@ class SimpleApp final : public core::ReconfigurableApp {
   bool do_initialize(const Ctx& ctx,
                      std::optional<SpecId> target_spec) override;
   void on_volatile_lost() override;
+  void save_domain(std::vector<std::uint64_t>& out) const override;
+  void load_domain(const std::vector<std::uint64_t>& in) override;
 
  private:
   SimpleAppParams params_;

@@ -1,0 +1,322 @@
+// Deterministic whole-system checkpoints and the O(F·K) crash-point sweep
+// built on them.
+//
+// Two contracts under test:
+//  * core::SystemCheckpoint round-trips bit-identically — at every frame of
+//    a mission, a checkpoint restored into a freshly built system has the
+//    live system's digest, and running the restored fork to mission end
+//    reproduces the live mission's final digest exactly;
+//  * the checkpointed sweep strategy is digest-identical to the from-scratch
+//    oracle (CrashSweepOptions::checkpointing = false) under every sync
+//    policy, both io-fault modes, warm-start mode, any stride, and any
+//    thread count.
+// Plus the BENCH_*.json trajectory emitter (bench/bench_main.hpp --json):
+// what it writes must parse as valid JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "arfs/avionics/uav_system.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/sim/batch.hpp"
+#include "arfs/support/bench_json.hpp"
+#include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/mission.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+
+namespace arfs::support {
+namespace {
+
+using storage::durable::SyncPolicy;
+
+/// The four policies every strategy comparison must pass under.
+std::vector<std::pair<std::string, SyncPolicy>> all_policies() {
+  return {{"every-commit", SyncPolicy::every_commit()},
+          {"bytes(512)", SyncPolicy::bytes(512)},
+          {"frames(4)", SyncPolicy::frames(4)},
+          {"hybrid(4096,8)", SyncPolicy::hybrid(4096, 8)}};
+}
+
+/// Chain-spec mission, identical to crash_sweep_test's: durable processors,
+/// one SimpleApp per declared app, optional warm-standby shipping.
+MissionFactory chain_factory(SyncPolicy policy, bool shipping = false) {
+  return [policy, shipping] {
+    auto spec =
+        std::make_shared<core::ReconfigSpec>(make_chain_spec({}));
+    core::SystemOptions options;
+    options.durable_storage = true;
+    options.journal_shipping = shipping;
+    options.durability.snapshot_every_epochs = 7;
+    options.durability.sync = policy;
+    auto system = std::make_unique<core::System>(*spec, options);
+    for (const core::AppDecl& decl : spec->apps()) {
+      system->add_app(
+          std::make_unique<SimpleApp>(decl.id, decl.name));
+    }
+    CrashMission mission;
+    mission.keepalive = spec;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+/// The paper's avionics mission, identical to crash_sweep_test's: autopilot
+/// + FCS with the electrical factor driving reconfigurations at frames 10,
+/// 25, and 40.
+MissionFactory uav_factory(SyncPolicy policy, bool shipping = false) {
+  return [policy, shipping] {
+    struct Bundle {
+      core::ReconfigSpec spec;
+      avionics::UavPlant plant;
+      Bundle(core::ReconfigSpec s, std::uint64_t seed)
+          : spec(std::move(s)), plant(seed) {}
+    };
+    avionics::UavSpecOptions spec_options;
+    spec_options.dwell_frames = 10;
+    auto bundle = std::make_shared<Bundle>(
+        avionics::make_uav_spec(spec_options), 42);
+
+    core::SystemOptions options;
+    options.frame_length = 20'000;
+    options.durable_storage = true;
+    options.journal_shipping = shipping;
+    options.durability.snapshot_every_epochs = 16;
+    options.durability.sync = policy;
+    auto system = std::make_unique<core::System>(bundle->spec, options);
+    system->add_app(
+        std::make_unique<avionics::AutopilotApp>(bundle->plant));
+    system->add_app(std::make_unique<avionics::FcsApp>(bundle->plant));
+
+    MissionProfile mission(options.frame_length);
+    mission.at(10, avionics::kPowerFactor, 1)
+        .at(25, avionics::kPowerFactor, 2)
+        .at(40, avionics::kPowerFactor, 0);
+    system->set_fault_plan(mission.build());
+
+    CrashMission out;
+    out.keepalive = bundle;
+    out.system = std::move(system);
+    return out;
+  };
+}
+
+/// The round-trip contract, checked at every frame of `factory`'s mission:
+/// the live digest, the checkpoint's own digest, a restored fork's digest,
+/// and the fork's run-to-end digest must all agree with the live mission.
+void expect_restore_exact_at_every_frame(const MissionFactory& factory,
+                                         Cycle frames) {
+  // Reference pass: the live mission's digest and a checkpoint after every
+  // frame (index f = state after f frames; 0 = freshly built).
+  CrashMission reference = factory();
+  ASSERT_NE(reference.system, nullptr);
+  std::vector<std::uint64_t> digests;
+  std::vector<core::SystemCheckpoint> checkpoints;
+  digests.push_back(reference.system->digest());
+  checkpoints.push_back(reference.system->checkpoint());
+  for (Cycle f = 1; f <= frames; ++f) {
+    reference.system->run(1);
+    digests.push_back(reference.system->digest());
+    checkpoints.push_back(reference.system->checkpoint());
+  }
+
+  for (Cycle f = 0; f <= frames; ++f) {
+    const std::size_t i = static_cast<std::size_t>(f);
+    // The checkpoint hashes to the live system's digest...
+    ASSERT_EQ(checkpoints[i].digest(), digests[i]) << "frame " << f;
+    // ...a fresh system restored from it is bit-identical...
+    CrashMission fork = factory();
+    fork.system->restore(checkpoints[i]);
+    ASSERT_EQ(fork.system->digest(), digests[i]) << "frame " << f;
+    // ...and running the fork to mission end reproduces the live mission's
+    // final state exactly — the property the checkpointed sweep rests on.
+    fork.system->run(frames - f);
+    ASSERT_EQ(fork.system->digest(), digests[frames]) << "frame " << f;
+  }
+
+  // A checkpoint is restorable more than once (each restore re-forks the
+  // durable devices): two forks of the same mid-mission checkpoint agree.
+  const std::size_t mid = static_cast<std::size_t>(frames / 2);
+  CrashMission fork_a = factory();
+  CrashMission fork_b = factory();
+  fork_a.system->restore(checkpoints[mid]);
+  fork_b.system->restore(checkpoints[mid]);
+  fork_a.system->run(frames - frames / 2);
+  fork_b.system->run(frames - frames / 2);
+  EXPECT_EQ(fork_a.system->digest(), fork_b.system->digest());
+  EXPECT_EQ(fork_a.system->digest(), digests[frames]);
+}
+
+TEST(SystemCheckpoint, ChainMissionRestoresBitIdenticallyAtEveryFrame) {
+  expect_restore_exact_at_every_frame(
+      chain_factory(SyncPolicy::frames(4), /*shipping=*/true), 12);
+}
+
+TEST(SystemCheckpoint, AvionicsMissionRestoresBitIdenticallyAtEveryFrame) {
+  // 45 frames cover all three reconfigurations (frames 10, 25, 40) plus
+  // their SFTA phases, so checkpoints are taken mid-reconfiguration too.
+  expect_restore_exact_at_every_frame(
+      uav_factory(SyncPolicy::hybrid(4096, 8), /*shipping=*/true), 45);
+}
+
+/// Runs one sweep and returns its report digest.
+std::uint64_t sweep_digest(const MissionFactory& factory,
+                           CrashSweepOptions options) {
+  const CrashSweepReport report = run_crash_sweep(factory, options);
+  EXPECT_TRUE(report.all_match());
+  return report.digest();
+}
+
+TEST(CheckpointedSweep, MatchesFromScratchOracleUnderEveryPolicyAndFault) {
+  for (const auto& [name, policy] : all_policies()) {
+    for (const CrashSweepOptions::IoFault fault :
+         {CrashSweepOptions::IoFault::kNone,
+          CrashSweepOptions::IoFault::kTornWrite,
+          CrashSweepOptions::IoFault::kBitFlip}) {
+      CrashSweepOptions options;
+      options.frames = 16;
+      options.victim = synthetic_processor(0);
+      options.io_fault = fault;
+      options.checkpointing = false;
+      const std::uint64_t oracle =
+          sweep_digest(chain_factory(policy), options);
+      options.checkpointing = true;
+      EXPECT_EQ(sweep_digest(chain_factory(policy), options), oracle)
+          << name << " io-fault " << static_cast<int>(fault);
+    }
+  }
+}
+
+TEST(CheckpointedSweep, MatchesFromScratchOracleOnAvionicsMission) {
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 30;
+    options.victim = avionics::kComputer1;
+    options.checkpointing = false;
+    const std::uint64_t oracle = sweep_digest(uav_factory(policy), options);
+    options.checkpointing = true;
+    EXPECT_EQ(sweep_digest(uav_factory(policy), options), oracle) << name;
+  }
+}
+
+TEST(CheckpointedSweep, MatchesFromScratchOracleUnderWarmStart) {
+  for (const auto& [name, policy] : all_policies()) {
+    CrashSweepOptions options;
+    options.frames = 12;
+    options.victim = synthetic_processor(0);
+    options.warm_start = true;
+    options.checkpointing = false;
+    const std::uint64_t oracle =
+        sweep_digest(chain_factory(policy, /*shipping=*/true), options);
+    options.checkpointing = true;
+    EXPECT_EQ(sweep_digest(chain_factory(policy, /*shipping=*/true), options),
+              oracle)
+        << name;
+  }
+}
+
+TEST(CheckpointedSweep, DigestIsStrideAndThreadCountInvariant) {
+  CrashSweepOptions options;
+  options.frames = 20;
+  options.victim = synthetic_processor(0);
+  options.checkpointing = false;
+  const std::uint64_t oracle =
+      sweep_digest(chain_factory(SyncPolicy::frames(4)), options);
+
+  options.checkpointing = true;
+  for (const Cycle stride : {Cycle{0}, Cycle{1}, Cycle{2}, Cycle{5},
+                             Cycle{20}}) {
+    options.checkpoint_stride = stride;
+    EXPECT_EQ(sweep_digest(chain_factory(SyncPolicy::frames(4)), options),
+              oracle)
+        << "stride " << stride;
+  }
+
+  options.checkpoint_stride = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    sim::BatchOptions batch;
+    batch.threads = threads;
+    sim::BatchRunner runner(batch);
+    const CrashSweepReport report = run_crash_sweep(
+        chain_factory(SyncPolicy::frames(4)), options, runner);
+    EXPECT_EQ(report.digest(), oracle) << threads << " threads";
+  }
+}
+
+TEST(CheckpointedSweep, ReportsItsExecutionCostMetrics) {
+  CrashSweepOptions options;
+  options.frames = 20;
+  options.victim = synthetic_processor(0);
+
+  // Auto stride at F=20 is round(√20) = 4; 6 checkpoints (frame 0 + every
+  // 4th frame); baseline 20 frames + residuals Σ j%4 for j=1..20.
+  const CrashSweepReport auto_report =
+      run_crash_sweep(chain_factory(SyncPolicy::frames(4)), options);
+  EXPECT_EQ(auto_report.stride_used, 4u);
+  EXPECT_EQ(auto_report.checkpoints_taken, 6u);
+  EXPECT_EQ(auto_report.simulated_frames, 20u + 30u);
+
+  options.checkpoint_stride = 5;
+  const CrashSweepReport strided =
+      run_crash_sweep(chain_factory(SyncPolicy::frames(4)), options);
+  EXPECT_EQ(strided.stride_used, 5u);
+  EXPECT_EQ(strided.checkpoints_taken, 5u);
+  EXPECT_EQ(strided.simulated_frames, 20u + 40u);
+
+  options.checkpoint_stride = 0;
+  options.checkpointing = false;
+  const CrashSweepReport scratch =
+      run_crash_sweep(chain_factory(SyncPolicy::frames(4)), options);
+  EXPECT_EQ(scratch.stride_used, 0u);
+  EXPECT_EQ(scratch.checkpoints_taken, 0u);
+  EXPECT_EQ(scratch.simulated_frames, 20u * 21u / 2u);
+  // The O(F·K) strategy really simulated far fewer frames.
+  EXPECT_LT(auto_report.simulated_frames * 3, scratch.simulated_frames);
+}
+
+// --- the BENCH_*.json trajectory emitter ---
+
+TEST(BenchJson, TrajectoryWritesValidParsableJson) {
+  BenchTrajectory trajectory;
+  EXPECT_TRUE(json_valid(trajectory.to_json()));  // empty object
+
+  trajectory.record("sweep/F256/speedup", 7.5, "x");
+  trajectory.record("needs \"escaping\"\n", -2.5e-3, "ms");
+  trajectory.record("sweep/F256/speedup", 8.0, "x");  // overwrite, not dup
+  ASSERT_EQ(trajectory.entries().size(), 2u);
+  EXPECT_EQ(trajectory.entries()[0].value, 8.0);
+
+  const std::string json = trajectory.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"unit\": \"x\""), std::string::npos);
+
+  // The file a bench binary's --json flag produces must parse back clean.
+  const std::string path = "BENCH_selftest.json";
+  ASSERT_TRUE(trajectory.write_json(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_valid(buffer.str())) << buffer.str();
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, ValidatorRejectsMalformedText) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid(" {\"a\": [1, 2.5e-3, true, null, \"s\\u00e9\"]} "));
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\": }"));
+  EXPECT_FALSE(json_valid("{\"a\": 1,}"));
+  EXPECT_FALSE(json_valid("{} trailing"));
+  EXPECT_FALSE(json_valid("{\"a\": 01}"));
+  EXPECT_FALSE(json_valid("{'a': 1}"));
+  EXPECT_FALSE(json_valid("{\"a\": \"unterminated}"));
+}
+
+}  // namespace
+}  // namespace arfs::support

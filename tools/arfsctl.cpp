@@ -5,6 +5,12 @@
 //   arfsctl simulate <spec> [frames] [seed] run a random fault campaign,
 //                                           print SFTA phase tables and the
 //                                           SP1-SP4 report
+//   arfsctl sweep <spec> [--frames N] [--io-fault torn|bitflip] [--warm]
+//                 [--checkpoint-stride K] [--json]
+//                                           crash-point sweep: fail-stop the
+//                                           mission's durable victim at every
+//                                           frame and verify each recovery
+//                                           (checkpointed O(F·K) strategy)
 //   arfsctl economics <full> <safe> <fail>  section 5.1 component counts
 //   arfsctl journal dump <file>             pretty-print a write-ahead
 //                                           journal's records
@@ -45,6 +51,8 @@
 #include "arfs/storage/durable/shipping.hpp"
 #include "arfs/storage/durable/wire.hpp"
 #include "arfs/storage/stable_storage.hpp"
+#include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/mission.hpp"
 #include "arfs/support/simple_app.hpp"
 #include "arfs/support/synthetic.hpp"
 #include "arfs/trace/export.hpp"
@@ -55,10 +63,12 @@ using namespace arfs;
 
 int usage() {
   std::cerr
-      << "usage: arfsctl <describe|certify|simulate|economics> ...\n"
+      << "usage: arfsctl <describe|certify|simulate|sweep|economics> ...\n"
          "  describe <uav|uav-ext|chain[:N]|random[:S]>\n"
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
+         "  sweep    <spec> [--frames N] [--io-fault torn|bitflip] [--warm]\n"
+         "           [--checkpoint-stride K] [--json]\n"
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
@@ -387,6 +397,100 @@ int cmd_journal_ship(const std::string& src_path, const std::string& dst_path,
   return verify.truncated ? 1 : 0;
 }
 
+/// Builds the sweep's mission for a built-in spec name. Chain/random specs
+/// run the declared apps as SimpleApps; the uav specs run the section 7
+/// avionics mission (autopilot + FCS, power-driven reconfigurations, plant
+/// seed 42). The factory re-derives everything from the name on each call,
+/// so concurrent crash-point jobs share no mutable state.
+support::MissionFactory sweep_mission_factory(const std::string& spec_name,
+                                              bool shipping) {
+  return [spec_name, shipping] {
+    struct Bundle {
+      SpecChoice choice;
+      std::optional<avionics::UavPlant> plant;
+    };
+    auto bundle = std::make_shared<Bundle>();
+    bundle->choice = *make_spec(spec_name);
+
+    core::SystemOptions options;
+    options.frame_length = bundle->choice.frame_length;
+    options.durable_storage = true;
+    options.journal_shipping = shipping;
+    options.durability.snapshot_every_epochs =
+        bundle->choice.is_uav ? 16 : 7;
+    auto system =
+        std::make_unique<core::System>(bundle->choice.spec, options);
+    if (bundle->choice.is_uav) {
+      bundle->plant.emplace(42);
+      system->add_app(
+          std::make_unique<avionics::AutopilotApp>(*bundle->plant));
+      system->add_app(std::make_unique<avionics::FcsApp>(*bundle->plant));
+      support::MissionProfile mission(options.frame_length);
+      mission.at(10, avionics::kPowerFactor, 1)
+          .at(25, avionics::kPowerFactor, 2)
+          .at(40, avionics::kPowerFactor, 0);
+      system->set_fault_plan(mission.build());
+    } else {
+      for (const core::AppDecl& decl : bundle->choice.spec.apps()) {
+        system->add_app(
+            std::make_unique<support::SimpleApp>(decl.id, decl.name));
+      }
+    }
+    support::CrashMission mission;
+    mission.keepalive = bundle;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+int cmd_sweep(const std::string& spec_name, bool is_uav,
+              const support::CrashSweepOptions& sweep_options, bool json) {
+  support::CrashSweepOptions options = sweep_options;
+  options.victim =
+      is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
+  const support::CrashSweepReport report = support::run_crash_sweep(
+      sweep_mission_factory(spec_name, options.warm_start), options);
+
+  const char* fault =
+      options.io_fault == support::CrashSweepOptions::IoFault::kTornWrite
+          ? "torn"
+          : options.io_fault == support::CrashSweepOptions::IoFault::kBitFlip
+                ? "bitflip"
+                : "none";
+  if (json) {
+    std::cout << "{\"spec\": \"" << spec_name << "\", \"frames\": "
+              << options.frames << ", \"io_fault\": \"" << fault
+              << "\", \"warm_start\": "
+              << (options.warm_start ? "true" : "false")
+              << ", \"stride\": " << report.stride_used
+              << ", \"checkpoints\": " << report.checkpoints_taken
+              << ", \"simulated_frames\": " << report.simulated_frames
+              << ", \"mismatches\": " << report.mismatches
+              << ", \"replica_mismatches\": " << report.replica_mismatches
+              << ", \"max_lost_frames\": " << report.max_lost_frames
+              << ", \"digest\": \"0x" << std::hex << report.digest()
+              << std::dec << "\"}\n";
+  } else {
+    std::cout << "crash-point sweep: " << spec_name << ", " << options.frames
+              << " crash points, io-fault " << fault
+              << (options.warm_start ? ", warm-start" : "") << "\n"
+              << "stride " << report.stride_used << " ("
+              << report.checkpoints_taken << " checkpoints), "
+              << report.simulated_frames << " frames simulated (from-scratch"
+              << " would need "
+              << options.frames * (options.frames + 1) / 2 << ")\n"
+              << "mismatches: " << report.mismatches
+              << ", replica mismatches: " << report.replica_mismatches
+              << ", max lost frames: " << report.max_lost_frames << "\n"
+              << "report digest: 0x" << std::hex << report.digest()
+              << std::dec << "\n"
+              << (report.all_match() ? "all crash points recovered exactly"
+                                     : "RECOVERY CONTRACT VIOLATED")
+              << "\n";
+  }
+  return report.all_match() ? 0 : 1;
+}
+
 int cmd_economics(int full, int safe, int failures) {
   analysis::HwEconomicsInput input;
   input.units_full_service = full;
@@ -454,6 +558,36 @@ int main(int argc, char** argv) {
       const std::uint64_t seed =
           argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
       return cmd_simulate(*choice, frames, seed);
+    }
+    if (cmd == "sweep") {
+      support::CrashSweepOptions options;
+      options.frames = 24;
+      bool json = false;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--frames" && i + 1 < argc) {
+          options.frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--io-fault" && i + 1 < argc) {
+          const std::string fault = argv[++i];
+          if (fault == "torn") {
+            options.io_fault = support::CrashSweepOptions::IoFault::kTornWrite;
+          } else if (fault == "bitflip") {
+            options.io_fault = support::CrashSweepOptions::IoFault::kBitFlip;
+          } else {
+            return usage();
+          }
+        } else if (arg == "--warm") {
+          options.warm_start = true;
+        } else if (arg == "--checkpoint-stride" && i + 1 < argc) {
+          options.checkpoint_stride = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--json") {
+          json = true;
+        } else {
+          return usage();
+        }
+      }
+      if (options.frames == 0) return usage();
+      return cmd_sweep(argv[2], choice->is_uav, options, json);
     }
     return usage();
   } catch (const std::exception& e) {

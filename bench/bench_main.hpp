@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "arfs/support/bench_json.hpp"
@@ -51,6 +53,17 @@ inline std::string strip_json_flag(int& argc, char** argv) {
   return path;
 }
 
+/// Writes the trajectory to `path` and structurally validates the bytes
+/// actually on disk with json_valid — a malformed emitter fails the bench
+/// run itself, not the downstream CI parse.
+inline bool write_validated_json(const std::string& path) {
+  if (!trajectory().write_json(path)) return false;
+  std::ifstream in(path);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return in.good() && support::json_valid(bytes.str());
+}
+
 }  // namespace arfs::bench
 
 #define ARFS_BENCH_MAIN(REPORT_FN)                                   \
@@ -59,8 +72,9 @@ inline std::string strip_json_flag(int& argc, char** argv) {
         ::arfs::bench::strip_json_flag(argc, argv);                  \
     REPORT_FN();                                                     \
     if (!json_path.empty() &&                                        \
-        !::arfs::bench::trajectory().write_json(json_path)) {        \
-      std::cerr << "failed to write " << json_path << "\n";          \
+        !::arfs::bench::write_validated_json(json_path)) {           \
+      std::cerr << "failed to write valid JSON to " << json_path     \
+                << "\n";                                             \
       return 1;                                                      \
     }                                                                \
     ::benchmark::Initialize(&argc, argv);                            \

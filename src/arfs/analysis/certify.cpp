@@ -25,10 +25,16 @@ CertificationReport certify(const core::ReconfigSpec& spec,
     return report;  // nothing else is meaningful on a malformed spec
   }
 
-  sim::BatchRunner& runner =
-      options.runner != nullptr ? *options.runner : sim::BatchRunner::shared();
-  report.coverage = check_coverage(spec, /*keep_discharged=*/false,
-                                   /*env_limit=*/1u << 20, &runner);
+  if (options.fleet != nullptr) {
+    report.coverage = check_coverage(spec, /*keep_discharged=*/false,
+                                     /*env_limit=*/1u << 20, *options.fleet);
+  } else {
+    sim::BatchRunner& runner = options.runner != nullptr
+                                   ? *options.runner
+                                   : sim::BatchRunner::shared();
+    report.coverage = check_coverage(spec, /*keep_discharged=*/false,
+                                     /*env_limit=*/1u << 20, &runner);
+  }
 
   const TransitionGraph graph = TransitionGraph::build(spec);
   report.transition_edges = graph.edges().size();

@@ -36,6 +36,9 @@ struct CertifyOptions {
   /// certification on large specs). Null = the shared process-wide runner;
   /// the report is identical at any thread count.
   sim::BatchRunner* runner = nullptr;
+  /// When set, the coverage sweep rides the sharded fleet engine instead of
+  /// `runner` (same report — fleet results merge in configuration order).
+  sim::FleetRunner* fleet = nullptr;
 };
 
 struct CertificationReport {

@@ -63,6 +63,33 @@ void merge(CoverageReport& into, CoverageReport&& part) {
   }
 }
 
+std::vector<ConfigId> config_list(const core::ReconfigSpec& spec) {
+  std::vector<ConfigId> config_ids;
+  config_ids.reserve(spec.configs().size());
+  for (const auto& [id, config] : spec.configs()) config_ids.push_back(id);
+  return config_ids;
+}
+
+/// The global obligations appended after the per-configuration sweep: a
+/// safe configuration exists, and one stays reachable from everywhere the
+/// initial configuration can go. Shared by every execution engine.
+void add_global_obligations(CoverageReport& report,
+                            const core::ReconfigSpec& spec,
+                            bool keep_discharged, std::size_t env_limit) {
+  add(report, keep_discharged, "at least one safe configuration",
+      !spec.safe_configs().empty(),
+      spec.safe_configs().empty() ? "no configuration is marked safe" : "");
+
+  const TransitionGraph graph = TransitionGraph::build(spec, env_limit);
+  const std::set<ConfigId> safe_reaching = graph.can_reach_safe(spec);
+  for (const ConfigId c : graph.reachable_from(spec.initial_config())) {
+    const bool ok = safe_reaching.contains(c);
+    add(report, keep_discharged,
+        "safe configuration reachable from c" + std::to_string(c.value()), ok,
+        ok ? "" : "no path from this configuration to any safe configuration");
+  }
+}
+
 }  // namespace
 
 std::vector<Obligation> CoverageReport::failures() const {
@@ -80,10 +107,7 @@ CoverageReport check_coverage(const core::ReconfigSpec& spec,
 
   const std::vector<env::EnvState> states =
       spec.factors().enumerate_states(env_limit);
-
-  std::vector<ConfigId> config_ids;
-  config_ids.reserve(spec.configs().size());
-  for (const auto& [id, config] : spec.configs()) config_ids.push_back(id);
+  const std::vector<ConfigId> config_ids = config_list(spec);
 
   // One job per starting configuration; partial reports are merged back in
   // configuration order, so the parallel report is identical to the serial
@@ -101,19 +125,32 @@ CoverageReport check_coverage(const core::ReconfigSpec& spec,
   }
   for (CoverageReport& part : parts) merge(report, std::move(part));
 
-  add(report, keep_discharged, "at least one safe configuration",
-      !spec.safe_configs().empty(),
-      spec.safe_configs().empty() ? "no configuration is marked safe" : "");
+  add_global_obligations(report, spec, keep_discharged, env_limit);
+  return report;
+}
 
-  const TransitionGraph graph = TransitionGraph::build(spec, env_limit);
-  const std::set<ConfigId> safe_reaching = graph.can_reach_safe(spec);
-  for (const ConfigId c : graph.reachable_from(spec.initial_config())) {
-    const bool ok = safe_reaching.contains(c);
-    add(report, keep_discharged,
-        "safe configuration reachable from c" + std::to_string(c.value()), ok,
-        ok ? "" : "no path from this configuration to any safe configuration");
-  }
+CoverageReport check_coverage(const core::ReconfigSpec& spec,
+                              bool keep_discharged, std::size_t env_limit,
+                              sim::FleetRunner& fleet) {
+  CoverageReport report;
 
+  const std::vector<env::EnvState> states =
+      spec.factors().enumerate_states(env_limit);
+  const std::vector<ConfigId> config_ids = config_list(spec);
+
+  // Fleet path: configurations are heavyweight jobs (chunk grain 1) with
+  // shard-local result caches concatenated in configuration order — the
+  // report is identical to the serial and BatchRunner paths. The jobs are
+  // pure, so the sample seeds go unused.
+  std::vector<CoverageReport> parts = fleet.map<CoverageReport>(
+      config_ids.size(), /*base_seed=*/0,
+      [&](const sim::FleetSample& job) {
+        return check_config_transitions(spec, config_ids[job.index], states,
+                                        keep_discharged);
+      });
+  for (CoverageReport& part : parts) merge(report, std::move(part));
+
+  add_global_obligations(report, spec, keep_discharged, env_limit);
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include "arfs/analysis/graph.hpp"
 #include "arfs/core/reconfig_spec.hpp"
 #include "arfs/sim/batch.hpp"
+#include "arfs/sim/fleet.hpp"
 
 namespace arfs::analysis {
 
@@ -52,5 +53,13 @@ struct CoverageReport {
                                             bool keep_discharged = false,
                                             std::size_t env_limit = 1u << 20,
                                             sim::BatchRunner* runner = nullptr);
+
+/// Fleet path: the per-configuration sweep fans out as fleet jobs with
+/// shard-local result caches merged in configuration order — the report is
+/// identical to the serial and BatchRunner paths.
+[[nodiscard]] CoverageReport check_coverage(const core::ReconfigSpec& spec,
+                                            bool keep_discharged,
+                                            std::size_t env_limit,
+                                            sim::FleetRunner& fleet);
 
 }  // namespace arfs::analysis

@@ -1,6 +1,7 @@
 #include "arfs/analysis/dependability.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -16,6 +17,10 @@ namespace {
 /// the same order at every thread count — which is what makes the parallel
 /// estimate bit-identical to the serial one.
 constexpr std::uint32_t kTrialChunk = 1024;
+// The fleet engine's default chunk must stay equal to the serial trial
+// chunk — it is what makes the fleet estimate reproduce the BatchRunner
+// oracle bit for bit (same partial boundaries, same fold order).
+static_assert(kTrialChunk == sim::kFleetChunk);
 
 /// Raw (un-normalized) accumulator over one chunk of trials.
 struct Partial {
@@ -27,80 +32,134 @@ struct Partial {
   double failures = 0.0;
 };
 
+/// One Monte-Carlo trial, folded into `out`. `failure_times` is caller-owned
+/// scratch (hoisted out of the trial loop — allocated once per chunk, not
+/// per sample) and is the shared kernel of both execution engines: the
+/// BatchRunner oracle and the sharded fleet path call exactly this code, so
+/// their estimates can only differ in reduction order.
+void simulate_trial(const DesignUnits& design, const MissionParams& mission,
+                    std::uint64_t seed, std::vector<double>& failure_times,
+                    Partial& out) {
+  const double T = mission.mission_hours;
+  const double lambda = mission.failure_rate_per_hour;
+
+  // Each trial owns an independent RNG stream derived from its index, so
+  // a trial's draws never depend on which worker ran it.
+  Rng rng(seed);
+
+  // Draw each component's failure instant; beyond T means it survives.
+  failure_times.clear();
+  int failures = 0;
+  for (int unit = 0; unit < design.total; ++unit) {
+    if (lambda <= 0) continue;
+    // Single clamped draw: uniform01() is in [0, 1) and can return exactly
+    // 0 (log of which is -inf); clamping to the smallest positive draw
+    // keeps every trial's RNG consumption fixed at `total` draws, an
+    // invariant the per-trial seeding above relies on.
+    const double u = std::max(rng.uniform01(), 0x1.0p-53);
+    const double t = -std::log(u) / lambda;  // Exp(lambda) lifetime
+    if (t < T) {
+      failure_times.push_back(t);
+      ++failures;
+    }
+  }
+  std::sort(failure_times.begin(), failure_times.end());
+  out.failures += failures;
+
+  // Walk the failure sequence, accumulating time at each service level.
+  const int full_margin = design.total - design.full;  // failures tolerable
+  const int safe_margin = design.total - design.safe;  // before losing level
+  double full_time = T;
+  double safe_time = T;
+  bool lost = false;
+  bool below_full = false;
+  for (std::size_t i = 0; i < failure_times.size(); ++i) {
+    const int failed_so_far = static_cast<int>(i) + 1;
+    if (!below_full && failed_so_far > full_margin) {
+      below_full = true;
+      full_time = failure_times[i];
+    }
+    if (failed_so_far > safe_margin) {
+      lost = true;
+      safe_time = failure_times[i];
+      break;
+    }
+  }
+
+  if (!below_full) out.p_full += 1.0;
+  if (!lost) out.p_safe += 1.0;
+  if (lost) out.p_loss += 1.0;
+  out.full_fraction += full_time / T;
+  out.safe_fraction += safe_time / T;
+}
+
 Partial simulate_trials(const DesignUnits& design, const MissionParams& mission,
                         std::uint64_t base_seed, std::uint32_t first_trial,
                         std::uint32_t end_trial) {
   Partial out;
-  const double T = mission.mission_hours;
-  const double lambda = mission.failure_rate_per_hour;
-
   std::vector<double> failure_times;
   failure_times.reserve(static_cast<std::size_t>(design.total));
   for (std::uint32_t trial = first_trial; trial < end_trial; ++trial) {
-    // Each trial owns an independent RNG stream derived from its index, so
-    // a trial's draws never depend on which worker ran it.
-    Rng rng(sim::job_seed(base_seed, trial));
-
-    // Draw each component's failure instant; beyond T means it survives.
-    failure_times.clear();
-    int failures = 0;
-    for (int unit = 0; unit < design.total; ++unit) {
-      if (lambda <= 0) continue;
-      // Single clamped draw: uniform01() is in [0, 1) and can return exactly
-      // 0 (log of which is -inf); clamping to the smallest positive draw
-      // keeps every trial's RNG consumption fixed at `total` draws, an
-      // invariant the per-trial seeding above relies on.
-      const double u = std::max(rng.uniform01(), 0x1.0p-53);
-      const double t = -std::log(u) / lambda;  // Exp(lambda) lifetime
-      if (t < T) {
-        failure_times.push_back(t);
-        ++failures;
-      }
-    }
-    std::sort(failure_times.begin(), failure_times.end());
-    out.failures += failures;
-
-    // Walk the failure sequence, accumulating time at each service level.
-    const int full_margin = design.total - design.full;  // failures tolerable
-    const int safe_margin = design.total - design.safe;  // before losing level
-    double full_time = T;
-    double safe_time = T;
-    bool lost = false;
-    bool below_full = false;
-    for (std::size_t i = 0; i < failure_times.size(); ++i) {
-      const int failed_so_far = static_cast<int>(i) + 1;
-      if (!below_full && failed_so_far > full_margin) {
-        below_full = true;
-        full_time = failure_times[i];
-      }
-      if (failed_so_far > safe_margin) {
-        lost = true;
-        safe_time = failure_times[i];
-        break;
-      }
-    }
-
-    if (!below_full) out.p_full += 1.0;
-    if (!lost) out.p_safe += 1.0;
-    if (lost) out.p_loss += 1.0;
-    out.full_fraction += full_time / T;
-    out.safe_fraction += safe_time / T;
+    simulate_trial(design, mission, sim::job_seed(base_seed, trial),
+                   failure_times, out);
   }
   return out;
 }
 
-}  // namespace
-
-DependabilityEstimate estimate_dependability(const DesignUnits& design,
-                                             const MissionParams& mission,
-                                             Rng& rng,
-                                             sim::BatchRunner& runner) {
+void check_params(const DesignUnits& design, const MissionParams& mission) {
   require(design.safe >= 1 && design.safe <= design.full &&
               design.full <= design.total,
           "need 1 <= safe <= full <= total");
   require(mission.mission_hours > 0 && mission.trials > 0,
           "mission must have positive duration and trials");
   require(mission.failure_rate_per_hour >= 0, "negative failure rate");
+}
+
+/// Shared final division — both engines normalize through the identical
+/// arithmetic, in the identical field order.
+DependabilityEstimate normalize(const Partial& sum, std::uint32_t trials) {
+  DependabilityEstimate out;
+  out.p_full_whole_mission = sum.p_full;
+  out.p_safe_whole_mission = sum.p_safe;
+  out.p_loss = sum.p_loss;
+  out.full_service_fraction = sum.full_fraction;
+  out.safe_or_better_fraction = sum.safe_fraction;
+  out.mean_failures = sum.failures;
+  const double n = static_cast<double>(trials);
+  out.p_full_whole_mission /= n;
+  out.p_safe_whole_mission /= n;
+  out.p_loss /= n;
+  out.full_service_fraction /= n;
+  out.safe_or_better_fraction /= n;
+  out.mean_failures /= n;
+  return out;
+}
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t DependabilityEstimate::digest() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  fnv_mix(h, std::bit_cast<std::uint64_t>(p_full_whole_mission));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(p_safe_whole_mission));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(p_loss));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(full_service_fraction));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(safe_or_better_fraction));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(mean_failures));
+  return h;
+}
+
+DependabilityEstimate estimate_dependability(const DesignUnits& design,
+                                             const MissionParams& mission,
+                                             Rng& rng,
+                                             sim::BatchRunner& runner) {
+  check_params(design, mission);
 
   // One draw from the caller's stream roots the whole batch; every trial
   // seed derives from (base_seed, trial index) alone.
@@ -116,24 +175,51 @@ DependabilityEstimate estimate_dependability(const DesignUnits& design,
     partials[c] = simulate_trials(design, mission, base_seed, first, end);
   });
 
-  DependabilityEstimate out;
+  Partial sum;
   for (const Partial& p : partials) {  // chunk order: deterministic reduce
-    out.p_full_whole_mission += p.p_full;
-    out.p_safe_whole_mission += p.p_safe;
-    out.p_loss += p.p_loss;
-    out.full_service_fraction += p.full_fraction;
-    out.safe_or_better_fraction += p.safe_fraction;
-    out.mean_failures += p.failures;
+    sum.p_full += p.p_full;
+    sum.p_safe += p.p_safe;
+    sum.p_loss += p.p_loss;
+    sum.full_fraction += p.full_fraction;
+    sum.safe_fraction += p.safe_fraction;
+    sum.failures += p.failures;
   }
+  return normalize(sum, mission.trials);
+}
 
-  const double n = static_cast<double>(mission.trials);
-  out.p_full_whole_mission /= n;
-  out.p_safe_whole_mission /= n;
-  out.p_loss /= n;
-  out.full_service_fraction /= n;
-  out.safe_or_better_fraction /= n;
-  out.mean_failures /= n;
-  return out;
+DependabilityEstimate estimate_dependability(const DesignUnits& design,
+                                             const MissionParams& mission,
+                                             Rng& rng,
+                                             sim::FleetRunner& fleet) {
+  check_params(design, mission);
+  const std::uint64_t base_seed = rng.next_u64();
+
+  // Per-chunk accumulator: the running partial plus the hoisted
+  // failure-times scratch (chunk-local, dropped by the fold).
+  struct TrialAcc {
+    Partial partial;
+    std::vector<double> scratch;
+  };
+  TrialAcc total = fleet.reduce<TrialAcc>(
+      mission.trials, base_seed,
+      [&](const sim::FleetSample& sample, TrialAcc& acc) {
+        if (acc.scratch.capacity() == 0) {
+          acc.scratch.reserve(static_cast<std::size_t>(design.total));
+        }
+        simulate_trial(design, mission, sample.seed, acc.scratch,
+                       acc.partial);
+      },
+      [](TrialAcc& into, TrialAcc& part) {
+        // Field order matches the serial chunk fold above exactly — the
+        // floating-point addition sequence is the invariant.
+        into.partial.p_full += part.partial.p_full;
+        into.partial.p_safe += part.partial.p_safe;
+        into.partial.p_loss += part.partial.p_loss;
+        into.partial.full_fraction += part.partial.full_fraction;
+        into.partial.safe_fraction += part.partial.safe_fraction;
+        into.partial.failures += part.partial.failures;
+      });
+  return normalize(total.partial, mission.trials);
 }
 
 DependabilityEstimate estimate_dependability(const DesignUnits& design,

@@ -26,6 +26,7 @@
 
 #include "arfs/common/rng.hpp"
 #include "arfs/sim/batch.hpp"
+#include "arfs/sim/fleet.hpp"
 
 namespace arfs::analysis {
 
@@ -50,6 +51,11 @@ struct DependabilityEstimate {
   double full_service_fraction = 0.0; ///< Time-weighted, mean over trials.
   double safe_or_better_fraction = 0.0;
   double mean_failures = 0.0;
+
+  /// Order-sensitive FNV-1a digest over the bit patterns of all six
+  /// fields — one number to compare estimates across execution engines
+  /// and (threads, shards) configurations for exact equality.
+  [[nodiscard]] std::uint64_t digest() const;
 };
 
 /// Runs the Monte-Carlo estimate for one design on an explicit runner.
@@ -62,6 +68,17 @@ struct DependabilityEstimate {
 /// Same, on the process-wide shared runner (ARFS_THREADS / hardware-sized).
 [[nodiscard]] DependabilityEstimate estimate_dependability(
     const DesignUnits& design, const MissionParams& mission, Rng& rng);
+
+/// Fleet path: streams the trials through the sharded fleet engine with
+/// per-shard accumulator caches (no shared mutex on the trial path) and
+/// bounded memory — the 10^6+-trial route. At the fleet's default chunk
+/// (sim::kFleetChunk == the serial trial chunk) the estimate is
+/// bit-identical to the BatchRunner oracle above at every thread and shard
+/// count; a custom chunk changes the (equally valid) reduction order.
+/// Consumes exactly one draw from `rng`, like the oracle.
+[[nodiscard]] DependabilityEstimate estimate_dependability(
+    const DesignUnits& design, const MissionParams& mission, Rng& rng,
+    sim::FleetRunner& fleet);
 
 /// Convenience: the section 5.1 design pair for a given service shape and
 /// spare count — masking fields full+spares with no degraded mode;

@@ -4,6 +4,7 @@
 
 #include "arfs/common/check.hpp"
 #include "arfs/failstop/processor.hpp"
+#include "arfs/sim/fleet.hpp"
 
 namespace arfs::support {
 
@@ -14,16 +15,6 @@ inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
     h ^= (v >> (8 * i)) & 0xFFu;
     h *= 0x100000001B3ULL;
   }
-}
-
-/// Rounded integer √frames, the stride minimizing F + F·K/2 residual work
-/// against K-sized checkpoint memory. Integer arithmetic: the auto-tune must
-/// be bit-stable across platforms.
-Cycle auto_stride(Cycle frames) {
-  Cycle s = 0;
-  while ((s + 1) * (s + 1) <= frames) ++s;
-  if (frames - s * s > (s + 1) * (s + 1) - frames) ++s;
-  return std::max<Cycle>(1, s);
 }
 
 /// One crash point's verdict: arms the device fault, fail-stops the victim
@@ -177,7 +168,7 @@ CrashSweepReport run_crash_sweep(const MissionFactory& factory,
   } else {
     const Cycle stride = options.checkpoint_stride > 0
                              ? options.checkpoint_stride
-                             : auto_stride(options.frames);
+                             : sim::auto_stride(options.frames);
 
     // Serial baseline pass: run the mission once end to end, recording the
     // shared commit-boundary fingerprint table (index = commit epoch,

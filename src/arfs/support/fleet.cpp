@@ -1,0 +1,237 @@
+#include "arfs/support/fleet.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "arfs/common/check.hpp"
+#include "arfs/common/rng.hpp"
+#include "arfs/support/mission.hpp"
+
+namespace arfs::support {
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+
+}  // namespace
+
+PooledMission::PooledMission(const MissionFactory& factory,
+                             Cycle warmup_frames)
+    : mission_(factory()), warmup_(warmup_frames) {
+  require(mission_.system != nullptr, "mission factory built no system");
+  core::System& sys = *mission_.system;
+  ladder_.emplace_back(0, sys.checkpoint());
+  if (warmup_frames > 0) {
+    const Cycle stride = sim::auto_stride(warmup_frames);
+    Cycle frame = 0;
+    while (frame < warmup_frames) {
+      const Cycle step = std::min(stride, warmup_frames - frame);
+      sys.run(step);
+      frame += step;
+      ladder_.emplace_back(frame, sys.checkpoint());
+    }
+  }
+}
+
+void PooledMission::reset() {
+  mission_.system->restore(ladder_.back().second);
+  ++resets_;
+}
+
+void PooledMission::reset_to(Cycle frame) {
+  require(frame <= warmup_, "reset_to target beyond the warm-up prefix");
+  // Nearest ladder checkpoint at or below `frame`; ladder frames are
+  // strictly increasing, so the predecessor of the first frame > `frame`.
+  auto it = std::upper_bound(
+      ladder_.begin(), ladder_.end(), frame,
+      [](Cycle f, const auto& entry) { return f < entry.first; });
+  --it;
+  mission_.system->restore(it->second);
+  if (frame > it->first) mission_.system->run(frame - it->first);
+  ++resets_;
+}
+
+SystemPool::SystemPool(MissionFactory factory, Cycle warmup_frames)
+    : factory_(std::move(factory)), warmup_(warmup_frames) {
+  require(static_cast<bool>(factory_), "system pool needs a mission factory");
+}
+
+SystemPool::Lease::~Lease() {
+  if (mission_ != nullptr) pool_->give_back(std::move(mission_));
+}
+
+SystemPool::Lease SystemPool::lease() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.leases;
+    if (!idle_.empty()) {
+      std::unique_ptr<PooledMission> mission = std::move(idle_.back());
+      idle_.pop_back();
+      return Lease(*this, std::move(mission));
+    }
+    ++stats_.constructions;
+  }
+  // Construct (and warm) outside the lock: the expensive path must not
+  // serialize other lanes' lease/release traffic.
+  return Lease(*this, std::make_unique<PooledMission>(factory_, warmup_));
+}
+
+SystemPool::Stats SystemPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SystemPool::give_back(std::unique_ptr<PooledMission> mission) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(mission));
+}
+
+PlanFactory make_env_plan_factory(EnvPlanParams params) {
+  require(!params.factors.empty(), "env plan factory needs factors");
+  require(params.frames > 0, "env plan factory needs a positive frame span");
+  return [params = std::move(params)](std::uint64_t seed) {
+    Rng rng(seed);
+    MissionProfile profile(params.frame_length);
+    for (std::size_t c = 0; c < params.changes; ++c) {
+      const env::FactorSpec& factor =
+          params.factors[static_cast<std::size_t>(
+              rng.uniform(0, params.factors.size() - 1))];
+      const Cycle frame =
+          params.first_frame +
+          static_cast<Cycle>(rng.uniform(0, params.frames - 1));
+      const std::int64_t value =
+          factor.min_value +
+          static_cast<std::int64_t>(rng.uniform(
+              0, static_cast<std::uint64_t>(factor.max_value -
+                                            factor.min_value)));
+      profile.at(frame, factor.id, value);
+    }
+    return profile.build();
+  };
+}
+
+namespace {
+
+/// Per-chunk accumulator: plain tallies plus the chunk's sample-digest
+/// stream, and — pooled mode only — the chunk's system lease (chunk-scoped
+/// scratch; released at the chunk's last sample, never crosses the fold).
+struct MissionAcc {
+  std::uint64_t samples = 0;
+  std::uint64_t frames_run = 0;
+  std::uint64_t fault_events = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t region_relocations = 0;
+  std::uint64_t deadline_violations = 0;
+  std::uint64_t pool_resets = 0;
+  std::uint64_t systems_constructed = 0;
+  std::uint64_t chunk_digest = kFnvBasis;
+  /// Folded stream of chunk digests — only the running total uses it.
+  std::uint64_t digest = kFnvBasis;
+  std::optional<SystemPool::Lease> lease;
+};
+
+/// Runs the post-warm mission leg on a system standing at the warm point
+/// and tallies its stats deltas plus final digest.
+void fly_sample(core::System& sys, const PlanFactory& plan_for,
+                const sim::FleetSample& sample, Cycle frames,
+                MissionAcc& acc) {
+  const core::SystemStats before = sys.stats();
+  const std::uint64_t reconfigs_before =
+      sys.scram().stats().reconfigs_completed;
+  sys.set_fault_plan(plan_for(sample.seed));
+  sys.run(frames);
+  const core::SystemStats after = sys.stats();
+  ++acc.samples;
+  acc.frames_run += after.frames_run - before.frames_run;
+  acc.fault_events +=
+      after.fault_events_applied - before.fault_events_applied;
+  acc.reconfigurations +=
+      sys.scram().stats().reconfigs_completed - reconfigs_before;
+  acc.region_relocations +=
+      after.region_relocations - before.region_relocations;
+  acc.deadline_violations +=
+      after.deadline_violations - before.deadline_violations;
+  fnv_mix(acc.chunk_digest, sys.digest());
+}
+
+}  // namespace
+
+FleetMissionReport run_fleet_missions(const MissionFactory& factory,
+                                      const PlanFactory& plan_for,
+                                      const FleetMissionOptions& options,
+                                      sim::FleetRunner& fleet) {
+  require(static_cast<bool>(factory), "fleet sweep needs a mission factory");
+  require(static_cast<bool>(plan_for), "fleet sweep needs a plan factory");
+  require(options.frames > 0, "fleet sweep needs a positive mission length");
+
+  const sim::ShardPlan plan = fleet.plan(options.samples);
+  SystemPool pool(factory, options.warmup_frames);
+  const bool pooled = options.pool_systems;
+
+  const auto last_of_chunk = [&plan](std::size_t index) {
+    return (index + 1) % plan.chunk() == 0 || index + 1 == plan.samples();
+  };
+
+  MissionAcc total = fleet.reduce<MissionAcc>(
+      options.samples, options.base_seed,
+      [&](const sim::FleetSample& sample, MissionAcc& acc) {
+        if (pooled) {
+          // Chunk-grain lease: acquired at the chunk's first sample,
+          // released at its last — the pool mutex never rides the
+          // per-sample path.
+          if (!acc.lease.has_value()) acc.lease.emplace(pool.lease());
+          PooledMission& mission = acc.lease->mission();
+          mission.reset();
+          fly_sample(mission.system(), plan_for, sample, options.frames,
+                     acc);
+          ++acc.pool_resets;
+          if (last_of_chunk(sample.index)) acc.lease.reset();
+        } else {
+          // Ablation oracle: fresh construction plus warm-up replay per
+          // sample. Bit-identical to the pooled path — the plan's events
+          // all land at or after the warm point.
+          CrashMission mission = factory();
+          require(mission.system != nullptr,
+                  "mission factory built no system");
+          if (options.warmup_frames > 0) {
+            mission.system->run(options.warmup_frames);
+          }
+          fly_sample(*mission.system, plan_for, sample, options.frames,
+                     acc);
+          ++acc.systems_constructed;
+        }
+      },
+      [](MissionAcc& into, MissionAcc& part) {
+        into.samples += part.samples;
+        into.frames_run += part.frames_run;
+        into.fault_events += part.fault_events;
+        into.reconfigurations += part.reconfigurations;
+        into.region_relocations += part.region_relocations;
+        into.deadline_violations += part.deadline_violations;
+        into.pool_resets += part.pool_resets;
+        into.systems_constructed += part.systems_constructed;
+        fnv_mix(into.digest, part.chunk_digest);
+      });
+
+  FleetMissionReport report;
+  report.samples = total.samples;
+  report.frames_run = total.frames_run;
+  report.fault_events = total.fault_events;
+  report.reconfigurations = total.reconfigurations;
+  report.region_relocations = total.region_relocations;
+  report.deadline_violations = total.deadline_violations;
+  report.digest = total.digest;
+  report.pool_resets = total.pool_resets;
+  report.systems_constructed =
+      pooled ? pool.stats().constructions : total.systems_constructed;
+  return report;
+}
+
+}  // namespace arfs::support

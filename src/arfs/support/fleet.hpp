@@ -1,0 +1,178 @@
+// Fleet-scale mission sweeps over pooled, checkpoint-seeded systems.
+//
+// The crash-sweep machinery made whole-system snapshots cheap and exact
+// (core::SystemCheckpoint restores bit-identically); the fleet layer turns
+// that into the hot-path allocator for massed Monte-Carlo mission sampling:
+// instead of paying a full core::System construction per sample, each
+// worker leases a pooled mission — built once by the factory, warmed once
+// through the shared deterministic prefix — and resets it per sample via
+// SystemCheckpoint::restore(). Samples differ only by their fault plan,
+// which is a pure function of the sample's seed, so pooled and
+// construct-per-sample execution produce bit-identical mission populations
+// (the pool-off mode is retained as the ablation oracle).
+//
+// Determinism contract (inherited from sim::FleetRunner): the report —
+// including its order-sensitive FNV digest over every sample's final
+// System::digest() — is bit-identical at any thread count, any shard
+// count, pooled or not, warmed or not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "arfs/common/types.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/env/factor.hpp"
+#include "arfs/sim/fault_plan.hpp"
+#include "arfs/sim/fleet.hpp"
+#include "arfs/support/crash_sweep.hpp"
+
+namespace arfs::support {
+
+/// One reusable mission instance: a factory-built system plus a ladder of
+/// whole-system checkpoints over the warm-up prefix [0, warmup], spaced
+/// sim::auto_stride(warmup) frames apart (the same √-tuned stride the crash
+/// sweep uses). reset() rewinds to the warm point without reconstruction;
+/// reset_to(f) rewinds to any frame of the prefix by restoring the nearest
+/// ladder checkpoint at or below f and replaying the residual frames.
+class PooledMission {
+ public:
+  /// Builds the mission and warms it: runs `warmup_frames` frames once
+  /// (under the factory's own fault plan — for a shared prefix that plan
+  /// must be empty or common to every sample), dropping ladder checkpoints
+  /// as it goes. warmup_frames == 0 pools the pristine frame-0 state.
+  PooledMission(const MissionFactory& factory, Cycle warmup_frames);
+
+  [[nodiscard]] core::System& system() { return *mission_.system; }
+  [[nodiscard]] Cycle warmup_frames() const { return warmup_; }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+
+  /// Rewinds to the warm point (frame `warmup_frames`).
+  void reset();
+  /// Rewinds to frame `frame` of the warm-up prefix. Precondition:
+  /// frame <= warmup_frames().
+  void reset_to(Cycle frame);
+
+ private:
+  CrashMission mission_;
+  /// (frame, checkpoint) pairs: frame 0, every stride frames, and the warm
+  /// point itself; strictly increasing frames.
+  std::vector<std::pair<Cycle, core::SystemCheckpoint>> ladder_;
+  Cycle warmup_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// A thread-safe pool of PooledMissions built from one factory. Workers
+/// lease a mission for the duration of a chunk of samples and return it on
+/// release; the pool grows to at most the number of concurrently active
+/// lanes, so a 10^6-sample sweep constructs a handful of systems, not 10^6.
+/// The pool mutex is touched once per lease/release — chunk grain, never
+/// the per-sample path.
+class SystemPool {
+ public:
+  explicit SystemPool(MissionFactory factory, Cycle warmup_frames = 0);
+
+  /// RAII lease: returns the mission to the pool on destruction.
+  class Lease {
+   public:
+    Lease(SystemPool& pool, std::unique_ptr<PooledMission> mission)
+        : pool_(&pool), mission_(std::move(mission)) {}
+    ~Lease();
+    Lease(Lease&&) noexcept = default;
+    Lease& operator=(Lease&&) noexcept = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] PooledMission& mission() { return *mission_; }
+
+   private:
+    SystemPool* pool_;
+    std::unique_ptr<PooledMission> mission_;
+  };
+
+  /// Leases an idle mission, constructing (and warming) a new one only when
+  /// every pooled instance is in flight.
+  [[nodiscard]] Lease lease();
+
+  struct Stats {
+    std::uint64_t constructions = 0;  ///< Factory builds the pool paid.
+    std::uint64_t leases = 0;         ///< Chunk-grain lease operations.
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  friend class Lease;
+  void give_back(std::unique_ptr<PooledMission> mission);
+
+  MissionFactory factory_;
+  Cycle warmup_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<PooledMission>> idle_;
+  Stats stats_;
+};
+
+/// Per-sample fault plan: a pure function of the sample's seed. Events must
+/// land at or after the sweep's warm-up frame — the warmed prefix is shared
+/// by every sample.
+using PlanFactory = std::function<sim::FaultPlan(std::uint64_t seed)>;
+
+/// Deterministic per-seed environment campaign over declared factors.
+struct EnvPlanParams {
+  std::vector<env::FactorSpec> factors;  ///< Candidates (value range used).
+  std::size_t changes = 4;               ///< Factor changes per sample.
+  Cycle first_frame = 0;                 ///< Earliest event frame (>= warmup).
+  Cycle frames = 32;                     ///< Events land in [first, first+frames).
+  SimDuration frame_length = 10'000;
+};
+
+/// Builds a PlanFactory drawing `changes` uniform factor changes per sample
+/// from Rng(seed) — the standard fleet campaign for spec-driven missions.
+[[nodiscard]] PlanFactory make_env_plan_factory(EnvPlanParams params);
+
+struct FleetMissionOptions {
+  std::size_t samples = 0;
+  /// Frames each sample runs beyond the warm point.
+  Cycle frames = 32;
+  std::uint64_t base_seed = 1;
+  /// Shared deterministic prefix, warmed once per pooled system and
+  /// replayed per sample when pooling is off. Plan events must land at or
+  /// after this frame.
+  Cycle warmup_frames = 0;
+  /// The tentpole knob: reuse checkpoint-seeded pooled systems (default)
+  /// or construct a fresh system per sample (the ablation oracle).
+  bool pool_systems = true;
+};
+
+struct FleetMissionReport {
+  std::uint64_t samples = 0;
+  std::uint64_t frames_run = 0;          ///< Post-warm frames, all samples.
+  std::uint64_t fault_events = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t region_relocations = 0;
+  std::uint64_t deadline_violations = 0;
+  /// Order-sensitive FNV-1a digest over every sample's final
+  /// System::digest(), folded per chunk then across chunks in chunk order —
+  /// one number to compare any (threads, shards, pooling) execution against
+  /// the serial oracle.
+  std::uint64_t digest = 0;
+  /// Systems actually constructed: pool size when pooling, `samples` when
+  /// not — the pool-reuse ablation's headline denominator.
+  std::uint64_t systems_constructed = 0;
+  /// Checkpoint restores the pooled path performed (0 when pooling is off).
+  std::uint64_t pool_resets = 0;
+};
+
+/// Runs `options.samples` independent missions of `factory`'s system, each
+/// under `plan_for(seed)`'s fault plan, on the sharded fleet engine.
+/// Pooled mode leases warm systems and resets them per sample;
+/// construct-per-sample mode builds each mission from scratch and replays
+/// the warm-up prefix. Both produce bit-identical reports.
+[[nodiscard]] FleetMissionReport run_fleet_missions(
+    const MissionFactory& factory, const PlanFactory& plan_for,
+    const FleetMissionOptions& options, sim::FleetRunner& fleet);
+
+}  // namespace arfs::support

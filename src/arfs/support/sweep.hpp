@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "arfs/sim/batch.hpp"
+#include "arfs/sim/fleet.hpp"
+#include "arfs/support/fleet.hpp"
 
 namespace arfs::support {
 
@@ -40,6 +42,38 @@ template <typename R>
     sim::BatchRunner& runner = sim::BatchRunner::shared()) {
   return runner.map<R>(missions, [&](std::size_t i) {
     return fly(MissionJob{i, sim::job_seed(base_seed, i)});
+  });
+}
+
+/// Fleet path: same contract, results materialized through shard-local
+/// caches and concatenated in mission order — bit-identical to the
+/// BatchRunner sweep above for the same base_seed.
+template <typename R>
+[[nodiscard]] std::vector<R> run_mission_sweep(
+    std::size_t missions, std::uint64_t base_seed,
+    const std::function<R(const MissionJob&)>& fly,
+    sim::FleetRunner& fleet) {
+  return fleet.map<R>(missions, base_seed, [&](const sim::FleetSample& s) {
+    return fly(MissionJob{s.index, s.seed});
+  });
+}
+
+/// Pooled fleet sweep: kills the per-mission allocation churn of
+/// self-contained `fly` callbacks. Instead of building a System (and its
+/// fault-plan buffers) inside every call, `fly` receives a leased
+/// PooledMission already reset to its warm point and derives everything
+/// else from the job's seed. Results are bit-identical to a
+/// construct-per-mission sweep whose missions start from the same warmed
+/// state — reuse is SystemCheckpoint::restore(), not a fresh build.
+template <typename R>
+[[nodiscard]] std::vector<R> run_mission_sweep(
+    std::size_t missions, std::uint64_t base_seed,
+    const std::function<R(const MissionJob&, PooledMission&)>& fly,
+    SystemPool& pool, sim::FleetRunner& fleet) {
+  return fleet.map<R>(missions, base_seed, [&](const sim::FleetSample& s) {
+    SystemPool::Lease lease = pool.lease();
+    lease.mission().reset();
+    return fly(MissionJob{s.index, s.seed}, lease.mission());
   });
 }
 

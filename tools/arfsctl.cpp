@@ -11,6 +11,16 @@
 //                                           mission's durable victim at every
 //                                           frame and verify each recovery
 //                                           (checkpointed O(F·K) strategy)
+//   arfsctl fleet <spec> [--samples N] [--frames F] [--warmup W]
+//                 [--shards S] [--threads T] [--no-pool] [--json [path]]
+//                                           fleet-scale Monte-Carlo mission
+//                                           sweep: N independent missions of
+//                                           the spec's system under seeded
+//                                           environment campaigns, streamed
+//                                           through the sharded fleet engine
+//                                           with checkpoint-seeded system
+//                                           pools (digest is thread- and
+//                                           shard-count invariant)
 //   arfsctl economics <full> <safe> <fail>  section 5.1 component counts
 //   arfsctl journal dump <file>             pretty-print a write-ahead
 //                                           journal's records
@@ -35,8 +45,10 @@
 //   random[:S]   a randomized specification from seed S (default 1)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "arfs/analysis/certify.hpp"
@@ -51,7 +63,9 @@
 #include "arfs/storage/durable/shipping.hpp"
 #include "arfs/storage/durable/wire.hpp"
 #include "arfs/storage/stable_storage.hpp"
+#include "arfs/sim/fleet.hpp"
 #include "arfs/support/crash_sweep.hpp"
+#include "arfs/support/fleet.hpp"
 #include "arfs/support/mission.hpp"
 #include "arfs/support/simple_app.hpp"
 #include "arfs/support/synthetic.hpp"
@@ -63,12 +77,16 @@ using namespace arfs;
 
 int usage() {
   std::cerr
-      << "usage: arfsctl <describe|certify|simulate|sweep|economics> ...\n"
+      << "usage: arfsctl <describe|certify|simulate|sweep|fleet|economics>"
+         " ...\n"
          "  describe <uav|uav-ext|chain[:N]|random[:S]>\n"
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
          "  sweep    <spec> [--frames N] [--io-fault torn|bitflip] [--warm]\n"
          "           [--checkpoint-stride K] [--json]\n"
+         "  fleet    <spec> [--samples N] [--frames F] [--warmup W]\n"
+         "           [--shards S] [--threads T] [--seed B] [--no-pool]\n"
+         "           [--json [path]]\n"
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
@@ -491,6 +509,111 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
   return report.all_match() ? 0 : 1;
 }
 
+/// Builds the fleet sweep's mission for a built-in spec name: like
+/// sweep_mission_factory, but with no baked fault plan — every fleet sample
+/// installs its own seeded campaign at the warm point, so the factory's
+/// warm-up prefix must be plan-free.
+support::MissionFactory fleet_mission_factory(const std::string& spec_name) {
+  return [spec_name] {
+    struct Bundle {
+      SpecChoice choice;
+      std::optional<avionics::UavPlant> plant;
+    };
+    auto bundle = std::make_shared<Bundle>();
+    bundle->choice = *make_spec(spec_name);
+
+    core::SystemOptions options;
+    options.frame_length = bundle->choice.frame_length;
+    options.durable_storage = true;
+    options.durability.snapshot_every_epochs =
+        bundle->choice.is_uav ? 16 : 7;
+    auto system =
+        std::make_unique<core::System>(bundle->choice.spec, options);
+    if (bundle->choice.is_uav) {
+      bundle->plant.emplace(42);
+      system->add_app(
+          std::make_unique<avionics::AutopilotApp>(*bundle->plant));
+      system->add_app(std::make_unique<avionics::FcsApp>(*bundle->plant));
+    } else {
+      for (const core::AppDecl& decl : bundle->choice.spec.apps()) {
+        system->add_app(
+            std::make_unique<support::SimpleApp>(decl.id, decl.name));
+      }
+    }
+    support::CrashMission mission;
+    mission.keepalive = bundle;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
+              const support::FleetMissionOptions& mission_options,
+              const sim::FleetOptions& engine_options,
+              bool json_stdout, const std::string& json_path) {
+  support::EnvPlanParams params;
+  params.factors = choice.spec.factors().factors();
+  params.changes = 3;
+  params.first_frame = mission_options.warmup_frames;
+  params.frames = mission_options.frames;
+  params.frame_length = choice.frame_length;
+
+  sim::FleetRunner fleet(engine_options);
+  const sim::ShardPlan plan = fleet.plan(mission_options.samples);
+  const support::FleetMissionReport report = support::run_fleet_missions(
+      fleet_mission_factory(spec_name),
+      support::make_env_plan_factory(std::move(params)), mission_options,
+      fleet);
+
+  if (json_stdout || !json_path.empty()) {
+    std::ostringstream json;
+    json << "{\"spec\": \"" << spec_name << "\", \"samples\": "
+         << report.samples << ", \"frames\": " << mission_options.frames
+         << ", \"warmup\": " << mission_options.warmup_frames
+         << ", \"threads\": " << fleet.thread_count()
+         << ", \"shards\": " << plan.shards()
+         << ", \"pooled\": "
+         << (mission_options.pool_systems ? "true" : "false")
+         << ", \"fault_events\": " << report.fault_events
+         << ", \"reconfigurations\": " << report.reconfigurations
+         << ", \"region_relocations\": " << report.region_relocations
+         << ", \"deadline_violations\": " << report.deadline_violations
+         << ", \"systems_constructed\": " << report.systems_constructed
+         << ", \"pool_resets\": " << report.pool_resets
+         << ", \"digest\": \"0x" << std::hex << report.digest << std::dec
+         << "\"}\n";
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      out << json.str();
+      if (!out.good()) {
+        std::cerr << "arfsctl: failed to write " << json_path << "\n";
+        return 1;
+      }
+    }
+    if (json_stdout) std::cout << json.str();
+  }
+  if (!json_stdout) {
+    std::cout << "fleet sweep: " << spec_name << ", " << report.samples
+              << " missions x " << mission_options.frames << " frames (+"
+              << mission_options.warmup_frames << " warm-up), "
+              << fleet.thread_count() << " threads, " << plan.shards()
+              << " shards\n"
+              << (mission_options.pool_systems
+                      ? "checkpoint-seeded pool: "
+                      : "construct-per-sample: ")
+              << report.systems_constructed << " systems built, "
+              << report.pool_resets << " pool resets\n"
+              << "fault events: " << report.fault_events
+              << ", reconfigurations: " << report.reconfigurations
+              << ", relocations: " << report.region_relocations
+              << ", deadline violations: " << report.deadline_violations
+              << "\n"
+              << "report digest: 0x" << std::hex << report.digest
+              << std::dec << "\n";
+  }
+  return 0;
+}
+
 int cmd_economics(int full, int safe, int failures) {
   analysis::HwEconomicsInput input;
   input.units_full_service = full;
@@ -588,6 +711,44 @@ int main(int argc, char** argv) {
       }
       if (options.frames == 0) return usage();
       return cmd_sweep(argv[2], choice->is_uav, options, json);
+    }
+    if (cmd == "fleet") {
+      support::FleetMissionOptions options;
+      options.samples = 256;
+      options.frames = 8;
+      options.warmup_frames = 6;
+      sim::FleetOptions engine;
+      bool json_stdout = false;
+      std::string json_path;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--samples" && i + 1 < argc) {
+          options.samples = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--frames" && i + 1 < argc) {
+          options.frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--warmup" && i + 1 < argc) {
+          options.warmup_frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--shards" && i + 1 < argc) {
+          engine.shards = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--threads" && i + 1 < argc) {
+          engine.threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+          options.base_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--no-pool") {
+          options.pool_systems = false;
+        } else if (arg == "--json") {
+          if (i + 1 < argc && argv[i + 1][0] != '-') {
+            json_path = argv[++i];
+          } else {
+            json_stdout = true;
+          }
+        } else {
+          return usage();
+        }
+      }
+      if (options.samples == 0 || options.frames == 0) return usage();
+      return cmd_fleet(argv[2], *choice, options, engine, json_stdout,
+                       json_path);
     }
     return usage();
   } catch (const std::exception& e) {

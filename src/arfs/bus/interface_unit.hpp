@@ -103,8 +103,21 @@ class ShippingUnit {
   /// True when the replica's cursor was lost and shipping is paused until
   /// the owner reseeds the replica from a full-state copy.
   [[nodiscard]] bool needs_full_copy() const { return needs_full_copy_; }
-  /// Owner reseeded the replica; shipping resumes from its new cursor.
-  void acknowledge_full_copy() { needs_full_copy_ = false; }
+  /// Owner reseeded the replica; shipping resumes from its new cursor. The
+  /// replica's warmth is now bought, not streamed, so the next warm
+  /// relocation may not claim avoided-bytes credit.
+  void acknowledge_full_copy() {
+    needs_full_copy_ = false;
+    warm_credit_ = false;
+  }
+  /// Whether a warm relocation may claim avoided-bytes credit: false
+  /// exactly when the warmth was bought by a full-copy reseed since the
+  /// last claim. Consuming the credit re-arms it.
+  [[nodiscard]] bool take_warm_credit() {
+    const bool credit = warm_credit_;
+    warm_credit_ = true;
+    return credit;
+  }
 
   [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
   [[nodiscard]] storage::durable::ShippedReplica& replica() {
@@ -128,14 +141,16 @@ class ShippingUnit {
   /// wiring are construction-time constants).
   struct Checkpoint {
     bool needs_full_copy = false;
+    bool warm_credit = true;
     std::uint32_t consecutive_corrupt = 0;
     Stats stats;
   };
   [[nodiscard]] Checkpoint checkpoint_state() const {
-    return {needs_full_copy_, consecutive_corrupt_, stats_};
+    return {needs_full_copy_, warm_credit_, consecutive_corrupt_, stats_};
   }
   void restore_state(const Checkpoint& cp) {
     needs_full_copy_ = cp.needs_full_copy;
+    warm_credit_ = cp.warm_credit;
     consecutive_corrupt_ = cp.consecutive_corrupt;
     stats_ = cp.stats;
   }
@@ -148,6 +163,7 @@ class ShippingUnit {
   storage::durable::JournalShipper shipper_;
   storage::durable::ShippedReplica* replica_;
   bool needs_full_copy_ = false;
+  bool warm_credit_ = true;
   /// Consecutive corrupt applies at one cursor position: the source's own
   /// journal bytes are bad (latent media fault without a crash), so
   /// retransmission can never succeed — escalate to a full copy.

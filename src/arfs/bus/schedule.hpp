@@ -19,8 +19,10 @@ namespace arfs::bus {
 /// shipping slots carry journal-record batches (storage::durable shipping)
 /// under an explicit per-slot byte budget, so replication traffic is
 /// schedulable bandwidth like everything else on the bus and can never
-/// crowd out control messages.
-enum class SlotKind : std::uint8_t { kData, kShipping };
+/// crowd out control messages. Quorum-ship slots are shipping slots
+/// addressed to one member of a replica cohort: the fan-out to N replicas
+/// is N statically scheduled slots, not one slot shared N ways.
+enum class SlotKind : std::uint8_t { kData, kShipping, kQuorumShip };
 
 struct Slot {
   EndpointId owner;
@@ -29,6 +31,8 @@ struct Slot {
   /// Shipping slots: bytes one round may carry (partial batches resume
   /// next round). 0 for data slots.
   std::uint32_t byte_budget = 0;
+  /// Quorum-ship slots: which cohort member this slot feeds. 0 otherwise.
+  std::uint32_t member = 0;
 };
 
 class TdmaSchedule {
@@ -43,8 +47,18 @@ class TdmaSchedule {
   void add_ship_slot(EndpointId owner, SimDuration length,
                      std::uint32_t byte_budget);
 
+  /// Appends a quorum-ship slot feeding cohort member `member` of `owner`'s
+  /// replica group. Preconditions: length > 0, byte_budget > 0.
+  void add_quorum_slot(EndpointId owner, std::uint32_t member,
+                       SimDuration length, std::uint32_t byte_budget);
+
   /// Byte budget of `owner`'s shipping slot; 0 when it holds none.
   [[nodiscard]] std::uint32_t ship_budget(EndpointId owner) const;
+
+  /// Byte budget of `owner`'s quorum-ship slot for `member`; 0 when it
+  /// holds none.
+  [[nodiscard]] std::uint32_t quorum_budget(EndpointId owner,
+                                            std::uint32_t member) const;
 
   [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
   [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }

@@ -150,6 +150,10 @@ FramePlan Scram::begin_frame(
   for (const failstop::FailureSignal& s : hw_signals) {
     if (s.kind == failstop::SignalKind::kLossyRecovery) {
       lossy_pending_ = true;  // sticky until an SFTA (re)initializes apps
+    } else if (s.kind == failstop::SignalKind::kQuorumLost) {
+      ++stats_.quorum_losses;
+    } else if (s.kind == failstop::SignalKind::kQuorumDurable) {
+      ++stats_.quorum_restores;
     }
   }
 

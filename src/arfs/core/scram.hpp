@@ -96,6 +96,11 @@ struct ScramStats {
   /// Re-initialization SFTAs forced by lossy-recovery signals (the target
   /// equals the current configuration).
   std::uint64_t lossy_reinits = 0;
+  /// Quorum durability transitions observed: cohorts that lost their live
+  /// majority (kQuorumLost) and cohorts that regained it (kQuorumDurable).
+  /// Both flow through the ordinary trigger path as well.
+  std::uint64_t quorum_losses = 0;
+  std::uint64_t quorum_restores = 0;
 };
 
 class Scram {

@@ -25,6 +25,19 @@ struct System::ShipChannel {
   }
 };
 
+/// One quorum replica cohort: a QuorumGroup fanning the source processor's
+/// synced journal out to N members, each with its own TDMA quorum slot on
+/// the shipping schedule (looked up by the cached endpoint).
+struct System::QuorumChannel {
+  EndpointId endpoint;
+  storage::durable::quorum::QuorumGroup group;
+
+  QuorumChannel(EndpointId endpoint_id,
+                storage::durable::DurabilityEngine& source,
+                const storage::durable::quorum::QuorumOptions& options)
+      : endpoint(endpoint_id), group(source, options) {}
+};
+
 /// Reads peer applications' committed stable variables by polling the
 /// processor currently holding the peer's region (which may itself have
 /// failed — polling stable storage of failed processors is the fail-stop
@@ -104,16 +117,30 @@ System::System(const ReconfigSpec& spec, SystemOptions options)
   }
   require(!options.journal_shipping || options.durable_storage,
           "journal_shipping requires durable_storage");
+  require(options.quorum_replicas == 0 || options.journal_shipping,
+          "quorum_replicas requires journal_shipping");
   if (options.journal_shipping) {
     for (const ProcessorId p : group_.processor_ids()) {
       storage::durable::DurabilityEngine* engine =
           group_.processor(p).durability();
       ensure(engine != nullptr, "durable processor without engine");
       const EndpointId endpoint{p.value()};
-      ship_schedule_.add_ship_slot(endpoint, /*length=*/100,
-                                   options.ship_slot_bytes);
-      ship_channels_.emplace(p, std::make_unique<ShipChannel>(
-                                    endpoint, *engine, options.durability));
+      if (options.quorum_replicas == 0) {
+        ship_schedule_.add_ship_slot(endpoint, /*length=*/100,
+                                     options.ship_slot_bytes);
+        ship_channels_.emplace(p, std::make_unique<ShipChannel>(
+                                      endpoint, *engine, options.durability));
+      } else {
+        storage::durable::quorum::QuorumOptions qopts;
+        qopts.replicas = options.quorum_replicas;
+        qopts.member_durability = options.durability;
+        for (std::uint32_t m = 0; m < options.quorum_replicas; ++m) {
+          ship_schedule_.add_quorum_slot(endpoint, m, /*length=*/100,
+                                         options.ship_slot_bytes);
+        }
+        quorum_channels_.emplace(
+            p, std::make_unique<QuorumChannel>(endpoint, *engine, qopts));
+      }
     }
   }
 
@@ -259,7 +286,79 @@ void System::apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
       ++stats_.journal_faults_injected;
       break;
     }
+    case sim::FaultKind::kQuorumMemberFail:
+    case sim::FaultKind::kQuorumMemberRepair: {
+      require(group_.has_processor(event.processor),
+              "fault plan names unknown processor");
+      const auto it = quorum_channels_.find(event.processor);
+      if (it == quorum_channels_.end()) break;  // no cohort; modeled benign
+      const auto member = static_cast<std::uint32_t>(event.new_value);
+      if (member >= it->second->group.member_count()) break;
+      if (it->second->group.member_retired(member)) break;
+      if (event.kind == sim::FaultKind::kQuorumMemberFail) {
+        fail_quorum_member(event.processor, member);
+      } else {
+        repair_quorum_member(event.processor, member);
+      }
+      break;
+    }
   }
+}
+
+bool System::has_quorum(ProcessorId p) const {
+  return quorum_channels_.find(p) != quorum_channels_.end();
+}
+
+const storage::durable::quorum::QuorumGroup& System::quorum_group(
+    ProcessorId p) const {
+  const auto it = quorum_channels_.find(p);
+  require(it != quorum_channels_.end(), "processor has no quorum cohort");
+  return it->second->group;
+}
+
+void System::fail_quorum_member(ProcessorId p, std::uint32_t member) {
+  const auto it = quorum_channels_.find(p);
+  require(it != quorum_channels_.end(), "processor has no quorum cohort");
+  auto& group = it->second->group;
+  require(member < group.member_count(), "quorum member id out of range");
+  if (group.member_retired(member) || !group.member_live(member)) return;
+  const bool majority_lost = group.fail_member(member);
+  ++stats_.quorum_member_failures;
+  if (!majority_lost) return;
+  // The cohort can no longer acknowledge commits by majority: frames keep
+  // committing on the source, but their durability boundary stops advancing
+  // and a relocation could only warm-start from a minority member. Tell the
+  // SCRAM, like lossy recovery does.
+  ++stats_.quorum_losses;
+  failstop::FailureSignal s;
+  s.at = clock_.now();
+  s.cycle = clock_.current_frame();
+  s.kind = failstop::SignalKind::kQuorumLost;
+  s.processor = p;
+  s.detail = "quorum cohort of processor " + std::to_string(p.value()) +
+             " lost its live majority (" + std::to_string(group.live_count()) +
+             "/" + std::to_string(group.member_count()) + " live)";
+  bank_.raise(std::move(s));
+}
+
+void System::repair_quorum_member(ProcessorId p, std::uint32_t member) {
+  const auto it = quorum_channels_.find(p);
+  require(it != quorum_channels_.end(), "processor has no quorum cohort");
+  auto& group = it->second->group;
+  require(member < group.member_count(), "quorum member id out of range");
+  if (group.member_retired(member) || group.member_live(member)) return;
+  const bool majority_restored = group.repair_member(member);
+  ++stats_.quorum_member_repairs;
+  if (!majority_restored) return;
+  ++stats_.quorum_restores;
+  failstop::FailureSignal s;
+  s.at = clock_.now();
+  s.cycle = clock_.current_frame();
+  s.kind = failstop::SignalKind::kQuorumDurable;
+  s.processor = p;
+  s.detail = "quorum cohort of processor " + std::to_string(p.value()) +
+             " regained its live majority";
+  bank_.raise(std::move(s));
 }
 
 std::optional<ProcessorId> System::execution_host(
@@ -297,8 +396,49 @@ void System::relocate_region_if_needed(AppId app, ProcessorId to,
   if (from == to) return;
   const std::string& prefix = app_prefix(app);
 
-  const auto ship_it = ship_channels_.find(from);
-  if (ship_it != ship_channels_.end()) {
+  const auto quorum_it = quorum_channels_.find(from);
+  if (quorum_it != quorum_channels_.end()) {
+    // Quorum warm start: drain the un-shipped tail into every live cohort
+    // member, then relocate from the first member — leader first, then the
+    // remaining live members — whose store mirrors the source's commit
+    // boundary exactly. Any fingerprint-matched member serves; a leader
+    // change between frames never forces a full copy.
+    QuorumChannel& channel = *quorum_it->second;
+    failstop::Processor& source = group_.processor(from);
+    const ShipCatchUp caught = quorum_catch_up(from, channel);
+    for (const storage::durable::quorum::MemberId m :
+         channel.group.warm_start_order()) {
+      if (channel.group.member_needs_full_copy(m)) continue;
+      if (channel.group.replica(m).store().fingerprint() !=
+          source.poll_stable().fingerprint()) {
+        continue;
+      }
+      const std::size_t copied = StableRegion::relocate(
+          channel.group.replica(m).store(), group_.processor(to).stable(),
+          prefix);
+      region_host_[app] = to;
+      ++stats_.region_relocations;
+      ++stats_.warm_relocations;
+      // No avoided-bytes credit when this member's warmth was bought by a
+      // full-copy reseed since the last claim (the copy already paid).
+      if (channel.group.take_warm_credit(m)) {
+        stats_.full_copy_bytes_avoided +=
+            storage::durable::encoded_state_bytes(source.poll_stable(),
+                                                  prefix);
+      }
+      log_debug("system", "cycle ", cycle, ": warm-relocated region of app ",
+                app.value(), " from processor ", from.value(), " to ",
+                to.value(), " via quorum member ", m, " (", copied, " keys, ",
+                caught.bytes, " tail bytes shipped)");
+      return;
+    }
+    // No member converged on the source's boundary: full copy from the
+    // source (reseeds already ran inside the catch-up).
+    ++stats_.full_copy_relocations;
+    stats_.full_copy_bytes +=
+        storage::durable::encoded_state_bytes(source.poll_stable(), prefix);
+  } else if (const auto ship_it = ship_channels_.find(from);
+             ship_it != ship_channels_.end()) {
     // Warm start: drain the un-shipped journal tail into the standby and,
     // if the replica then mirrors the source's commit boundary exactly,
     // relocate from the replica — the bus carried only the tail, not the
@@ -321,8 +461,13 @@ void System::relocate_region_if_needed(AppId app, ProcessorId to,
       region_host_[app] = to;
       ++stats_.region_relocations;
       ++stats_.warm_relocations;
-      stats_.full_copy_bytes_avoided +=
-          storage::durable::encoded_state_bytes(source.poll_stable(), prefix);
+      // No avoided-bytes credit when the standby's warmth was bought by a
+      // full-copy reseed since the last claim (the copy already paid).
+      if (channel.unit.take_warm_credit()) {
+        stats_.full_copy_bytes_avoided +=
+            storage::durable::encoded_state_bytes(source.poll_stable(),
+                                                  prefix);
+      }
       log_debug("system", "cycle ", cycle, ": warm-relocated region of app ",
                 app.value(), " from processor ", from.value(), " to ",
                 to.value(), " (", copied, " keys, ", moved,
@@ -370,6 +515,19 @@ void System::reseed_ship_channel(ProcessorId source, ShipChannel& channel) {
       storage::durable::encoded_state_bytes(proc.poll_stable());
 }
 
+void System::reseed_quorum_member(ProcessorId source, QuorumChannel& channel,
+                                  std::uint32_t member) {
+  failstop::Processor& proc = group_.processor(source);
+  storage::durable::DurabilityEngine* engine = proc.durability();
+  ensure(engine != nullptr, "quorum cohort without a durability engine");
+  channel.group.reseed_member(member, proc.poll_stable(), engine->dictionary(),
+                              engine->journal_generation(),
+                              engine->journal().synced_size());
+  ++stats_.ship_reseeds;
+  stats_.full_copy_bytes +=
+      storage::durable::encoded_state_bytes(proc.poll_stable());
+}
+
 void System::pump_ship_channels() {
   for (auto& [pid, channel] : ship_channels_) {
     ++stats_.ship_slots_polled;
@@ -378,18 +536,70 @@ void System::pump_ship_channels() {
   }
 }
 
+void System::pump_quorum_channels() {
+  for (auto& [pid, channel] : quorum_channels_) {
+    auto& group = channel->group;
+    const auto members = static_cast<std::uint32_t>(group.member_count());
+    for (std::uint32_t m = 0; m < members; ++m) {
+      ++stats_.ship_slots_polled;
+      // Members added mid-mission by a joint membership change have no
+      // static slot of their own; they ride at the configured budget too.
+      std::uint32_t budget = ship_schedule_.quorum_budget(channel->endpoint, m);
+      if (budget == 0) budget = options_.ship_slot_bytes;
+      stats_.ship_bytes_total += group.pump_member(m, budget);
+      if (group.member_live(m) && !group.member_retired(m) &&
+          group.member_needs_full_copy(m)) {
+        reseed_quorum_member(pid, *channel, m);
+      }
+    }
+  }
+}
+
+System::ShipCatchUp System::quorum_catch_up(ProcessorId source,
+                                            QuorumChannel& channel) {
+  failstop::Processor& proc = group_.processor(source);
+  if (proc.running()) {
+    // Halt-boundary flush: only synced bytes ever ship.
+    if (auto* engine = proc.durability()) (void)engine->sync_now();
+  }
+  ShipCatchUp result;
+  auto& group = channel.group;
+  const auto members = static_cast<std::uint32_t>(group.member_count());
+  for (std::uint32_t m = 0; m < members; ++m) {
+    result.bytes += group.catch_up_member(m);
+    if (group.member_live(m) && !group.member_retired(m) &&
+        group.member_needs_full_copy(m)) {
+      reseed_quorum_member(source, channel, m);
+      result.reseeded = true;
+    }
+  }
+  stats_.ship_bytes_total += result.bytes;
+  stats_.relocation_catchup_bytes += result.bytes;
+  return result;
+}
+
 bool System::has_ship_channel(ProcessorId p) const {
-  return ship_channels_.find(p) != ship_channels_.end();
+  return ship_channels_.find(p) != ship_channels_.end() ||
+         quorum_channels_.find(p) != quorum_channels_.end();
 }
 
 const storage::durable::ShippedReplica& System::ship_replica(
     ProcessorId p) const {
   const auto it = ship_channels_.find(p);
-  require(it != ship_channels_.end(), "processor has no shipping channel");
-  return it->second->replica;
+  if (it != ship_channels_.end()) return it->second->replica;
+  const auto qit = quorum_channels_.find(p);
+  require(qit != quorum_channels_.end(), "processor has no shipping channel");
+  const std::optional<storage::durable::quorum::MemberId> leader =
+      qit->second->group.leader();
+  require(leader.has_value(), "quorum cohort has no live member");
+  return qit->second->group.replica(*leader);
 }
 
 System::ShipCatchUp System::ship_catch_up(ProcessorId p) {
+  if (const auto qit = quorum_channels_.find(p);
+      qit != quorum_channels_.end()) {
+    return quorum_catch_up(p, *qit->second);
+  }
   const auto it = ship_channels_.find(p);
   require(it != ship_channels_.end(), "processor has no shipping channel");
   ShipChannel& channel = *it->second;
@@ -456,6 +666,31 @@ std::uint64_t fnv_mix_engine(std::uint64_t h,
   return h;
 }
 
+std::uint64_t fnv_mix_replica(
+    std::uint64_t h, const storage::durable::ShippedReplica::Checkpoint& cp) {
+  h = fnv_mix(h, cp.store.fingerprint());
+  h = fnv_mix(h, cp.store.commit_epochs());
+  h = fnv_mix(h, cp.cursor.generation);
+  h = fnv_mix(h, cp.cursor.offset);
+  h = fnv_mix(h, cp.cursor.epoch);
+  h = fnv_mix(h, cp.dict.size());
+  for (const std::string& key : cp.dict) {
+    for (const char c : key) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= kFnvPrime;
+    }
+    h = fnv_mix(h, key.size());
+  }
+  h = fnv_mix(h, cp.pending.size());
+  for (const std::uint8_t b : cp.pending) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  h = fnv_mix(h, cp.engine.has_value() ? 1 : 0);
+  if (cp.engine.has_value()) h = fnv_mix_engine(h, *cp.engine);
+  return h;
+}
+
 }  // namespace
 
 std::uint64_t SystemCheckpoint::digest() const {
@@ -518,6 +753,8 @@ std::uint64_t SystemCheckpoint::digest() const {
   h = fnv_mix(h, scram.stats.buffered_triggers);
   h = fnv_mix(h, scram.stats.dwell_blocked_frames);
   h = fnv_mix(h, scram.stats.lossy_reinits);
+  h = fnv_mix(h, scram.stats.quorum_losses);
+  h = fnv_mix(h, scram.stats.quorum_restores);
 
   for (const auto& [id, a] : apps) {
     h = fnv_mix(h, id.value());
@@ -554,29 +791,9 @@ std::uint64_t SystemCheckpoint::digest() const {
 
   for (const auto& [pid, channel] : ship_channels) {
     h = fnv_mix(h, pid.value());
-    h = fnv_mix(h, channel.replica.store.fingerprint());
-    h = fnv_mix(h, channel.replica.store.commit_epochs());
-    h = fnv_mix(h, channel.replica.cursor.generation);
-    h = fnv_mix(h, channel.replica.cursor.offset);
-    h = fnv_mix(h, channel.replica.cursor.epoch);
-    h = fnv_mix(h, channel.replica.dict.size());
-    for (const std::string& key : channel.replica.dict) {
-      for (const char c : key) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= kFnvPrime;
-      }
-      h = fnv_mix(h, key.size());
-    }
-    h = fnv_mix(h, channel.replica.pending.size());
-    for (const std::uint8_t b : channel.replica.pending) {
-      h ^= b;
-      h *= kFnvPrime;
-    }
-    h = fnv_mix(h, channel.replica.engine.has_value() ? 1 : 0);
-    if (channel.replica.engine.has_value()) {
-      h = fnv_mix_engine(h, *channel.replica.engine);
-    }
+    h = fnv_mix_replica(h, channel.replica);
     h = fnv_mix(h, channel.unit.needs_full_copy ? 1 : 0);
+    h = fnv_mix(h, channel.unit.warm_credit ? 1 : 0);
     h = fnv_mix(h, channel.unit.consecutive_corrupt);
     h = fnv_mix(h, channel.unit.stats.slots_polled);
     h = fnv_mix(h, channel.unit.stats.batches_shipped);
@@ -584,6 +801,39 @@ std::uint64_t SystemCheckpoint::digest() const {
     h = fnv_mix(h, channel.unit.stats.rebases);
     h = fnv_mix(h, channel.unit.stats.corrupt_batches);
     h = fnv_mix(h, channel.unit.stats.fallbacks);
+  }
+
+  for (const auto& [pid, qcp] : quorum_channels) {
+    h = fnv_mix(h, pid.value());
+    h = fnv_mix(h, qcp.members.size());
+    for (const auto& m : qcp.members) {
+      h = fnv_mix_replica(h, m.replica);
+      h = fnv_mix(h, m.last_applied);
+      h = fnv_mix(h, (m.live ? 4u : 0u) | (m.retired ? 2u : 0u) |
+                         (m.needs_full_copy ? 1u : 0u));
+      h = fnv_mix(h, m.warm_credit ? 1 : 0);
+      h = fnv_mix(h, m.consecutive_corrupt);
+    }
+    h = fnv_mix(h, qcp.old_voters.size());
+    for (const auto v : qcp.old_voters) h = fnv_mix(h, v);
+    h = fnv_mix(h, qcp.new_voters.size());
+    for (const auto v : qcp.new_voters) h = fnv_mix(h, v);
+    h = fnv_mix(h, qcp.reconfiguring ? 1 : 0);
+    h = fnv_mix(h, qcp.reconfig_epoch);
+    h = fnv_mix(h, qcp.commit_id);
+    h = fnv_mix(h, qcp.leader.has_value() ? *qcp.leader + 1 : 0);
+    h = fnv_mix(h, qcp.stats.slots_polled);
+    h = fnv_mix(h, qcp.stats.batches_shipped);
+    h = fnv_mix(h, qcp.stats.bytes_shipped);
+    h = fnv_mix(h, qcp.stats.rebases);
+    h = fnv_mix(h, qcp.stats.corrupt_batches);
+    h = fnv_mix(h, qcp.stats.fallbacks);
+    h = fnv_mix(h, qcp.stats.reseeds);
+    h = fnv_mix(h, qcp.stats.elections);
+    h = fnv_mix(h, qcp.stats.member_failures);
+    h = fnv_mix(h, qcp.stats.member_repairs);
+    h = fnv_mix(h, qcp.stats.commit_advances);
+    h = fnv_mix(h, qcp.stats.membership_changes);
   }
 
   h = fnv_mix(h, stats.frames_run);
@@ -604,6 +854,10 @@ std::uint64_t SystemCheckpoint::digest() const {
   h = fnv_mix(h, stats.full_copy_bytes);
   h = fnv_mix(h, stats.full_copy_bytes_avoided);
   h = fnv_mix(h, stats.ship_reseeds);
+  h = fnv_mix(h, stats.quorum_member_failures);
+  h = fnv_mix(h, stats.quorum_member_repairs);
+  h = fnv_mix(h, stats.quorum_losses);
+  h = fnv_mix(h, stats.quorum_restores);
 
   h = fnv_mix(h, started ? 1 : 0);
   return h;
@@ -639,6 +893,9 @@ SystemCheckpoint System::checkpoint() const {
     scp.unit = channel->unit.checkpoint_state();
     cp.ship_channels.emplace(pid, std::move(scp));
   }
+  for (const auto& [pid, channel] : quorum_channels_) {
+    cp.quorum_channels.emplace(pid, channel->group.checkpoint_state());
+  }
   cp.stats = stats_;
   cp.started = started_;
   return cp;
@@ -651,6 +908,8 @@ void System::restore(const SystemCheckpoint& cp) {
           "checkpoint application set does not match this system");
   require(cp.ship_channels.size() == ship_channels_.size(),
           "checkpoint shipping-channel set does not match this system");
+  require(cp.quorum_channels.size() == quorum_channels_.size(),
+          "checkpoint quorum-cohort set does not match this system");
   require(cp.monitors.size() == monitors_.size(),
           "checkpoint monitor set does not match this system");
   require(cp.activity.has_value() && cp.trace.has_value(),
@@ -686,6 +945,12 @@ void System::restore(const SystemCheckpoint& cp) {
             "checkpoint names unknown shipping channel");
     it->second->replica.restore_state(scp.replica);
     it->second->unit.restore_state(scp.unit);
+  }
+  for (const auto& [pid, qcp] : cp.quorum_channels) {
+    const auto it = quorum_channels_.find(pid);
+    require(it != quorum_channels_.end(),
+            "checkpoint names unknown quorum cohort");
+    it->second->group.restore_state(qcp);
   }
   stats_ = cp.stats;
   started_ = cp.started;
@@ -927,6 +1192,7 @@ void System::run_frame() {
   // round, moving at most the slot's byte budget of freshly-synced journal
   // toward its warm standby.
   if (!ship_channels_.empty()) pump_ship_channels();
+  if (!quorum_channels_.empty()) pump_quorum_channels();
   if (options_.record_trace) {
     record_snapshot(cycle, t0 + options_.frame_length);
   }

@@ -50,6 +50,7 @@
 #include "arfs/sim/clock.hpp"
 #include "arfs/sim/fault_plan.hpp"
 #include "arfs/storage/durable/engine.hpp"
+#include "arfs/storage/durable/quorum.hpp"
 #include "arfs/storage/durable/shipping.hpp"
 #include "arfs/trace/recorder.hpp"
 
@@ -86,6 +87,13 @@ struct SystemOptions {
   /// Per-frame byte budget of each processor's shipping slot (the
   /// schedulable replication bandwidth; partial batches resume next frame).
   std::uint32_t ship_slot_bytes = 4096;
+  /// Quorum replication: 0 keeps the classic single warm standby per
+  /// processor; N >= 1 replaces it with an N-member quorum replica cohort
+  /// (storage::durable::quorum::QuorumGroup) fed over one dedicated TDMA
+  /// quorum slot per member, the durability boundary being the majority-
+  /// acknowledged commit id. N = 1 behaves byte-identically to the single
+  /// standby. Requires journal_shipping.
+  std::uint32_t quorum_replicas = 0;
   /// Record the per-frame sys_trace (needed for get_reconfigs and the
   /// SP1-SP4 checkers). Disable only for unbounded benchmark runs.
   bool record_trace = true;
@@ -137,6 +145,15 @@ struct SystemStats {
   /// Standby replicas reseeded from a full-state copy (lost cursors:
   /// lagged past the retained generation, lossy recovery, media fault).
   std::uint64_t ship_reseeds = 0;
+
+  // --- quorum replication (quorum_replicas option) ---
+  /// Cohort member fail-stops / repairs applied (fault plan or API).
+  std::uint64_t quorum_member_failures = 0;
+  std::uint64_t quorum_member_repairs = 0;
+  /// Live-majority transitions: losses raised kQuorumLost toward the SCRAM,
+  /// restorations raised kQuorumDurable.
+  std::uint64_t quorum_losses = 0;
+  std::uint64_t quorum_restores = 0;
 };
 
 /// Frozen image of every piece of mutable state a mission touches: clock,
@@ -172,6 +189,8 @@ struct SystemCheckpoint {
     bus::ShippingUnit::Checkpoint unit;
   };
   std::map<ProcessorId, ShipChannelCheckpoint> ship_channels;
+  std::map<ProcessorId, storage::durable::quorum::QuorumGroup::Checkpoint>
+      quorum_channels;
   SystemStats stats;
   bool started = false;
 
@@ -239,11 +258,12 @@ class System {
 
   // --- journal shipping (journal_shipping option) ---
 
-  /// True when `p` has a shipping channel (every durable processor does
-  /// when the option is on).
+  /// True when `p` has a replication channel — a single warm standby or a
+  /// quorum cohort (every durable processor does when the option is on).
   [[nodiscard]] bool has_ship_channel(ProcessorId p) const;
-  /// The warm-standby replica shadowing `p`'s durable store.
-  /// Precondition: has_ship_channel(p).
+  /// The warm-standby replica shadowing `p`'s durable store; in quorum mode,
+  /// the elected shipper-leader's replica. Precondition: has_ship_channel(p)
+  /// and, in quorum mode, at least one live member.
   [[nodiscard]] const storage::durable::ShippedReplica& ship_replica(
       ProcessorId p) const;
   struct ShipCatchUp {
@@ -252,8 +272,24 @@ class System {
   };
   /// Drains `p`'s remaining shippable tail into its replica now (the same
   /// catch-up a relocation performs), reseeding from a full copy if the
-  /// cursor was lost. Precondition: has_ship_channel(p).
+  /// cursor was lost. In quorum mode every live member catches up (`bytes`
+  /// is the total moved; `reseeded` is true when any member reseeded).
+  /// Precondition: has_ship_channel(p).
   ShipCatchUp ship_catch_up(ProcessorId p);
+
+  // --- quorum replication (quorum_replicas option) ---
+
+  /// True when `p`'s journal ships to a quorum replica cohort.
+  [[nodiscard]] bool has_quorum(ProcessorId p) const;
+  /// The cohort shadowing `p`'s durable store. Precondition: has_quorum(p).
+  [[nodiscard]] const storage::durable::quorum::QuorumGroup& quorum_group(
+      ProcessorId p) const;
+  /// Fail-stops / repairs cohort member `member` of `p`'s quorum group.
+  /// A transition that costs (restores) the live majority raises a
+  /// kQuorumLost (kQuorumDurable) signal toward the SCRAM.
+  /// Preconditions: has_quorum(p), member < the cohort's member count.
+  void fail_quorum_member(ProcessorId p, std::uint32_t member);
+  void repair_quorum_member(ProcessorId p, std::uint32_t member);
 
   // --- whole-system checkpoint/restore ---
 
@@ -270,6 +306,7 @@ class System {
  private:
   class SystemPeerReader;
   struct ShipChannel;
+  struct QuorumChannel;
 
   void apply_fault_event(const sim::FaultEvent& event, Cycle cycle,
                          SimTime now);
@@ -287,6 +324,14 @@ class System {
   void pump_ship_channels();
   /// Full-copy reseed of a channel whose replica cursor was lost.
   void reseed_ship_channel(ProcessorId source, ShipChannel& channel);
+  /// One quorum ship slot per (cohort, member), in schedule order.
+  void pump_quorum_channels();
+  /// Full-copy reseed of one cohort member whose cursor was lost.
+  void reseed_quorum_member(ProcessorId source, QuorumChannel& channel,
+                            std::uint32_t member);
+  /// Relocation-grade catch-up of every live cohort member (syncs the
+  /// source's boundary first, reseeds lost cursors).
+  ShipCatchUp quorum_catch_up(ProcessorId source, QuorumChannel& channel);
 
   const ReconfigSpec& spec_;
   SystemOptions options_;
@@ -318,6 +363,10 @@ class System {
   /// Warm-standby replication, keyed by source processor. The schedule
   /// grants every channel one shipping slot per round (= per frame).
   std::map<ProcessorId, std::unique_ptr<ShipChannel>> ship_channels_;
+  /// Quorum replica cohorts (quorum_replicas >= 1), keyed by source
+  /// processor; mutually exclusive with ship_channels_. Each member owns a
+  /// dedicated quorum slot in the schedule.
+  std::map<ProcessorId, std::unique_ptr<QuorumChannel>> quorum_channels_;
   bus::TdmaSchedule ship_schedule_;
   SystemStats stats_;
   bool started_ = false;

@@ -86,6 +86,8 @@ std::string to_string(SignalKind kind) {
     case SignalKind::kTimingViolation:  return "timing-violation";
     case SignalKind::kSoftwareFailure:  return "software-failure";
     case SignalKind::kLossyRecovery:    return "lossy-recovery";
+    case SignalKind::kQuorumLost:       return "quorum-lost";
+    case SignalKind::kQuorumDurable:    return "quorum-durable";
   }
   return "?";
 }

@@ -36,6 +36,14 @@ enum class SignalKind {
   /// applications last observed, so silent resume would violate their
   /// precondition; the SCRAM may force a re-initialization instead.
   kLossyRecovery,
+  /// A processor's quorum replica cohort lost its live majority: commits
+  /// can still be journaled locally but are no longer acknowledged-by-
+  /// majority, so a relocation right now could only warm-start from a
+  /// minority member. Paired with kQuorumDurable.
+  kQuorumLost,
+  /// The cohort regained its live majority: the majority-ack durability
+  /// boundary is advancing again.
+  kQuorumDurable,
 };
 
 struct FailureSignal {

@@ -98,6 +98,30 @@ void FaultPlan::journal_bit_flip(SimTime when, ProcessorId p,
   add(std::move(e));
 }
 
+void FaultPlan::quorum_member_fail(SimTime when, ProcessorId p,
+                                   std::int64_t member, std::string note) {
+  require(member >= 0, "quorum member id cannot be negative");
+  FaultEvent e;
+  e.when = when;
+  e.kind = FaultKind::kQuorumMemberFail;
+  e.processor = p;
+  e.new_value = member;
+  e.note = std::move(note);
+  add(std::move(e));
+}
+
+void FaultPlan::quorum_member_repair(SimTime when, ProcessorId p,
+                                     std::int64_t member, std::string note) {
+  require(member >= 0, "quorum member id cannot be negative");
+  FaultEvent e;
+  e.when = when;
+  e.kind = FaultKind::kQuorumMemberRepair;
+  e.processor = p;
+  e.new_value = member;
+  e.note = std::move(note);
+  add(std::move(e));
+}
+
 std::vector<FaultEvent> FaultPlan::consume_until(SimTime until) {
   std::vector<FaultEvent> out;
   while (next_ < events_.size() && events_[next_].when <= until) {
@@ -192,6 +216,8 @@ std::string to_string(FaultKind kind) {
     case FaultKind::kJournalSyncFail:   return "journal-sync-fail";
     case FaultKind::kJournalTornWrite:  return "journal-torn-write";
     case FaultKind::kJournalBitFlip:    return "journal-bit-flip";
+    case FaultKind::kQuorumMemberFail:  return "quorum-member-fail";
+    case FaultKind::kQuorumMemberRepair: return "quorum-member-repair";
   }
   return "?";
 }

@@ -33,13 +33,18 @@ enum class FaultKind {
   kJournalSyncFail,     ///< The journal's next sync fails once.
   kJournalTornWrite,    ///< The next crash tears the final unsynced record.
   kJournalBitFlip,      ///< One durable journal bit flips (media fault).
+  // Quorum replica-cohort events (processors with quorum shipping only;
+  // counted and ignored elsewhere, like the journal faults above).
+  kQuorumMemberFail,    ///< One cohort member fail-stops (acks survive).
+  kQuorumMemberRepair,  ///< A failed cohort member returns to service.
 };
 
 /// One scheduled injection. Which fields are meaningful depends on `kind`:
 /// processor and journal events use `processor`; environment changes use
 /// `factor` and `new_value`; timing/software faults use `app`. Journal
 /// faults reuse `new_value` as a parameter: torn-write keep-bytes for
-/// kJournalTornWrite, corruption seed for kJournalBitFlip.
+/// kJournalTornWrite, corruption seed for kJournalBitFlip, and the cohort
+/// member id for the quorum events.
 struct FaultEvent {
   SimTime when = 0;
   FaultKind kind = FaultKind::kProcessorFailStop;
@@ -73,6 +78,11 @@ class FaultPlan {
                           std::int64_t keep_bytes = 0, std::string note = {});
   void journal_bit_flip(SimTime when, ProcessorId p, std::int64_t seed,
                         std::string note = {});
+  /// Fail-stops / repairs member `member` of `p`'s quorum replica cohort.
+  void quorum_member_fail(SimTime when, ProcessorId p, std::int64_t member,
+                          std::string note = {});
+  void quorum_member_repair(SimTime when, ProcessorId p, std::int64_t member,
+                            std::string note = {});
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;

@@ -259,6 +259,16 @@ void ShippedReplica::reset_from_full_copy(const StableStorage& source,
   dict_ = std::move(dict);
   pending_.clear();
   cursor_ = ShipCursor{generation, offset, source.commit_epochs()};
+  // The stream starts over: warm-progress counters would otherwise keep
+  // counting bytes and records the reseed just invalidated, inflating the
+  // avoided-full-copy accounting. Fault counters (crc_rejects, duplicates,
+  // gaps, rebases, resets) stay cumulative — they describe the lifetime of
+  // the standby, not of one stream.
+  stats_.batches_applied = 0;
+  stats_.bytes_received = 0;
+  stats_.records_applied = 0;
+  stats_.records_skipped = 0;
+  stats_.dict_records = 0;
   ++stats_.resets;
   if (engine_ != nullptr) {
     // Re-anchor the standby devices on the copied image so its own journal

@@ -77,8 +77,20 @@ struct CrashSweepOptions {
   /// fail-stop, catch the victim's shipping channel up and assert the
   /// standby replica's fingerprint is bit-identical to the recovered
   /// commit-boundary fingerprint. The factory's mission must enable
-  /// SystemOptions::journal_shipping.
+  /// SystemOptions::journal_shipping. When the mission replicates to a
+  /// quorum cohort (SystemOptions::quorum_replicas) the check reads the
+  /// elected shipper-leader's replica and additionally asserts the commit
+  /// rule: the cohort keeps a live majority and its majority-acknowledged
+  /// commit id equals the epoch the warm start served — at one replica this
+  /// degenerates to the single-standby check exactly, so N = 1 sweeps are
+  /// digest-identical to the single-standby oracle.
   bool warm_start = false;
+
+  /// Quorum adversary (warm_start on a quorum mission only): at every crash
+  /// point, fail-stop this many cohort members — always the current elected
+  /// leader, re-electing between kills — before the catch-up runs. Must
+  /// leave a live majority (at most the minority of the cohort).
+  std::uint32_t quorum_kills = 0;
 
   /// O(F·K) strategy: fork each crash point from a stride-K baseline
   /// checkpoint instead of replaying the mission from frame 0. Off runs the

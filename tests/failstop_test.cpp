@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "arfs/common/check.hpp"
 #include "arfs/failstop/detector.hpp"
 #include "arfs/failstop/group.hpp"
@@ -199,6 +203,27 @@ TEST(TimingAndSignalMonitors, RaiseTypedSignals) {
   EXPECT_EQ(signals[0].kind, SignalKind::kTimingViolation);
   EXPECT_EQ(signals[1].kind, SignalKind::kSoftwareFailure);
   EXPECT_EQ(signals[1].detail, "assert");
+}
+
+TEST(DetectorBank, EverySignalKindHasAUniqueName) {
+  // Exhaustive over the enum: a new SignalKind must get a to_string entry
+  // (trace lines and SCRAM diagnostics print it), and no two kinds may
+  // share a name.
+  const SignalKind kinds[] = {
+      SignalKind::kProcessorFailure, SignalKind::kTimingViolation,
+      SignalKind::kSoftwareFailure,  SignalKind::kLossyRecovery,
+      SignalKind::kQuorumLost,       SignalKind::kQuorumDurable,
+  };
+  std::set<std::string> names;
+  for (const SignalKind kind : kinds) {
+    const std::string name = to_string(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name << " repeats";
+  }
+  EXPECT_EQ(names.size(), std::size(kinds));
+  EXPECT_EQ(to_string(SignalKind::kQuorumLost), "quorum-lost");
+  EXPECT_EQ(to_string(SignalKind::kQuorumDurable), "quorum-durable");
+  EXPECT_EQ(to_string(SignalKind::kLossyRecovery), "lossy-recovery");
 }
 
 TEST(ProcessorGroup, StaticAppAssignment) {

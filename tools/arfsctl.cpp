@@ -83,7 +83,9 @@ int usage() {
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
          "  sweep    <spec> [--frames N] [--io-fault torn|bitflip] [--warm]\n"
-         "           [--checkpoint-stride K] [--json]\n"
+         "           [--quorum N] [--kill K] [--checkpoint-stride K] [--json]\n"
+         "  quorum   <demo|status> [spec=chain] [--replicas N] [--frames F]\n"
+         "           [--kill K]\n"
          "  fleet    <spec> [--samples N] [--frames F] [--warmup W]\n"
          "           [--shards S] [--threads T] [--seed B] [--no-pool]\n"
          "           [--json [path]]\n"
@@ -421,8 +423,10 @@ int cmd_journal_ship(const std::string& src_path, const std::string& dst_path,
 /// seed 42). The factory re-derives everything from the name on each call,
 /// so concurrent crash-point jobs share no mutable state.
 support::MissionFactory sweep_mission_factory(const std::string& spec_name,
-                                              bool shipping) {
-  return [spec_name, shipping] {
+                                              bool shipping,
+                                              std::uint32_t quorum_replicas =
+                                                  0) {
+  return [spec_name, shipping, quorum_replicas] {
     struct Bundle {
       SpecChoice choice;
       std::optional<avionics::UavPlant> plant;
@@ -433,7 +437,8 @@ support::MissionFactory sweep_mission_factory(const std::string& spec_name,
     core::SystemOptions options;
     options.frame_length = bundle->choice.frame_length;
     options.durable_storage = true;
-    options.journal_shipping = shipping;
+    options.journal_shipping = shipping || quorum_replicas > 0;
+    options.quorum_replicas = quorum_replicas;
     options.durability.snapshot_every_epochs =
         bundle->choice.is_uav ? 16 : 7;
     auto system =
@@ -462,12 +467,14 @@ support::MissionFactory sweep_mission_factory(const std::string& spec_name,
 }
 
 int cmd_sweep(const std::string& spec_name, bool is_uav,
-              const support::CrashSweepOptions& sweep_options, bool json) {
+              const support::CrashSweepOptions& sweep_options,
+              std::uint32_t quorum_replicas, bool json) {
   support::CrashSweepOptions options = sweep_options;
   options.victim =
       is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
   const support::CrashSweepReport report = support::run_crash_sweep(
-      sweep_mission_factory(spec_name, options.warm_start), options);
+      sweep_mission_factory(spec_name, options.warm_start, quorum_replicas),
+      options);
 
   const char* fault =
       options.io_fault == support::CrashSweepOptions::IoFault::kTornWrite
@@ -507,6 +514,69 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
               << "\n";
   }
   return report.all_match() ? 0 : 1;
+}
+
+/// Builds a quorum mission, runs it, optionally fail-stops the elected
+/// leader `kills` times (re-electing between kills), catches the cohort up,
+/// and renders it. `demo` additionally asserts the commit rule: a live
+/// majority acknowledges exactly the epoch the leader's replica serves, and
+/// that replica is bit-identical to the source's committed store.
+int cmd_quorum(bool demo, const std::string& spec_name, bool is_uav,
+               std::uint32_t replicas, Cycle frames, std::uint32_t kills) {
+  support::CrashMission mission =
+      sweep_mission_factory(spec_name, /*shipping=*/true, replicas)();
+  core::System& system = *mission.system;
+  system.run(frames);
+
+  const ProcessorId victim =
+      is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
+  for (std::uint32_t k = 0; k < kills; ++k) {
+    const auto leader = system.quorum_group(victim).leader();
+    if (!leader.has_value()) {
+      std::cerr << "arfsctl: cohort exhausted after " << k << " kills\n";
+      return 1;
+    }
+    system.fail_quorum_member(victim, *leader);
+    std::cout << "fail-stopped shipper-leader (member " << *leader << ")\n";
+  }
+  const core::System::ShipCatchUp catch_up = system.ship_catch_up(victim);
+
+  const auto& group = system.quorum_group(victim);
+  std::cout << "quorum " << (demo ? "demo" : "status") << ": " << spec_name
+            << ", " << group.member_count() << " members, " << frames
+            << " frames\n";
+  for (storage::durable::quorum::MemberId m = 0; m < group.member_count();
+       ++m) {
+    std::cout << "  member " << m << ": "
+              << (group.member_retired(m)
+                      ? "retired"
+                      : group.member_live(m) ? "live" : "fail-stopped")
+              << (group.leader() == m ? ", leader" : "") << ", last-applied "
+              << group.last_applied(m) << "\n";
+  }
+  std::cout << "commit id: " << group.commit_id() << " ("
+            << group.live_count() << "/" << group.member_count()
+            << " live, majority " << (group.has_majority() ? "held" : "LOST")
+            << ")\n";
+  const storage::durable::quorum::QuorumStats& stats = group.stats();
+  std::cout << "shipped " << stats.bytes_shipped << " bytes in "
+            << stats.batches_shipped << " batches; elections "
+            << stats.elections << ", reseeds " << stats.reseeds
+            << ", catch-up " << catch_up.bytes << " bytes\n";
+  if (!demo) return 0;
+
+  const auto& proc = system.processors().processor(victim);
+  const storage::durable::ShippedReplica& replica =
+      system.ship_replica(victim);
+  const bool rule =
+      group.has_majority() &&
+      group.commit_id() == replica.store().commit_epochs() &&
+      replica.store().fingerprint() == proc.poll_stable().fingerprint();
+  std::cout << (rule ? "quorum demo ok: majority-acked boundary matches the"
+                       " leader replica"
+                     : "QUORUM COMMIT RULE VIOLATED")
+            << "\n";
+  return rule ? 0 : 1;
 }
 
 /// Builds the fleet sweep's mission for a built-in spec name: like
@@ -666,6 +736,35 @@ int main(int argc, char** argv) {
       return usage();
     }
 
+    if (cmd == "quorum") {
+      if (argc < 3) return usage();
+      const std::string sub = argv[2];
+      if (sub != "demo" && sub != "status") return usage();
+      std::string spec_name = "chain";
+      int i = 3;
+      if (argc > 3 && argv[3][0] != '-') spec_name = argv[i++];
+      const std::optional<SpecChoice> choice = make_spec(spec_name);
+      if (!choice.has_value()) return usage();
+      std::uint32_t replicas = 3;
+      Cycle frames = 12;
+      std::uint32_t kills = sub == "demo" ? 1 : 0;
+      for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--replicas" && i + 1 < argc) {
+          replicas = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--frames" && i + 1 < argc) {
+          frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--kill" && i + 1 < argc) {
+          kills = std::strtoul(argv[++i], nullptr, 10);
+        } else {
+          return usage();
+        }
+      }
+      if (replicas == 0 || frames == 0) return usage();
+      return cmd_quorum(sub == "demo", spec_name, choice->is_uav, replicas,
+                        frames, kills);
+    }
+
     if (argc < 3) return usage();
     const std::optional<SpecChoice> choice = make_spec(argv[2]);
     if (!choice.has_value()) return usage();
@@ -685,11 +784,17 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") {
       support::CrashSweepOptions options;
       options.frames = 24;
+      std::uint32_t quorum_replicas = 0;
       bool json = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--frames" && i + 1 < argc) {
           options.frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--quorum" && i + 1 < argc) {
+          quorum_replicas = std::strtoul(argv[++i], nullptr, 10);
+          options.warm_start = true;  // the cohort IS the warm standby
+        } else if (arg == "--kill" && i + 1 < argc) {
+          options.quorum_kills = std::strtoul(argv[++i], nullptr, 10);
         } else if (arg == "--io-fault" && i + 1 < argc) {
           const std::string fault = argv[++i];
           if (fault == "torn") {
@@ -710,7 +815,9 @@ int main(int argc, char** argv) {
         }
       }
       if (options.frames == 0) return usage();
-      return cmd_sweep(argv[2], choice->is_uav, options, json);
+      if (options.quorum_kills > 0 && quorum_replicas == 0) return usage();
+      return cmd_sweep(argv[2], choice->is_uav, options, quorum_replicas,
+                       json);
     }
     if (cmd == "fleet") {
       support::FleetMissionOptions options;

@@ -1,0 +1,323 @@
+// Experiment E19 — memory-mapped result arena.
+//
+// Three claims, all with the determinism contract on top:
+//   * bounded RSS: estimate_dependability_evidence streamed through a
+//     storage::MappedArena holds peak RSS roughly flat as the sample count
+//     grows, where the in-RAM row vector grows linearly (32 B/row);
+//   * throughput: the arena path's end-to-end sweep time stays within 15%
+//     of the in-RAM path (the sealing/msync overhead is amortized across
+//     1024-row chunks);
+//   * determinism: the estimate digest and the evidence digest are
+//     bit-identical at every (threads, shards, storage) combination, and
+//     cold-checkpoint pool spilling never moves a mission digest.
+//
+// ARFS_ARENA_SAMPLES scales the RSS/throughput ladder (default 10^6; the
+// paper-style run uses 10^7; CI smoke uses 2·10^4) without changing the
+// table's shape. Peak RSS uses VmHWM from /proc/self/status reset between
+// phases; on hosts without the proc interface the RSS columns read 0 and
+// only the digest columns carry the claim.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arfs/analysis/dependability.hpp"
+#include "arfs/core/system.hpp"
+#include "arfs/sim/fleet.hpp"
+#include "arfs/storage/arena.hpp"
+#include "arfs/support/fleet.hpp"
+#include "arfs/support/simple_app.hpp"
+#include "arfs/support/synthetic.hpp"
+#include "bench_main.hpp"
+
+namespace {
+
+using namespace arfs;
+
+constexpr const char* kArenaPath = "BENCH_arena.tmp";
+
+double wall_ms(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+analysis::MissionParams mc_mission(std::uint32_t trials) {
+  analysis::MissionParams m;
+  m.mission_hours = 10.0;
+  m.failure_rate_per_hour = 0.05;
+  m.trials = trials;
+  return m;
+}
+
+struct SweepCell {
+  analysis::EvidenceSweep sweep;
+  double ms = 0.0;
+  std::size_t peak_kib = 0;
+};
+
+/// One evidence sweep: arena-backed when `arena_path` is non-null, in-RAM
+/// otherwise. Resets the RSS watermark first so peak_kib covers only this
+/// sweep; the arena (and its file) are destroyed before the RSS sample so
+/// the number reflects the sweep itself, not lingering mappings.
+SweepCell run_sweep(std::uint32_t trials, const char* arena_path,
+                    std::size_t threads, std::size_t shards) {
+  const analysis::DesignPair pair = analysis::section51_designs(4, 2, 2);
+  const analysis::MissionParams mission = mc_mission(trials);
+  SweepCell cell;
+  bench::reset_peak_rss();
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_ptr<storage::MappedArena> arena;
+    sim::FleetOptions options;
+    options.threads = threads;
+    options.shards = shards;
+    if (arena_path != nullptr) {
+      storage::ArenaOptions arena_options;
+      arena_options.path = arena_path;
+      arena = std::make_unique<storage::MappedArena>(arena_options);
+      options.arena = arena.get();
+    }
+    sim::FleetRunner fleet(options);
+    Rng rng(42);  // same root seed everywhere → comparable digests
+    cell.sweep = analysis::estimate_dependability_evidence(pair.reconfig,
+                                                           mission, rng,
+                                                           fleet);
+  }
+  cell.ms = wall_ms(start);
+  cell.peak_kib = bench::peak_rss_kib();
+  if (arena_path != nullptr) std::remove(arena_path);
+  return cell;
+}
+
+void report_rss_and_throughput() {
+  const std::uint32_t samples = static_cast<std::uint32_t>(
+      env_size("ARFS_ARENA_SAMPLES", 1'000'000));
+
+  std::cout << "peak RSS and throughput vs materialized samples (32 B "
+               "evidence rows;\n"
+               "in-RAM holds every row, the arena drops sealed chunks):\n\n";
+  std::cout << std::left << std::setw(12) << "samples" << std::setw(15)
+            << "inram (ms)" << std::setw(15) << "inram RSS kib"
+            << std::setw(15) << "arena (ms)" << std::setw(15)
+            << "arena RSS kib" << "digests==\n";
+
+  bool all_equal = true;
+  double inram_full_ms = 0.0;
+  double arena_full_ms = 0.0;
+  for (const std::uint32_t n :
+       {samples / 4, samples / 2, samples}) {
+    if (n == 0) continue;
+    const SweepCell arena_cell = run_sweep(n, kArenaPath, 0, 0);
+    const SweepCell inram_cell = run_sweep(n, nullptr, 0, 0);
+    const bool equal =
+        arena_cell.sweep.estimate.digest() ==
+            inram_cell.sweep.estimate.digest() &&
+        arena_cell.sweep.evidence_digest == inram_cell.sweep.evidence_digest;
+    all_equal = all_equal && equal && arena_cell.sweep.arena_backed;
+    if (n == samples) {
+      inram_full_ms = inram_cell.ms;
+      arena_full_ms = arena_cell.ms;
+    }
+    std::cout << std::left << std::setw(12) << n << std::fixed
+              << std::setprecision(1) << std::setw(15) << inram_cell.ms
+              << std::setw(15) << inram_cell.peak_kib << std::setw(15)
+              << arena_cell.ms << std::setw(15) << arena_cell.peak_kib
+              << (equal ? "yes" : "NO") << "\n";
+
+    const std::string row = "arena/rss/n" + std::to_string(n);
+    bench::trajectory().record(row + "/inram_kib",
+                               static_cast<double>(inram_cell.peak_kib),
+                               "KiB");
+    bench::trajectory().record(row + "/arena_kib",
+                               static_cast<double>(arena_cell.peak_kib),
+                               "KiB");
+    bench::trajectory().record(row + "/digest_equal", equal ? 1 : 0, "bool");
+  }
+  // The penalty is quoted from the min of two timed runs per mode: on a
+  // shared core the min is the low-noise estimator (either run can eat a
+  // scheduling stall worth tens of percent). RSS stays first-run-only —
+  // the allocator retains freed pages, so later watermark resets start
+  // high and would overstate the arena's footprint.
+  if (samples > 0) {
+    inram_full_ms =
+        std::min(inram_full_ms, run_sweep(samples, nullptr, 0, 0).ms);
+    arena_full_ms =
+        std::min(arena_full_ms, run_sweep(samples, kArenaPath, 0, 0).ms);
+  }
+  const double penalty =
+      inram_full_ms > 0 ? (arena_full_ms / inram_full_ms - 1.0) * 100.0
+                        : 0.0;
+  std::cout << "\narena throughput penalty at " << samples
+            << " samples (min of 2 runs): " << std::fixed
+            << std::setprecision(1) << penalty << "% (budget 15%)\n"
+            << "evidence digests bit-identical across storage modes: "
+            << (all_equal ? "yes" : "NO") << "\n\n";
+  bench::trajectory().record("arena/throughput/penalty_pct", penalty, "%");
+  bench::trajectory().record("arena/throughput/samples", samples, "samples");
+  bench::trajectory().record("arena/throughput/digest_equal",
+                             all_equal ? 1 : 0, "bool");
+}
+
+void report_digest_matrix() {
+  const std::uint32_t samples = static_cast<std::uint32_t>(std::min(
+      env_size("ARFS_ARENA_SAMPLES", 1'000'000),
+      std::max<std::size_t>(env_size("ARFS_ARENA_SAMPLES", 1'000'000) / 10,
+                            10'000)));
+
+  // Serial in-RAM oracle; every (threads, shards, arena) cell must match
+  // both its estimate digest and its evidence digest bit for bit.
+  const SweepCell oracle = run_sweep(samples, nullptr, 1, 1);
+  std::cout << "digest matrix, " << samples
+            << " samples (oracle: serial in-RAM, estimate digest " << std::hex
+            << oracle.sweep.estimate.digest() << std::dec << "):\n\n";
+  std::cout << std::left << std::setw(9) << "threads" << std::setw(8)
+            << "shards" << std::setw(9) << "storage" << "digests==oracle\n";
+
+  bool all_equal = true;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (const std::size_t shards : {1u, 4u, 0u}) {  // 0 = auto ≈ √chunks
+      for (const bool arena : {false, true}) {
+        const SweepCell cell =
+            run_sweep(samples, arena ? kArenaPath : nullptr, threads, shards);
+        const bool equal =
+            cell.sweep.estimate.digest() == oracle.sweep.estimate.digest() &&
+            cell.sweep.evidence_digest == oracle.sweep.evidence_digest;
+        all_equal = all_equal && equal;
+        const std::string shard_label =
+            shards == 0 ? "auto" : std::to_string(shards);
+        std::cout << std::left << std::setw(9) << threads << std::setw(8)
+                  << shard_label << std::setw(9)
+                  << (arena ? "arena" : "ram") << (equal ? "yes" : "NO")
+                  << "\n";
+      }
+    }
+  }
+  std::cout << "\ndigest matrix: bit-identical at every cell: "
+            << (all_equal ? "yes" : "NO") << "\n\n";
+  bench::trajectory().record("arena/matrix/digest_equal", all_equal ? 1 : 0,
+                             "bool");
+}
+
+support::MissionFactory chain_factory() {
+  return [] {
+    auto spec = std::make_shared<core::ReconfigSpec>(
+        support::make_chain_spec({}));
+    core::SystemOptions options;
+    options.durable_storage = true;
+    options.durability.snapshot_every_epochs = 7;
+    auto system = std::make_unique<core::System>(*spec, options);
+    for (const core::AppDecl& decl : spec->apps()) {
+      system->add_app(std::make_unique<support::SimpleApp>(decl.id,
+                                                           decl.name));
+    }
+    support::CrashMission mission;
+    mission.keepalive = spec;
+    mission.system = std::move(system);
+    return mission;
+  };
+}
+
+support::PlanFactory chain_plans(Cycle warmup, Cycle frames) {
+  support::EnvPlanParams params;
+  params.factors = support::make_chain_spec({}).factors().factors();
+  params.changes = 3;
+  params.first_frame = warmup;
+  params.frames = frames;
+  return support::make_env_plan_factory(std::move(params));
+}
+
+void report_pool_spill() {
+  const std::size_t samples = env_size("ARFS_ARENA_MISSIONS", 4096);
+  const Cycle warmup = 64;
+  const Cycle frames = 4;
+
+  support::FleetMissionOptions options;
+  options.samples = samples;
+  options.frames = frames;
+  options.warmup_frames = warmup;
+  options.base_seed = 7;
+  const support::MissionFactory factory = chain_factory();
+  const support::PlanFactory plans = chain_plans(warmup, frames);
+
+  // Baseline: pooled, no arena, no spilling.
+  sim::FleetRunner plain_fleet;
+  const support::FleetMissionReport baseline =
+      support::run_fleet_missions(factory, plans, options, plain_fleet);
+
+  // Spilling run: 4 worker lanes grow the pool past the 1-mission hot
+  // floor, so idle missions spill their cold checkpoint rungs between
+  // chunk leases. Digest must not move.
+  storage::ArenaOptions arena_options;
+  arena_options.path = kArenaPath;
+  storage::MappedArena arena(arena_options);
+  sim::FleetOptions engine;
+  engine.threads = 4;
+  engine.arena = &arena;
+  sim::FleetRunner fleet(engine);
+  options.pool_hot_limit = 1;
+  const support::FleetMissionReport spilled =
+      support::run_fleet_missions(factory, plans, options, fleet);
+
+  const bool equal = spilled.digest == baseline.digest &&
+                     spilled.evidence_matches;
+  std::cout << "cold-checkpoint pool spill, " << samples
+            << " chain missions (" << warmup << "-frame warm-up ladder, hot "
+               "floor 1):\n"
+            << "  spills: " << spilled.pool_spills << ", device bytes "
+            << "moved to arena: " << spilled.pool_spill_bytes
+            << ", hydrations: " << spilled.pool_hydrations << "\n"
+            << "  evidence rows: " << spilled.evidence_rows
+            << ", round-trip digest "
+            << (spilled.evidence_matches ? "matches" : "MISMATCH") << "\n"
+            << "pool spill digest bit-identical: " << (equal ? "yes" : "NO")
+            << "\n\n";
+  std::remove(kArenaPath);
+
+  bench::trajectory().record("arena/spill/spills",
+                             static_cast<double>(spilled.pool_spills),
+                             "spills");
+  bench::trajectory().record("arena/spill/bytes",
+                             static_cast<double>(spilled.pool_spill_bytes),
+                             "B");
+  bench::trajectory().record("arena/spill/digest_equal", equal ? 1 : 0,
+                             "bool");
+}
+
+void report() {
+  bench::banner("E19: memory-mapped result arena",
+                "ROADMAP: larger-than-RAM sweeps with bounded RSS");
+  report_rss_and_throughput();
+  report_digest_matrix();
+  report_pool_spill();
+}
+
+void bm_arena_evidence(benchmark::State& state) {
+  const std::uint32_t trials = static_cast<std::uint32_t>(state.range(1));
+  const bool use_arena = state.range(0) != 0;
+  for (auto _ : state) {
+    const SweepCell cell =
+        run_sweep(trials, use_arena ? kArenaPath : nullptr, 0, 0);
+    benchmark::DoNotOptimize(cell.sweep.evidence_digest);
+  }
+  state.SetItemsProcessed(state.iterations() * trials);
+}
+BENCHMARK(bm_arena_evidence)
+    ->Args({0, 100'000})
+    ->Args({1, 100'000})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+ARFS_BENCH_MAIN(report)

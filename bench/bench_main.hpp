@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -51,6 +52,34 @@ inline std::string strip_json_flag(int& argc, char** argv) {
   }
   argc = out;
   return path;
+}
+
+/// Peak resident-set size of this process in KiB (VmHWM from
+/// /proc/self/status). Returns 0 where the proc interface is unavailable
+/// (non-Linux) — callers must treat 0 as "not measured", never as a
+/// measurement.
+inline std::size_t peak_rss_kib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// Resets the kernel's peak-RSS watermark (writes "5" to
+/// /proc/self/clear_refs) so a later peak_rss_kib() measures only the phase
+/// in between. Returns false where unsupported — pair with a 0 from
+/// peak_rss_kib() and skip the comparison.
+inline bool reset_peak_rss() {
+  std::ofstream clear("/proc/self/clear_refs");
+  if (!clear.is_open()) return false;
+  clear << "5";
+  clear.flush();
+  return clear.good();
 }
 
 /// Writes the trajectory to `path` and structurally validates the bytes

@@ -229,6 +229,124 @@ DependabilityEstimate estimate_dependability(const DesignUnits& design,
                                 sim::BatchRunner::shared());
 }
 
+namespace {
+
+/// One trial's evidence row: simulate_trial into a zeroed Partial isolates
+/// exactly the values the trial would add to a chunk accumulator.
+TrialEvidence evidence_row(const DesignUnits& design,
+                           const MissionParams& mission,
+                           std::uint64_t seed) {
+  // Workers materialize rows through a per-sample functor, so the
+  // failure-times scratch is hoisted per thread instead of per chunk.
+  static thread_local std::vector<double> scratch;
+  if (scratch.capacity() < static_cast<std::size_t>(design.total)) {
+    scratch.reserve(static_cast<std::size_t>(design.total));
+  }
+  Partial one;
+  simulate_trial(design, mission, seed, scratch, one);
+  TrialEvidence row;
+  row.full_fraction = one.full_fraction;
+  row.safe_fraction = one.safe_fraction;
+  row.failures = one.failures;
+  if (one.p_full > 0) row.flags |= TrialEvidence::kFullMission;
+  if (one.p_safe > 0) row.flags |= TrialEvidence::kSafeMission;
+  if (one.p_loss > 0) row.flags |= TrialEvidence::kLoss;
+  return row;
+}
+
+/// Replays one row into a chunk accumulator with exactly the per-field
+/// addition sequence simulate_trial performs — the guard on the unit
+/// counters mirrors the trial's conditional `+= 1.0`s, so the chunk partial
+/// rebuilt from rows is bit-identical to the directly accumulated one.
+void fold_row(const TrialEvidence& row, Partial& acc) {
+  if ((row.flags & TrialEvidence::kFullMission) != 0) acc.p_full += 1.0;
+  if ((row.flags & TrialEvidence::kSafeMission) != 0) acc.p_safe += 1.0;
+  if ((row.flags & TrialEvidence::kLoss) != 0) acc.p_loss += 1.0;
+  acc.full_fraction += row.full_fraction;
+  acc.safe_fraction += row.safe_fraction;
+  acc.failures += row.failures;
+}
+
+/// Folds a chunk partial into the running sum — the identical field order
+/// of the serial reduce and the fleet fold above.
+void fold_chunk(const Partial& part, Partial& sum) {
+  sum.p_full += part.p_full;
+  sum.p_safe += part.p_safe;
+  sum.p_loss += part.p_loss;
+  sum.full_fraction += part.full_fraction;
+  sum.safe_fraction += part.safe_fraction;
+  sum.failures += part.failures;
+}
+
+void digest_row(std::uint64_t& h, const TrialEvidence& row) {
+  fnv_mix(h, std::bit_cast<std::uint64_t>(row.full_fraction));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(row.safe_fraction));
+  fnv_mix(h, std::bit_cast<std::uint64_t>(row.failures));
+  fnv_mix(h, row.flags);
+}
+
+}  // namespace
+
+EvidenceSweep estimate_dependability_evidence(const DesignUnits& design,
+                                              const MissionParams& mission,
+                                              Rng& rng,
+                                              sim::FleetRunner& fleet) {
+  check_params(design, mission);
+  const std::uint64_t base_seed = rng.next_u64();
+
+  EvidenceSweep sweep;
+  sweep.rows = mission.trials;
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  Partial sum;
+
+  const auto row_fn = [&](const sim::FleetSample& sample) {
+    return evidence_row(design, mission, sample.seed);
+  };
+
+  if (fleet.options().arena != nullptr) {
+    // Arena route: rows land in sealed chunk regions (RSS bounded by
+    // in-flight chunks) and stream back in global chunk order — which is
+    // the serial fold order, so the rebuilt estimate matches bit for bit.
+    sweep.arena_backed = true;
+    sim::ArenaCursor<TrialEvidence> cursor =
+        fleet.materialize<TrialEvidence>(mission.trials, base_seed, row_fn,
+                                         *fleet.options().arena);
+    cursor.for_each_chunk(
+        [&](const TrialEvidence* rows, std::size_t n, std::size_t) {
+          Partial chunk;
+          for (std::size_t i = 0; i < n; ++i) {
+            fold_row(rows[i], chunk);
+            digest_row(h, rows[i]);
+          }
+          fold_chunk(chunk, sum);
+        });
+  } else {
+    // In-RAM baseline: same rows, same fold, heap-resident (linear RSS).
+    const sim::ShardPlan p = fleet.plan(mission.trials);
+    std::vector<TrialEvidence> rows(mission.trials);
+    fleet.run_plan(p, [&](std::size_t, std::size_t shard, std::size_t first,
+                          std::size_t end) {
+      for (std::size_t i = first; i < end; ++i) {
+        rows[i] = row_fn(sim::FleetSample{i, sim::job_seed(base_seed, i),
+                                          shard});
+      }
+    });
+    for (std::size_t c = 0; c < p.chunks(); ++c) {
+      const sim::ShardPlan::Range r = p.samples_of_chunk(c);
+      Partial chunk;
+      for (std::size_t i = r.first; i < r.end; ++i) {
+        fold_row(rows[i], chunk);
+        digest_row(h, rows[i]);
+      }
+      fold_chunk(chunk, sum);
+    }
+  }
+
+  sweep.evidence_digest = h;
+  sweep.estimate = normalize(sum, mission.trials);
+  return sweep;
+}
+
 DesignPair section51_designs(int units_full_service, int units_safe_service,
                              int spares) {
   require(units_safe_service >= 1 &&

@@ -80,6 +80,44 @@ struct DependabilityEstimate {
     const DesignUnits& design, const MissionParams& mission, Rng& rng,
     sim::FleetRunner& fleet);
 
+/// One Monte-Carlo trial's audit row — the per-sample evidence behind an
+/// estimate, compact (32 bytes) and trivially copyable so sweeps can
+/// materialize billions of them through a storage::MappedArena. The row
+/// holds exactly the values the trial contributes to the estimate's
+/// accumulators, so folding rows in global order reproduces the estimate
+/// bit for bit.
+struct TrialEvidence {
+  double full_fraction = 0.0;  ///< Time-weighted full-service fraction.
+  double safe_fraction = 0.0;  ///< Time-weighted safe-or-better fraction.
+  double failures = 0.0;       ///< Component failures during the mission.
+  std::uint32_t flags = 0;
+  std::uint32_t reserved = 0;
+
+  static constexpr std::uint32_t kFullMission = 1u;  ///< Never below full.
+  static constexpr std::uint32_t kSafeMission = 2u;  ///< Never below safe.
+  static constexpr std::uint32_t kLoss = 4u;         ///< Dropped below safe.
+};
+
+struct EvidenceSweep {
+  DependabilityEstimate estimate;
+  std::uint64_t rows = 0;
+  /// Order-sensitive FNV-1a over every row's bit patterns in global trial
+  /// order — invariant across threads, shards, and storage backend.
+  std::uint64_t evidence_digest = 0;
+  bool arena_backed = false;  ///< Rows went through fleet.options().arena.
+};
+
+/// The evidence-producing estimator: materializes one TrialEvidence row per
+/// trial and re-derives the estimate by folding the rows in global chunk
+/// order — `estimate` is bit-identical (same digest) to the plain fleet
+/// path above at the same chunk grain. With `fleet.options().arena` set the
+/// rows stream through arena regions (peak RSS bounded by in-flight chunks,
+/// rows retained in the arena file as the audit artifact); otherwise they
+/// are held in RAM. Consumes exactly one draw from `rng` either way.
+[[nodiscard]] EvidenceSweep estimate_dependability_evidence(
+    const DesignUnits& design, const MissionParams& mission, Rng& rng,
+    sim::FleetRunner& fleet);
+
 /// Convenience: the section 5.1 design pair for a given service shape and
 /// spare count — masking fields full+spares with no degraded mode;
 /// reconfiguration fields safe+spares and degrades.

@@ -863,6 +863,26 @@ std::uint64_t SystemCheckpoint::digest() const {
   return h;
 }
 
+std::uint64_t SystemCheckpoint::spill_devices(storage::MappedArena& arena) {
+  std::uint64_t bytes = 0;
+  for (auto& [pid, p] : processors) {
+    if (p.durability.has_value()) bytes += p.durability->spill_devices(arena);
+  }
+  for (auto& [pid, channel] : ship_channels) {
+    if (channel.replica.engine.has_value()) {
+      bytes += channel.replica.engine->spill_devices(arena);
+    }
+  }
+  for (auto& [pid, qcp] : quorum_channels) {
+    for (auto& m : qcp.members) {
+      if (m.replica.engine.has_value()) {
+        bytes += m.replica.engine->spill_devices(arena);
+      }
+    }
+  }
+  return bytes;
+}
+
 SystemCheckpoint System::checkpoint() const {
   SystemCheckpoint cp;
   cp.frame = clock_.current_frame();

@@ -198,6 +198,14 @@ struct SystemCheckpoint {
   /// device byte streams included. Two checkpoints of the same factory's
   /// system with equal digests describe bit-identical mission state.
   [[nodiscard]] std::uint64_t digest() const;
+
+  /// Spills every forked durable-device byte image this checkpoint holds
+  /// (processor engines, ship-channel replicas, quorum members) into
+  /// CRC-guarded regions of `arena` — the byte mass of a durable mission's
+  /// checkpoint, freed from the heap until the checkpoint is next restored
+  /// (devices hydrate transparently). Returns bytes spilled. The arena must
+  /// outlive the checkpoint or its next restore.
+  std::uint64_t spill_devices(storage::MappedArena& arena);
 };
 
 class System {

@@ -32,14 +32,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "arfs/common/check.hpp"
 #include "arfs/common/types.hpp"
 #include "arfs/sim/batch.hpp"
+#include "arfs/storage/arena.hpp"
 
 namespace arfs::sim {
 
@@ -65,6 +68,13 @@ struct FleetOptions {
   /// order (a different estimate, equally valid); for any fixed chunk the
   /// result is invariant across threads and shards.
   std::size_t chunk = kFleetChunk;
+  /// When set, evidence-producing layers (dependability evidence rows,
+  /// coverage tallies, crash-point tables, pooled-mission evidence and
+  /// checkpoint spill) route materialized per-sample results through this
+  /// arena instead of heap vectors — RSS bounded by in-flight chunks.
+  /// Storage choice only: every digest stays bit-identical to the in-RAM
+  /// path. Not owned; must outlive the runner's calls.
+  storage::MappedArena* arena = nullptr;
 };
 
 /// Identity of one sample in a fleet run. The seed depends on the global
@@ -107,6 +117,59 @@ class ShardPlan {
   std::size_t chunk_ = kFleetChunk;
   std::size_t chunks_ = 0;
   std::size_t shards_ = 1;
+};
+
+/// Streams the rows a FleetRunner materialized into arena regions, in
+/// global chunk order — the same order the in-RAM map() concatenates, so
+/// any fold over the cursor is bit-identical to the in-RAM path. Each
+/// chunk's region is read (CRC-verified), visited, then released: the
+/// consumer's RSS is one chunk, regardless of total rows.
+template <typename R>
+class ArenaCursor {
+ public:
+  ArenaCursor() = default;
+  ArenaCursor(storage::MappedArena& arena, ShardPlan plan,
+              std::vector<storage::MappedArena::RegionId> regions)
+      : arena_(&arena), plan_(plan), regions_(std::move(regions)) {}
+
+  [[nodiscard]] std::size_t size() const { return plan_.samples(); }
+  [[nodiscard]] std::size_t chunks() const { return regions_.size(); }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] storage::MappedArena* arena() const { return arena_; }
+
+  /// One-shot pass over every chunk in global chunk order:
+  /// `fn(rows, count, first_global_index)`. Releases each region after its
+  /// visit — rows must be consumed inside the callback.
+  template <typename Fn>
+  void for_each_chunk(Fn&& fn) {
+    require(!consumed_, "ArenaCursor: already consumed");
+    consumed_ = true;
+    for (std::size_t c = 0; c < regions_.size(); ++c) {
+      const ShardPlan::Range r = plan_.samples_of_chunk(c);
+      std::size_t bytes = 0;
+      const std::uint8_t* raw = arena_->read(regions_[c], &bytes);
+      ensure(bytes == r.size() * sizeof(R), "arena chunk size mismatch");
+      // The rows were written in place as R objects; R is trivially
+      // copyable, so reading through a memcpy'd buffer would be equally
+      // valid — the in-place view avoids the copy.
+      fn(reinterpret_cast<const R*>(raw), r.size(), r.first);
+      arena_->release(regions_[c]);
+    }
+  }
+
+  /// Convenience row-wise pass: `fn(row, global_index)`.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for_each_chunk([&](const R* rows, std::size_t n, std::size_t first) {
+      for (std::size_t i = 0; i < n; ++i) fn(rows[i], first + i);
+    });
+  }
+
+ private:
+  storage::MappedArena* arena_ = nullptr;
+  ShardPlan plan_;
+  std::vector<storage::MappedArena::RegionId> regions_;
+  bool consumed_ = false;
 };
 
 /// The sharded fleet engine. Thin deterministic orchestration over a
@@ -212,6 +275,72 @@ class FleetRunner {
       for (std::optional<R>& slot : cache) out.push_back(std::move(*slot));
     }
     return out;
+  }
+
+  /// Arena-backed materialization: like a map() over `samples` samples at
+  /// the chunk grain, but each chunk's rows are written straight into an
+  /// arena region (one region per chunk, written lock-free by the owning
+  /// worker, sealed on completion — sealed chunks leave the RSS under the
+  /// arena's SyncPolicy batching). Returns a cursor streaming the rows in
+  /// global chunk order; peak RSS is bounded by *in-flight* chunks, not
+  /// `samples`. Results are bit-identical to the in-RAM path: same seeds
+  /// (global index only), same rows, same order.
+  template <typename R>
+  [[nodiscard]] ArenaCursor<R> materialize(
+      std::size_t samples, std::uint64_t base_seed,
+      const std::function<R(const FleetSample&)>& fn,
+      storage::MappedArena& arena) {
+    static_assert(std::is_trivially_copyable_v<R>,
+                  "arena rows are raw bytes: R must be trivially copyable");
+    static_assert(alignof(R) <= 8,
+                  "arena chunks are 8-byte aligned: alignof(R) must be <= 8");
+    const ShardPlan p = plan(samples);
+    // One region slot per chunk, written lock-free (slot discipline as in
+    // reduce(): a chunk is one job and owns its slot).
+    std::vector<storage::MappedArena::RegionId> regions(
+        p.chunks(), storage::MappedArena::kNoRegion);
+    run_plan(p, [&](std::size_t c, std::size_t shard, std::size_t first,
+                    std::size_t end) {
+      const storage::MappedArena::RegionId rid =
+          arena.allocate((end - first) * sizeof(R));
+      R* out = reinterpret_cast<R*>(arena.data(rid));
+      for (std::size_t i = first; i < end; ++i) {
+        const R row = fn(FleetSample{i, job_seed(base_seed, i), shard});
+        std::memcpy(out + (i - first), &row, sizeof(R));
+      }
+      arena.seal(rid);
+      regions[c] = rid;
+    });
+    return ArenaCursor<R>(arena, p, std::move(regions));
+  }
+
+  /// Job-grain arena materialization — the arena counterpart of map():
+  /// one heavyweight job per chunk, one region per job.
+  template <typename R>
+  [[nodiscard]] ArenaCursor<R> map_arena(
+      std::size_t jobs, std::uint64_t base_seed,
+      const std::function<R(const FleetSample&)>& fn,
+      storage::MappedArena& arena) {
+    static_assert(std::is_trivially_copyable_v<R>,
+                  "arena rows are raw bytes: R must be trivially copyable");
+    static_assert(alignof(R) <= 8,
+                  "arena chunks are 8-byte aligned: alignof(R) must be <= 8");
+    const ShardPlan p = job_plan(jobs);
+    std::vector<storage::MappedArena::RegionId> regions(
+        p.chunks(), storage::MappedArena::kNoRegion);
+    run_plan(p, [&](std::size_t c, std::size_t shard, std::size_t first,
+                    std::size_t end) {
+      const storage::MappedArena::RegionId rid =
+          arena.allocate((end - first) * sizeof(R));
+      R* out = reinterpret_cast<R*>(arena.data(rid));
+      for (std::size_t i = first; i < end; ++i) {
+        const R row = fn(FleetSample{i, job_seed(base_seed, i), shard});
+        std::memcpy(out + (i - first), &row, sizeof(R));
+      }
+      arena.seal(rid);
+      regions[c] = rid;
+    });
+    return ArenaCursor<R>(arena, p, std::move(regions));
   }
 
  private:

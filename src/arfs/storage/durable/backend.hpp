@@ -25,6 +25,10 @@
 #include <string>
 #include <vector>
 
+namespace arfs::storage {
+class MappedArena;
+}
+
 namespace arfs::storage::durable {
 
 class JournalBackend {
@@ -84,6 +88,14 @@ class JournalBackend {
 
 class MemoryBackend final : public JournalBackend {
  public:
+  MemoryBackend() = default;
+  /// Copying (incl. fork()) hydrates a spilled source first: the copy is
+  /// always a plain in-RAM device — spill state never aliases across
+  /// backends (two owners of one arena region would double-release it).
+  MemoryBackend(const MemoryBackend& other);
+  MemoryBackend& operator=(const MemoryBackend& other);
+  ~MemoryBackend() override = default;
+
   [[nodiscard]] std::uint64_t size() const override;
   [[nodiscard]] std::uint64_t synced_size() const override;
   void append(const std::uint8_t* data, std::size_t n) override;
@@ -107,9 +119,31 @@ class MemoryBackend final : public JournalBackend {
     return std::make_unique<MemoryBackend>(*this);
   }
 
+  /// Moves the durable image and buffered tail into one sealed, CRC-guarded
+  /// region of `arena`, freeing the heap bytes — the cold-checkpoint spill
+  /// path. The device stays fully usable: any access (and any copy/fork)
+  /// hydrates it back transparently. Returns the payload bytes spilled
+  /// (0 when empty or already spilled). `arena` must outlive the backend
+  /// or its next hydration, whichever comes first.
+  std::uint64_t spill(storage::MappedArena& arena);
+  [[nodiscard]] bool spilled() const { return spill_arena_ != nullptr; }
+  /// Hydrations this device performed (spill round-trips survived).
+  [[nodiscard]] std::uint64_t hydrations() const { return hydrations_; }
+
  private:
-  std::vector<std::uint8_t> durable_;
-  std::vector<std::uint8_t> buffered_;
+  /// Reads the spilled region back (CRC-verified), releases it, and
+  /// restores the in-RAM vectors. No-op when not spilled.
+  void hydrate() const;
+
+  mutable std::vector<std::uint8_t> durable_;
+  mutable std::vector<std::uint8_t> buffered_;
+  mutable storage::MappedArena* spill_arena_ = nullptr;
+  mutable std::uint64_t spill_region_ = 0;
+  /// Sizes while spilled, so size()/synced_size() stay O(1) without
+  /// faulting the bytes back in.
+  mutable std::uint64_t spilled_durable_ = 0;
+  mutable std::uint64_t spilled_buffered_ = 0;
+  mutable std::uint64_t hydrations_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint32_t sync_failures_armed_ = 0;
   bool delayed_failure_armed_ = false;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "arfs/common/check.hpp"
+#include "arfs/storage/arena.hpp"
 
 namespace arfs::storage::durable {
 
@@ -299,6 +300,16 @@ EngineCheckpoint DurabilityEngine::checkpoint_state() const {
   cp.rebase_epoch = rebase_epoch_;
   cp.ship_horizon = ship_horizon_;
   return cp;
+}
+
+std::uint64_t EngineCheckpoint::spill_devices(storage::MappedArena& arena) {
+  std::uint64_t bytes = 0;
+  for (JournalBackend* device : {journal.get(), snapshots.get()}) {
+    if (auto* mem = dynamic_cast<MemoryBackend*>(device)) {
+      bytes += mem->spill(arena);
+    }
+  }
+  return bytes;
 }
 
 void DurabilityEngine::restore_state(const EngineCheckpoint& cp) {

@@ -164,6 +164,12 @@ struct EngineCheckpoint {
   bool rebase_ok = true;
   std::uint64_t rebase_epoch = 0;
   std::uint64_t ship_horizon = 0;
+
+  /// Spills both forked devices' byte images (the checkpoint's dominant
+  /// mass) to CRC-guarded arena regions; memory devices only — file-backed
+  /// devices don't fork and never reach a checkpoint. The devices hydrate
+  /// transparently on the next access/restore. Returns bytes spilled.
+  std::uint64_t spill_devices(storage::MappedArena& arena);
 };
 
 class DurabilityEngine {

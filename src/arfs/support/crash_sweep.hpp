@@ -31,6 +31,10 @@
 #include "arfs/core/system.hpp"
 #include "arfs/sim/batch.hpp"
 
+namespace arfs::storage {
+class MappedArena;
+}  // namespace arfs::storage
+
 namespace arfs::support {
 
 /// One freshly built mission: a system plus whatever owns the objects the
@@ -99,6 +103,12 @@ struct CrashSweepOptions {
   bool checkpointing = true;
   /// Baseline checkpoint stride K; 0 auto-tunes to max(1, round(√frames)).
   Cycle checkpoint_stride = 0;
+
+  /// Optional result arena (not owned; must outlive the sweep): the point
+  /// table is sealed into one CRC-guarded arena region and the report is
+  /// rebuilt from the re-read (CRC-verified) bytes — storage choice only,
+  /// the report and its digest are bit-identical with or without it.
+  storage::MappedArena* arena = nullptr;
 };
 
 /// One crash point's verdict. `match` asserts the fail-stop contract:
@@ -158,6 +168,9 @@ struct CrashSweepReport {
   std::uint64_t checkpoints_taken = 0;
   /// The stride actually used after auto-tuning; 0 from scratch.
   Cycle stride_used = 0;
+  /// The point table round-tripped through a CRC-guarded arena region
+  /// (CrashSweepOptions::arena); the digest is storage-invariant.
+  bool arena_backed = false;
 
   [[nodiscard]] bool all_match() const {
     return mismatches == 0 && replica_mismatches == 0;

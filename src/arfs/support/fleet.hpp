@@ -57,13 +57,23 @@ class PooledMission {
   /// frame <= warmup_frames().
   void reset_to(Cycle frame);
 
+  /// Spills the durable-device bytes of every *cold* ladder rung (all but
+  /// the warm point) into `arena` — reset(), the per-sample hot path, never
+  /// touches a spilled rung; reset_to() onto one hydrates it back (counted
+  /// in hydrations()). Idempotent per rung. Returns bytes spilled.
+  std::uint64_t spill_cold(storage::MappedArena& arena);
+  /// Cold rungs hydrated back by reset_to() since construction.
+  [[nodiscard]] std::uint64_t hydrations() const { return hydrations_; }
+
  private:
   CrashMission mission_;
   /// (frame, checkpoint) pairs: frame 0, every stride frames, and the warm
   /// point itself; strictly increasing frames.
   std::vector<std::pair<Cycle, core::SystemCheckpoint>> ladder_;
+  std::vector<bool> rung_spilled_;  ///< Parallel to ladder_.
   Cycle warmup_ = 0;
   std::uint64_t resets_ = 0;
+  std::uint64_t hydrations_ = 0;
 };
 
 /// A thread-safe pool of PooledMissions built from one factory. Workers
@@ -98,9 +108,22 @@ class SystemPool {
   /// every pooled instance is in flight.
   [[nodiscard]] Lease lease();
 
+  /// Enables cold-checkpoint spill: whenever more than `hot_limit` missions
+  /// sit idle, the least-recently-used beyond that limit spill their cold
+  /// ladder rungs into `arena` (the warm rung always stays hot, so leasing
+  /// a spilled mission and reset()-ing it touches no spilled bytes). The
+  /// arena must outlive the pool. hot_limit 0 keeps no hot floor — every
+  /// idle mission spills.
+  void enable_spill(storage::MappedArena& arena, std::size_t hot_limit);
+
   struct Stats {
     std::uint64_t constructions = 0;  ///< Factory builds the pool paid.
     std::uint64_t leases = 0;         ///< Chunk-grain lease operations.
+    std::uint64_t spills = 0;         ///< Missions spilled on give-back.
+    std::uint64_t spill_bytes = 0;    ///< Device bytes moved to the arena.
+    /// Cold-rung hydrations across *idle* missions (complete once every
+    /// lease has been returned — i.e. after a sweep finishes).
+    std::uint64_t hydrations = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -112,6 +135,8 @@ class SystemPool {
   Cycle warmup_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<PooledMission>> idle_;
+  storage::MappedArena* spill_arena_ = nullptr;
+  std::size_t spill_hot_limit_ = 0;
   Stats stats_;
 };
 
@@ -145,6 +170,10 @@ struct FleetMissionOptions {
   /// The tentpole knob: reuse checkpoint-seeded pooled systems (default)
   /// or construct a fresh system per sample (the ablation oracle).
   bool pool_systems = true;
+  /// With fleet.options().arena set: idle pooled missions beyond this
+  /// count spill their cold checkpoint rungs to the arena (see
+  /// SystemPool::enable_spill). 0 disables spilling.
+  std::size_t pool_hot_limit = 0;
 };
 
 struct FleetMissionReport {
@@ -164,6 +193,33 @@ struct FleetMissionReport {
   std::uint64_t systems_constructed = 0;
   /// Checkpoint restores the pooled path performed (0 when pooling is off).
   std::uint64_t pool_resets = 0;
+
+  // --- arena evidence (populated when fleet.options().arena is set) ---
+  /// True when per-sample evidence rows went through the arena.
+  bool arena_backed = false;
+  /// Evidence rows materialized (== samples when arena-backed).
+  std::uint64_t evidence_rows = 0;
+  /// Digest recomputed by streaming the materialized evidence rows back in
+  /// global chunk order with the same per-chunk fold as `digest` — the
+  /// round-trip proof that the arena stored exactly what the sweep saw.
+  std::uint64_t evidence_digest = 0;
+  /// evidence_digest == digest (always true unless storage corrupted).
+  bool evidence_matches = false;
+  /// Pool spill counters (pool_hot_limit > 0 and arena set).
+  std::uint64_t pool_spills = 0;
+  std::uint64_t pool_spill_bytes = 0;
+  std::uint64_t pool_hydrations = 0;
+};
+
+/// One mission sample's audit row (24 bytes, trivially copyable): the final
+/// system digest plus the stat deltas the sample contributed — enough to
+/// re-derive the sweep report's digest and tallies from storage.
+struct MissionEvidence {
+  std::uint64_t digest = 0;  ///< Final System::digest() of the sample.
+  std::uint32_t fault_events = 0;
+  std::uint32_t reconfigurations = 0;
+  std::uint32_t region_relocations = 0;
+  std::uint32_t deadline_violations = 0;
 };
 
 /// Runs `options.samples` independent missions of `factory`'s system, each

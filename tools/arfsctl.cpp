@@ -37,6 +37,14 @@
 //                                           valid prefix into <dst> in
 //                                           CRC-framed batches (resumes at
 //                                           <dst>'s end, or at offset N)
+//   arfsctl arena stat <file>               summarize a result-arena file
+//                                           (chunks, payload, padding)
+//   arfsctl arena verify <file>             scan an arena file, CRC-checking
+//                                           every sealed chunk (exit 1 on
+//                                           structural or CRC failure)
+//   arfsctl json <file...>                  structurally validate JSON files
+//                                           (the BENCH_*.json gate; exit 1
+//                                           on the first invalid file)
 //
 // <spec> selects a built-in specification:
 //   uav          the paper's section 7 avionics example
@@ -53,6 +61,8 @@
 
 #include "arfs/analysis/certify.hpp"
 #include "arfs/analysis/economics.hpp"
+#include "arfs/storage/arena.hpp"
+#include "arfs/support/bench_json.hpp"
 #include "arfs/avionics/uav_system.hpp"
 #include "arfs/core/describe.hpp"
 #include "arfs/core/system.hpp"
@@ -83,17 +93,20 @@ int usage() {
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
          "  sweep    <spec> [--frames N] [--io-fault torn|bitflip] [--warm]\n"
-         "           [--quorum N] [--kill K] [--checkpoint-stride K] [--json]\n"
+         "           [--quorum N] [--kill K] [--checkpoint-stride K]\n"
+         "           [--arena PATH] [--json]\n"
          "  quorum   <demo|status> [spec=chain] [--replicas N] [--frames F]\n"
          "           [--kill K]\n"
          "  fleet    <spec> [--samples N] [--frames F] [--warmup W]\n"
          "           [--shards S] [--threads T] [--seed B] [--no-pool]\n"
-         "           [--json [path]]\n"
+         "           [--arena PATH] [--pool-hot N] [--json [path]]\n"
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
          "  journal demo <file> [commits=16] [seed=1]\n"
-         "  journal ship <src> <dst> [--cursor N]\n";
+         "  journal ship <src> <dst> [--cursor N]\n"
+         "  arena <stat|verify> <file>\n"
+         "  json <file...>\n";
   return 2;
 }
 
@@ -468,10 +481,18 @@ support::MissionFactory sweep_mission_factory(const std::string& spec_name,
 
 int cmd_sweep(const std::string& spec_name, bool is_uav,
               const support::CrashSweepOptions& sweep_options,
-              std::uint32_t quorum_replicas, bool json) {
+              std::uint32_t quorum_replicas, const std::string& arena_path,
+              bool json) {
   support::CrashSweepOptions options = sweep_options;
   options.victim =
       is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
+  std::unique_ptr<storage::MappedArena> arena;
+  if (!arena_path.empty()) {
+    storage::ArenaOptions arena_options;
+    arena_options.path = arena_path;
+    arena = std::make_unique<storage::MappedArena>(arena_options);
+    options.arena = arena.get();
+  }
   const support::CrashSweepReport report = support::run_crash_sweep(
       sweep_mission_factory(spec_name, options.warm_start, quorum_replicas),
       options);
@@ -493,6 +514,8 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
               << ", \"mismatches\": " << report.mismatches
               << ", \"replica_mismatches\": " << report.replica_mismatches
               << ", \"max_lost_frames\": " << report.max_lost_frames
+              << ", \"arena_backed\": "
+              << (report.arena_backed ? "true" : "false")
               << ", \"digest\": \"0x" << std::hex << report.digest()
               << std::dec << "\"}\n";
   } else {
@@ -619,7 +642,7 @@ support::MissionFactory fleet_mission_factory(const std::string& spec_name) {
 
 int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
               const support::FleetMissionOptions& mission_options,
-              const sim::FleetOptions& engine_options,
+              sim::FleetOptions engine_options, const std::string& arena_path,
               bool json_stdout, const std::string& json_path) {
   support::EnvPlanParams params;
   params.factors = choice.spec.factors().factors();
@@ -627,6 +650,16 @@ int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
   params.first_frame = mission_options.warmup_frames;
   params.frames = mission_options.frames;
   params.frame_length = choice.frame_length;
+
+  // The arena outlives the runner and the report: sealed evidence regions
+  // are read back (CRC-verified) at the end of the sweep.
+  std::unique_ptr<storage::MappedArena> arena;
+  if (!arena_path.empty()) {
+    storage::ArenaOptions arena_options;
+    arena_options.path = arena_path;
+    arena = std::make_unique<storage::MappedArena>(arena_options);
+    engine_options.arena = arena.get();
+  }
 
   sim::FleetRunner fleet(engine_options);
   const sim::ShardPlan plan = fleet.plan(mission_options.samples);
@@ -650,7 +683,16 @@ int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
          << ", \"deadline_violations\": " << report.deadline_violations
          << ", \"systems_constructed\": " << report.systems_constructed
          << ", \"pool_resets\": " << report.pool_resets
-         << ", \"digest\": \"0x" << std::hex << report.digest << std::dec
+         << ", \"arena_backed\": " << (report.arena_backed ? "true" : "false");
+    if (report.arena_backed) {
+      json << ", \"evidence_rows\": " << report.evidence_rows
+           << ", \"evidence_matches\": "
+           << (report.evidence_matches ? "true" : "false")
+           << ", \"pool_spills\": " << report.pool_spills
+           << ", \"pool_spill_bytes\": " << report.pool_spill_bytes
+           << ", \"pool_hydrations\": " << report.pool_hydrations;
+    }
+    json << ", \"digest\": \"0x" << std::hex << report.digest << std::dec
          << "\"}\n";
     if (!json_path.empty()) {
       std::ofstream out(json_path);
@@ -677,11 +719,67 @@ int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
               << ", reconfigurations: " << report.reconfigurations
               << ", relocations: " << report.region_relocations
               << ", deadline violations: " << report.deadline_violations
-              << "\n"
-              << "report digest: 0x" << std::hex << report.digest
+              << "\n";
+    if (report.arena_backed) {
+      const storage::MappedArena::Stats astats = arena->stats();
+      std::cout << "arena: " << report.evidence_rows
+                << " evidence rows in " << astats.regions_sealed
+                << " sealed regions (" << astats.file_bytes
+                << " file bytes), round-trip digest "
+                << (report.evidence_matches ? "matches" : "MISMATCH") << "\n";
+      if (mission_options.pool_hot_limit > 0) {
+        std::cout << "pool spill: " << report.pool_spills << " spills, "
+                  << report.pool_spill_bytes << " bytes, "
+                  << report.pool_hydrations << " hydrations\n";
+      }
+    }
+    std::cout << "report digest: 0x" << std::hex << report.digest
               << std::dec << "\n";
   }
-  return 0;
+  return report.arena_backed && !report.evidence_matches ? 1 : 0;
+}
+
+int cmd_arena(const std::string& sub, const std::string& path) {
+  const storage::ArenaScan scan = storage::scan_arena_file(path);
+  if (sub == "stat") {
+    std::cout << path << ": " << scan.file_bytes << " bytes, slab "
+              << scan.slab_bytes << "\n"
+              << "chunks: " << scan.chunks << " (" << scan.sealed
+              << " sealed, " << scan.open << " open)\n"
+              << "payload: " << scan.payload_bytes << " bytes, padding: "
+              << scan.padding_bytes << " bytes\n";
+  }
+  if (scan.ok) {
+    std::cout << "arena is clean (" << scan.sealed
+              << " sealed chunks CRC-verified)\n";
+    return 0;
+  }
+  std::cout << "CORRUPT: " << scan.error;
+  if (scan.crc_failures > 0) {
+    std::cout << (scan.error.empty() ? "" : "; ") << scan.crc_failures
+              << " chunk CRC failure(s)";
+  }
+  std::cout << "\n";
+  return 1;
+}
+
+int cmd_json(int argc, char** argv, int first) {
+  int bad = 0;
+  for (int i = first; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    const bool ok = in.good() && support::json_valid(bytes.str());
+    std::cout << path << ": " << (ok ? "valid" : "INVALID") << "\n";
+    if (!ok) ++bad;
+  }
+  if (bad == 0) {
+    std::cout << "all valid (" << (argc - first) << " file(s))\n";
+  } else {
+    std::cout << bad << " of " << (argc - first) << " file(s) INVALID\n";
+  }
+  return bad == 0 ? 0 : 1;
 }
 
 int cmd_economics(int full, int safe, int failures) {
@@ -736,6 +834,18 @@ int main(int argc, char** argv) {
       return usage();
     }
 
+    if (cmd == "arena") {
+      if (argc < 4) return usage();
+      const std::string sub = argv[2];
+      if (sub != "stat" && sub != "verify") return usage();
+      return cmd_arena(sub, argv[3]);
+    }
+
+    if (cmd == "json") {
+      if (argc < 3) return usage();
+      return cmd_json(argc, argv, 2);
+    }
+
     if (cmd == "quorum") {
       if (argc < 3) return usage();
       const std::string sub = argv[2];
@@ -785,6 +895,7 @@ int main(int argc, char** argv) {
       support::CrashSweepOptions options;
       options.frames = 24;
       std::uint32_t quorum_replicas = 0;
+      std::string arena_path;
       bool json = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -808,6 +919,8 @@ int main(int argc, char** argv) {
           options.warm_start = true;
         } else if (arg == "--checkpoint-stride" && i + 1 < argc) {
           options.checkpoint_stride = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--arena" && i + 1 < argc) {
+          arena_path = argv[++i];
         } else if (arg == "--json") {
           json = true;
         } else {
@@ -817,7 +930,7 @@ int main(int argc, char** argv) {
       if (options.frames == 0) return usage();
       if (options.quorum_kills > 0 && quorum_replicas == 0) return usage();
       return cmd_sweep(argv[2], choice->is_uav, options, quorum_replicas,
-                       json);
+                       arena_path, json);
     }
     if (cmd == "fleet") {
       support::FleetMissionOptions options;
@@ -825,6 +938,7 @@ int main(int argc, char** argv) {
       options.frames = 8;
       options.warmup_frames = 6;
       sim::FleetOptions engine;
+      std::string arena_path;
       bool json_stdout = false;
       std::string json_path;
       for (int i = 3; i < argc; ++i) {
@@ -843,6 +957,10 @@ int main(int argc, char** argv) {
           options.base_seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--no-pool") {
           options.pool_systems = false;
+        } else if (arg == "--arena" && i + 1 < argc) {
+          arena_path = argv[++i];
+        } else if (arg == "--pool-hot" && i + 1 < argc) {
+          options.pool_hot_limit = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--json") {
           if (i + 1 < argc && argv[i + 1][0] != '-') {
             json_path = argv[++i];
@@ -854,8 +972,8 @@ int main(int argc, char** argv) {
         }
       }
       if (options.samples == 0 || options.frames == 0) return usage();
-      return cmd_fleet(argv[2], *choice, options, engine, json_stdout,
-                       json_path);
+      return cmd_fleet(argv[2], *choice, options, engine, arena_path,
+                       json_stdout, json_path);
     }
     return usage();
   } catch (const std::exception& e) {

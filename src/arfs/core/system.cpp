@@ -663,6 +663,9 @@ std::uint64_t fnv_mix_engine(std::uint64_t h,
   h = fnv_mix(h, cp.rebase_ok ? 1 : 0);
   h = fnv_mix(h, cp.rebase_epoch);
   h = fnv_mix(h, cp.ship_horizon);
+  h = fnv_mix(h, cp.adaptive_watermark_fp);
+  h = fnv_mix(h, cp.reconfig_pressure ? 1 : 0);
+  h = fnv_mix(h, cp.state_flush_cycle);
   return h;
 }
 
@@ -1203,6 +1206,18 @@ void System::run_frame() {
   halt_boundary_hosts.erase(
       std::unique(halt_boundary_hosts.begin(), halt_boundary_hosts.end()),
       halt_boundary_hosts.end());
+  // While a reconfiguration is in flight (or directives were issued this
+  // frame), adaptive sync policies drop to their floor watermark: a halt
+  // mid-transition should lose as little committed work as possible, so the
+  // engines trade throughput for a tight durable boundary until the SCRAM
+  // reports completion. Static policies are unaffected.
+  const bool reconfig_pressure =
+      scram_.reconfiguring() || !plan.directives.empty();
+  for (const ProcessorId p : group_.processor_ids()) {
+    if (auto* engine = group_.processor(p).durability()) {
+      engine->set_reconfig_pressure(reconfig_pressure);
+    }
+  }
   for (const ProcessorId p : group_.processor_ids()) {
     const bool force = std::binary_search(halt_boundary_hosts.begin(),
                                           halt_boundary_hosts.end(), p);

@@ -223,6 +223,9 @@ void MappedArena::seal(RegionId id) {
     case durable::SyncMode::kBytesWatermark: flush = bytes_hit; break;
     case durable::SyncMode::kFramesWatermark: flush = frames_hit; break;
     case durable::SyncMode::kHybrid: flush = bytes_hit || frames_hit; break;
+    // The arena's write-back path has no commit/sync feedback loop to tune
+    // from; an adaptive policy behaves as its watermarks read statically.
+    case durable::SyncMode::kAdaptive: flush = bytes_hit || frames_hit; break;
   }
   if (flush) flush_locked();
 }

@@ -15,6 +15,12 @@ namespace arfs::storage::durable {
 
 // --- MemoryBackend ---
 
+MemoryBackend::MemoryBackend(std::vector<std::uint8_t> durable,
+                             std::vector<std::uint8_t> buffered) {
+  durable_ = std::move(durable);
+  buffered_ = std::move(buffered);
+}
+
 MemoryBackend::MemoryBackend(const MemoryBackend& other) {
   other.hydrate();
   durable_ = other.durable_;

@@ -106,7 +106,14 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 }  // namespace
 
 ScanResult scan_journal(const JournalBackend& backend) {
+  std::vector<std::uint8_t> payload;
+  return scan_journal(backend, payload, nullptr);
+}
+
+ScanResult scan_journal(const JournalBackend& backend,
+                        std::vector<std::uint8_t>& scratch, ScanStats* stats) {
   ScanResult result;
+  std::vector<std::uint8_t>& payload = scratch;
   const std::uint64_t total = backend.size();
   if (total == 0) {
     // A never-written device is a valid empty journal.
@@ -126,7 +133,6 @@ ScanResult scan_journal(const JournalBackend& backend) {
 
   std::uint64_t offset = kHeaderSize;
   std::uint64_t last_epoch = 0;
-  std::vector<std::uint8_t> payload;
   while (offset < total) {
     std::uint8_t envelope[8] = {};
     if (backend.read(offset, envelope, sizeof envelope) != sizeof envelope) {
@@ -140,6 +146,16 @@ ScanResult scan_journal(const JournalBackend& backend) {
       result.truncated = true;
       result.reason = "implausible record length (corrupt length prefix)";
       break;
+    }
+    if (stats != nullptr) {
+      // Reuse = the read fits the scratch buffer's existing capacity, so
+      // resize() below touches no allocator (mirror of the encode-path
+      // scratch accounting).
+      if (len <= payload.capacity()) {
+        ++stats->payload_reuses;
+      } else {
+        ++stats->payload_allocs;
+      }
     }
     payload.resize(len);
     if (backend.read(offset + 8, payload.data(), len) != len) {

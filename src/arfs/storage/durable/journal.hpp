@@ -122,9 +122,27 @@ void encode_commit(std::vector<std::uint8_t>& out, KeyInterner& dict,
                    std::uint64_t epoch, Cycle cycle,
                    const std::vector<std::pair<std::string, Value>>& entries);
 
+/// Allocation accounting of one scan's payload reads (the decode mirror of
+/// the encode path's reused scratch buffer).
+struct ScanStats {
+  /// Payload reads served inside the scratch buffer's existing capacity.
+  std::uint64_t payload_reuses = 0;
+  /// Payload reads that had to grow the scratch buffer.
+  std::uint64_t payload_allocs = 0;
+};
+
 /// Scans the whole device, collecting the valid record prefix. Never throws
 /// on malformed content — damage is reported, not fatal.
 [[nodiscard]] ScanResult scan_journal(const JournalBackend& backend);
+
+/// Same scan, decoding payloads through a caller-owned scratch buffer so a
+/// recovery loop (or an engine replaying many crash points) allocates the
+/// payload buffer once instead of once per scan. `stats`, when given,
+/// receives the reuse/allocation counts the engine surfaces as
+/// DurabilityStats::decode_buffer_reuses.
+[[nodiscard]] ScanResult scan_journal(const JournalBackend& backend,
+                                      std::vector<std::uint8_t>& scratch,
+                                      ScanStats* stats = nullptr);
 
 /// Renders a record for arfsctl's `journal dump`.
 [[nodiscard]] std::string to_string(const JournalRecord& record);

@@ -1,0 +1,313 @@
+#include "arfs/storage/durable/lsm_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "arfs/storage/durable/wire.hpp"
+
+namespace arfs::storage::durable {
+
+namespace {
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+/// Default run-cache budget when DurableOptions::block_cache_bytes is 0:
+/// the LSM recovery path is built around cache-served runs, so it defaults
+/// on (WAL/mmap default off).
+constexpr std::uint64_t kLsmDefaultCacheBytes = 512 * 1024;
+
+}  // namespace
+
+bool append_lsm_run(JournalBackend& backend, std::uint64_t epoch,
+                    const std::vector<std::tuple<std::string, Value, Cycle>>&
+                        entries) {
+  if (backend.size() == 0) {
+    backend.append(kLsmMagic, sizeof kLsmMagic);
+  } else {
+    std::uint8_t magic[8] = {};
+    if (backend.read(0, magic, sizeof magic) != sizeof magic ||
+        std::memcmp(magic, kLsmMagic, sizeof magic) != 0) {
+      return false;
+    }
+  }
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, epoch);
+  put_u64(payload, entries.size());
+  // Key bounds ride in the payload head so a cached run answers bounds
+  // checks without touching its entries. Entries arrive key-sorted
+  // (StableStorage order), so the bounds are front/back.
+  put_string(payload, entries.empty() ? std::string{}
+                                      : std::get<0>(entries.front()));
+  put_string(payload, entries.empty() ? std::string{}
+                                      : std::get<0>(entries.back()));
+  for (const auto& [key, value, committed_at] : entries) {
+    put_string(payload, key);
+    put_value(payload, value);
+    put_u64(payload, committed_at);
+  }
+  std::vector<std::uint8_t> envelope;
+  put_u32(envelope, static_cast<std::uint32_t>(payload.size()));
+  put_u32(envelope, crc32(payload.data(), payload.size()));
+  envelope.insert(envelope.end(), payload.begin(), payload.end());
+  backend.append(envelope.data(), envelope.size());
+  return true;
+}
+
+LsmScan scan_lsm_runs(const JournalBackend& backend, BlockCache<LsmRun>* cache,
+                      DurabilityStats* stats) {
+  LsmScan result;
+  const std::uint64_t total = backend.size();
+  if (total == 0) {
+    result.header_ok = true;  // empty device: no run yet, not damage
+    return result;
+  }
+  std::uint8_t magic[8] = {};
+  if (backend.read(0, magic, sizeof magic) != sizeof magic ||
+      std::memcmp(magic, kLsmMagic, sizeof magic) != 0) {
+    result.reason = "bad or short run-device header";
+    result.truncated = true;
+    return result;
+  }
+  result.header_ok = true;
+  result.valid_bytes = kHeaderSize;
+
+  std::uint64_t offset = kHeaderSize;
+  std::uint64_t last_epoch = 0;
+  std::vector<std::uint8_t> payload;
+  while (offset < total) {
+    std::uint8_t envelope[8] = {};
+    if (backend.read(offset, envelope, sizeof envelope) != sizeof envelope) {
+      result.truncated = true;
+      result.reason = "torn run envelope";
+      break;
+    }
+    const std::uint32_t len = get_u32(envelope);
+    const std::uint32_t crc = get_u32(envelope + 4);
+    if (len > kMaxPayload) {
+      result.truncated = true;
+      result.reason = "implausible run length";
+      break;
+    }
+    LsmRun run;
+    bool decoded = false;
+    const BlockCache<LsmRun>::Key key{
+        offset, (std::uint64_t{len} << 32) | crc};
+    if (cache != nullptr) {
+      if (const LsmRun* hit = cache->find(key)) {
+        // Runs are immutable: (offset, length, crc) attests the content, so
+        // a hit skips the payload read, the CRC walk, and the decode.
+        if (stats != nullptr) ++stats->block_cache_hits;
+        run = *hit;
+        decoded = true;
+      } else if (stats != nullptr) {
+        ++stats->block_cache_misses;
+      }
+    }
+    if (!decoded) {
+      payload.resize(len);
+      if (backend.read(offset + 8, payload.data(), len) != len) {
+        result.truncated = true;
+        result.reason = "torn run payload";
+        break;
+      }
+      if (crc32(payload.data(), len) != crc) {
+        result.truncated = true;
+        result.reason = "run CRC mismatch";
+        break;
+      }
+      ByteReader reader(payload.data(), len);
+      run.offset = offset;
+      run.length = len;
+      run.crc = crc;
+      run.epoch = reader.u64();
+      const std::uint64_t n = reader.u64();
+      run.min_key = reader.string();
+      run.max_key = reader.string();
+      run.entries.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n && reader.ok(); ++i) {
+        std::string entry_key = reader.string();
+        Value value = reader.value();
+        const Cycle committed_at = reader.u64();
+        run.entries.emplace_back(std::move(entry_key), std::move(value),
+                                 committed_at);
+      }
+      if (!reader.exhausted()) {
+        result.truncated = true;
+        result.reason = "malformed run payload";
+        break;
+      }
+      if (cache != nullptr) {
+        const std::uint64_t evicted =
+            cache->insert(key, run, static_cast<std::size_t>(len) + 64);
+        if (stats != nullptr) stats->block_cache_evictions += evicted;
+      }
+    }
+    // Equal epochs are legal (a manual flush with nothing new repeats the
+    // epoch); only a *decrease* means the tail belongs to a different life
+    // of the device.
+    if (run.epoch < last_epoch) {
+      result.truncated = true;
+      result.reason = "non-monotone run epoch";
+      break;
+    }
+    last_epoch = run.epoch;
+    offset += 8 + len;
+    result.valid_bytes = offset;
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+LsmEngine::LsmEngine(std::unique_ptr<JournalBackend> journal,
+                     std::unique_ptr<JournalBackend> runs,
+                     DurableOptions options)
+    : StorageEngine(std::move(journal), std::move(runs), std::move(options),
+                    kLsmDefaultCacheBytes) {
+  if (cache_budget() > 0) {
+    run_cache_ = std::make_unique<BlockCache<LsmRun>>(
+        static_cast<std::size_t>(cache_budget()));
+  }
+}
+
+std::vector<std::tuple<std::string, Value, Cycle>> LsmEngine::merge_runs(
+    const LsmScan& scan) {
+  // Newest-wins: later runs overwrite earlier ones per key. Sound as a full
+  // reconstruction because StableStorage has no erase — every key ever
+  // committed is in some run, and the newest run holding it has its current
+  // value and commit cycle. std::map keeps the result key-sorted, matching
+  // the committed-store order a WAL snapshot image has.
+  std::map<std::string, std::pair<Value, Cycle>> merged;
+  for (const LsmRun& run : scan.runs) {
+    for (const auto& [key, value, committed_at] : run.entries) {
+      merged[key] = {value, committed_at};
+    }
+  }
+  std::vector<std::tuple<std::string, Value, Cycle>> out;
+  out.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    out.emplace_back(key, std::move(entry.first), entry.second);
+  }
+  return out;
+}
+
+bool LsmEngine::persist_state(const StableStorage& store) {
+  // Delta selection: only entries committed since the last flush boundary.
+  // Commit cycles are monotone over a mission (frame numbers), so the
+  // boundary cleanly splits already-persisted from new.
+  std::vector<std::tuple<std::string, Value, Cycle>> delta;
+  Cycle flushed_max = state_flush_cycle_;
+  for (const auto& entry : store.committed_entries()) {
+    const Cycle committed_at = std::get<2>(entry);
+    if (committed_at > state_flush_cycle_) {
+      delta.push_back(entry);
+      flushed_max = std::max(flushed_max, committed_at);
+    }
+  }
+  // An empty delta still appends a run: the run epoch is what advances the
+  // recovery floor past the compacted journal.
+  if (!append_lsm_run(*snapshots_, store.commit_epochs(), delta)) return false;
+  if (!snapshots_->sync()) return false;
+  ++stats_.lsm_runs_flushed;
+  state_flush_cycle_ = flushed_max;
+  return true;
+}
+
+SnapshotScan LsmEngine::scan_state() {
+  const LsmScan scan = scan_lsm_runs(*snapshots_, run_cache_.get(), &stats_);
+  refresh_cache_charge();
+  SnapshotScan snap;
+  snap.header_ok = scan.header_ok;
+  snap.truncated = scan.truncated;
+  snap.reason = scan.reason;
+  snap.valid_bytes = scan.valid_bytes;
+  snap.images = scan.runs.size();
+  snap.image_offsets.reserve(scan.runs.size());
+  for (const LsmRun& run : scan.runs) snap.image_offsets.push_back(run.offset);
+  if (!scan.runs.empty()) {
+    snap.any_valid = true;
+    snap.last.epoch = scan.runs.back().epoch;
+    snap.last.offset = scan.runs.back().offset;
+    snap.last.entries = merge_runs(scan);
+  }
+  return snap;
+}
+
+void LsmEngine::gc_state() {
+  const LsmScan scan = scan_lsm_runs(*snapshots_, run_cache_.get(), &stats_);
+  refresh_cache_charge();
+  if (scan.truncated || scan.runs.size() <= options_.lsm_run_limit) return;
+  const auto merged = merge_runs(scan);
+  const std::uint64_t epoch = scan.runs.back().epoch;
+  // Copy the whole run tail out so a failed rewrite can be rolled back —
+  // the same discipline as snapshot GC: a compaction that cannot be made
+  // durable must leave the durable run set no worse than before.
+  std::vector<std::uint8_t> tail(
+      static_cast<std::size_t>(scan.valid_bytes - kHeaderSize));
+  if (snapshots_->read(kHeaderSize, tail.data(), tail.size()) != tail.size()) {
+    return;  // device refused the read; leave it alone
+  }
+  snapshots_->truncate(kHeaderSize);
+  (void)append_lsm_run(*snapshots_, epoch, merged);
+  if (snapshots_->sync()) {
+    ++stats_.lsm_compactions;
+    ++stats_.snapshot_gc_runs;
+    const std::uint64_t new_size = snapshots_->size();
+    if (scan.valid_bytes > new_size) {
+      stats_.snapshot_bytes_reclaimed += scan.valid_bytes - new_size;
+    }
+    return;
+  }
+  ++stats_.snapshot_failures;
+  snapshots_->truncate(kHeaderSize);
+  snapshots_->append(tail.data(), tail.size());
+  (void)snapshots_->sync();
+}
+
+void LsmEngine::after_recover(const SnapshotScan& snap,
+                              const RecoveryReport& report) {
+  (void)report;
+  // Re-derive the delta boundary from what the run set actually holds:
+  // entries replayed from the journal are newer than every flushed cycle
+  // and will join the next delta.
+  Cycle flush = 0;
+  for (const auto& entry : snap.last.entries) {
+    flush = std::max(flush, std::get<2>(entry));
+  }
+  state_flush_cycle_ = flush;
+}
+
+std::optional<Value> LsmEngine::probe(const std::string& key) {
+  const LsmScan scan = scan_lsm_runs(*snapshots_, run_cache_.get(), &stats_);
+  refresh_cache_charge();
+  for (auto it = scan.runs.rbegin(); it != scan.runs.rend(); ++it) {
+    if (it->entries.empty() || key < it->min_key || key > it->max_key) {
+      // Bounds exclude the key: the newest-first walk never probes this
+      // run's entries (and with a warm run cache never re-read its bytes).
+      ++stats_.lsm_bounds_skips;
+      continue;
+    }
+    const auto pos = std::lower_bound(
+        it->entries.begin(), it->entries.end(), key,
+        [](const auto& entry, const std::string& k) {
+          return std::get<0>(entry) < k;
+        });
+    if (pos != it->entries.end() && std::get<0>(*pos) == key) {
+      return std::get<1>(*pos);
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t LsmEngine::run_count() {
+  const LsmScan scan = scan_lsm_runs(*snapshots_, run_cache_.get(), &stats_);
+  refresh_cache_charge();
+  return scan.runs.size();
+}
+
+}  // namespace arfs::storage::durable

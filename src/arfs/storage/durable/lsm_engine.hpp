@@ -1,0 +1,114 @@
+// LsmEngine: sorted immutable runs with key bounds and a block cache.
+//
+// The state device (magic "ARFSLSM1") is an append-only log of *delta
+// runs* instead of full images:
+//
+//   run payload: u64 epoch, u64 n, string min_key, string max_key,
+//                n × { string key, tagged value, u64 committed_at }
+//
+// entries sorted by key. persist_state flushes only entries whose
+// committed_at is newer than the last flush boundary (runs are deltas;
+// sound because StableStorage never erases a key, so newest-wins merging
+// over the run set reconstructs the full store). gc_state compacts the run
+// set into one full run when it exceeds DurableOptions::lsm_run_limit,
+// with the same backup/rollback discipline as snapshot GC.
+//
+// Each run carries its min/max key: point probes skip whole runs whose
+// bounds exclude the key without decoding a byte (counted in
+// DurabilityStats::lsm_bounds_skips), the classic key-bounds iteration of
+// LSM stores.
+//
+// Runs are immutable, self-contained (full key strings — no journal
+// dictionary dependency), and CRC-guarded, so decoded runs are cached
+// content-addressed by (offset, length<<32 | crc): a recovery or
+// crash-sweep restore over an unchanged run set deserializes nothing — it
+// merges decoded entries straight from memory. The journal side reuses the
+// base's whole-scan cache, so with both caches warm a repeat recovery does
+// no decode work at all. Caches never change results, only costs; sweep
+// digests stay bit-identical to the WalSnapshotEngine oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "arfs/storage/durable/engine.hpp"
+
+namespace arfs::storage::durable {
+
+inline constexpr std::uint8_t kLsmMagic[8] = {'A', 'R', 'F', 'S',
+                                              'L', 'S', 'M', '1'};
+
+/// One decoded run.
+struct LsmRun {
+  std::uint64_t epoch = 0;   ///< Commit epoch the run's flush captured.
+  std::string min_key;       ///< Bounds; empty strings when the run is empty.
+  std::string max_key;
+  /// (key, value, committed_at), sorted by key.
+  std::vector<std::tuple<std::string, Value, Cycle>> entries;
+  std::uint64_t offset = 0;  ///< Envelope byte offset on the device.
+  std::uint32_t length = 0;  ///< Payload length (cache key material).
+  std::uint32_t crc = 0;     ///< Payload CRC (cache key material).
+};
+
+struct LsmScan {
+  bool header_ok = false;
+  std::vector<LsmRun> runs;      ///< Valid prefix, in device order.
+  std::uint64_t valid_bytes = 0;
+  bool truncated = false;
+  std::string reason;
+};
+
+/// Appends (but does not sync) one run. Writes the device header first when
+/// the device is empty; false when an existing header does not match.
+bool append_lsm_run(JournalBackend& backend, std::uint64_t epoch,
+                    const std::vector<std::tuple<std::string, Value, Cycle>>&
+                        entries);
+
+/// Scans the device's valid run prefix. `cache` (optional) serves decoded
+/// runs by (offset, length, crc) identity — a hit skips the payload read,
+/// CRC walk, and decode; `stats`, when given, receives the hit/miss counts.
+[[nodiscard]] LsmScan scan_lsm_runs(const JournalBackend& backend,
+                                    BlockCache<LsmRun>* cache = nullptr,
+                                    DurabilityStats* stats = nullptr);
+
+class LsmEngine final : public StorageEngine {
+ public:
+  LsmEngine(std::unique_ptr<JournalBackend> journal,
+            std::unique_ptr<JournalBackend> runs,
+            DurableOptions options = {});
+
+  [[nodiscard]] EngineKind kind() const override { return EngineKind::kLsm; }
+
+  /// Point lookup against the persisted run set (newest run first), using
+  /// each run's key bounds to skip non-overlapping runs without decoding.
+  /// Reads the *state device* only — commits still sitting in the journal
+  /// tail are not consulted (recovery is where journal and runs merge).
+  [[nodiscard]] std::optional<Value> probe(const std::string& key);
+
+  /// Valid runs currently on the device (scan-cache-served when warm).
+  [[nodiscard]] std::size_t run_count();
+
+ protected:
+  bool persist_state(const StableStorage& store) override;
+  void gc_state() override;
+  SnapshotScan scan_state() override;
+  void after_recover(const SnapshotScan& snap,
+                     const RecoveryReport& report) override;
+  [[nodiscard]] std::uint64_t extra_cache_charge() const override {
+    return run_cache_ != nullptr ? run_cache_->charge() : 0;
+  }
+
+ private:
+  /// Newest-wins merge of a scanned run set, sorted by key.
+  [[nodiscard]] static std::vector<std::tuple<std::string, Value, Cycle>>
+  merge_runs(const LsmScan& scan);
+
+  /// Decoded-run cache shared by recovery scans, probes, and compaction.
+  std::unique_ptr<BlockCache<LsmRun>> run_cache_;
+};
+
+}  // namespace arfs::storage::durable

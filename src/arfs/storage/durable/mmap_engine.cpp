@@ -1,0 +1,195 @@
+#include "arfs/storage/durable/mmap_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace arfs::storage::durable {
+
+// --- ArenaBackend ---
+
+ArenaBackend::ArenaBackend(std::shared_ptr<storage::MappedArena> arena)
+    : arena_(std::move(arena)) {}
+
+std::uint64_t ArenaBackend::size() const {
+  return durable_bytes_ + buffered_.size();
+}
+
+std::uint64_t ArenaBackend::synced_size() const { return durable_bytes_; }
+
+void ArenaBackend::append(const std::uint8_t* data, std::size_t n) {
+  buffered_.insert(buffered_.end(), data, data + n);
+}
+
+void ArenaBackend::deposit(const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t pos = durable_bytes_ + done;
+    const auto ci = static_cast<std::size_t>(pos / kChunkBytes);
+    const auto within = static_cast<std::size_t>(pos % kChunkBytes);
+    if (ci == chunks_.size()) {
+      Chunk chunk;
+      if (!free_.empty()) {
+        chunk = free_.back();  // recycle a compacted-away chunk
+        free_.pop_back();
+      } else {
+        chunk.rid = arena_->allocate(kChunkBytes);
+        chunk.base = arena_->data(chunk.rid);
+      }
+      chunks_.push_back(chunk);
+    }
+    const std::size_t take = std::min(kChunkBytes - within, n - done);
+    std::memcpy(chunks_[ci].base + within, data + done, take);
+    done += take;
+  }
+  durable_bytes_ += n;
+}
+
+bool ArenaBackend::sync() {
+  if (sync_failures_armed_ > 0) {
+    --sync_failures_armed_;
+    return false;
+  }
+  if (delayed_failure_armed_ && delayed_failure_after_ == 0) {
+    delayed_failure_armed_ = false;
+    return false;
+  }
+  deposit(buffered_.data(), buffered_.size());
+  buffered_.clear();
+  ++syncs_;
+  if (delayed_failure_armed_) --delayed_failure_after_;
+  return true;
+}
+
+std::size_t ArenaBackend::read(std::uint64_t offset, std::uint8_t* out,
+                               std::size_t n) const {
+  const std::uint64_t total = size();
+  if (offset >= total) return 0;
+  const auto avail =
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, total - offset));
+  std::size_t got = 0;
+  while (got < avail) {
+    const std::uint64_t pos = offset + got;
+    if (pos < durable_bytes_) {
+      const auto ci = static_cast<std::size_t>(pos / kChunkBytes);
+      const auto within = static_cast<std::size_t>(pos % kChunkBytes);
+      const std::size_t take = std::min(
+          {kChunkBytes - within, avail - got,
+           static_cast<std::size_t>(durable_bytes_ - pos)});
+      std::memcpy(out + got, chunks_[ci].base + within, take);
+      got += take;
+    } else {
+      const std::size_t take = avail - got;
+      std::memcpy(out + got,
+                  buffered_.data() +
+                      static_cast<std::size_t>(pos - durable_bytes_),
+                  take);
+      got += take;
+    }
+  }
+  return avail;
+}
+
+void ArenaBackend::truncate(std::uint64_t new_size) {
+  if (new_size >= size()) return;
+  if (new_size <= durable_bytes_) {
+    durable_bytes_ = new_size;
+    buffered_.clear();
+    // Whole chunks past the new end go to the free list; the next sync
+    // refills them instead of growing the arena (compaction recycling).
+    const auto needed = static_cast<std::size_t>(
+        (durable_bytes_ + kChunkBytes - 1) / kChunkBytes);
+    while (chunks_.size() > needed) {
+      free_.push_back(chunks_.back());
+      chunks_.pop_back();
+    }
+  } else {
+    buffered_.resize(static_cast<std::size_t>(new_size - durable_bytes_));
+  }
+}
+
+void ArenaBackend::crash() {
+  if (tear_armed_) {
+    // A torn write: the device got part-way through the final transfer.
+    const std::size_t keep = std::min(tear_keep_, buffered_.size());
+    deposit(buffered_.data(), keep);
+    tear_armed_ = false;
+  }
+  buffered_.clear();
+  sync_failures_armed_ = 0;
+  delayed_failure_armed_ = false;
+}
+
+void ArenaBackend::tear_on_crash(std::size_t keep_bytes) {
+  tear_armed_ = true;
+  tear_keep_ = keep_bytes;
+}
+
+void ArenaBackend::corrupt_bit(std::uint64_t seed) {
+  if (durable_bytes_ == 0) return;
+  // SplitMix64 finalizer — identical constants and position/bit selection
+  // to MemoryBackend, so the same seed flips the same bit of the same byte
+  // on either device.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const std::uint64_t pos = z % durable_bytes_;
+  chunks_[static_cast<std::size_t>(pos / kChunkBytes)]
+      .base[static_cast<std::size_t>(pos % kChunkBytes)] ^=
+      static_cast<std::uint8_t>(1u << ((z >> 32) % 8));
+}
+
+std::vector<std::uint8_t> ArenaBackend::durable_image() const {
+  std::vector<std::uint8_t> image(static_cast<std::size_t>(durable_bytes_));
+  std::size_t done = 0;
+  while (done < image.size()) {
+    const auto ci = done / kChunkBytes;
+    const auto within = done % kChunkBytes;
+    const std::size_t take =
+        std::min(kChunkBytes - within, image.size() - done);
+    std::memcpy(image.data() + done, chunks_[ci].base + within, take);
+    done += take;
+  }
+  return image;
+}
+
+std::unique_ptr<JournalBackend> ArenaBackend::fork() const {
+  auto clone = std::make_unique<MemoryBackend>(durable_image(), buffered_);
+  for (std::uint32_t i = 0; i < sync_failures_armed_; ++i) {
+    clone->fail_next_sync();
+  }
+  if (delayed_failure_armed_) clone->fail_sync_after(delayed_failure_after_);
+  if (tear_armed_) clone->tear_on_crash(tear_keep_);
+  return clone;
+}
+
+// --- MmapEngine ---
+
+namespace {
+
+storage::ArenaOptions device_arena_options(const DurableOptions& options) {
+  storage::ArenaOptions ao;
+  ao.path = options.mmap_path;
+  // Device chunks are 16 KiB; a modest slab keeps the per-engine footprint
+  // proportional to actual journal/state size rather than the arena's
+  // sweep-sized default.
+  ao.slab_bytes = 256 * 1024;
+  return ao;
+}
+
+}  // namespace
+
+MmapEngine::MmapEngine(DurableOptions options)
+    : MmapEngine(std::make_shared<storage::MappedArena>(
+                     device_arena_options(options)),
+                 std::move(options)) {}
+
+MmapEngine::MmapEngine(std::shared_ptr<storage::MappedArena> arena,
+                       DurableOptions options)
+    : WalSnapshotEngine(std::make_unique<ArenaBackend>(arena),
+                        std::make_unique<ArenaBackend>(arena),
+                        std::move(options)),
+      arena_(std::move(arena)) {}
+
+}  // namespace arfs::storage::durable

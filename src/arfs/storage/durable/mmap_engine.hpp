@@ -1,0 +1,117 @@
+// MmapEngine: the WAL + snapshot protocol on MappedArena-extent devices.
+//
+// ArenaBackend is a JournalBackend whose *durable image* lives in chunked
+// storage::MappedArena regions instead of a heap vector: append() buffers
+// in RAM exactly like MemoryBackend, sync() copies the buffered tail into
+// 16 KiB open arena chunks (open, not sealed, because the durable image
+// must stay bit-addressable for the corrupt_bit fault hook and readable
+// through stable data() pointers), and truncate() returns whole trailing
+// chunks to a free list that later syncs reuse — journal compaction cycles
+// chunks instead of growing the arena without bound.
+//
+// Every observable behaviour — sizes, read bytes, sync-failure arming,
+// torn-write deposits, the SplitMix64 bit-flip position — is byte-for-byte
+// identical to MemoryBackend on the same operation history. That identity
+// is what makes the crash-point sweep's report digests engine-invariant:
+// the judge arms the same faults and reads the same recovered state whether
+// the device is heap- or arena-backed.
+//
+// fork() (checkpoints) returns a plain MemoryBackend clone: a checkpoint is
+// a frozen byte image plus hook state, and cloning it into the arena would
+// strand chunks every time a sweep job forks a restore point. The clone's
+// behaviour is identical by the equivalence above, and it keeps
+// EngineCheckpoint::spill_devices working unmodified.
+//
+// With DurableOptions::mmap_path empty the arena uses its heap-extent
+// fallback — same layout, no file — so sim missions and tests run the mmap
+// engine everywhere. With a path, the durable image lives in file-backed
+// extents; hardening those pages is the kernel writeback's job (the
+// fail-stop *simulation* boundary is the buffered/durable split above,
+// exactly as it is for MemoryBackend's heap image).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "arfs/storage/arena.hpp"
+#include "arfs/storage/durable/wal_snapshot.hpp"
+
+namespace arfs::storage::durable {
+
+class ArenaBackend final : public JournalBackend {
+ public:
+  /// Payload bytes per arena chunk. Small enough that journal compaction
+  /// recycles promptly, big enough that a steady-state journal spans a
+  /// handful of regions.
+  static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+  explicit ArenaBackend(std::shared_ptr<storage::MappedArena> arena);
+
+  [[nodiscard]] std::uint64_t size() const override;
+  [[nodiscard]] std::uint64_t synced_size() const override;
+  void append(const std::uint8_t* data, std::size_t n) override;
+  [[nodiscard]] bool sync() override;
+  std::size_t read(std::uint64_t offset, std::uint8_t* out,
+                   std::size_t n) const override;
+  void truncate(std::uint64_t new_size) override;
+  void crash() override;
+
+  void fail_next_sync() override { sync_failures_armed_ += 1; }
+  void fail_sync_after(std::uint32_t successes) override {
+    delayed_failure_armed_ = true;
+    delayed_failure_after_ = successes;
+  }
+  void tear_on_crash(std::size_t keep_bytes) override;
+  void corrupt_bit(std::uint64_t seed) override;
+
+  /// Checkpoint clone as a plain in-RAM device (see the file comment).
+  [[nodiscard]] std::unique_ptr<JournalBackend> fork() const override;
+
+  [[nodiscard]] std::uint64_t sync_count() const { return syncs_; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t free_chunks() const { return free_.size(); }
+
+ private:
+  struct Chunk {
+    storage::MappedArena::RegionId rid = storage::MappedArena::kNoRegion;
+    std::uint8_t* base = nullptr;  ///< Stable open-region payload pointer.
+  };
+
+  /// Copies `n` bytes into the durable chunk space starting at
+  /// durable_bytes_, growing (or recycling) chunks as needed.
+  void deposit(const std::uint8_t* data, std::size_t n);
+  [[nodiscard]] std::vector<std::uint8_t> durable_image() const;
+
+  std::shared_ptr<storage::MappedArena> arena_;
+  std::vector<Chunk> chunks_;  ///< Chunk i covers [i·kChunkBytes, …).
+  std::vector<Chunk> free_;    ///< Truncated chunks awaiting reuse.
+  std::uint64_t durable_bytes_ = 0;
+  std::vector<std::uint8_t> buffered_;
+
+  std::uint64_t syncs_ = 0;
+  std::uint32_t sync_failures_armed_ = 0;
+  bool delayed_failure_armed_ = false;
+  std::uint32_t delayed_failure_after_ = 0;
+  bool tear_armed_ = false;
+  std::size_t tear_keep_ = 0;
+};
+
+/// WalSnapshotEngine whose two devices keep their durable images in one
+/// shared MappedArena (per-engine; heap fallback unless options.mmap_path
+/// names a backing file).
+class MmapEngine final : public WalSnapshotEngine {
+ public:
+  explicit MmapEngine(DurableOptions options);
+  MmapEngine(std::shared_ptr<storage::MappedArena> arena,
+             DurableOptions options);
+
+  [[nodiscard]] EngineKind kind() const override { return EngineKind::kMmap; }
+
+  [[nodiscard]] const storage::MappedArena& arena() const { return *arena_; }
+
+ private:
+  std::shared_ptr<storage::MappedArena> arena_;
+};
+
+}  // namespace arfs::storage::durable

@@ -6,11 +6,17 @@
 //                                           print SFTA phase tables and the
 //                                           SP1-SP4 report
 //   arfsctl sweep <spec> [--frames N] [--io-fault torn|bitflip] [--warm]
+//                 [--engine wal|mmap|lsm] [--adaptive]
 //                 [--checkpoint-stride K] [--json]
 //                                           crash-point sweep: fail-stop the
 //                                           mission's durable victim at every
 //                                           frame and verify each recovery
 //                                           (checkpointed O(F·K) strategy)
+//   arfsctl engine stat <spec> [--engine wal|mmap|lsm] [--adaptive]
+//                 [--frames N] [--json]     run a durable mission and print
+//                                           the victim's storage-engine
+//                                           counters (cache, adaptive
+//                                           watermark, LSM runs)
 //   arfsctl fleet <spec> [--samples N] [--frames F] [--warmup W]
 //                 [--shards S] [--threads T] [--no-pool] [--json [path]]
 //                                           fleet-scale Monte-Carlo mission
@@ -32,6 +38,10 @@
 //                                           resume (--dry-run only reports)
 //   arfsctl journal demo <file> [commits] [seed]
 //                                           write a sample journal file
+//   arfsctl journal stats <file> [--json]   recover a journal twice through
+//                                           a block-cached engine and print
+//                                           the decode/cache counters (the
+//                                           file itself is never modified)
 //   arfsctl journal ship <src> <dst> [--cursor N]
 //                                           replicate a source journal's
 //                                           valid prefix into <dst> in
@@ -43,8 +53,9 @@
 //                                           every sealed chunk (exit 1 on
 //                                           structural or CRC failure)
 //   arfsctl json <file...>                  structurally validate JSON files
-//                                           (the BENCH_*.json gate; exit 1
-//                                           on the first invalid file)
+//                                           (the BENCH_*.json gate; exits
+//                                           nonzero when any file is
+//                                           unreadable or invalid)
 //
 // <spec> selects a built-in specification:
 //   uav          the paper's section 7 avionics example
@@ -71,6 +82,7 @@
 #include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/durable/journal.hpp"
 #include "arfs/storage/durable/shipping.hpp"
+#include "arfs/storage/durable/wal_snapshot.hpp"
 #include "arfs/storage/durable/wire.hpp"
 #include "arfs/storage/stable_storage.hpp"
 #include "arfs/sim/fleet.hpp"
@@ -93,8 +105,11 @@ int usage() {
          "  certify  <spec> [--json]\n"
          "  simulate <spec> [frames=400] [seed=1]\n"
          "  sweep    <spec> [--frames N] [--io-fault torn|bitflip] [--warm]\n"
+         "           [--engine wal|mmap|lsm] [--adaptive]\n"
          "           [--quorum N] [--kill K] [--checkpoint-stride K]\n"
          "           [--arena PATH] [--json]\n"
+         "  engine   stat <spec> [--engine wal|mmap|lsm] [--adaptive]\n"
+         "           [--frames N] [--json]\n"
          "  quorum   <demo|status> [spec=chain] [--replicas N] [--frames F]\n"
          "           [--kill K]\n"
          "  fleet    <spec> [--samples N] [--frames F] [--warmup W]\n"
@@ -104,9 +119,10 @@ int usage() {
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
          "  journal demo <file> [commits=16] [seed=1]\n"
+         "  journal stats <file> [--json]\n"
          "  journal ship <src> <dst> [--cursor N]\n"
          "  arena <stat|verify> <file>\n"
-         "  json <file...>\n";
+         "  json <file...>        (exits nonzero when any file is invalid)\n";
   return 2;
 }
 
@@ -288,7 +304,7 @@ int cmd_journal_demo(const std::string& path, Cycle commits,
                      std::uint64_t seed) {
   auto file = std::make_unique<storage::durable::FileBackend>(path);
   file->truncate(0);  // a demo always starts a fresh journal
-  storage::durable::DurabilityEngine engine(
+  storage::durable::WalSnapshotEngine engine(
       std::move(file), std::make_unique<storage::durable::MemoryBackend>());
   storage::StableStorage store;
   Rng rng(seed);
@@ -303,6 +319,62 @@ int cmd_journal_demo(const std::string& path, Cycle commits,
   std::cout << "wrote " << commits << " commits ("
             << engine.stats().bytes_appended << " bytes) to " << path << "\n";
   return 0;
+}
+
+int cmd_journal_stats(const std::string& path, bool json) {
+  // The file's bytes are loaded into a simulated device so the cold and
+  // warm recoveries below can never modify the journal on disk (a corrupt
+  // tail would otherwise be truncated, which is `journal repair`'s job).
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "stats: cannot read " << path << "\n";
+    return 1;
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string& bytes = raw.str();
+  storage::durable::DurableOptions options;
+  options.block_cache_bytes = 1u << 20;
+  storage::durable::WalSnapshotEngine engine(
+      std::make_unique<storage::durable::MemoryBackend>(
+          std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+          std::vector<std::uint8_t>()),
+      std::make_unique<storage::durable::MemoryBackend>(), options);
+
+  storage::StableStorage cold;
+  const storage::durable::RecoveryReport first = engine.recover_into(cold);
+  storage::StableStorage warm;
+  (void)engine.recover_into(warm);  // warm pass: served from the block cache
+  const storage::durable::DurabilityStats& stats = engine.stats();
+
+  if (json) {
+    std::cout << "{\"file\": \"" << path << "\", \"engine\": \""
+              << to_string(engine.kind()) << "\", \"records\": "
+              << first.records_applied << ", \"valid_bytes\": "
+              << first.valid_bytes << ", \"truncated\": "
+              << (first.journal_truncated ? "true" : "false")
+              << ", \"last_epoch\": " << first.last_epoch
+              << ", \"decode_buffer_reuses\": " << stats.decode_buffer_reuses
+              << ", \"block_cache_hits\": " << stats.block_cache_hits
+              << ", \"block_cache_misses\": " << stats.block_cache_misses
+              << ", \"block_cache_evictions\": " << stats.block_cache_evictions
+              << ", \"block_cache_bytes\": " << stats.block_cache_bytes
+              << ", \"recoveries\": " << stats.recoveries << "}\n";
+  } else {
+    std::cout << path << ": " << first.records_applied << " commits, "
+              << first.valid_bytes << " valid bytes, last epoch "
+              << first.last_epoch
+              << (first.journal_truncated ? " (CORRUPT tail)" : ", clean")
+              << "\n"
+              << "decode: " << stats.decode_buffer_reuses
+              << " scratch-buffer reuses across " << stats.recoveries
+              << " recoveries\n"
+              << "block cache: " << stats.block_cache_hits << " hits, "
+              << stats.block_cache_misses << " misses, "
+              << stats.block_cache_evictions << " evictions, "
+              << stats.block_cache_bytes << " bytes charged\n";
+  }
+  return first.journal_truncated ? 1 : 0;
 }
 
 int cmd_journal_ship(const std::string& src_path, const std::string& dst_path,
@@ -435,11 +507,13 @@ int cmd_journal_ship(const std::string& src_path, const std::string& dst_path,
 /// avionics mission (autopilot + FCS, power-driven reconfigurations, plant
 /// seed 42). The factory re-derives everything from the name on each call,
 /// so concurrent crash-point jobs share no mutable state.
-support::MissionFactory sweep_mission_factory(const std::string& spec_name,
-                                              bool shipping,
-                                              std::uint32_t quorum_replicas =
-                                                  0) {
-  return [spec_name, shipping, quorum_replicas] {
+support::MissionFactory sweep_mission_factory(
+    const std::string& spec_name, bool shipping,
+    std::uint32_t quorum_replicas = 0,
+    storage::durable::EngineKind engine =
+        storage::durable::EngineKind::kWalSnapshot,
+    bool adaptive = false) {
+  return [spec_name, shipping, quorum_replicas, engine, adaptive] {
     struct Bundle {
       SpecChoice choice;
       std::optional<avionics::UavPlant> plant;
@@ -454,6 +528,10 @@ support::MissionFactory sweep_mission_factory(const std::string& spec_name,
     options.quorum_replicas = quorum_replicas;
     options.durability.snapshot_every_epochs =
         bundle->choice.is_uav ? 16 : 7;
+    options.durability.engine = engine;
+    if (adaptive) {
+      options.durability.sync = storage::durable::SyncPolicy::adaptive();
+    }
     auto system =
         std::make_unique<core::System>(bundle->choice.spec, options);
     if (bundle->choice.is_uav) {
@@ -482,7 +560,7 @@ support::MissionFactory sweep_mission_factory(const std::string& spec_name,
 int cmd_sweep(const std::string& spec_name, bool is_uav,
               const support::CrashSweepOptions& sweep_options,
               std::uint32_t quorum_replicas, const std::string& arena_path,
-              bool json) {
+              storage::durable::EngineKind engine, bool adaptive, bool json) {
   support::CrashSweepOptions options = sweep_options;
   options.victim =
       is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
@@ -494,7 +572,8 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
     options.arena = arena.get();
   }
   const support::CrashSweepReport report = support::run_crash_sweep(
-      sweep_mission_factory(spec_name, options.warm_start, quorum_replicas),
+      sweep_mission_factory(spec_name, options.warm_start, quorum_replicas,
+                            engine, adaptive),
       options);
 
   const char* fault =
@@ -504,7 +583,8 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
                 ? "bitflip"
                 : "none";
   if (json) {
-    std::cout << "{\"spec\": \"" << spec_name << "\", \"frames\": "
+    std::cout << "{\"spec\": \"" << spec_name << "\", \"engine\": \""
+              << to_string(engine) << "\", \"frames\": "
               << options.frames << ", \"io_fault\": \"" << fault
               << "\", \"warm_start\": "
               << (options.warm_start ? "true" : "false")
@@ -519,7 +599,8 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
               << ", \"digest\": \"0x" << std::hex << report.digest()
               << std::dec << "\"}\n";
   } else {
-    std::cout << "crash-point sweep: " << spec_name << ", " << options.frames
+    std::cout << "crash-point sweep: " << spec_name << " (engine "
+              << to_string(engine) << "), " << options.frames
               << " crash points, io-fault " << fault
               << (options.warm_start ? ", warm-start" : "") << "\n"
               << "stride " << report.stride_used << " ("
@@ -537,6 +618,81 @@ int cmd_sweep(const std::string& spec_name, bool is_uav,
               << "\n";
   }
   return report.all_match() ? 0 : 1;
+}
+
+/// Runs a durable mission under the chosen storage engine and prints the
+/// victim processor's engine counters — the operator's window onto the
+/// block cache, the adaptive sync controller, and (for lsm) run churn.
+int cmd_engine_stat(const std::string& spec_name, bool is_uav,
+                    storage::durable::EngineKind kind, bool adaptive,
+                    Cycle frames, bool json) {
+  support::CrashMission mission = sweep_mission_factory(
+      spec_name, /*shipping=*/false, /*quorum_replicas=*/0, kind, adaptive)();
+  core::System& system = *mission.system;
+  system.run(frames);
+
+  const ProcessorId victim =
+      is_uav ? avionics::kComputer1 : support::synthetic_processor(0);
+  storage::durable::DurabilityEngine* engine =
+      system.processors().processor(victim).durability();
+  if (engine == nullptr) {
+    std::cerr << "engine stat: victim processor has no durable storage\n";
+    return 1;
+  }
+  const storage::durable::DurabilityStats& stats = engine->stats();
+
+  if (json) {
+    std::cout << "{\"spec\": \"" << spec_name << "\", \"engine\": \""
+              << to_string(engine->kind()) << "\", \"frames\": " << frames
+              << ", \"sync_mode\": \"" << to_string(engine->options().sync.mode)
+              << "\", \"commits\": " << stats.commits_journaled
+              << ", \"bytes_appended\": " << stats.bytes_appended
+              << ", \"syncs\": " << stats.syncs
+              << ", \"forced_syncs\": " << stats.forced_syncs
+              << ", \"snapshots\": " << stats.snapshots_taken
+              << ", \"last_durable_epoch\": " << stats.last_durable_epoch
+              << ", \"decode_buffer_reuses\": " << stats.decode_buffer_reuses
+              << ", \"block_cache_hits\": " << stats.block_cache_hits
+              << ", \"block_cache_misses\": " << stats.block_cache_misses
+              << ", \"block_cache_bytes\": " << stats.block_cache_bytes
+              << ", \"adaptive_watermark_bytes\": "
+              << stats.adaptive_watermark_bytes
+              << ", \"adaptive_raises\": " << stats.adaptive_raises
+              << ", \"adaptive_drops\": " << stats.adaptive_drops
+              << ", \"pressure_engagements\": " << stats.pressure_engagements
+              << ", \"pressure_syncs\": " << stats.pressure_syncs
+              << ", \"lsm_runs_flushed\": " << stats.lsm_runs_flushed
+              << ", \"lsm_compactions\": " << stats.lsm_compactions << "}\n";
+  } else {
+    std::cout << "engine stat: " << spec_name << ", engine "
+              << to_string(engine->kind()) << ", sync "
+              << to_string(engine->options().sync.mode) << ", " << frames
+              << " frames\n"
+              << "journal: " << stats.commits_journaled << " commits, "
+              << stats.bytes_appended << " bytes, " << stats.syncs
+              << " syncs (" << stats.forced_syncs << " forced), last durable"
+              << " epoch " << stats.last_durable_epoch << "\n"
+              << "state images: " << stats.snapshots_taken << " taken, "
+              << stats.snapshot_gc_runs << " GC runs, "
+              << stats.snapshot_bytes_reclaimed << " bytes reclaimed\n"
+              << "block cache: " << stats.block_cache_hits << " hits, "
+              << stats.block_cache_misses << " misses, "
+              << stats.block_cache_bytes << " bytes charged; decode reuses "
+              << stats.decode_buffer_reuses << "\n";
+    if (engine->options().sync.mode == storage::durable::SyncMode::kAdaptive) {
+      std::cout << "adaptive: watermark " << stats.adaptive_watermark_bytes
+                << " bytes (" << stats.adaptive_raises << " raises, "
+                << stats.adaptive_drops << " drops), pressure "
+                << stats.pressure_engagements << " engagements, "
+                << stats.pressure_syncs << " extra syncs\n";
+    }
+    if (engine->kind() == storage::durable::EngineKind::kLsm) {
+      std::cout << "lsm: " << stats.lsm_runs_flushed << " runs flushed, "
+                << stats.lsm_compactions << " compactions, "
+                << stats.lsm_bounds_skips << " bounds skips\n";
+    }
+  }
+  return 0;
 }
 
 /// Builds a quorum mission, runs it, optionally fail-stops the elected
@@ -822,6 +978,10 @@ int main(int argc, char** argv) {
             argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
         return cmd_journal_demo(path, commits, seed);
       }
+      if (sub == "stats") {
+        const bool json = argc > 4 && std::string(argv[4]) == "--json";
+        return cmd_journal_stats(path, json);
+      }
       if (sub == "ship") {
         if (argc < 5) return usage();
         std::optional<std::uint64_t> cursor;
@@ -844,6 +1004,36 @@ int main(int argc, char** argv) {
     if (cmd == "json") {
       if (argc < 3) return usage();
       return cmd_json(argc, argv, 2);
+    }
+
+    if (cmd == "engine") {
+      if (argc < 4 || std::string(argv[2]) != "stat") return usage();
+      const std::optional<SpecChoice> choice = make_spec(argv[3]);
+      if (!choice.has_value()) return usage();
+      storage::durable::EngineKind kind =
+          storage::durable::EngineKind::kWalSnapshot;
+      bool adaptive = false;
+      Cycle frames = 48;
+      bool json = false;
+      for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--engine" && i + 1 < argc) {
+          if (!storage::durable::parse_engine_kind(argv[++i], kind)) {
+            return usage();
+          }
+        } else if (arg == "--adaptive") {
+          adaptive = true;
+        } else if (arg == "--frames" && i + 1 < argc) {
+          frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--json") {
+          json = true;
+        } else {
+          return usage();
+        }
+      }
+      if (frames == 0) return usage();
+      return cmd_engine_stat(argv[3], choice->is_uav, kind, adaptive, frames,
+                             json);
     }
 
     if (cmd == "quorum") {
@@ -896,11 +1086,20 @@ int main(int argc, char** argv) {
       options.frames = 24;
       std::uint32_t quorum_replicas = 0;
       std::string arena_path;
+      storage::durable::EngineKind engine =
+          storage::durable::EngineKind::kWalSnapshot;
+      bool adaptive = false;
       bool json = false;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--frames" && i + 1 < argc) {
           options.frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--engine" && i + 1 < argc) {
+          if (!storage::durable::parse_engine_kind(argv[++i], engine)) {
+            return usage();
+          }
+        } else if (arg == "--adaptive") {
+          adaptive = true;
         } else if (arg == "--quorum" && i + 1 < argc) {
           quorum_replicas = std::strtoul(argv[++i], nullptr, 10);
           options.warm_start = true;  // the cohort IS the warm standby
@@ -930,7 +1129,7 @@ int main(int argc, char** argv) {
       if (options.frames == 0) return usage();
       if (options.quorum_kills > 0 && quorum_replicas == 0) return usage();
       return cmd_sweep(argv[2], choice->is_uav, options, quorum_replicas,
-                       arena_path, json);
+                       arena_path, engine, adaptive, json);
     }
     if (cmd == "fleet") {
       support::FleetMissionOptions options;

@@ -15,6 +15,7 @@
 // runs (CI) without changing its shape. On single-core hosts the wall-clock
 // speedups degenerate to ~1x — the digest columns carry the correctness
 // claim there; the samples/sec column carries the throughput claim.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
@@ -25,6 +26,7 @@
 
 #include "arfs/analysis/dependability.hpp"
 #include "arfs/core/system.hpp"
+#include "arfs/sim/batch.hpp"
 #include "arfs/sim/fleet.hpp"
 #include "arfs/support/fleet.hpp"
 #include "arfs/support/simple_app.hpp"
@@ -213,6 +215,65 @@ void report_pool_ablation() {
       static_cast<double>(constructed.systems_constructed), "systems");
   bench::trajectory().record("fleet/pool/samples",
                              static_cast<double>(samples), "missions");
+
+  // Per-mission latency percentiles, serial: the tail is what an interactive
+  // caller waits on, and a mean hides it — restore() must flatten p99, not
+  // just the average.
+  const std::size_t lat_samples = std::min<std::size_t>(samples, 64);
+  bench::Log2Histogram pooled_lat;
+  bench::Log2Histogram constructed_lat;
+  {
+    support::SystemPool pool(factory, warmup);
+    for (std::size_t i = 0; i < lat_samples; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      support::SystemPool::Lease lease = pool.lease();
+      lease.mission().reset();
+      lease.mission().system().set_fault_plan(
+          plans(sim::job_seed(options.base_seed, i)));
+      lease.mission().system().run(frames);
+      pooled_lat.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+  }
+  for (std::size_t i = 0; i < lat_samples; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    support::CrashMission mission = factory();
+    mission.system->run(warmup);
+    mission.system->set_fault_plan(
+        plans(sim::job_seed(options.base_seed, i)));
+    mission.system->run(frames);
+    constructed_lat.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  std::cout << "per-mission latency over " << lat_samples
+            << " serial samples (us):\n"
+            << std::left << std::setw(22) << "mode" << std::setw(10) << "p50"
+            << std::setw(10) << "p95" << std::setw(10) << "p99"
+            << "max\n";
+  const auto us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e3;
+  };
+  std::cout << std::left << std::setw(22) << "pooled (restore)"
+            << std::setprecision(0) << std::setw(10) << us(pooled_lat.p50())
+            << std::setw(10) << us(pooled_lat.p95()) << std::setw(10)
+            << us(pooled_lat.p99()) << us(pooled_lat.max()) << "\n";
+  std::cout << std::left << std::setw(22) << "construct-per-sample"
+            << std::setw(10) << us(constructed_lat.p50()) << std::setw(10)
+            << us(constructed_lat.p95()) << std::setw(10)
+            << us(constructed_lat.p99()) << us(constructed_lat.max())
+            << "\n\n";
+  bench::trajectory().record("fleet/pool/latency_p50",
+                             us(pooled_lat.p50()), "us");
+  bench::trajectory().record("fleet/pool/latency_p99",
+                             us(pooled_lat.p99()), "us");
+  bench::trajectory().record("fleet/construct/latency_p50",
+                             us(constructed_lat.p50()), "us");
+  bench::trajectory().record("fleet/construct/latency_p99",
+                             us(constructed_lat.p99()), "us");
 }
 
 void report() {

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -20,6 +22,81 @@
 #include "arfs/support/bench_json.hpp"
 
 namespace arfs::bench {
+
+/// Fixed-bucket log2 latency histogram: O(1) record, O(1) memory, exact
+/// counts. Each power-of-two decade [2^k, 2^(k+1)) splits into kSub linear
+/// sub-buckets, so a percentile read-out is within 1/kSub relative error —
+/// plenty for p50/p95/p99 tables — without keeping samples around. Units
+/// are the caller's (the serve benches record nanoseconds).
+class Log2Histogram {
+ public:
+  static constexpr std::uint32_t kDecades = 64;
+  static constexpr std::uint32_t kSub = 16;  ///< ~6% relative error.
+
+  void record(std::uint64_t value) {
+    ++count_;
+    if (value > max_) max_ = value;
+    sum_ += value;
+    if (value < kSub) {
+      ++buckets_[value];  // first decades: exact
+      return;
+    }
+    const std::uint32_t bit = 63u - static_cast<std::uint32_t>(
+                                        __builtin_clzll(value));
+    const std::uint32_t sub =
+        static_cast<std::uint32_t>((value >> (bit - 4)) & (kSub - 1));
+    ++buckets_[(bit - 3) * kSub + sub];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
+                                   static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1] (lower bucket bound — conservative).
+  /// 0 when nothing was recorded.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+      if (rank < buckets_[i]) return bucket_floor(i);
+      rank -= buckets_[i];
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+
+  void merge(const Log2Histogram& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  /// Smallest value landing in bucket `i` (inverse of record()'s index).
+  [[nodiscard]] static std::uint64_t bucket_floor(std::uint32_t i) {
+    if (i < kSub) return i;
+    const std::uint32_t bit = i / kSub + 3;
+    const std::uint32_t sub = i % kSub;
+    return (1ULL << bit) | (static_cast<std::uint64_t>(sub) << (bit - 4));
+  }
+
+  std::array<std::uint64_t, kDecades * kSub> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
 
 /// Prints a banner naming the experiment and the paper artifact it
 /// regenerates.

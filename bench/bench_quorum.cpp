@@ -9,7 +9,7 @@
 //      crash frames at which a live majority still acknowledged exactly the
 //      epoch the warm start served — against the shipping bytes the fan-out
 //      costs (acceptance: availability 1.0 at every N, bytes ≈ N × single).
-//   2. Majority-ack latency vs the single standby: mean and worst commit
+//   2. Majority-ack latency vs the single standby: p50/p95/p99/max commit
 //      lag behind the source's durable epoch over a mission, per sync
 //      policy (at N = 1 the two protocols must coincide exactly).
 //
@@ -147,8 +147,8 @@ void report_latency() {
   // Starve the TDMA ship slots (16 bytes/frame vs the 4 KiB default) so the
   // replicas run behind and the commit boundary's tracking is visible.
   const std::uint32_t slot_bytes = 16;
-  std::cout << "\nMajority-ack lag behind the durable epoch (mean/max over "
-            << frames << " frames, " << slot_bytes
+  std::cout << "\nMajority-ack lag behind the durable epoch (p50/p95/p99/max "
+            << "over " << frames << " frames, " << slot_bytes
             << "-byte ship slots)\n";
   std::cout << std::left << std::setw(18) << "policy" << std::setw(16)
             << "single standby" << std::setw(16) << "cohort N=1"
@@ -165,8 +165,7 @@ void report_latency() {
     for (const std::uint32_t n : {0u, 1u, 3u, 5u}) {
       support::CrashMission mission = quorum_factory(policy, n, slot_bytes)();
       core::System& system = *mission.system;
-      double total_lag = 0;
-      std::uint64_t max_lag = 0;
+      bench::Log2Histogram lag_hist;
       for (Cycle f = 0; f < frames; ++f) {
         system.run(1);
         const auto* engine =
@@ -175,23 +174,31 @@ void report_latency() {
         const std::uint64_t acked =
             n == 0 ? system.ship_replica(victim).cursor().epoch
                    : system.quorum_group(victim).commit_id();
-        const std::uint64_t lag = durable > acked ? durable - acked : 0;
-        total_lag += static_cast<double>(lag);
-        max_lag = std::max(max_lag, lag);
+        lag_hist.record(durable > acked ? durable - acked : 0);
       }
-      const double mean = total_lag / static_cast<double>(frames);
       std::ostringstream cell;
-      cell << std::fixed << std::setprecision(2) << mean << "/" << max_lag;
+      cell << lag_hist.p50() << "/" << lag_hist.p95() << "/"
+           << lag_hist.p99() << "/" << lag_hist.max();
       std::cout << std::setw(16) << cell.str();
       const std::string key = "lag/" + name + "/" +
                               (n == 0 ? "single" : "N" + std::to_string(n));
-      bench::trajectory().record(key + "/mean", mean, "epochs");
+      bench::trajectory().record(key + "/p50",
+                                 static_cast<double>(lag_hist.p50()),
+                                 "epochs");
+      bench::trajectory().record(key + "/p95",
+                                 static_cast<double>(lag_hist.p95()),
+                                 "epochs");
+      bench::trajectory().record(key + "/p99",
+                                 static_cast<double>(lag_hist.p99()),
+                                 "epochs");
       bench::trajectory().record(key + "/max",
-                                 static_cast<double>(max_lag), "epochs");
+                                 static_cast<double>(lag_hist.max()),
+                                 "epochs");
     }
     std::cout << "\n";
   }
-  std::cout << "(mean/max epochs; N = 1 must equal the single standby.\n"
+  std::cout << "(p50/p95/p99/max epochs; N = 1 must equal the single "
+            << "standby.\n"
             << " Each member rides its own TDMA slot, so the majority ack\n"
             << " adds no commit lag over one standby — the cohort's cost is\n"
             << " purely the N-fold shipping bandwidth above.)\n";

@@ -1,0 +1,83 @@
+#include "arfs/serve/client.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "arfs/common/check.hpp"
+#include "arfs/serve/server.hpp"
+
+namespace arfs::serve {
+
+SessionClient::SessionClient(std::unique_ptr<FrameSource> source,
+                             LatencySink latency_sink)
+    : source_(std::move(source)), latency_sink_(std::move(latency_sink)) {
+  require(source_ != nullptr, "SessionClient needs a source");
+}
+
+std::size_t SessionClient::poll(std::size_t max) {
+  std::size_t consumed = 0;
+  FrameSource::Item item;
+  while (consumed < max) {
+    switch (source_->poll(item)) {
+      case FrameSource::Poll::kEmpty:
+        return consumed;
+      case FrameSource::Poll::kClosed:
+        if (!report_.complete) {
+          throw Error("stream closed without an end record");
+        }
+        return consumed;
+      case FrameSource::Poll::kRecord:
+        consume(item);
+        ++consumed;
+        break;
+    }
+  }
+  return consumed;
+}
+
+void SessionClient::drain() {
+  while (!done()) {
+    if (poll() == 0) std::this_thread::yield();
+  }
+}
+
+void SessionClient::consume(const FrameSource::Item& item) {
+  const FrameRecord& record = item.record;
+  if (report_.complete) {
+    throw Error("record delivered after the end record");
+  }
+  ++report_.records;
+  if (record.seq != next_seq_) report_.seq_contiguous = false;
+  next_seq_ = record.seq + 1;
+
+  switch (record.kind) {
+    case RecordKind::kFrame:
+      ++report_.frames;
+      if (next_frame_ != 0 && record.frame != next_frame_) {
+        report_.frames_contiguous = false;
+      }
+      next_frame_ = record.frame + 1;
+      fold_record(report_.digest, record);
+      if (latency_sink_) {
+        const std::uint64_t now = monotonic_ns();
+        latency_sink_(now > item.stamp_ns ? now - item.stamp_ns : 0);
+      }
+      break;
+    case RecordKind::kGap:
+      ++report_.gaps;
+      report_.gap_frames += record.data0;
+      if (next_frame_ != 0 && record.frame != next_frame_) {
+        report_.frames_contiguous = false;
+      }
+      next_frame_ = record.frame + record.data0;
+      break;
+    case RecordKind::kEnd:
+      report_.complete = true;
+      report_.producer_frames = record.data0;
+      report_.producer_skipped = record.data1;
+      report_.producer_digest = record.data2;
+      break;
+  }
+}
+
+}  // namespace arfs::serve

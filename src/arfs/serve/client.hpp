@@ -1,0 +1,92 @@
+// SessionClient: the auditing consumer of one serving session.
+//
+// Wraps a FrameSource (ring or stream) and verifies the full delivery
+// contract while draining it: record sequence numbers must be contiguous
+// from 0, the mission frames covered by frame and gap records must tile the
+// session's frame range without holes or overlaps, and the end record's
+// producer totals must match what was actually delivered. The client folds
+// its own digest over the frame records it received; when nothing was
+// skipped it equals the producer digest (and hence the in-process oracle's
+// digest for the same sample) bit for bit.
+//
+// Per-record latency — receive time minus the producer's publish stamp —
+// is handed to an optional sink so load benchmarks can build percentile
+// histograms without this layer choosing a representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "arfs/serve/record.hpp"
+#include "arfs/serve/transport.hpp"
+
+namespace arfs::serve {
+
+/// What the client saw, checked against what the producer said it sent.
+struct ClientReport {
+  std::uint64_t records = 0;      ///< All records (frames + gaps + end).
+  std::uint64_t frames = 0;       ///< Frame records delivered.
+  std::uint64_t gaps = 0;         ///< Gap records delivered.
+  std::uint64_t gap_frames = 0;   ///< Frames those gaps cover.
+  /// fold_record over delivered frame records (transport metadata never
+  /// folded). Equals producer_digest iff gap_frames == 0.
+  std::uint64_t digest = kDigestBasis;
+  bool seq_contiguous = true;     ///< Record seqs ran 0,1,2,… with no hole.
+  bool frames_contiguous = true;  ///< Frame+gap ranges tiled the mission.
+  bool complete = false;          ///< End record observed, stream closed.
+
+  // --- from the end record ---
+  std::uint64_t producer_frames = 0;   ///< Frames the producer ran.
+  std::uint64_t producer_skipped = 0;  ///< Frames it says it skipped.
+  std::uint64_t producer_digest = 0;   ///< Its fold over all of them.
+
+  /// End-to-end audit: complete, contiguous, delivered + skipped frames
+  /// account for every produced frame, and the skip tallies agree.
+  [[nodiscard]] bool accounted() const {
+    return complete && seq_contiguous && frames_contiguous &&
+           frames + gap_frames == producer_frames &&
+           gap_frames == producer_skipped;
+  }
+  /// True when delivery was lossless and the digests prove it.
+  [[nodiscard]] bool digest_matches() const {
+    return complete && gap_frames == 0 && digest == producer_digest;
+  }
+};
+
+class SessionClient {
+ public:
+  /// Called once per delivered frame record with the record's transport
+  /// latency in nanoseconds (receive stamp minus publish stamp).
+  using LatencySink = std::function<void(std::uint64_t ns)>;
+
+  explicit SessionClient(std::unique_ptr<FrameSource> source,
+                         LatencySink latency_sink = nullptr);
+
+  /// Consumes at most `max` records. Returns how many were consumed; 0
+  /// means the source is momentarily empty or done. Throws arfs::Error on
+  /// a corrupt stream or a contract violation that can't be accounted
+  /// (e.g. records after the end record).
+  std::size_t poll(std::size_t max = 64);
+
+  /// True once the end record has been consumed.
+  [[nodiscard]] bool done() const { return report_.complete; }
+
+  /// Drains until the stream closes. Spins on an empty source (yielding),
+  /// so only call when a producer is concurrently pumping or finished.
+  void drain();
+
+  [[nodiscard]] const ClientReport& report() const { return report_; }
+  [[nodiscard]] const char* transport_name() const { return source_->name(); }
+
+ private:
+  void consume(const FrameSource::Item& item);
+
+  std::unique_ptr<FrameSource> source_;
+  LatencySink latency_sink_;
+  ClientReport report_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_frame_ = 0;  ///< 0 = not yet anchored.
+};
+
+}  // namespace arfs::serve

@@ -1,0 +1,216 @@
+#include "arfs/serve/server.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "arfs/common/check.hpp"
+#include "arfs/sim/batch.hpp"
+
+namespace arfs::serve {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kShm:
+      return "shm";
+    case TransportKind::kStream:
+      return "socket";
+  }
+  return "unknown";
+}
+
+struct SimServer::Session {
+  std::uint64_t id = 0;
+  std::optional<support::SystemPool::Lease> lease;
+  std::unique_ptr<FrameTransport> transport;
+  Cycle produced = 0;  ///< run_frame calls so far.
+  std::uint64_t digest = kDigestBasis;
+  /// Pending (not yet delivered) gap: [gap_first, gap_first + gap_count).
+  std::uint64_t gap_first = 0;
+  std::uint64_t gap_count = 0;
+};
+
+SimServer::SimServer(support::MissionFactory factory,
+                     support::PlanFactory plan_for, ServeOptions options)
+    : options_(options),
+      plan_for_(std::move(plan_for)),
+      pool_(std::move(factory), options.warmup_frames) {
+  require(static_cast<bool>(plan_for_), "SimServer needs a plan factory");
+  require(options_.max_sessions > 0, "max_sessions must be positive");
+  require(options_.frame_budget > 0, "frame_budget must be positive");
+}
+
+SimServer::~SimServer() = default;
+
+SimServer::Opened SimServer::open_session(TransportKind kind) {
+  if (sessions_.size() >= options_.max_sessions) {
+    ++rejected_;
+    throw Error("session rejected: " + std::to_string(sessions_.size()) +
+                " of " + std::to_string(options_.max_sessions) +
+                " sessions already active");
+  }
+  const std::uint64_t id = next_id_++;
+  const std::size_t index = next_index_++;
+  const std::uint64_t seed = sim::job_seed(options_.base_seed, index);
+
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->lease.emplace(pool_.lease());
+  session->lease->mission().reset();
+  session->lease->mission().system().set_fault_plan(plan_for_(seed));
+
+  Opened opened;
+  opened.id = id;
+  opened.seed = seed;
+  if (kind == TransportKind::kShm) {
+    RingOptions ring_options;
+    if (!options_.shm_dir.empty()) {
+      ring_options.path =
+          options_.shm_dir + "/session-" + std::to_string(id) + ".ring";
+    }
+    ring_options.slot_bytes = options_.ring_slot_bytes;
+    ring_options.slot_count = options_.ring_slot_count;
+    ring_options.reclaim_watermark_bytes = options_.ring_reclaim_watermark;
+    std::shared_ptr<FrameRing> ring = FrameRing::create(ring_options);
+    opened.ring_path = ring->path();
+    opened.source = std::make_unique<RingSource>(ring);
+    session->transport = std::make_unique<ShmTransport>(std::move(ring));
+  } else {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      throw Error("session rejected: socketpair failed");
+    }
+    session->transport =
+        std::make_unique<StreamTransport>(fds[0], options_.stream_pending_cap);
+    opened.source = std::make_unique<StreamSource>(fds[1]);
+  }
+
+  SessionReport report;
+  report.id = id;
+  report.index = index;
+  report.seed = seed;
+  report.transport = kind;
+  reports_.emplace(id, report);
+  sessions_.emplace(id, std::move(session));
+  return opened;
+}
+
+void SimServer::pump_session(Session& session) {
+  SessionReport& report = reports_.at(session.id);
+  core::System& sys = session.lease->mission().system();
+
+  // Produce unconditionally: the simulation loop never waits on a client.
+  sys.run_frame();
+  ++session.produced;
+  ++report.frames_produced;
+  const Cycle frame = options_.warmup_frames + session.produced;
+  const FrameRecord record = make_frame_record(sys, frame);
+  fold_record(session.digest, record);
+  report.producer_digest = session.digest;
+
+  // Deliver: an open gap goes first so the client's frame accounting stays
+  // contiguous; a frame the transport rejects joins (or opens) the gap.
+  session.transport->pump();
+  if (session.gap_count > 0) {
+    FrameRecord gap;
+    gap.kind = RecordKind::kGap;
+    gap.frame = session.gap_first;
+    gap.data0 = session.gap_count;
+    if (!session.transport->try_send(gap, monotonic_ns())) {
+      ++session.gap_count;
+      ++report.frames_skipped;
+      return;
+    }
+    ++report.gap_records;
+    session.gap_count = 0;
+  }
+  if (session.transport->try_send(record, monotonic_ns())) {
+    ++report.frames_streamed;
+  } else {
+    session.gap_first = frame;
+    session.gap_count = 1;
+    ++report.frames_skipped;
+  }
+}
+
+void SimServer::drain_session(Session& session) {
+  SessionReport& report = reports_.at(session.id);
+  session.transport->pump();
+  if (session.gap_count > 0) {
+    FrameRecord gap;
+    gap.kind = RecordKind::kGap;
+    gap.frame = session.gap_first;
+    gap.data0 = session.gap_count;
+    if (!session.transport->try_send(gap, monotonic_ns())) return;
+    ++report.gap_records;
+    session.gap_count = 0;
+  }
+  if (!report.end_sent) {
+    FrameRecord end;
+    end.kind = RecordKind::kEnd;
+    end.frame = options_.warmup_frames + session.produced;
+    end.data0 = report.frames_produced;
+    end.data1 = report.frames_skipped;
+    end.data2 = session.digest;
+    if (!session.transport->try_send(end, monotonic_ns())) return;
+    report.end_sent = true;
+    session.transport->close();
+    session.lease.reset();  // the warm system goes back to the pool now
+  }
+  session.transport->pump();
+  if (session.transport->flushed()) report.completed = true;
+}
+
+std::size_t SimServer::pump() {
+  std::size_t producing = 0;
+  std::vector<std::uint64_t> finished;
+  for (auto& [id, session] : sessions_) {
+    if (session->produced < options_.frame_budget) {
+      pump_session(*session);
+      ++producing;
+    } else {
+      drain_session(*session);
+      if (reports_.at(id).completed) finished.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : finished) sessions_.erase(id);
+  return producing;
+}
+
+void SimServer::pump_all() {
+  while (pump() > 0) {
+  }
+}
+
+bool SimServer::drain() {
+  bool all_flushed = true;
+  std::vector<std::uint64_t> finished;
+  for (auto& [id, session] : sessions_) {
+    if (session->produced < options_.frame_budget) continue;
+    drain_session(*session);
+    if (reports_.at(id).completed) {
+      finished.push_back(id);
+    } else {
+      all_flushed = false;
+    }
+  }
+  for (const std::uint64_t id : finished) sessions_.erase(id);
+  return all_flushed;
+}
+
+const SessionReport& SimServer::report(std::uint64_t id) const {
+  auto it = reports_.find(id);
+  require(it != reports_.end(), "unknown session id");
+  return it->second;
+}
+
+}  // namespace arfs::serve

@@ -1,0 +1,162 @@
+// SimServer: the resident multi-session simulator service.
+//
+// The server owns a support::SystemPool of warm, checkpoint-seeded
+// core::System instances and runs many concurrent *sessions* against it.
+// Each session is one mission sample — session i is seeded exactly like
+// sample i of a run_mission_sweep over the same factory/plan/base_seed, so
+// the frame records a client receives digest bit-identically to what the
+// in-process oracle computes — streamed to one client over its own
+// transport (shared-memory ring fast path, length-prefixed stream
+// fallback).
+//
+// The cardinal rule is that nothing a client does can stall the simulation
+// loop. pump() advances every active session by one frame unconditionally;
+// a transport that will not take the frame's record (full ring, saturated
+// stream buffer) costs the client that frame — the session accounts it and
+// emits an explicit gap record once capacity returns. pump_all() therefore
+// terminates even against a completely stalled consumer: it runs until
+// every session has *produced* its frame budget; delivery of the queued
+// tail (pending gap + end record) completes later via drain() once the
+// consumer comes back.
+//
+// Admission control: at most options.max_sessions sessions may be active at
+// once — open_session throws arfs::Error beyond that — and every session's
+// length is capped by options.frame_budget. Finished sessions return their
+// leased system to the pool immediately, so a long serving run constructs
+// about peak-concurrency systems, not one per session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "arfs/serve/transport.hpp"
+#include "arfs/support/fleet.hpp"
+#include "arfs/support/sweep.hpp"
+
+namespace arfs::serve {
+
+enum class TransportKind : std::uint8_t {
+  kShm,     ///< FrameRing fast path.
+  kStream,  ///< Length-prefixed socketpair fallback.
+};
+
+[[nodiscard]] const char* to_string(TransportKind kind);
+
+struct ServeOptions {
+  /// Admission control: concurrent-session ceiling.
+  std::size_t max_sessions = 1024;
+  /// Frames each session runs beyond the warm point (its mission length).
+  Cycle frame_budget = 64;
+  /// Shared deterministic prefix, warmed once per pooled system.
+  Cycle warmup_frames = 0;
+  /// Sweep-compatible seeding root: session i uses job_seed(base_seed, i).
+  std::uint64_t base_seed = 1;
+  /// Ring geometry for shm sessions.
+  std::uint32_t ring_slot_count = 64;
+  std::uint32_t ring_slot_bytes = 128;
+  /// Consumer-side reclaim watermark for file-backed rings (bytes).
+  std::size_t ring_reclaim_watermark = 0;
+  /// When set, shm rings are file-backed under this directory
+  /// ("<dir>/session-<id>.ring") so out-of-process clients can attach.
+  std::string shm_dir;
+  /// Pending-buffer cap for stream sessions (bytes).
+  std::size_t stream_pending_cap = 64 * 1024;
+};
+
+/// What one session did, as the producer saw it.
+struct SessionReport {
+  std::uint64_t id = 0;
+  std::size_t index = 0;          ///< Sweep-equivalent sample index.
+  std::uint64_t seed = 0;         ///< job_seed(base_seed, index).
+  TransportKind transport = TransportKind::kShm;
+  std::uint64_t frames_produced = 0;  ///< run_frame calls (never skipped).
+  std::uint64_t frames_streamed = 0;  ///< Frame records the client got.
+  std::uint64_t frames_skipped = 0;   ///< Frames lost to backpressure.
+  std::uint64_t gap_records = 0;      ///< Explicit gaps emitted.
+  /// fold_record over every produced frame, delivered or skipped — equals
+  /// the oracle's digest for sample `index` unconditionally.
+  std::uint64_t producer_digest = 0;
+  bool end_sent = false;   ///< End record reached the transport.
+  bool completed = false;  ///< End sent and every accepted byte flushed.
+};
+
+class SimServer {
+ public:
+  /// The factory/plan pair is the same contract run_fleet_missions takes:
+  /// `factory` deterministically builds one mission, `plan_for(seed)` is a
+  /// pure function of the seed with events at or after the warm point.
+  SimServer(support::MissionFactory factory, support::PlanFactory plan_for,
+            ServeOptions options);
+  ~SimServer();
+
+  /// A freshly-admitted session, from the client's point of view.
+  struct Opened {
+    std::uint64_t id = 0;
+    std::uint64_t seed = 0;
+    /// In-process client endpoint (RingSource / StreamSource), always set.
+    std::unique_ptr<FrameSource> source;
+    /// Ring file an out-of-process client can FrameRing::attach() — only
+    /// for shm sessions under a shm_dir.
+    std::string ring_path;
+  };
+
+  /// Admits one session on `kind`'s transport, leasing a warm system and
+  /// installing the next sweep index's fault plan. Throws arfs::Error when
+  /// max_sessions are already active (admission control).
+  [[nodiscard]] Opened open_session(TransportKind kind);
+
+  /// Advances every active session by one frame (run_frame is NEVER gated
+  /// on the client). Returns the number of sessions still producing.
+  std::size_t pump();
+
+  /// Pumps until every active session has produced its full frame budget.
+  /// Terminates against arbitrarily stalled consumers — delivery of queued
+  /// records is drain()'s job, not this one's.
+  void pump_all();
+
+  /// Retries queued deliveries (pending gaps, end records, stream buffer
+  /// flushes) for sessions that finished producing. Returns true when every
+  /// such session is fully flushed (its report is then `completed`).
+  bool drain();
+
+  /// Active = admitted and not yet fully delivered.
+  [[nodiscard]] std::size_t active_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t sessions_opened() const { return next_index_; }
+  [[nodiscard]] std::size_t sessions_rejected() const { return rejected_; }
+
+  /// Report for any session this server admitted (active or finished).
+  [[nodiscard]] const SessionReport& report(std::uint64_t id) const;
+
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
+  [[nodiscard]] support::SystemPool::Stats pool_stats() const {
+    return pool_.stats();
+  }
+
+ private:
+  struct Session;
+
+  /// One production step: run the frame, fold it, try to deliver (gap
+  /// first, then the frame). Precondition: session still has budget.
+  void pump_session(Session& session);
+  /// Delivery-only step for a session past its budget: pending gap, end
+  /// record, transport flush; releases the lease once the end is accepted.
+  void drain_session(Session& session);
+
+  ServeOptions options_;
+  support::PlanFactory plan_for_;
+  support::SystemPool pool_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::map<std::uint64_t, SessionReport> reports_;
+  std::uint64_t next_id_ = 1;
+  std::size_t next_index_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// Monotonic nanosecond stamp used for per-record latency measurement
+/// (steady_clock; shared by server publish and client receive sides).
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+}  // namespace arfs::serve

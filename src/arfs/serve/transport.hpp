@@ -1,0 +1,171 @@
+// Session transports: how a serving session's records reach its client.
+//
+// Two implementations of one never-blocking contract:
+//
+//   * ShmTransport — the fast path. Owns a FrameRing (heap-backed for
+//     in-process clients, file-backed for attach()-style cross-mapping
+//     clients); try_send is a single ring publish, a handful of stores.
+//   * StreamTransport — the fallback for remote/slow clients. Owns one end
+//     of a byte stream (a socketpair fd in-process, any connected stream fd
+//     in general) and writes length-prefixed frames:
+//         [u32 payload_len][u64 stamp_ns][payload = encoded record][u32 crc]
+//     The fd runs O_NONBLOCK; bytes the kernel will not take queue in a
+//     bounded pending buffer, and once that buffer is full try_send rejects
+//     the record — same skip-don't-stall semantics as a full ring.
+//
+// The matching client-side FrameSource hierarchy (RingSource/StreamSource)
+// reverses each transport: poll() yields verified records plus the
+// producer's publish stamp so callers can compute per-record latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arfs/serve/frame_ring.hpp"
+#include "arfs/serve/record.hpp"
+
+namespace arfs::serve {
+
+/// Server-side sender. Implementations never block the caller: a transport
+/// that cannot take the record right now returns false from try_send and the
+/// session skips the frame (emitting a gap record later).
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+
+  /// Sends one record stamped with the producer's clock. False = transport
+  /// saturated, record NOT sent (caller must account a skip).
+  [[nodiscard]] virtual bool try_send(const FrameRecord& record,
+                                      std::uint64_t stamp_ns) = 0;
+
+  /// Pushes previously-accepted bytes toward the client (stream transports
+  /// flush their pending buffer; shm is a no-op). Never blocks.
+  virtual void pump() {}
+
+  /// Marks the stream finished. Records already accepted still drain.
+  virtual void close() = 0;
+
+  /// True when every accepted record has reached the transport's far side
+  /// (ring drained / pending buffer flushed into the kernel).
+  [[nodiscard]] virtual bool flushed() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Shared-memory fast path: the transport is the ring.
+class ShmTransport final : public FrameTransport {
+ public:
+  /// Wraps a ring the session shares with its consumer: an in-process
+  /// RingSource holds the same shared_ptr; a cross-process client uses
+  /// FrameRing::attach() on the ring's file instead.
+  explicit ShmTransport(std::shared_ptr<FrameRing> ring);
+
+  [[nodiscard]] bool try_send(const FrameRecord& record,
+                              std::uint64_t stamp_ns) override;
+  void close() override;
+  [[nodiscard]] bool flushed() const override;
+  [[nodiscard]] const char* name() const override { return "shm"; }
+
+  [[nodiscard]] FrameRing& ring() { return *ring_; }
+  [[nodiscard]] const std::shared_ptr<FrameRing>& shared_ring() const {
+    return ring_;
+  }
+
+ private:
+  std::shared_ptr<FrameRing> ring_;
+};
+
+/// Length-prefixed stream fallback over a non-blocking fd.
+class StreamTransport final : public FrameTransport {
+ public:
+  /// Bytes on the wire per record: len(4) + stamp(8) + record + crc(4).
+  static constexpr std::size_t kWireBytes = 16 + kRecordBytes;
+
+  /// Takes ownership of `fd` (set to O_NONBLOCK). `pending_cap_bytes`
+  /// bounds the in-memory queue of bytes the kernel has not yet accepted;
+  /// once exceeded, try_send rejects records until the client drains.
+  StreamTransport(int fd, std::size_t pending_cap_bytes = 64 * 1024);
+  ~StreamTransport() override;
+
+  [[nodiscard]] bool try_send(const FrameRecord& record,
+                              std::uint64_t stamp_ns) override;
+  void pump() override;
+  void close() override;
+  [[nodiscard]] bool flushed() const override;
+  [[nodiscard]] const char* name() const override { return "socket"; }
+
+  [[nodiscard]] std::size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  /// write() as much of pending_ as the kernel takes; EAGAIN stops, EINTR
+  /// retries, a dead peer poisons the transport (send_failed_).
+  void flush_pending();
+
+  int fd_ = -1;
+  std::size_t pending_cap_;
+  std::vector<std::uint8_t> pending_;
+  std::size_t pending_head_ = 0;  ///< Consumed prefix of pending_.
+  std::uint64_t next_seq_ = 0;    ///< Seq stamped onto each accepted record.
+  bool closed_ = false;
+  bool send_failed_ = false;
+};
+
+/// Client-side receiver: one verified record at a time.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  enum class Poll : std::uint8_t {
+    kEmpty,   ///< Nothing available right now.
+    kRecord,  ///< `out` filled.
+    kClosed,  ///< Stream ended; everything was drained.
+  };
+
+  struct Item {
+    FrameRecord record;
+    std::uint64_t stamp_ns = 0;  ///< Producer's publish stamp.
+  };
+
+  /// Non-blocking poll for the next record. Throws arfs::Error on a
+  /// corrupt stream (CRC/seq violations), never returns garbage.
+  [[nodiscard]] virtual Poll poll(Item& out) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Consumes a FrameRing (shared with an in-process ShmTransport, or mapped
+/// via FrameRing::attach on the transport's file).
+class RingSource final : public FrameSource {
+ public:
+  explicit RingSource(std::shared_ptr<FrameRing> ring)
+      : ring_(std::move(ring)) {}
+
+  [[nodiscard]] Poll poll(Item& out) override;
+  [[nodiscard]] const char* name() const override { return "shm"; }
+
+ private:
+  std::shared_ptr<FrameRing> ring_;
+};
+
+/// Reads the length-prefixed stream from a non-blocking fd (the peer of a
+/// StreamTransport). Verifies each frame's CRC before surfacing it.
+class StreamSource final : public FrameSource {
+ public:
+  /// Takes ownership of `fd` (set to O_NONBLOCK).
+  explicit StreamSource(int fd);
+  ~StreamSource() override;
+
+  [[nodiscard]] Poll poll(Item& out) override;
+  [[nodiscard]] const char* name() const override { return "socket"; }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;  ///< Bytes read, not yet framed.
+  std::size_t head_ = 0;              ///< Consumed prefix of buffer_.
+  bool eof_ = false;
+};
+
+}  // namespace arfs::serve

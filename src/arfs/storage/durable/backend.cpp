@@ -191,6 +191,10 @@ void MemoryBackend::corrupt_bit(std::uint64_t seed) {
 
 // --- FileBackend ---
 
+int (*FileBackend::fsync_hook)(int fd) = nullptr;
+long (*FileBackend::pwrite_hook)(int fd, const void* buf, std::size_t n,
+                                 std::int64_t offset) = nullptr;
+
 FileBackend::FileBackend(const std::string& path, bool create) : path_(path) {
   const int flags = create ? O_RDWR | O_CREAT : O_RDWR;
   fd_ = ::open(path.c_str(), flags, 0644);
@@ -223,15 +227,24 @@ bool FileBackend::sync() {
   std::size_t done = 0;
   while (done < buffered_.size()) {
     const ssize_t w =
-        ::pwrite(fd_, buffered_.data() + done, buffered_.size() - done,
-                 static_cast<off_t>(durable_size_ + done));
+        pwrite_hook != nullptr
+            ? pwrite_hook(fd_, buffered_.data() + done,
+                          buffered_.size() - done,
+                          static_cast<std::int64_t>(durable_size_ + done))
+            : ::pwrite(fd_, buffered_.data() + done, buffered_.size() - done,
+                       static_cast<off_t>(durable_size_ + done));
     if (w < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // interrupted, not failed: retry
       return false;
     }
     done += static_cast<std::size_t>(w);
   }
-  if (::fsync(fd_) != 0) return false;
+  for (;;) {
+    const int rc = fsync_hook != nullptr ? fsync_hook(fd_) : ::fsync(fd_);
+    if (rc == 0) break;
+    if (errno == EINTR) continue;  // interrupted, not failed: retry
+    return false;
+  }
   durable_size_ += buffered_.size();
   buffered_.clear();
   return true;

@@ -179,6 +179,14 @@ class FileBackend final : public JournalBackend {
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
+  /// Test seams (null in production): stand-ins for ::fsync / ::pwrite so a
+  /// unit test can inject EINTR deterministically instead of racing a real
+  /// signal against the kernel. sync() must retry EINTR from either —
+  /// a signal landing mid-sync is not an I/O error.
+  static int (*fsync_hook)(int fd);
+  static long (*pwrite_hook)(int fd, const void* buf, std::size_t n,
+                             std::int64_t offset);
+
  private:
   std::string path_;
   int fd_ = -1;

@@ -6,7 +6,11 @@
 // torn or corrupt tail rather than ever applying part of a commit.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -841,6 +845,66 @@ TEST(FileBackend, ColdRestartRecoversFromDisk) {
 TEST(FileBackend, MissingFileWithoutCreateThrows) {
   EXPECT_THROW(FileBackend("/nonexistent-dir-zzz/x.wal", /*create=*/false),
                Error);
+}
+
+namespace eintr_hooks {
+
+int fsync_failures = 0;
+int pwrite_failures = 0;
+
+int fsync_with_eintr(int fd) {
+  if (fsync_failures > 0) {
+    --fsync_failures;
+    errno = EINTR;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+long pwrite_with_eintr(int fd, const void* buf, std::size_t n,
+                       std::int64_t offset) {
+  if (pwrite_failures > 0) {
+    --pwrite_failures;
+    errno = EINTR;
+    return -1;
+  }
+  return ::pwrite(fd, buf, n, static_cast<off_t>(offset));
+}
+
+}  // namespace eintr_hooks
+
+TEST(FileBackend, SyncRetriesEintrFromPwriteAndFsync) {
+  const std::string path = ::testing::TempDir() + "/arfs_eintr.wal";
+  std::remove(path.c_str());
+  FileBackend::fsync_hook = eintr_hooks::fsync_with_eintr;
+  FileBackend::pwrite_hook = eintr_hooks::pwrite_with_eintr;
+
+  {
+    FileBackend backend(path);
+    const std::uint8_t payload[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    backend.append(payload, sizeof payload);
+
+    // A signal interrupting the write AND the fsync — repeatedly — is not
+    // an I/O failure: sync() must retry through every EINTR and land the
+    // bytes durably.
+    eintr_hooks::pwrite_failures = 3;
+    eintr_hooks::fsync_failures = 3;
+    EXPECT_TRUE(backend.sync());
+    EXPECT_EQ(eintr_hooks::pwrite_failures, 0);
+    EXPECT_EQ(eintr_hooks::fsync_failures, 0);
+    EXPECT_EQ(backend.synced_size(), sizeof payload);
+
+    std::uint8_t readback[sizeof payload] = {};
+    EXPECT_EQ(backend.read(0, readback, sizeof readback), sizeof payload);
+    EXPECT_EQ(std::memcmp(readback, payload, sizeof payload), 0);
+  }
+
+  FileBackend::fsync_hook = nullptr;
+  FileBackend::pwrite_hook = nullptr;
+  // The durable size survives a reopen — the interrupted sync really wrote.
+  FileBackend reopened(path, /*create=*/false);
+  EXPECT_EQ(reopened.synced_size(), 8u);
+  std::remove(path.c_str());
 }
 
 // --- processor integration: halt mid-frame, restart, recover ---

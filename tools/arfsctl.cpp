@@ -47,6 +47,24 @@
 //                                           valid prefix into <dst> in
 //                                           CRC-framed batches (resumes at
 //                                           <dst>'s end, or at offset N)
+//   arfsctl serve [spec] [--sessions N] [--frames F] [--warmup W]
+//                 [--transport shm|socket] [--slots N] [--seed B]
+//                                           resident-service demo: open N
+//                                           concurrent streaming sessions
+//                                           against one warm system pool and
+//                                           audit every delivered stream
+//                                           against its producer digest
+//   arfsctl session <dir> [spec] [--frames F] [--warmup W] [--seed B]
+//                 [--slots N] [--watermark BYTES] [--timeout-ms T]
+//                                           produce one session into a
+//                                           file-backed shared-memory ring
+//                                           under <dir> (prints the ring
+//                                           path; pair with `attach` from
+//                                           another process)
+//   arfsctl attach <ring-file> [--timeout-ms T]
+//                                           attach a session's ring file,
+//                                           consume the stream, and verify
+//                                           the delivery contract
 //   arfsctl arena stat <file>               summarize a result-arena file
 //                                           (chunks, payload, padding)
 //   arfsctl arena verify <file>             scan an arena file, CRC-checking
@@ -63,12 +81,15 @@
 //   chain[:N]    an N-level degradation chain (default 4)
 //   random[:S]   a randomized specification from seed S (default 1)
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arfs/analysis/certify.hpp"
 #include "arfs/analysis/economics.hpp"
@@ -78,6 +99,8 @@
 #include "arfs/core/describe.hpp"
 #include "arfs/core/system.hpp"
 #include "arfs/props/report.hpp"
+#include "arfs/serve/client.hpp"
+#include "arfs/serve/server.hpp"
 #include "arfs/storage/durable/backend.hpp"
 #include "arfs/storage/durable/engine.hpp"
 #include "arfs/storage/durable/journal.hpp"
@@ -115,6 +138,12 @@ int usage() {
          "  fleet    <spec> [--samples N] [--frames F] [--warmup W]\n"
          "           [--shards S] [--threads T] [--seed B] [--no-pool]\n"
          "           [--arena PATH] [--pool-hot N] [--json [path]]\n"
+         "  serve    [spec=chain] [--sessions N] [--frames F] [--warmup W]\n"
+         "           [--transport shm|socket] [--slots N] [--seed B]\n"
+         "  session  <dir> [spec=chain] [--frames F] [--warmup W]\n"
+         "           [--seed B] [--slots N] [--watermark BYTES]\n"
+         "           [--timeout-ms T]\n"
+         "  attach   <ring-file> [--timeout-ms T]\n"
          "  economics <full-units> <safe-units> <expected-failures>\n"
          "  journal <dump|verify> <file>\n"
          "  journal repair <file> [--dry-run]\n"
@@ -796,6 +825,166 @@ support::MissionFactory fleet_mission_factory(const std::string& spec_name) {
   };
 }
 
+/// The serving layer's plan factory for a built-in spec: the same seeded
+/// environment campaign a fleet sweep would install, so session i streams
+/// exactly what fleet sample i would compute.
+support::PlanFactory serve_plan_factory(const SpecChoice& choice,
+                                        const serve::ServeOptions& options) {
+  support::EnvPlanParams params;
+  params.factors = choice.spec.factors().factors();
+  params.changes = 3;
+  params.first_frame = options.warmup_frames;
+  params.frames = options.frame_budget;
+  params.frame_length = choice.frame_length;
+  return support::make_env_plan_factory(std::move(params));
+}
+
+int cmd_serve(const std::string& spec_name, const SpecChoice& choice,
+              std::size_t sessions, serve::ServeOptions options,
+              serve::TransportKind kind) {
+  options.max_sessions = sessions;
+  serve::SimServer server(fleet_mission_factory(spec_name),
+                          serve_plan_factory(choice, options), options);
+
+  std::vector<std::unique_ptr<serve::SessionClient>> clients;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    serve::SimServer::Opened opened = server.open_session(kind);
+    ids.push_back(opened.id);
+    clients.push_back(
+        std::make_unique<serve::SessionClient>(std::move(opened.source)));
+  }
+
+  // Interleave production with client polls; then drain the queued tails.
+  while (server.pump() > 0) {
+    for (auto& client : clients) (void)client->poll();
+  }
+  for (int round = 0; round < 1'000'000; ++round) {
+    bool all_done = true;
+    for (auto& client : clients) {
+      if (!client->done()) {
+        (void)client->poll();
+        all_done = all_done && client->done();
+      }
+    }
+    if (server.drain() && all_done) break;
+  }
+
+  std::uint64_t streamed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t gaps = 0;
+  std::size_t accounted = 0;
+  std::size_t matched = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const serve::SessionReport& rep = server.report(ids[i]);
+    const serve::ClientReport& seen = clients[i]->report();
+    streamed += rep.frames_streamed;
+    skipped += rep.frames_skipped;
+    gaps += rep.gap_records;
+    // A lossless stream must digest-match; a lossy one must still tile the
+    // mission exactly (explicit gaps, contiguous seq/frame accounting).
+    if (seen.accounted()) ++accounted;
+    if (seen.accounted() &&
+        (seen.gap_frames > 0 ? true : seen.digest_matches())) {
+      ++matched;
+    }
+  }
+  const support::SystemPool::Stats pool = server.pool_stats();
+  std::cout << "serve demo: " << spec_name << ", " << sessions << " "
+            << serve::to_string(kind) << " sessions x "
+            << options.frame_budget << " frames (+" << options.warmup_frames
+            << " warm-up)\n"
+            << "streamed " << streamed << " frames, skipped " << skipped
+            << " (" << gaps << " gap records), pool constructed "
+            << pool.constructions << " systems for "
+            << server.sessions_opened() << " sessions\n";
+  if (matched == sessions) {
+    std::cout << "serve demo ok: " << accounted << "/" << sessions
+              << " streams accounted, digests verified\n";
+    return 0;
+  }
+  std::cout << "SERVE CONTRACT VIOLATED: " << matched << "/" << sessions
+            << " streams verified\n";
+  return 1;
+}
+
+int cmd_session(const std::string& dir, const std::string& spec_name,
+                const SpecChoice& choice, serve::ServeOptions options,
+                std::uint64_t timeout_ms) {
+  options.max_sessions = 1;
+  options.shm_dir = dir;
+  serve::SimServer server(fleet_mission_factory(spec_name),
+                          serve_plan_factory(choice, options), options);
+  serve::SimServer::Opened opened =
+      server.open_session(serve::TransportKind::kShm);
+  // The attach-side consumer discovers the session by this line (and by
+  // listing <dir>); flush so a pipeline reader sees it before we block.
+  std::cout << "ring: " << opened.ring_path << "\n" << std::flush;
+
+  server.pump_all();  // production never waits for the consumer
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!server.drain()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::cerr << "session: no consumer drained the ring within "
+                << timeout_ms << " ms\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const serve::SessionReport& rep = server.report(opened.id);
+  std::cout << "session complete: " << rep.frames_produced
+            << " frames produced, " << rep.frames_streamed << " streamed, "
+            << rep.frames_skipped << " skipped, producer digest 0x"
+            << std::hex << rep.producer_digest << std::dec << "\n";
+  return rep.completed ? 0 : 1;
+}
+
+int cmd_attach(const std::string& path, std::uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // The producer creates the file before it publishes the header bytes;
+  // retry until the ring scans, not just until the file exists.
+  std::shared_ptr<serve::FrameRing> ring;
+  for (;;) {
+    try {
+      ring = serve::FrameRing::attach(path);
+      break;
+    } catch (const Error&) {
+      if (std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  serve::SessionClient client(std::make_unique<serve::RingSource>(ring));
+  while (!client.done()) {
+    if (client.poll() == 0) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::cerr << "attach: stream did not finish within " << timeout_ms
+                  << " ms\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const serve::ClientReport& rep = client.report();
+  std::cout << "attached " << path << ": " << rep.frames << " frames, "
+            << rep.gaps << " gaps covering " << rep.gap_frames
+            << " frames, digest 0x" << std::hex << rep.digest << std::dec
+            << "\n"
+            << "producer: " << rep.producer_frames << " frames, "
+            << rep.producer_skipped << " skipped, digest 0x" << std::hex
+            << rep.producer_digest << std::dec << "\n";
+  const bool ok =
+      rep.accounted() && (rep.gap_frames > 0 || rep.digest_matches());
+  std::cout << (ok ? (rep.gap_frames == 0
+                          ? "attach ok: stream accounted, digest match"
+                          : "attach ok: stream accounted (lossy, gaps "
+                            "explicit)")
+                   : "ATTACH CONTRACT VIOLATED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
 int cmd_fleet(const std::string& spec_name, const SpecChoice& choice,
               const support::FleetMissionOptions& mission_options,
               sim::FleetOptions engine_options, const std::string& arena_path,
@@ -1063,6 +1252,80 @@ int main(int argc, char** argv) {
       if (replicas == 0 || frames == 0) return usage();
       return cmd_quorum(sub == "demo", spec_name, choice->is_uav, replicas,
                         frames, kills);
+    }
+
+    if (cmd == "serve" || cmd == "session") {
+      int i = 2;
+      std::string dir;
+      if (cmd == "session") {
+        if (argc < 3 || argv[2][0] == '-') return usage();
+        dir = argv[i++];
+      }
+      std::string spec_name = "chain";
+      if (i < argc && argv[i][0] != '-') spec_name = argv[i++];
+      const std::optional<SpecChoice> choice = make_spec(spec_name);
+      if (!choice.has_value()) return usage();
+
+      serve::ServeOptions options;
+      options.frame_budget = 32;
+      options.warmup_frames = 4;
+      options.ring_slot_count = 128;  // lossless up to the default budget
+      std::size_t sessions = 8;
+      serve::TransportKind kind = serve::TransportKind::kShm;
+      std::uint64_t timeout_ms = 30'000;
+      for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sessions" && cmd == "serve" && i + 1 < argc) {
+          sessions = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--frames" && i + 1 < argc) {
+          options.frame_budget = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--warmup" && i + 1 < argc) {
+          options.warmup_frames = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--seed" && i + 1 < argc) {
+          options.base_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--slots" && i + 1 < argc) {
+          options.ring_slot_count =
+              static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--watermark" && cmd == "session" && i + 1 < argc) {
+          options.ring_reclaim_watermark =
+              std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--timeout-ms" && cmd == "session" &&
+                   i + 1 < argc) {
+          timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--transport" && cmd == "serve" && i + 1 < argc) {
+          const std::string t = argv[++i];
+          if (t == "shm") {
+            kind = serve::TransportKind::kShm;
+          } else if (t == "socket") {
+            kind = serve::TransportKind::kStream;
+          } else {
+            return usage();
+          }
+        } else {
+          return usage();
+        }
+      }
+      if (sessions == 0 || options.frame_budget == 0 ||
+          options.ring_slot_count == 0) {
+        return usage();
+      }
+      return cmd == "serve"
+                 ? cmd_serve(spec_name, *choice, sessions, options, kind)
+                 : cmd_session(dir, spec_name, *choice, options, timeout_ms);
+    }
+
+    if (cmd == "attach") {
+      if (argc < 3 || argv[2][0] == '-') return usage();
+      std::uint64_t timeout_ms = 30'000;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--timeout-ms" && i + 1 < argc) {
+          timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+          return usage();
+        }
+      }
+      return cmd_attach(argv[2], timeout_ms);
     }
 
     if (argc < 3) return usage();
